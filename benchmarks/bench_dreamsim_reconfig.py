@@ -1,0 +1,94 @@
+"""DReAMSim ablation: reconfiguration mechanics.
+
+Two knobs the paper highlights for reconfigurable nodes (refs [20][21]):
+
+1. **Partial vs full reconfiguration** -- ref [21] added partial
+   reconfiguration to DReAMSim's nodes; a partial bitstream only pays
+   for the region it covers, a full swap always pays for the whole
+   device.
+2. **Configuration reuse** -- a small configuration pool relative to
+   the task count means the required circuit is often already resident;
+   a large pool defeats reuse.
+
+The sweep tabulates total reconfiguration time and reuse rate across
+both knobs; assertions pin the expected monotonicity.
+"""
+
+from repro.core.node import Node
+from repro.grid.rms import ResourceManagementSystem
+from repro.hardware.catalog import device_by_model
+from repro.scheduling import HybridCostScheduler
+from repro.sim.simulator import DReAMSim
+from repro.sim.workload import (
+    ConfigurationPool,
+    PoissonArrivals,
+    SyntheticWorkload,
+    WorkloadSpec,
+)
+
+TASKS = 150
+SEED = 23
+
+
+def run_config(*, partial: bool, pool_size: int):
+    node = Node(node_id=0)
+    node.add_rpe(device_by_model("XC5VLX330"), regions=4)
+    rms = ResourceManagementSystem(
+        scheduler=HybridCostScheduler(), partial_reconfiguration=partial
+    )
+    rms.register_node(node)
+    pool = ConfigurationPool(pool_size, area_range=(3_000, 12_000), seed=7)
+    pool.populate_repository(rms.virtualization.repository, [node.rpes[0].device])
+    workload = SyntheticWorkload(
+        WorkloadSpec(task_count=TASKS, gpp_fraction=0.0),
+        pool,
+        PoissonArrivals(rate_per_s=1.5),
+        seed=SEED,
+    )
+    sim = DReAMSim(rms)
+    sim.submit_workload(workload.generate())
+    return sim.run()
+
+
+def regenerate():
+    rows = []
+    for partial in (True, False):
+        for pool_size in (2, 8, 32):
+            report = run_config(partial=partial, pool_size=pool_size)
+            rows.append((partial, pool_size, report))
+    return rows
+
+
+def bench_dreamsim_reconfiguration_sweep(benchmark):
+    rows = regenerate()
+    print("\nDReAMSim reconfiguration ablation (150 hardware tasks)")
+    print(f"{'mode':8s} {'pool':>5s} {'reconf':>7s} {'reconf s':>9s} {'reuse':>7s} {'wait s':>8s}")
+    for partial, pool_size, r in rows:
+        mode = "partial" if partial else "full"
+        print(
+            f"{mode:8s} {pool_size:5d} {r.reconfigurations:7d} "
+            f"{r.total_reconfig_time_s:9.3f} {r.reuse_rate:7.1%} {r.mean_wait_s:8.3f}"
+        )
+
+    by = {(p, s): r for p, s, r in rows}
+    for pool_size in (2, 8, 32):
+        partial_r = by[(True, pool_size)]
+        full_r = by[(False, pool_size)]
+        assert partial_r.completed == full_r.completed == TASKS
+        # Same decisions -> same reconfiguration count; partial loads
+        # strictly less configuration data per event.
+        if full_r.reconfigurations:
+            assert (
+                partial_r.total_reconfig_time_s < full_r.total_reconfig_time_s
+            ), pool_size
+    # Smaller pools -> more reuse, fewer reconfigurations.
+    assert by[(True, 2)].reuse_rate > by[(True, 32)].reuse_rate
+    assert by[(True, 2)].reconfigurations <= by[(True, 32)].reconfigurations
+
+    report = benchmark(run_config, partial=True, pool_size=8)
+    assert report.completed == TASKS
+
+
+if __name__ == "__main__":
+    for partial, pool, r in regenerate():
+        print(partial, pool, r.reconfigurations, round(r.total_reconfig_time_s, 3), r.reuse_rate)

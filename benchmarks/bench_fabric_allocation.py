@@ -1,0 +1,130 @@
+"""Design-choice ablation: fixed PR regions vs slice-granular placement.
+
+The DReAMSim node model (ref [21]) uses fixed partial-reconfiguration
+regions; real relocation-capable runtimes can place circuits at slice
+granularity but then fight external fragmentation.  This bench drives
+both fabric models with the same random allocate/release traffic and
+tabulates:
+
+* admission rate (requests successfully placed),
+* fragmentation (flexible) / internal waste (fixed),
+* the cost of defragmentation (relocations and reconfiguration time).
+
+Expected shape: flexible placement admits more of a size-diverse
+workload than fixed equal regions (no internal fragmentation), but
+accumulates external fragmentation that periodic compaction must pay
+to clear; fixed regions never fragment but reject every request larger
+than one region.
+"""
+
+import numpy as np
+
+from repro.hardware.catalog import device_by_model
+from repro.hardware.fabric import Fabric, RegionState
+from repro.hardware.flexfabric import AllocationError, FlexibleFabric
+
+DEVICE = device_by_model("XC5VLX330")  # 51,840 slices
+REQUESTS = 400
+SEED = 17
+
+
+def traffic(seed=SEED):
+    """Random (size, hold_steps) allocation requests."""
+    rng = np.random.default_rng(seed)
+    sizes = rng.integers(1_000, 20_000, size=REQUESTS)
+    holds = rng.integers(1, 12, size=REQUESTS)
+    return list(zip(sizes.tolist(), holds.tolist()))
+
+
+def run_fixed(regions: int):
+    fabric = Fabric.for_device(DEVICE, regions=regions)
+    admitted = rejected = 0
+    live: list[tuple] = []  # (region, remaining_steps)
+    from repro.hardware.bitstream import Bitstream
+
+    for i, (size, hold) in enumerate(traffic()):
+        live = [(r, left - 1) for r, left in live if left - 1 > 0] or []
+        held = {r.region_id for r, _ in live}
+        for region in fabric.regions:
+            if region.state is RegionState.BUSY and region.region_id not in held:
+                fabric.vacate(region)
+                fabric.clear(region)
+        region = fabric.find_placeable(size)
+        if region is None:
+            rejected += 1
+            continue
+        if region.state is RegionState.CONFIGURED:
+            fabric.clear(region)
+        bs = Bitstream(10_000 + i, DEVICE.model, DEVICE.bitstream_size_bytes(size), size, implements=f"f{i}")
+        fabric.begin_reconfiguration(region, bs)
+        fabric.finish_reconfiguration(region)
+        fabric.occupy(region)
+        live.append((region, hold))
+        admitted += 1
+    return admitted, rejected
+
+
+def run_flexible(*, compact_every: int | None):
+    fabric = FlexibleFabric(DEVICE)
+    admitted = rejected = 0
+    frag_samples = []
+    compaction_s = 0.0
+    live: list[tuple] = []  # (span, remaining)
+    for i, (size, hold) in enumerate(traffic()):
+        next_live = []
+        for span, left in live:
+            if left - 1 > 0:
+                next_live.append((span, left - 1))
+            else:
+                fabric.release(span)
+        live = next_live
+        if compact_every and i % compact_every == 0 and i:
+            compaction_s += fabric.compaction_time_s()
+            fabric.compact()
+        try:
+            span = fabric.allocate(size, implements=f"f{i}")
+            live.append((span, hold))
+            admitted += 1
+        except AllocationError:
+            rejected += 1
+        frag_samples.append(fabric.external_fragmentation())
+    return admitted, rejected, float(np.mean(frag_samples)), fabric.relocations, compaction_s
+
+
+def bench_fabric_allocation(benchmark):
+    fixed3 = run_fixed(3)
+    fixed6 = run_fixed(6)
+    flex_never = run_flexible(compact_every=None)
+    flex_50 = run_flexible(compact_every=50)
+
+    print("\nFabric allocation ablation (400 random requests, 1k-20k slices)")
+    print(f"{'model':28s} {'admit':>6s} {'reject':>7s} {'frag':>6s} {'reloc':>6s} {'defrag s':>9s}")
+    print(f"{'fixed, 3 regions':28s} {fixed3[0]:6d} {fixed3[1]:7d} {'-':>6s} {'-':>6s} {'-':>9s}")
+    print(f"{'fixed, 6 regions':28s} {fixed6[0]:6d} {fixed6[1]:7d} {'-':>6s} {'-':>6s} {'-':>9s}")
+    print(
+        f"{'flexible, no compaction':28s} {flex_never[0]:6d} {flex_never[1]:7d} "
+        f"{flex_never[2]:6.2f} {flex_never[3]:6d} {flex_never[4]:9.3f}"
+    )
+    print(
+        f"{'flexible, compact every 50':28s} {flex_50[0]:6d} {flex_50[1]:7d} "
+        f"{flex_50[2]:6.2f} {flex_50[3]:6d} {flex_50[4]:9.3f}"
+    )
+
+    # Fixed 6 equal regions (8,640 slices) reject every big request;
+    # 3 regions (17,280) admit them. Internal fragmentation trade-off.
+    assert fixed6[0] < fixed3[0]
+    # Slice-granular placement admits at least as much as the best
+    # fixed partition under this size-diverse traffic.
+    assert flex_never[0] >= fixed3[0]
+    # Compaction pays relocations but lifts admission (or at minimum
+    # never hurts) and is what clears fragmentation.
+    assert flex_50[0] >= flex_never[0]
+    assert flex_50[3] > 0
+
+    result = benchmark(run_flexible, compact_every=50)
+    assert result[0] > 0
+
+
+if __name__ == "__main__":
+    print(run_fixed(3), run_fixed(6))
+    print(run_flexible(compact_every=None), run_flexible(compact_every=50))

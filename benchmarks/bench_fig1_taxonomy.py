@@ -1,0 +1,56 @@
+"""Figure 1: taxonomy of enhanced processing elements.
+
+Regenerates the taxonomy tree and classifies one instance of every
+hardware model into it.  The timed kernel is classification over the
+whole device catalog plus the soft-core/GPP/GPU representatives.
+"""
+
+from repro.hardware.catalog import DEVICE_CATALOG
+from repro.hardware.gpp import GPPSpec
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.softcore import RHO_VEX_2ISSUE, RHO_VEX_4ISSUE, RHO_VEX_8ISSUE
+from repro.hardware.taxonomy import PEClass, classify, taxonomy_tree
+
+
+def render_tree() -> list[str]:
+    lines = ["Figure 1: taxonomy of enhanced processing elements", ""]
+    for depth, node in taxonomy_tree().walk():
+        section = f"  [{node.section}]" if node.section else ""
+        lines.append("  " * depth + f"- {node.label}{section}")
+    return lines
+
+
+def specimens():
+    return (
+        [GPPSpec(cpu_model="Xeon", mips=10_000), GPPSpec(cpu_model="Opteron", mips=8_000)]
+        + [GPUSpec(model="Tesla", shader_cores=240)]
+        + [RHO_VEX_2ISSUE, RHO_VEX_4ISSUE, RHO_VEX_8ISSUE]
+        + list(DEVICE_CATALOG.values())
+    )
+
+
+def bench_fig1_classification(benchmark):
+    print("\n" + "\n".join(render_tree()))
+    tree = taxonomy_tree()
+    # The tree realizes the three Section III scenarios.
+    for label in (
+        "Pre-determined hardware configuration",
+        "User-defined hardware configuration",
+        "Device-specific hardware",
+    ):
+        assert tree.find(label) is not None
+
+    pool = specimens()
+
+    def classify_all():
+        return [classify(s) for s in pool]
+
+    classes = benchmark(classify_all)
+    assert classes.count(PEClass.GPP) == 2
+    assert classes.count(PEClass.GPU) == 1
+    assert classes.count(PEClass.SOFTCORE) == 3
+    assert classes.count(PEClass.RPE) == len(DEVICE_CATALOG)
+
+
+if __name__ == "__main__":
+    print("\n".join(render_tree()))

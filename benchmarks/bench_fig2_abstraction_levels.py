@@ -1,0 +1,150 @@
+"""Figure 2: virtualization/abstraction levels on a reconfigurable grid.
+
+Section III-C's claim: descending the abstraction stack, the user adds
+more specification and gets more performance.  This bench runs the SAME
+kernel (8,000 MI, 10x hardware speedup) through the grid at every
+level and tabulates what the user supplied, what the grid did, and the
+resulting times:
+
+* SOFTWARE_ONLY      -- code only; runs on a GPP.
+* PREDETERMINED_HW   -- code + soft-core choice; pays provisioning, but
+  rescues the task when every GPP is busy (Section III-A's fallback).
+* USER_DEFINED_HW    -- code + generic HDL; pays provider-side synthesis
+  on first contact, then reuses the archived bitstream.
+* DEVICE_SPECIFIC_HW -- code + ready bitstream; pays only the transfer
+  and configuration-port time.
+"""
+
+import pytest
+
+from repro.core.abstraction import AbstractionLevel
+from repro.core.execreq import Artifacts, Equals, ExecReq, MinValue
+from repro.core.node import Node
+from repro.core.task import simple_task
+from repro.grid.network import Network
+from repro.grid.rms import ResourceManagementSystem
+from repro.hardware.bitstream import Bitstream, HDLDesign
+from repro.hardware.catalog import device_by_model
+from repro.hardware.gpp import GPPSpec
+from repro.hardware.softcore import RHO_VEX_8ISSUE
+from repro.hardware.taxonomy import PEClass
+
+WORKLOAD_MI = 8_000.0
+HW_EXEC_S = 0.8  # 10x over the 1000-MIPS reference
+SLICES = 5_000
+
+
+def fresh_rms() -> ResourceManagementSystem:
+    node = Node(node_id=0, name="Node_0")
+    node.add_gpp(GPPSpec(cpu_model="Xeon", mips=1_000))
+    # One region: the 8-issue soft core needs ~12k of the 17k slices.
+    node.add_rpe(device_by_model("XC5VLX110"), regions=1)
+    net = Network.fully_connected([0], bandwidth_mbps=100.0, latency_s=0.005)
+    rms = ResourceManagementSystem(network=net)
+    rms.register_node(node)
+    return rms
+
+
+def task_at_level(level: AbstractionLevel, task_id: int):
+    base = dict(application_code="kernel", input_data_bytes=1 << 20)
+    if level is AbstractionLevel.SOFTWARE_ONLY:
+        req = ExecReq(node_type=PEClass.GPP, artifacts=Artifacts(**base))
+        return simple_task(task_id, req, 8.0, workload_mi=WORKLOAD_MI, function="kern")
+    if level is AbstractionLevel.PREDETERMINED_HW:
+        req = ExecReq(
+            node_type=PEClass.SOFTCORE,
+            artifacts=Artifacts(**base, softcore=RHO_VEX_8ISSUE),
+        )
+        return simple_task(task_id, req, 8.0, workload_mi=WORKLOAD_MI, function="kern")
+    if level is AbstractionLevel.USER_DEFINED_HW:
+        hdl = HDLDesign("kern_hdl", "VHDL", 900, estimated_slices=SLICES, implements="kern")
+        req = ExecReq(
+            node_type=PEClass.RPE,
+            constraints=(MinValue("slices", SLICES),),
+            artifacts=Artifacts(**base, hdl_design=hdl),
+        )
+        return simple_task(task_id, req, HW_EXEC_S, workload_mi=WORKLOAD_MI, function="kern")
+    device = device_by_model("XC5VLX110")
+    bs = Bitstream(
+        7_000 + task_id,
+        device.model,
+        device.bitstream_size_bytes(SLICES),
+        SLICES,
+        implements="kern",
+        speedup_vs_gpp=10.0,
+    )
+    req = ExecReq(
+        node_type=PEClass.RPE,
+        constraints=(Equals("device_model", device.model),),
+        artifacts=Artifacts(**base, bitstream=bs),
+    )
+    return simple_task(task_id, req, HW_EXEC_S, workload_mi=WORKLOAD_MI, function="kern")
+
+
+def measure_level(level: AbstractionLevel) -> dict:
+    rms = fresh_rms()
+    first = rms.plan_placement(task_at_level(level, 0))
+    rms.run_placement(first)
+    steady = rms.plan_placement(task_at_level(level, 1))
+    rms.run_placement(steady)
+    return {
+        "level": level,
+        "first_total_s": first.total_time_s,
+        "steady_total_s": steady.total_time_s,
+        "exec_s": first.exec_time_s,
+        "synthesis_s": first.synthesis_time_s,
+        "effort": level.development_effort,
+    }
+
+
+def regenerate() -> list[dict]:
+    return [measure_level(level) for level in sorted(AbstractionLevel, reverse=True)]
+
+
+def bench_fig2_abstraction_sweep(benchmark):
+    rows = regenerate()
+    print("\nFigure 2: abstraction level sweep (same kernel at every level)")
+    print(f"{'level':22s} {'effort':>6s} {'exec s':>8s} {'synth s':>8s} {'1st total':>10s} {'steady':>8s}")
+    for r in rows:
+        print(
+            f"{r['level'].name:22s} {r['effort']:6.2f} {r['exec_s']:8.3f} "
+            f"{r['synthesis_s']:8.2f} {r['first_total_s']:10.2f} {r['steady_total_s']:8.3f}"
+        )
+    by = {r["level"]: r for r in rows}
+
+    # Section III-C: lower abstraction -> more performance (execution).
+    assert (
+        by[AbstractionLevel.DEVICE_SPECIFIC_HW]["exec_s"]
+        < by[AbstractionLevel.SOFTWARE_ONLY]["exec_s"]
+    )
+    # III-B2 vs III-B3: generic HDL pays synthesis once; bitstreams don't.
+    assert by[AbstractionLevel.USER_DEFINED_HW]["synthesis_s"] > 0
+    assert by[AbstractionLevel.DEVICE_SPECIFIC_HW]["synthesis_s"] == 0
+    assert (
+        by[AbstractionLevel.USER_DEFINED_HW]["first_total_s"]
+        > by[AbstractionLevel.DEVICE_SPECIFIC_HW]["first_total_s"]
+    )
+    # Steady state: synthesis amortized away by the bitstream repository.
+    assert (
+        by[AbstractionLevel.USER_DEFINED_HW]["steady_total_s"]
+        < by[AbstractionLevel.USER_DEFINED_HW]["first_total_s"]
+    )
+    # User effort grows monotonically toward the hardware.
+    efforts = [r["effort"] for r in rows]
+    assert efforts == sorted(efforts)
+
+    # Section III-A scenario: all GPPs busy -> the soft-core fallback
+    # beats queueing behind the 60-second incumbent.
+    rms = fresh_rms()
+    rms.node(0).gpps[0].assign(999)  # busy "for 60 s"
+    software_total = 60.0 + WORKLOAD_MI / 1_000.0
+    fallback = rms.plan_placement(task_at_level(AbstractionLevel.PREDETERMINED_HW, 5))
+    assert fallback is not None
+    assert fallback.total_time_s < software_total
+
+    benchmark(measure_level, AbstractionLevel.DEVICE_SPECIFIC_HW)
+
+
+if __name__ == "__main__":
+    for row in regenerate():
+        print(row)

@@ -1,0 +1,55 @@
+"""Figure 3: the grid node model (Eq. 1).
+
+Exercises the node tuple -- construction, runtime add/remove, and state
+snapshots -- and times the operation the RMS performs continuously:
+refreshing the Eq. 1 ``state`` of every node in a large grid ("The RMS
+updates the statuses of all nodes in the grid").
+"""
+
+from repro.core.node import Node
+from repro.hardware.catalog import devices_by_family
+from repro.hardware.gpp import GPPSpec
+
+
+def build_grid(nodes: int = 64) -> list[Node]:
+    devices = devices_by_family("virtex-5")
+    grid = []
+    for i in range(nodes):
+        node = Node(node_id=1_000 + i)
+        for g in range(1 + i % 3):
+            node.add_gpp(GPPSpec(cpu_model=f"cpu{g}", mips=1_000.0 * (g + 1)))
+        for r in range(1 + i % 2):
+            node.add_rpe(devices[(i + r) % len(devices)], regions=1 + (i % 3))
+        grid.append(node)
+    return grid
+
+
+def bench_fig3_status_refresh(benchmark):
+    grid = build_grid()
+
+    # Eq. 1 structure checks on a sample node.
+    node = grid[0]
+    node_id, gpp_caps, rpe_caps, state = node.as_tuple()
+    assert gpp_caps and rpe_caps
+    assert state.available_reconfigurable_area > 0
+    print(
+        f"\nFigure 3: grid of {len(grid)} nodes, "
+        f"{sum(len(n.gpps) for n in grid)} GPPs, {sum(len(n.rpes) for n in grid)} RPEs"
+    )
+
+    # Runtime adaptivity: add and remove a resource on every node.
+    for n in grid:
+        added = n.add_gpp(GPPSpec(cpu_model="hotplug", mips=500))
+        n.remove_gpp(added.resource_id)
+
+    def refresh_statuses():
+        return {n.node_id: n.state() for n in grid}
+
+    statuses = benchmark(refresh_statuses)
+    assert len(statuses) == len(grid)
+    assert all(s.has_capacity for s in statuses.values())
+
+
+if __name__ == "__main__":
+    grid = build_grid()
+    print(grid[0].as_tuple())

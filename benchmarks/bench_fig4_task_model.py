@@ -1,0 +1,60 @@
+"""Figure 4: the application task model (Eq. 2).
+
+Builds tasks with n inputs, m outputs and k ExecReq parameters exactly
+as Figure 4 draws them, then times the hot path: ExecReq evaluation of
+a large task batch against a grid's capability descriptors.
+"""
+
+from repro.core.execreq import Equals, ExecReq, MinValue
+from repro.core.task import DataIn, DataOut, Task
+from repro.hardware.catalog import DEVICE_CATALOG
+from repro.hardware.taxonomy import PEClass
+
+
+def figure4_task(task_id: int = 42, n: int = 3, m: int = 2, k: int = 4) -> Task:
+    """A task with n DataIN sources, m outputs, and k ExecReq params."""
+    constraint_pool = [
+        MinValue("slices", 10_000),
+        Equals("device_family", "virtex-5"),
+        MinValue("bram_kb", 128),
+        MinValue("dsp_slices", 32),
+        MinValue("max_frequency_mhz", 300.0),
+    ]
+    return Task(
+        task_id=task_id,
+        data_in=tuple(DataIn(task_id - i - 1, i, 1 << 20) for i in range(n)),
+        data_out=tuple(DataOut(i, 1 << 19) for i in range(m)),
+        exec_req=ExecReq(node_type=PEClass.RPE, constraints=tuple(constraint_pool[:k])),
+        t_estimated=2.0,
+    )
+
+
+def bench_fig4_execreq_matching(benchmark):
+    task = figure4_task()
+    print("\nFigure 4: task tuple")
+    print(f"  TaskID       = {task.task_id}")
+    for d in task.data_in:
+        print(f"  DataIN       = (TaskID={d.source_task_id}, DataID={d.data_id}, DSize={d.size_bytes})")
+    for d in task.data_out:
+        print(f"  DataOUT      = (DataID={d.data_id}, DSize={d.size_bytes})")
+    print(f"  ExecReq      = {task.exec_req.describe()}")
+    print(f"  t_estimated  = {task.t_estimated}")
+
+    assert task.predecessor_ids == {39, 40, 41}
+    assert task.total_input_bytes == 3 << 20
+
+    # Timed kernel: 1,000 tasks x whole catalog ExecReq evaluation.
+    tasks = [figure4_task(task_id=100 + i, k=1 + i % 5) for i in range(1_000)]
+    descriptors = [d.capabilities() for d in DEVICE_CATALOG.values()]
+
+    def match_batch():
+        return sum(
+            1 for t in tasks for caps in descriptors if t.exec_req.matches(caps)
+        )
+
+    hits = benchmark(match_batch)
+    assert hits > 0
+
+
+if __name__ == "__main__":
+    print(figure4_task().exec_req.describe())

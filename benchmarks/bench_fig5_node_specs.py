@@ -1,0 +1,54 @@
+"""Figure 5: specifications of the 3 case-study grid nodes.
+
+Regenerates the three spec sheets (Node_0 .. Node_2) from the node
+models and checks the paper-stated facts: composition, device families,
+the >24,000-slice Virtex-5 claim, and the initial idle/unconfigured
+states.  The timed kernel is full spec-sheet generation.
+"""
+
+from repro.casestudy.nodes import build_case_study_nodes
+
+
+def spec_sheets(nodes) -> list[str]:
+    lines = ["Figure 5: case-study node specifications", ""]
+    for node in nodes:
+        lines.append(f"== {node.name} ==")
+        for i, caps in enumerate(node.gpp_caps()):
+            lines.append(
+                f"  GPP_{i}: {caps['cpu_model']}, {caps['mips']:.0f} MIPS, "
+                f"{caps['os']}, {caps['ram_mb']} MB, {caps['cores']} cores"
+            )
+        for i, caps in enumerate(node.rpe_caps()):
+            lines.append(
+                f"  RPE_{i}: {caps['device_model']} ({caps['device_family']}), "
+                f"{caps['slices']} slices, {caps['bram_kb']} KB BRAM, "
+                f"{caps['dsp_slices']} DSP, state={caps['state']}, "
+                f"resident={list(caps['resident_functions'])}"
+            )
+        lines.append("")
+    return lines
+
+
+def bench_fig5_spec_generation(benchmark):
+    nodes = build_case_study_nodes()
+    print("\n" + "\n".join(spec_sheets(nodes)))
+
+    node0, node1, node2 = nodes
+    assert (len(node0.gpps), len(node0.rpes)) == (2, 2)
+    assert (len(node1.gpps), len(node1.rpes)) == (1, 2)
+    assert (len(node2.gpps), len(node2.rpes)) == (0, 1)
+    assert node0.rpes[0].device.model == "XC6VLX365T"
+    for rpe in node1.rpes + node2.rpes:
+        assert rpe.device.family == "virtex-5" and rpe.device.slices > 24_000
+    # "both RPEs are currently available and idle" / unconfigured.
+    for node in nodes:
+        for rpe in node.rpes:
+            assert rpe.state.value == "idle"
+            assert rpe.fabric.resident_configurations() == []
+
+    sheets = benchmark(spec_sheets, nodes)
+    assert any("XC6VLX365T" in line for line in sheets)
+
+
+if __name__ == "__main__":
+    print("\n".join(spec_sheets(build_case_study_nodes())))

@@ -1,0 +1,49 @@
+"""Figure 6: execution requirements of Task_0..Task_3.
+
+Regenerates the four ExecReq sheets and checks the paper-stated
+requirements (GPP-only; Virtex-5 >= 18,707; Virtex-5 >= 30,790;
+XC6VLX365T bitstream).  The timed kernel is JSS-side validation of the
+four submissions.
+"""
+
+from repro.casestudy.tasks import build_case_study_tasks
+from repro.grid.jss import JobSubmissionSystem
+
+
+def req_sheets(tasks) -> list[str]:
+    lines = ["Figure 6: task execution requirements", ""]
+    for task_id, task in sorted(tasks.items()):
+        lines.append(f"== Task_{task_id} ({task.function}) ==")
+        lines.append(f"  ExecReq: {task.exec_req.describe()}")
+        lines.append(f"  level:   {task.abstraction_level.name}")
+        a = task.exec_req.artifacts
+        artifacts = ["code"]
+        if a.hdl_design is not None:
+            artifacts.append(f"HDL({a.hdl_design.language}, {a.hdl_design.estimated_slices} slices)")
+        if a.bitstream is not None:
+            artifacts.append(f"bitstream({a.bitstream.target_model}, {a.bitstream.size_bytes} B)")
+        lines.append(f"  user supplies: {', '.join(artifacts)}")
+        lines.append(f"  t_estimated: {task.t_estimated} s")
+        lines.append("")
+    return lines
+
+
+def bench_fig6_submission_validation(benchmark):
+    tasks = build_case_study_tasks()
+    print("\n" + "\n".join(req_sheets(tasks)))
+
+    assert "NodeType=GPP" in tasks[0].exec_req.describe()
+    assert "slices >= 18707" in tasks[1].exec_req.describe()
+    assert "slices >= 30790" in tasks[2].exec_req.describe()
+    assert "XC6VLX365T" in tasks[3].exec_req.describe()
+
+    def validate_all():
+        jss = JobSubmissionSystem()
+        return [jss.submit_task(t) for t in tasks.values()]
+
+    jobs = benchmark(validate_all)
+    assert len(jobs) == 4
+
+
+if __name__ == "__main__":
+    print("\n".join(req_sheets(build_case_study_tasks())))

@@ -1,0 +1,70 @@
+"""Figure 7: the application task graph.
+
+Regenerates the T0..T17 graph with the paper's stated dependencies,
+prints its generations and critical path, and times dependency
+resolution (readiness-frontier execution) on graphs two orders of
+magnitude larger than the figure.
+"""
+
+import numpy as np
+
+from repro.core.execreq import ExecReq
+from repro.core.task import DataIn, DataOut, Task
+from repro.core.taskgraph import FIGURE7_EDGES, TaskGraph, figure7_graph
+from repro.hardware.taxonomy import PEClass
+
+
+def random_big_graph(n: int = 1_500, seed: int = 0) -> TaskGraph:
+    rng = np.random.default_rng(seed)
+    tasks = []
+    for task_id in range(n):
+        max_preds = min(task_id, 4)
+        k = int(rng.integers(0, max_preds + 1)) if max_preds else 0
+        preds = rng.choice(task_id, size=k, replace=False) if k else []
+        tasks.append(
+            Task(
+                task_id=task_id,
+                data_in=tuple(DataIn(int(p), 0, 1 << 12) for p in preds),
+                data_out=(DataOut(0, 1 << 12),),
+                exec_req=ExecReq(node_type=PEClass.GPP),
+                t_estimated=float(rng.uniform(0.5, 3.0)),
+            )
+        )
+    return TaskGraph(tasks)
+
+
+def bench_fig7_dependency_resolution(benchmark):
+    graph = figure7_graph(t_estimated=1.0)
+    print("\nFigure 7: application task graph (T0..T17)")
+    for consumer, producers in sorted(FIGURE7_EDGES.items()):
+        inputs = ", ".join(f"T{p}" for p in producers)
+        print(f"  DataIN(T{consumer}) <- DataOUT({inputs})")
+    print(f"  generations: {graph.generations()}")
+    path, length = graph.critical_path()
+    print(f"  critical path: {' -> '.join(f'T{t}' for t in path)}  ({length:.1f} s)")
+
+    # The paper's explicit edges.
+    assert graph.predecessors(8) == {0, 2, 5}
+    assert graph.predecessors(11) == {7, 9, 13}
+    assert graph.predecessors(13) == {7, 8}
+    assert graph.predecessors(17) == {7, 13}
+    assert length == 4.0  # T?->T8->T13->{T11|T17}
+
+    big = random_big_graph()
+
+    def frontier_execution():
+        completed: set[int] = set()
+        rounds = 0
+        while len(completed) < len(big):
+            completed |= big.ready_tasks(completed)
+            rounds += 1
+        return rounds
+
+    rounds = benchmark(frontier_execution)
+    assert rounds == len(big.generations())
+
+
+if __name__ == "__main__":
+    g = figure7_graph()
+    print(g.generations())
+    print(g.critical_path())

@@ -1,0 +1,77 @@
+"""Figure 8: execution of App{Seq(T2), Par(T4,T1,T7), Seq(T5,T10)}.
+
+Runs the Eq. 4 example application on the simulator and regenerates the
+Figure 8 timeline: T2 first, then T1/T4/T7 concurrently, then T5, then
+T10.  The timed kernel is a full simulator run of the application.
+"""
+
+import pytest
+
+from repro.core.application import Application, Par, Seq, parse_application
+from repro.core.execreq import Artifacts, ExecReq
+from repro.core.node import Node
+from repro.core.task import simple_task
+from repro.grid.rms import ResourceManagementSystem
+from repro.hardware.gpp import GPPSpec
+from repro.hardware.taxonomy import PEClass
+from repro.sim.simulator import DReAMSim
+
+DURATIONS = {2: 1.0, 4: 2.0, 1: 1.5, 7: 1.0, 5: 1.0, 10: 0.5}
+
+
+def build_sim():
+    node = Node(node_id=0)
+    for i in range(3):  # enough GPPs for the widest Par step
+        node.add_gpp(GPPSpec(cpu_model=f"cpu{i}", mips=1_000))
+    rms = ResourceManagementSystem()
+    rms.register_node(node)
+    return DReAMSim(rms)
+
+
+def run_app():
+    sim = build_sim()
+    app = parse_application("App{Seq(T2), Par(T4, T1, T7), Seq,(T5, T10)}")
+    tasks = {
+        i: simple_task(
+            i,
+            ExecReq(node_type=PEClass.GPP, artifacts=Artifacts(application_code="x")),
+            DURATIONS[i],
+        )
+        for i in DURATIONS
+    }
+    job_id = sim.submit_application(app, tasks)
+    report = sim.run()
+    return sim, job_id, report
+
+
+def bench_fig8_application_execution(benchmark):
+    sim, job_id, report = run_app()
+    job = sim.jss.job(job_id)
+
+    print("\nFigure 8: Eq. 4 execution timeline")
+    for task_id in (2, 4, 1, 7, 5, 10):
+        rec = job.record(task_id)
+        print(f"  T{task_id:<3d} start={rec.start_time:5.2f}  finish={rec.finish_time:5.2f}")
+
+    # The Figure 8 ordering: clause barriers hold.
+    t2 = job.record(2)
+    par = [job.record(i) for i in (4, 1, 7)]
+    t5, t10 = job.record(5), job.record(10)
+    assert all(p.start_time >= t2.finish_time for p in par)
+    par_end = max(p.finish_time for p in par)
+    assert t5.start_time >= par_end
+    assert t10.start_time >= t5.finish_time
+    # Par step genuinely overlaps.
+    assert min(p.finish_time for p in par) > max(p.start_time for p in par)
+    # Makespan = 1 + max(2, 1.5, 1) + 1 + 0.5.
+    assert report.makespan_s == pytest.approx(4.5)
+    # Matches the analytic Application.makespan with unlimited PEs.
+    app = Application(clauses=(Seq(2), Par(4, 1, 7), Seq(5, 10)))
+    assert report.makespan_s == pytest.approx(app.makespan(DURATIONS))
+
+    benchmark(run_app)
+
+
+if __name__ == "__main__":
+    _, _, report = run_app()
+    print("\n".join(report.summary_lines()))

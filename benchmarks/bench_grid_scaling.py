@@ -1,0 +1,93 @@
+"""Grid scaling: one workload across growing grids.
+
+The paper's setting is a *grid* -- "computing resources that are
+geographically distributed over the globe" (Section I).  The basic
+scaling question for any grid manager: how do makespan and utilization
+respond as nodes join?  This bench submits one fixed 240-task workload
+to grids of 1..6 identical hybrid nodes.
+
+Expected shape: makespan falls roughly hyperbolically until the
+arrival process (not capacity) limits progress, and mean utilization
+falls as capacity outgrows the workload -- the standard weak-scaling
+picture.
+"""
+
+from repro.core.node import Node
+from repro.grid.network import Network
+from repro.grid.rms import ResourceManagementSystem
+from repro.hardware.catalog import device_by_model
+from repro.hardware.gpp import GPPSpec
+from repro.scheduling import HybridCostScheduler
+from repro.sim.simulator import DReAMSim
+from repro.sim.workload import (
+    ConfigurationPool,
+    PoissonArrivals,
+    SyntheticWorkload,
+    WorkloadSpec,
+)
+
+TASKS = 240
+SEED = 29
+NODE_COUNTS = (1, 2, 4, 6)
+
+
+def run_grid(nodes: int):
+    rms = ResourceManagementSystem(
+        network=Network.fully_connected(
+            list(range(nodes)), bandwidth_mbps=100.0, latency_s=0.005
+        ),
+        scheduler=HybridCostScheduler(),
+    )
+    for node_id in range(nodes):
+        node = Node(node_id=node_id, name=f"Node_{node_id}")
+        node.add_gpp(GPPSpec(cpu_model="Xeon", mips=1_500))
+        node.add_rpe(device_by_model("XC5VLX220"), regions=2)
+        rms.register_node(node)
+    pool = ConfigurationPool(6, area_range=(3_000, 12_000), seed=5)
+    pool.populate_repository(
+        rms.virtualization.repository,
+        [rpe.device for node in rms.nodes for rpe in node.rpes],
+    )
+    workload = SyntheticWorkload(
+        WorkloadSpec(task_count=TASKS, gpp_fraction=0.4,
+                     required_time_range_s=(1.0, 4.0)),
+        pool,
+        PoissonArrivals(rate_per_s=4.0),
+        seed=SEED,
+    )
+    sim = DReAMSim(rms)
+    sim.submit_workload(workload.generate())
+    return sim.run()
+
+
+def regenerate():
+    return {n: run_grid(n) for n in NODE_COUNTS}
+
+
+def bench_grid_scaling(benchmark):
+    reports = regenerate()
+    print("\nGrid scaling: 240 tasks, 1..6 hybrid nodes")
+    print(f"{'nodes':>6s} {'makespan s':>11s} {'mean wait s':>12s} {'utilization':>12s}")
+    for n, r in reports.items():
+        print(
+            f"{n:6d} {r.makespan_s:11.2f} {r.mean_wait_s:12.3f} {r.mean_utilization:12.1%}"
+        )
+
+    makespans = [reports[n].makespan_s for n in NODE_COUNTS]
+    waits = [reports[n].mean_wait_s for n in NODE_COUNTS]
+    # Everyone completes everywhere.
+    for n, r in reports.items():
+        assert r.completed == TASKS, n
+    # Adding nodes never hurts makespan or waiting time.
+    assert makespans == sorted(makespans, reverse=True)
+    assert waits == sorted(waits, reverse=True)
+    # Real speedup from 1 -> 4 nodes on a saturated single node.
+    assert reports[1].makespan_s > 1.5 * reports[4].makespan_s
+
+    report = benchmark(run_grid, 2)
+    assert report.completed == TASKS
+
+
+if __name__ == "__main__":
+    for n, r in regenerate().items():
+        print(n, round(r.makespan_s, 2), round(r.mean_wait_s, 3), round(r.mean_utilization, 3))

@@ -1,0 +1,68 @@
+"""Quipu anchors: pairalign -> 30,790 slices, malign -> 18,707 slices.
+
+Section V: "Using Quipu tool, we estimated that pairalign requires
+30,790 slices, whereas malign requires 18707 slices on Virtex 5
+devices."  This bench measures the complexity of this library's actual
+pairalign/malign call closures, runs them through the calibrated linear
+model, asserts the anchors reproduce exactly, and confirms the Table II
+placement consequences (which catalog devices each kernel fits).
+
+The timed kernel is a full prediction -- metric extraction plus the
+linear model -- since Quipu's selling point is making estimates "in a
+relatively short time, as required in a hardware/software partitioning
+context".
+"""
+
+import importlib
+
+from repro.hardware.catalog import devices_by_family
+from repro.profiling.metrics import measure_closure
+from repro.profiling.quipu import (
+    PAPER_MALIGN_SLICES,
+    PAPER_PAIRALIGN_SLICES,
+    calibrated_model,
+)
+
+_pa = importlib.import_module("repro.bioinfo.pairalign")
+_ma = importlib.import_module("repro.bioinfo.malign")
+
+
+def bench_quipu_predictions(benchmark):
+    model = calibrated_model()
+    m_pair = measure_closure(_pa.pairalign)
+    m_malign = measure_closure(_ma.malign)
+    est_pair = model.predict(m_pair)
+    est_malign = model.predict(m_malign)
+
+    print("\nQuipu estimates (calibrated linear SCM model)")
+    print(f"  pairalign: {est_pair.slices:6d} slices  (paper: {PAPER_PAIRALIGN_SLICES})")
+    print(f"  malign:    {est_malign.slices:6d} slices  (paper: {PAPER_MALIGN_SLICES})")
+    print("\n  Virtex-5 fit table (-> Table II placements):")
+    for device in devices_by_family("virtex-5"):
+        fits_p = est_pair.slices <= device.slices
+        fits_m = est_malign.slices <= device.slices
+        print(
+            f"    {device.model:12s} {device.slices:6d} slices   "
+            f"pairalign={'yes' if fits_p else 'no ':3s} malign={'yes' if fits_m else 'no'}"
+        )
+
+    assert est_pair.slices == PAPER_PAIRALIGN_SLICES
+    assert est_malign.slices == PAPER_MALIGN_SLICES
+    # Table II consequences: LX155 takes malign but not pairalign;
+    # LX220 and LX330 take both.
+    by_model = {d.model: d for d in devices_by_family("virtex-5")}
+    assert est_malign.slices <= by_model["XC5VLX155"].slices
+    assert est_pair.slices > by_model["XC5VLX155"].slices
+    assert est_pair.slices <= by_model["XC5VLX220"].slices
+
+    def full_prediction():
+        return model.predict(measure_closure(_pa.pairalign))
+
+    estimate = benchmark(full_prediction)
+    assert estimate.slices == PAPER_PAIRALIGN_SLICES
+
+
+if __name__ == "__main__":
+    model = calibrated_model()
+    print(model.predict(measure_closure(_pa.pairalign)))
+    print(model.predict(measure_closure(_ma.malign)))

@@ -1,0 +1,89 @@
+"""Extension bench: the streaming scenario (Section VI future work).
+
+"Currently, the framework does not support streaming applications.  In
+our future work, we will propose a virtualization scenario for
+streaming applications."  This library implements that scenario: a
+``Stream`` clause pipelines its task chain over data chunks, so stage
+*j* of chunk *c* overlaps stage *j+1* of chunk *c-1*.
+
+The bench sweeps the chunk count and compares the pipelined makespan
+against the same chain submitted as ``Seq`` (no overlap).  Expected
+shape: makespan(chunks=k) ~= total * (stages + k - 1) / (stages * k),
+approaching total/stages as k grows.
+"""
+
+import pytest
+
+from repro.core.application import Application, Seq, Stream
+from repro.core.execreq import Artifacts, ExecReq
+from repro.core.node import Node
+from repro.core.task import simple_task
+from repro.grid.rms import ResourceManagementSystem
+from repro.hardware.gpp import GPPSpec
+from repro.hardware.taxonomy import PEClass
+from repro.sim.simulator import DReAMSim
+
+STAGES = 4
+STAGE_TIME = 2.0
+
+
+def build_sim():
+    node = Node(node_id=0)
+    for i in range(STAGES):
+        node.add_gpp(GPPSpec(cpu_model=f"cpu{i}", mips=1_000))
+    rms = ResourceManagementSystem()
+    rms.register_node(node)
+    return DReAMSim(rms)
+
+
+def make_tasks():
+    return {
+        i: simple_task(
+            i,
+            ExecReq(node_type=PEClass.GPP, artifacts=Artifacts(application_code="x")),
+            STAGE_TIME,
+        )
+        for i in range(STAGES)
+    }
+
+
+def run_stream(chunks: int) -> float:
+    sim = build_sim()
+    app = Application(clauses=(Stream(*range(STAGES)),))
+    sim.submit_application(app, make_tasks(), stream_chunks=chunks)
+    return sim.run().makespan_s
+
+
+def run_sequential() -> float:
+    sim = build_sim()
+    app = Application(clauses=(Seq(*range(STAGES)),))
+    sim.submit_application(app, make_tasks())
+    return sim.run().makespan_s
+
+
+def bench_streaming_pipeline(benchmark):
+    seq_makespan = run_sequential()
+    total = STAGES * STAGE_TIME
+    print("\nStreaming extension: pipelined vs sequential execution")
+    print(f"  sequential (Seq):           {seq_makespan:6.2f} s")
+    rows = []
+    for chunks in (1, 2, 4, 8, 16):
+        makespan = run_stream(chunks)
+        ideal = total * (STAGES + chunks - 1) / (STAGES * chunks)
+        rows.append((chunks, makespan, ideal))
+        print(f"  stream, {chunks:2d} chunks:         {makespan:6.2f} s  (ideal {ideal:5.2f})")
+
+    assert seq_makespan == pytest.approx(total)
+    for chunks, makespan, ideal in rows:
+        assert makespan == pytest.approx(ideal)
+    # Monotone improvement with deeper pipelining, approaching total/stages.
+    makespans = [m for _, m, _ in rows]
+    assert makespans == sorted(makespans, reverse=True)
+    assert makespans[-1] < seq_makespan / 2
+
+    result = benchmark(run_stream, 8)
+    assert result > 0
+
+
+if __name__ == "__main__":
+    print(run_sequential(), [run_stream(c) for c in (1, 2, 4, 8)])

@@ -1,0 +1,98 @@
+"""Table I: parameters of different processing elements.
+
+Regenerates the table by collecting the capability descriptor of one
+representative of each PE class and checking that every Table I
+parameter row is present.  The timed kernel is descriptor generation +
+constraint evaluation over the whole device catalog -- the operation the
+RMS performs on every scheduling decision.
+"""
+
+from repro.core.execreq import Equals, ExecReq, MinValue
+from repro.hardware.catalog import DEVICE_CATALOG, device_by_model
+from repro.hardware.gpp import GPPSpec
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.softcore import RHO_VEX_4ISSUE
+from repro.hardware.taxonomy import PEClass
+
+#: Table I rows: PE class -> capability keys that realize each parameter.
+TABLE1_ROWS = {
+    "FPGA": [
+        ("Logic cells / Slices / LUTs", ["logic_cells", "slices", "luts"]),
+        ("BRAM / Memory blocks", ["bram_kb"]),
+        ("DSP slices", ["dsp_slices"]),
+        ("Speed grades", ["speed_grade", "max_frequency_mhz"]),
+        ("Reconfiguration bandwidth", ["reconfig_bandwidth_mbps"]),
+        ("IOBs", ["iobs"]),
+        ("Ethernet MAC", ["ethernet_macs"]),
+    ],
+    "GPP": [
+        ("CPU type/model", ["cpu_model"]),
+        ("MIPS ratings", ["mips"]),
+        ("OS", ["os"]),
+        ("RAM", ["ram_mb"]),
+        ("Cores", ["cores"]),
+    ],
+    "Softcore (VLIW)": [
+        ("FU type", ["alus", "multipliers", "memory_units", "branch_units"]),
+        ("Issue width", ["issue_width"]),
+        ("Memory", ["imem_kb", "dmem_kb"]),
+        ("Register file", ["registers"]),
+        ("Pipeline", ["pipeline_stages"]),
+        ("Clusters", ["clusters"]),
+    ],
+    "GPU": [
+        ("Model", ["gpu_model"]),
+        ("Shader cores", ["shader_cores"]),
+        ("Warp size", ["warp_size"]),
+        ("SIMD pipeline width", ["simd_pipeline_width"]),
+        ("Shared memory/core", ["shared_mem_per_core_kb"]),
+        ("Memory frequency", ["memory_frequency_mhz"]),
+    ],
+}
+
+
+def representatives():
+    return {
+        "FPGA": device_by_model("XC5VLX155").capabilities(),
+        "GPP": GPPSpec(cpu_model="Xeon-5160", mips=24_000).capabilities(),
+        "Softcore (VLIW)": RHO_VEX_4ISSUE.capabilities(device_by_model("XC5VLX155")),
+        "GPU": GPUSpec(model="Tesla-C1060", shader_cores=240).capabilities(),
+    }
+
+
+def regenerate_table1() -> list[str]:
+    """Render the Table I reproduction."""
+    caps = representatives()
+    lines = ["Table I: parameters of different processing elements", ""]
+    for pe_class, rows in TABLE1_ROWS.items():
+        lines.append(f"-- {pe_class} --")
+        for parameter, keys in rows:
+            values = ", ".join(f"{k}={caps[pe_class][k]}" for k in keys)
+            lines.append(f"  {parameter:32s} {values}")
+    return lines
+
+
+def bench_table1_descriptor_coverage(benchmark):
+    caps = representatives()
+    # Every Table I parameter must be realized by the models.
+    for pe_class, rows in TABLE1_ROWS.items():
+        for parameter, keys in rows:
+            for key in keys:
+                assert key in caps[pe_class], f"{pe_class}: {parameter} ({key})"
+    print("\n".join(regenerate_table1()))
+
+    # Timed kernel: capability generation + matching across the catalog.
+    req = ExecReq(
+        node_type=PEClass.RPE,
+        constraints=(Equals("device_family", "virtex-5"), MinValue("slices", 18_707)),
+    )
+
+    def catalog_matchmaking():
+        return sum(1 for d in DEVICE_CATALOG.values() if req.matches(d.capabilities()))
+
+    hits = benchmark(catalog_matchmaking)
+    assert hits >= 3  # LX155(T), LX220(T), LX330(T)
+
+
+if __name__ == "__main__":
+    print("\n".join(regenerate_table1()))

@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md's per-experiment index): it prints the regenerated
+artifact (run with ``-s`` to see it), asserts the paper-shape claims,
+and times the underlying computation with pytest-benchmark.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def case_study_grid():
+    """The Figure 5 grid wired to an RMS, fresh per session."""
+    from repro.casestudy.nodes import build_case_study_nodes, case_study_network
+    from repro.grid.rms import ResourceManagementSystem
+
+    rms = ResourceManagementSystem(network=case_study_network())
+    for node in build_case_study_nodes():
+        rms.register_node(node)
+    return rms

@@ -1,0 +1,147 @@
+"""Quickstart: build a polymorphic grid, submit tasks at every
+abstraction level, and run them on the DReAMSim simulator.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core.abstraction import AbstractionLevel
+from repro.core.execreq import Artifacts, Equals, ExecReq, MinValue
+from repro.core.node import Node
+from repro.core.task import simple_task
+from repro.grid.network import Network
+from repro.grid.rms import ResourceManagementSystem
+from repro.hardware.bitstream import Bitstream, HDLDesign
+from repro.hardware.catalog import device_by_model
+from repro.hardware.gpp import GPPSpec
+from repro.hardware.softcore import RHO_VEX_4ISSUE
+from repro.hardware.taxonomy import PEClass
+from repro.sim.simulator import DReAMSim
+
+
+def build_grid() -> ResourceManagementSystem:
+    """A two-node grid: one GPP-heavy node, one fabric-heavy node."""
+    office = Node(node_id=0, name="Office")
+    office.add_gpp(GPPSpec(cpu_model="Xeon-5160", mips=24_000, cores=2))
+    office.add_gpp(GPPSpec(cpu_model="Opteron-2218", mips=20_000, cores=2))
+
+    lab = Node(node_id=1, name="Lab")
+    lab.add_rpe(device_by_model("XC5VLX155"), regions=2)
+    lab.add_rpe(device_by_model("XC5VLX330"), regions=3)
+
+    network = Network.fully_connected([0, 1], bandwidth_mbps=100.0, latency_s=0.01)
+    rms = ResourceManagementSystem(network=network)
+    rms.register_node(office)
+    rms.register_node(lab)
+    return rms
+
+
+def make_tasks() -> list:
+    """One task per Figure 2 abstraction level."""
+    device = device_by_model("XC5VLX155")
+
+    software = simple_task(
+        0,
+        ExecReq(
+            node_type=PEClass.GPP,
+            constraints=(MinValue("mips", 10_000),),
+            artifacts=Artifacts(application_code="sort --big", input_data_bytes=1 << 22),
+        ),
+        t_estimated=3.0,
+        workload_mi=60_000.0,
+        function="sort",
+    )
+
+    predetermined = simple_task(
+        1,
+        ExecReq(
+            node_type=PEClass.SOFTCORE,
+            artifacts=Artifacts(
+                application_code="filter --vliw-optimized",
+                softcore=RHO_VEX_4ISSUE,
+                input_data_bytes=1 << 20,
+            ),
+        ),
+        t_estimated=2.0,
+        workload_mi=2_000.0,
+        function="filter",
+    )
+
+    user_defined = simple_task(
+        2,
+        ExecReq(
+            node_type=PEClass.RPE,
+            constraints=(
+                Equals("device_family", "virtex-5"),
+                MinValue("slices", 9_000),
+            ),
+            artifacts=Artifacts(
+                application_code="fft --accelerated",
+                hdl_design=HDLDesign(
+                    name="fft_accel",
+                    language="VHDL",
+                    source_lines=400,
+                    estimated_slices=9_000,
+                    implements="fft",
+                ),
+                input_data_bytes=1 << 23,
+            ),
+        ),
+        t_estimated=0.6,
+        workload_mi=12_000.0,
+        function="fft",
+    )
+
+    device_specific = simple_task(
+        3,
+        ExecReq(
+            node_type=PEClass.RPE,
+            constraints=(Equals("device_model", device.model),),
+            artifacts=Artifacts(
+                application_code="smith-waterman --bitstream",
+                bitstream=Bitstream(
+                    bitstream_id=1,
+                    target_model=device.model,
+                    size_bytes=device.bitstream_size_bytes(11_000),
+                    required_slices=11_000,
+                    implements="smith_waterman",
+                    speedup_vs_gpp=30.0,
+                ),
+                input_data_bytes=1 << 23,
+            ),
+        ),
+        t_estimated=0.4,
+        workload_mi=12_000.0,
+        function="smith_waterman",
+    )
+
+    return [software, predetermined, user_defined, device_specific]
+
+
+def main() -> None:
+    rms = build_grid()
+    sim = DReAMSim(rms)
+    tasks = make_tasks()
+    sim.submit_workload([(0.5 * i, task) for i, task in enumerate(tasks)])
+
+    report = sim.run()
+
+    print("=== Quickstart: one task per Figure 2 abstraction level ===\n")
+    for task in tasks:
+        level = rms.virtualization.required_abstraction_level(task)
+        metrics = next(
+            m for key, m in sim.metrics.tasks.items() if key[1] == task.task_id
+        )
+        print(
+            f"T{task.task_id} [{level.name:20s}] -> node {metrics.node_id} "
+            f"({metrics.pe_kind}); wait {metrics.wait_time:.3f} s, "
+            f"setup {metrics.transfer_time + metrics.synthesis_time + metrics.reconfig_time:.3f} s, "
+            f"turnaround {metrics.turnaround:.3f} s"
+        )
+    print()
+    print("\n".join(report.summary_lines()))
+
+
+if __name__ == "__main__":
+    main()

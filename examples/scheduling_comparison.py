@@ -1,0 +1,88 @@
+"""Compare DReAMSim scheduling strategies on one synthetic workload.
+
+The experiment the DReAMSim papers [20][21] run: a Poisson stream of
+mixed software/hardware tasks against a fixed grid, once per strategy,
+comparing waiting time, turnaround, reconfiguration cost and
+configuration reuse.  Also contrasts the hybrid grid against a
+traditional GPP-only grid.
+
+Run with::
+
+    python examples/scheduling_comparison.py
+"""
+
+from repro.core.node import Node
+from repro.grid.network import Network
+from repro.grid.rms import ResourceManagementSystem
+from repro.hardware.catalog import device_by_model
+from repro.hardware.gpp import GPPSpec
+from repro.scheduling import ALL_STRATEGIES, RandomScheduler
+from repro.sim.simulator import DReAMSim
+from repro.sim.workload import (
+    ConfigurationPool,
+    PoissonArrivals,
+    SyntheticWorkload,
+    WorkloadSpec,
+)
+
+TASKS = 300
+SEED = 42
+
+
+def build_rms(scheduler) -> ResourceManagementSystem:
+    n0 = Node(node_id=0, name="Compute-A")
+    n0.add_gpp(GPPSpec(cpu_model="XeonA", mips=2_000))
+    n0.add_gpp(GPPSpec(cpu_model="XeonB", mips=1_500))
+    n0.add_rpe(device_by_model("XC5VLX330"), regions=3)
+    n1 = Node(node_id=1, name="Compute-B")
+    n1.add_gpp(GPPSpec(cpu_model="OpteronA", mips=1_800))
+    n1.add_rpe(device_by_model("XC5VLX155"), regions=2)
+    n1.add_rpe(device_by_model("XC5VLX110"), regions=2)
+    net = Network.fully_connected([0, 1], bandwidth_mbps=100.0, latency_s=0.005)
+    rms = ResourceManagementSystem(network=net, scheduler=scheduler)
+    rms.register_node(n0)
+    rms.register_node(n1)
+    return rms
+
+
+def run(strategy_name: str):
+    cls = ALL_STRATEGIES[strategy_name]
+    scheduler = cls(seed=SEED) if cls is RandomScheduler else cls()
+    rms = build_rms(scheduler)
+    pool = ConfigurationPool(10, area_range=(3_000, 16_000), seed=4)
+    devices = [rpe.device for node in rms.nodes for rpe in node.rpes]
+    pool.populate_repository(rms.virtualization.repository, devices)
+    workload = SyntheticWorkload(
+        WorkloadSpec(task_count=TASKS, gpp_fraction=0.4),
+        pool,
+        PoissonArrivals(rate_per_s=3.0),
+        seed=SEED,
+    )
+    sim = DReAMSim(rms)
+    sim.submit_workload(workload.generate())
+    return sim.run()
+
+
+def main() -> None:
+    print(f"=== DReAMSim strategy comparison ({TASKS} tasks, Poisson 3/s) ===\n")
+    header = (
+        f"{'strategy':15s} {'done':>5s} {'pend':>5s} {'wait s':>8s} "
+        f"{'turnd s':>8s} {'makespan':>9s} {'reconf':>7s} {'reuse':>7s} {'util':>6s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in ALL_STRATEGIES:
+        r = run(name)
+        print(
+            f"{name:15s} {r.completed:5d} {r.pending:5d} {r.mean_wait_s:8.3f} "
+            f"{r.mean_turnaround_s:8.3f} {r.makespan_s:9.2f} "
+            f"{r.reconfigurations:7d} {r.reuse_rate:7.1%} {r.mean_utilization:6.1%}"
+        )
+    print(
+        "\nNote: gpp-only is the traditional-grid baseline -- it cannot place\n"
+        "RPE-class tasks at all, which is why it leaves tasks pending."
+    )
+
+
+if __name__ == "__main__":
+    main()

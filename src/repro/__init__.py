@@ -1,0 +1,29 @@
+"""Virtualization of reconfigurable hardware in distributed systems.
+
+A complete Python implementation of the framework proposed by
+M. F. Nadeem, M. Nadeem and S. Wong, *On Virtualization of
+Reconfigurable Hardware in Distributed Systems* (ICPP 2012), together
+with every substrate the paper relies on: a DReAMSim-class grid
+simulator, a from-scratch ClustalW, gprof- and Quipu-style profiling
+tools, parameterized hardware models, and the Section V case study.
+
+Package map (each subpackage's docstring has the details):
+
+* :mod:`repro.hardware` -- Table I processing-element models, fabric
+  state, device catalog, power models.
+* :mod:`repro.core` -- the framework: node (Eq. 1), task (Eq. 2),
+  application (Eq. 3/4), abstraction levels, matchmaking.
+* :mod:`repro.grid` -- network, RMS, JSS, virtualization layer,
+  ClassAd matchmaking, Figure 9 services.
+* :mod:`repro.scheduling` -- scheduling strategies.
+* :mod:`repro.sim` -- DReAMSim: engine, workloads, metrics, energy,
+  declarative experiments.
+* :mod:`repro.bioinfo` -- ClustalW (the BioBench case-study app).
+* :mod:`repro.profiling` -- call-graph profiler + Quipu predictor.
+* :mod:`repro.casestudy` -- Figures 5/6, Table II, the full pipeline.
+* :mod:`repro.imaging` -- the streaming image-pipeline case study.
+
+Command-line entry point: ``python -m repro`` (see :mod:`repro.cli`).
+"""
+
+__version__ = "1.0.0"

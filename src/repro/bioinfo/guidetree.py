@@ -1,0 +1,164 @@
+"""Guide trees from pairwise distance matrices.
+
+ClustalW builds its progressive-alignment order from a guide tree --
+historically neighbour-joining; UPGMA is the cheaper alternative used
+by later versions for large inputs.  Both are provided; both return the
+same :class:`TreeNode` structure, whose post-order internal nodes give
+the merge schedule for :mod:`repro.bioinfo.malign`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TreeNode:
+    """A rooted binary guide-tree node.
+
+    Leaves carry the sequence index (``leaf`` is not None); internal
+    nodes carry two children and the height/branch data the builder
+    produced.
+    """
+
+    leaf: int | None = None
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    height: float = 0.0
+
+    def __post_init__(self) -> None:
+        internal = self.left is not None or self.right is not None
+        if internal and (self.left is None or self.right is None):
+            raise ValueError("internal nodes need exactly two children")
+        if internal and self.leaf is not None:
+            raise ValueError("a node is either a leaf or internal")
+        if not internal and self.leaf is None:
+            raise ValueError("leaf nodes need a sequence index")
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.leaf is not None
+
+    def leaves(self) -> list[int]:
+        """Leaf indices in left-to-right order."""
+        if self.is_leaf:
+            return [self.leaf]  # type: ignore[list-item]
+        assert self.left is not None and self.right is not None
+        return self.left.leaves() + self.right.leaves()
+
+    def merge_order(self) -> list["TreeNode"]:
+        """Internal nodes in post-order: the progressive-alignment
+        schedule (children always precede parents)."""
+        if self.is_leaf:
+            return []
+        assert self.left is not None and self.right is not None
+        return self.left.merge_order() + self.right.merge_order() + [self]
+
+    def newick(self, names: list[str] | None = None) -> str:
+        """Render as a Newick string (heights as node comments omitted)."""
+        if self.is_leaf:
+            idx = self.leaf
+            return names[idx] if names is not None else f"s{idx}"
+        assert self.left is not None and self.right is not None
+        return f"({self.left.newick(names)},{self.right.newick(names)})"
+
+
+def _check_distance_matrix(dist: np.ndarray) -> int:
+    if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+        raise ValueError("distance matrix must be square")
+    n = dist.shape[0]
+    if n < 2:
+        raise ValueError("need at least two taxa")
+    if not np.allclose(dist, dist.T):
+        raise ValueError("distance matrix must be symmetric")
+    if not np.allclose(np.diag(dist), 0.0):
+        raise ValueError("distance matrix must have a zero diagonal")
+    if (dist < 0).any():
+        raise ValueError("distances must be non-negative")
+    return n
+
+
+def upgma(dist: np.ndarray) -> TreeNode:
+    """Unweighted pair-group clustering.
+
+    Classic O(n^3) agglomeration: repeatedly join the closest pair of
+    clusters; inter-cluster distance is the size-weighted average.
+    """
+    n = _check_distance_matrix(dist)
+    d = dist.astype(np.float64).copy()
+    active = list(range(n))
+    nodes: dict[int, TreeNode] = {i: TreeNode(leaf=i) for i in range(n)}
+    sizes: dict[int, int] = {i: 1 for i in range(n)}
+    next_id = n
+
+    while len(active) > 1:
+        # Closest active pair (ties -> lowest indices, deterministic).
+        best = (float("inf"), -1, -1)
+        for ai in range(len(active)):
+            for bi in range(ai + 1, len(active)):
+                a, b = active[ai], active[bi]
+                if d[a, b] < best[0]:
+                    best = (d[a, b], a, b)
+        _, a, b = best
+        height = d[a, b] / 2.0
+        merged = TreeNode(left=nodes[a], right=nodes[b], height=height)
+        # Grow the matrix by one row/col for the merged cluster.
+        new_row = np.zeros(d.shape[0] + 1)
+        for c in active:
+            if c in (a, b):
+                continue
+            new_row[c] = (sizes[a] * d[a, c] + sizes[b] * d[b, c]) / (
+                sizes[a] + sizes[b]
+            )
+        d = np.pad(d, ((0, 1), (0, 1)))
+        d[next_id, : next_id + 1] = new_row
+        d[: next_id + 1, next_id] = new_row
+        nodes[next_id] = merged
+        sizes[next_id] = sizes[a] + sizes[b]
+        active = [c for c in active if c not in (a, b)] + [next_id]
+        next_id += 1
+
+    return nodes[active[0]]
+
+
+def neighbor_joining(dist: np.ndarray) -> TreeNode:
+    """Saitou-Nei neighbour joining, rooted at the final join.
+
+    NJ produces an unrooted tree; we root it at the last merge, which
+    is what ClustalW effectively does before progressive alignment
+    (mid-point rooting details do not change the merge partition for
+    reasonable inputs and are out of scope).
+    """
+    n = _check_distance_matrix(dist)
+    d = dist.astype(np.float64).copy()
+    active = list(range(n))
+    nodes: dict[int, TreeNode] = {i: TreeNode(leaf=i) for i in range(n)}
+    next_id = n
+
+    while len(active) > 2:
+        k = len(active)
+        sub = d[np.ix_(active, active)]
+        totals = sub.sum(axis=1)
+        # Q-matrix criterion.
+        q = (k - 2) * sub - totals[:, None] - totals[None, :]
+        np.fill_diagonal(q, np.inf)
+        ai, bi = np.unravel_index(int(np.argmin(q)), q.shape)
+        a, b = active[ai], active[bi]
+        merged = TreeNode(left=nodes[a], right=nodes[b], height=d[a, b] / 2.0)
+        new_row = np.zeros(d.shape[0] + 1)
+        for c in active:
+            if c in (a, b):
+                continue
+            new_row[c] = 0.5 * (d[a, c] + d[b, c] - d[a, b])
+        new_row = np.maximum(new_row, 0.0)
+        d = np.pad(d, ((0, 1), (0, 1)))
+        d[next_id, : next_id + 1] = new_row
+        d[: next_id + 1, next_id] = new_row
+        nodes[next_id] = merged
+        active = [c for c in active if c not in (a, b)] + [next_id]
+        next_id += 1
+
+    a, b = active
+    return TreeNode(left=nodes[a], right=nodes[b], height=d[a, b] / 2.0)

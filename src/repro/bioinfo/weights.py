@@ -1,0 +1,100 @@
+"""Sequence weighting -- the "W" in ClustalW.
+
+ClustalW's headline improvement over plain progressive alignment is
+*sequence weighting* (Thompson, Higgins & Gibson, 1994): sequences that
+are over-represented in the input (near-duplicates) are down-weighted
+so they do not dominate profile columns, and divergent sequences are
+up-weighted.  Weights derive from the guide tree: each sequence's
+weight is the sum, over the edges on its root path, of the edge's
+branch length divided by the number of leaves sharing that edge.
+Duplicated sequences share all their edges, so each copy gets half the
+weight a unique sequence would.
+
+Our UPGMA trees are ultrametric with node heights; branch length of an
+edge is ``parent.height - child.height`` (leaves have height 0).
+:func:`sequence_weights` implements the scheme;
+:func:`weighted_profile` folds weights into profile frequencies so
+:func:`repro.bioinfo.malign.malign` can align with them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bioinfo.guidetree import TreeNode
+from repro.bioinfo.malign import AlignedMember, Profile
+from repro.bioinfo.pairalign import GAP_CHAR
+from repro.bioinfo.scoring import SubstitutionMatrix
+
+
+def sequence_weights(tree: TreeNode, *, normalize: bool = True) -> dict[int, float]:
+    """Thompson-Higgins-Gibson weights for every leaf of *tree*.
+
+    With ``normalize`` the weights are scaled to mean 1.0 (ClustalW
+    normalizes so weighting never changes the overall score magnitude).
+    Degenerate trees (all branch lengths zero, e.g. identical
+    sequences) fall back to uniform weights.
+    """
+    weights: dict[int, float] = {leaf: 0.0 for leaf in tree.leaves()}
+
+    def descend(node: TreeNode, parent_height: float) -> list[int]:
+        if node.is_leaf:
+            branch = max(0.0, parent_height - 0.0)
+            assert node.leaf is not None
+            weights[node.leaf] += branch  # shared by exactly one leaf
+            return [node.leaf]
+        branch = max(0.0, parent_height - node.height)
+        assert node.left is not None and node.right is not None
+        leaves = descend(node.left, node.height) + descend(node.right, node.height)
+        if leaves and branch > 0.0:
+            share = branch / len(leaves)
+            for leaf in leaves:
+                weights[leaf] += share
+        return leaves
+
+    descend(tree, tree.height)
+
+    total = sum(weights.values())
+    if total <= 0.0:
+        return {leaf: 1.0 for leaf in weights}
+    if normalize:
+        mean = total / len(weights)
+        return {leaf: w / mean for leaf, w in weights.items()}
+    return dict(weights)
+
+
+def weighted_profile(
+    members: list[AlignedMember],
+    matrix: SubstitutionMatrix,
+    weights: dict[int, float],
+) -> Profile:
+    """A :class:`Profile` whose column frequencies are weight-scaled.
+
+    Each member contributes ``weight / total_weight`` instead of
+    ``1 / count`` to its residue's frequency, so near-duplicate
+    sequences cannot dominate a column.
+    """
+    if not members:
+        raise ValueError("a profile needs at least one member")
+    lengths = {len(s) for _, s in members}
+    if len(lengths) != 1:
+        raise ValueError(f"members disagree on alignment length: {sorted(lengths)}")
+    (length,) = lengths
+    missing = [idx for idx, _ in members if idx not in weights]
+    if missing:
+        raise KeyError(f"no weights for members {missing}")
+
+    total = sum(weights[idx] for idx, _ in members)
+    if total <= 0:
+        raise ValueError("member weights must sum to a positive value")
+    a = len(matrix.alphabet)
+    freq = np.zeros((length, a))
+    gaps = np.zeros(length)
+    for idx, gapped in members:
+        share = weights[idx] / total
+        for col, ch in enumerate(gapped):
+            if ch == GAP_CHAR:
+                gaps[col] += share
+            else:
+                freq[col, matrix.index_of(ch)] += share
+    return Profile(members=members, frequencies=freq, gap_fraction=gaps)

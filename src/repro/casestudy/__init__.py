@@ -1,0 +1,34 @@
+"""The Section V case study, end to end.
+
+* :mod:`repro.casestudy.nodes` -- the three grid nodes of Figure 5
+  (Node_0: 2 GPPs + 2 RPEs incl. the XC6VLX365T; Node_1: 1 GPP +
+  2 Virtex-5 RPEs > 24,000 slices; Node_2: 1 large Virtex-5 RPE).
+* :mod:`repro.casestudy.tasks` -- the four tasks of Figure 6 with their
+  ExecReqs (Task_0: GPP; Task_1: Virtex-5 >= 18,707 slices; Task_2:
+  Virtex-5 >= 30,790 slices; Task_3: a device-specific XC6VLX365T
+  bitstream).
+* :mod:`repro.casestudy.mappings` -- the Table II enumeration: every
+  admissible task-to-PE mapping plus the user-selectable abstraction
+  levels.
+* :mod:`repro.casestudy.pipeline` -- the full methodology: profile
+  ClustalW -> Quipu estimates -> build tasks -> enumerate mappings ->
+  execute on the grid.
+"""
+
+from repro.casestudy.nodes import build_case_study_nodes, case_study_network
+from repro.casestudy.tasks import build_case_study_tasks, PAIRALIGN_SLICES, MALIGN_SLICES
+from repro.casestudy.mappings import MappingRow, enumerate_mappings, table2
+from repro.casestudy.pipeline import CaseStudyOutcome, run_case_study
+
+__all__ = [
+    "build_case_study_nodes",
+    "case_study_network",
+    "build_case_study_tasks",
+    "PAIRALIGN_SLICES",
+    "MALIGN_SLICES",
+    "MappingRow",
+    "enumerate_mappings",
+    "table2",
+    "CaseStudyOutcome",
+    "run_case_study",
+]

@@ -1,0 +1,68 @@
+"""Figure 5: the three case-study grid nodes.
+
+The paper specifies (Section V):
+
+* **Node_0** -- 2 GPPs and 2 RPEs; both RPEs "currently available and
+  idle ... not configured with any processor configuration".  Task_3
+  targets a Virtex XC6VLX365T that only exists here, and Table II gives
+  Node_0 no Virtex-5 mapping for Task_1/Task_2, so its second RPE must
+  be a Virtex-5 *below* 18,707 slices: we use the XC5VLX110 (17,280).
+* **Node_1** -- 1 GPP and 2 RPEs, both "Virtex-5 type devices with more
+  than 24,000 slices".  Task_2 (>= 30,790 slices) maps only to RPE_1
+  here, so RPE_0 is the XC5VLX155 (24,320) and RPE_1 the XC5VLX220
+  (34,560).
+* **Node_2** -- a single large Virtex-5 RPE; the XC5VLX330 (51,840)
+  satisfies every fabric requirement in the study.
+
+GPP parameters follow Figure 5's style (commodity CPUs of the era).
+"""
+
+from __future__ import annotations
+
+from repro.core.node import Node
+from repro.grid.network import Network
+from repro.hardware.catalog import device_by_model
+from repro.hardware.gpp import GPPSpec
+
+#: Device models per (node, RPE index), as reasoned above.
+NODE0_RPE0 = "XC6VLX365T"
+NODE0_RPE1 = "XC5VLX110"
+NODE1_RPE0 = "XC5VLX155"
+NODE1_RPE1 = "XC5VLX220"
+NODE2_RPE0 = "XC5VLX330"
+
+
+def build_case_study_nodes(*, regions_per_rpe: int = 1) -> list[Node]:
+    """Construct Node_0, Node_1, Node_2 exactly as Figure 5 lays out.
+
+    ``regions_per_rpe`` > 1 enables partial-reconfiguration experiments
+    on the same grid.
+    """
+    node0 = Node(node_id=0, name="Node_0")
+    node0.add_gpp(GPPSpec(cpu_model="Xeon-5160", mips=24_000, os="Linux", ram_mb=8_192, cores=2, frequency_mhz=3_000))
+    node0.add_gpp(GPPSpec(cpu_model="Opteron-2218", mips=20_000, os="Linux", ram_mb=4_096, cores=2, frequency_mhz=2_600))
+    node0.add_rpe(device_by_model(NODE0_RPE0), regions=regions_per_rpe)
+    node0.add_rpe(device_by_model(NODE0_RPE1), regions=regions_per_rpe)
+
+    node1 = Node(node_id=1, name="Node_1")
+    node1.add_gpp(GPPSpec(cpu_model="Core2-Q6600", mips=19_000, os="Linux", ram_mb=4_096, cores=4, frequency_mhz=2_400))
+    node1.add_rpe(device_by_model(NODE1_RPE0), regions=regions_per_rpe)
+    node1.add_rpe(device_by_model(NODE1_RPE1), regions=regions_per_rpe)
+
+    node2 = Node(node_id=2, name="Node_2")
+    node2.add_rpe(device_by_model(NODE2_RPE0), regions=regions_per_rpe)
+
+    return [node0, node1, node2]
+
+
+def case_study_network(
+    *, bandwidth_mbps: float = 100.0, latency_s: float = 0.01
+) -> Network:
+    """Full mesh over the three nodes plus the user's uplink."""
+    return Network.fully_connected(
+        [0, 1, 2],
+        bandwidth_mbps=bandwidth_mbps,
+        latency_s=latency_s,
+        user_bandwidth_mbps=bandwidth_mbps / 4,
+        user_latency_s=latency_s * 3,
+    )

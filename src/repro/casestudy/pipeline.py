@@ -1,0 +1,113 @@
+"""The full Section V methodology, executable end to end.
+
+Reproduces the paper's chain of reasoning as one function:
+
+1. run ClustalW on a synthetic BioBench-style family under the
+   call-graph profiler (-> the Figure 10 kernel ranking);
+2. feed the dominant kernels' complexity metrics to the calibrated
+   Quipu model (-> the 30,790 / 18,707 slice estimates);
+3. build the four Figure 6 tasks (slice requirements from step 2);
+4. enumerate Table II against the Figure 5 nodes;
+5. submit the tasks to the grid (JSS -> RMS -> scheduler) and execute
+   them on the DReAMSim simulator.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+
+from repro.casestudy.mappings import MappingRow, table2
+from repro.casestudy.nodes import build_case_study_nodes, case_study_network
+from repro.casestudy.tasks import build_case_study_tasks
+from repro.core.node import Node
+from repro.grid.rms import ResourceManagementSystem
+from repro.profiling.callgraph import CallGraphProfiler
+from repro.profiling.metrics import measure_closure
+from repro.profiling.quipu import calibrated_model
+from repro.sim.metrics import SimulationReport
+from repro.sim.simulator import DReAMSim
+
+
+@dataclass
+class CaseStudyOutcome:
+    """Everything the Section V walkthrough produces."""
+
+    profile_rows: list  # FlatProfileRow, Figure 10
+    pairalign_pct: float
+    malign_pct: float
+    pairalign_slices: int
+    malign_slices: int
+    table: list[MappingRow]
+    matches_paper_table2: bool
+    simulation: SimulationReport
+    nodes: list[Node]
+
+
+def run_case_study(
+    *,
+    family_size: int = 12,
+    sequence_length: int = 100,
+    seed: int = 0,
+) -> CaseStudyOutcome:
+    """Execute the complete case study; see module docstring."""
+    pa = importlib.import_module("repro.bioinfo.pairalign")
+    ma = importlib.import_module("repro.bioinfo.malign")
+    gt = importlib.import_module("repro.bioinfo.guidetree")
+    cw = importlib.import_module("repro.bioinfo.clustalw")
+    from repro.bioinfo.sequences import synthetic_family
+
+    # --- Step 1: gprof-style profiling (Figure 10) ---------------------
+    profiler = CallGraphProfiler()
+    profiler.instrument(
+        pa, "pairalign", "align_pair", "_wavefront", "_traceback_ops",
+        "tracepath", "forward_pass",
+    )
+    profiler.instrument(ma, "malign", "pdiff", "prfscore")
+    profiler.instrument(gt, "upgma")
+    profiler.instrument(cw, "pairalign", "malign", "upgma")
+    try:
+        family = synthetic_family(family_size, sequence_length, seed=seed)
+        cw.clustalw(family)
+    finally:
+        profiler.restore()
+    pairalign_pct = profiler.cumulative_pct("pairalign")
+    malign_pct = profiler.cumulative_pct("malign")
+
+    # --- Step 2: Quipu slice estimates ---------------------------------
+    model = calibrated_model()
+    pairalign_slices = model.predict_slices(measure_closure(pa.pairalign))
+    malign_slices = model.predict_slices(measure_closure(ma.malign))
+
+    # --- Step 3/4: tasks and Table II ----------------------------------
+    tasks = build_case_study_tasks(
+        pairalign_slices=pairalign_slices, malign_slices=malign_slices
+    )
+    nodes = build_case_study_nodes()
+    table = table2(tasks, nodes)
+    from repro.casestudy.mappings import matches_paper
+
+    table_ok = matches_paper(tasks, nodes)
+
+    # --- Step 5: execute on the grid ------------------------------------
+    rms = ResourceManagementSystem(network=case_study_network())
+    for node in nodes:
+        rms.register_node(node)
+    sim = DReAMSim(rms)
+    # Task_0 produces the inputs of Task_1/Task_2; Task_3 is the
+    # independent all-hardware alternative.
+    sim.submit_graph([tasks[0], tasks[1], tasks[2]])
+    sim.submit_workload([(0.0, tasks[3])])
+    report = sim.run()
+
+    return CaseStudyOutcome(
+        profile_rows=profiler.top(10),
+        pairalign_pct=pairalign_pct,
+        malign_pct=malign_pct,
+        pairalign_slices=pairalign_slices,
+        malign_slices=malign_slices,
+        table=table,
+        matches_paper_table2=table_ok,
+        simulation=report,
+        nodes=nodes,
+    )

@@ -1,0 +1,159 @@
+"""Figure 6: execution requirements of the four case-study tasks.
+
+The ClustalW application decomposes into (Section V):
+
+* **Task_0** -- the data-distribution stage feeding *malign* and
+  *pairalign*: "a task requiring a GPP only".
+* **Task_1** -- the *malign* kernel in hardware: "requires a Virtex-5
+  FPGA device with minimum of 18,707 slices" (the Quipu estimate).
+* **Task_2** -- the *pairalign* kernel: "at least 30,790 Virtex-5
+  slices".
+* **Task_3** -- "a particular device-specific hardware (Virtex
+  XC6VLX365T)": the whole ClustalW application as one hardware task,
+  shipped as a bitstream.
+"""
+
+from __future__ import annotations
+
+from repro.core.abstraction import AbstractionLevel
+from repro.core.execreq import Artifacts, Equals, ExecReq, MinValue
+from repro.core.task import DataIn, DataOut, EXTERNAL_SOURCE, Task
+from repro.hardware.bitstream import Bitstream, HDLDesign
+from repro.hardware.catalog import device_by_model
+from repro.hardware.taxonomy import PEClass
+
+#: Quipu's slice estimates from Section V.
+PAIRALIGN_SLICES = 30_790
+MALIGN_SLICES = 18_707
+
+#: The device Task_3's bitstream targets.
+TASK3_DEVICE = "XC6VLX365T"
+
+_MB = 1 << 20
+
+
+def build_case_study_tasks(
+    *,
+    sequence_data_bytes: int = 8 * _MB,
+    pairalign_slices: int = PAIRALIGN_SLICES,
+    malign_slices: int = MALIGN_SLICES,
+) -> dict[int, Task]:
+    """The four Figure 6 tasks, keyed by TaskID.
+
+    Slice requirements default to the paper's Quipu numbers but can be
+    overridden with values from a fresh calibration run
+    (:func:`repro.profiling.quipu.calibrated_model`).
+    """
+    device6 = device_by_model(TASK3_DEVICE)
+
+    task0 = Task(
+        task_id=0,
+        data_in=(DataIn(EXTERNAL_SOURCE, 0, sequence_data_bytes),),
+        data_out=(
+            DataOut(0, sequence_data_bytes),  # feed to pairalign
+            DataOut(1, sequence_data_bytes),  # feed to malign
+        ),
+        exec_req=ExecReq(
+            node_type=PEClass.GPP,
+            constraints=(
+                MinValue("mips", 10_000),
+                MinValue("ram_mb", 2_048),
+                Equals("os", "Linux"),
+            ),
+            artifacts=Artifacts(
+                application_code="clustalw --distribute",
+                input_data_bytes=sequence_data_bytes,
+            ),
+        ),
+        t_estimated=2.0,
+        function="distribute",
+        abstraction_level=AbstractionLevel.SOFTWARE_ONLY,
+    )
+
+    malign_hdl = HDLDesign(
+        name="malign_accel",
+        language="VHDL",
+        source_lines=4_200,
+        estimated_slices=malign_slices,
+        estimated_bram_kb=64,
+        estimated_dsp=12,
+        implements="malign",
+    )
+    task1 = Task(
+        task_id=1,
+        data_in=(DataIn(0, 1, sequence_data_bytes),),
+        data_out=(DataOut(0, sequence_data_bytes // 2),),
+        exec_req=ExecReq(
+            node_type=PEClass.RPE,
+            constraints=(
+                Equals("device_family", "virtex-5"),
+                MinValue("slices", malign_slices),
+            ),
+            artifacts=Artifacts(
+                application_code="clustalw --malign",
+                input_data_bytes=sequence_data_bytes,
+                hdl_design=malign_hdl,
+            ),
+        ),
+        t_estimated=4.0,
+        function="malign",
+        abstraction_level=AbstractionLevel.USER_DEFINED_HW,
+    )
+
+    pairalign_hdl = HDLDesign(
+        name="pairalign_accel",
+        language="Verilog",
+        source_lines=7_600,
+        estimated_slices=pairalign_slices,
+        estimated_bram_kb=96,
+        estimated_dsp=24,
+        implements="pairalign",
+    )
+    task2 = Task(
+        task_id=2,
+        data_in=(DataIn(0, 0, sequence_data_bytes),),
+        data_out=(DataOut(0, sequence_data_bytes // 2),),
+        exec_req=ExecReq(
+            node_type=PEClass.RPE,
+            constraints=(
+                Equals("device_family", "virtex-5"),
+                MinValue("slices", pairalign_slices),
+            ),
+            artifacts=Artifacts(
+                application_code="clustalw --pairalign",
+                input_data_bytes=sequence_data_bytes,
+                hdl_design=pairalign_hdl,
+            ),
+        ),
+        t_estimated=9.0,
+        function="pairalign",
+        abstraction_level=AbstractionLevel.USER_DEFINED_HW,
+    )
+
+    clustalw_bitstream = Bitstream(
+        bitstream_id=900,
+        target_model=TASK3_DEVICE,
+        size_bytes=device6.bitstream_size_bytes(48_000),
+        required_slices=48_000,
+        implements="clustalw_full",
+        speedup_vs_gpp=25.0,
+    )
+    task3 = Task(
+        task_id=3,
+        data_in=(DataIn(EXTERNAL_SOURCE, 0, sequence_data_bytes),),
+        data_out=(DataOut(0, sequence_data_bytes),),
+        exec_req=ExecReq(
+            node_type=PEClass.RPE,
+            constraints=(Equals("device_model", TASK3_DEVICE),),
+            artifacts=Artifacts(
+                application_code="clustalw --full-hw",
+                input_data_bytes=sequence_data_bytes,
+                bitstream=clustalw_bitstream,
+            ),
+        ),
+        t_estimated=3.0,
+        function="clustalw_full",
+        abstraction_level=AbstractionLevel.DEVICE_SPECIFIC_HW,
+    )
+
+    return {0: task0, 1: task1, 2: task2, 3: task3}

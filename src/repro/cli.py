@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map to the paper's artifacts and the library's experiments:
+
+* ``catalog``    -- list the modeled FPGA devices (Table I's FPGA rows).
+* ``taxonomy``   -- print the Figure 1 taxonomy tree.
+* ``table2``     -- regenerate Table II from the case-study models.
+* ``casestudy``  -- run the full Section V pipeline (profile -> Quipu
+  -> Table II -> simulation).
+* ``simulate``   -- run a synthetic DReAMSim experiment
+  (``--strategy``, ``--tasks``, ``--seed``, ``--gpp-fraction``...).
+* ``clustalw``   -- align a FASTA file (or a generated family) and
+  print the MSA; optionally profile it (Figure 10).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.report import ascii_bar_chart, ascii_table
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    from repro.hardware.catalog import DEVICE_CATALOG
+
+    devices = sorted(DEVICE_CATALOG.values(), key=lambda d: (d.family, d.slices))
+    rows = [
+        (d.model, d.family, d.slices, d.luts, d.bram_kb, d.dsp_slices,
+         f"{d.reconfig_bandwidth_mbps:.0f}")
+        for d in devices
+        if args.family is None or d.family == args.family
+    ]
+    print(
+        ascii_table(
+            ["model", "family", "slices", "LUTs", "BRAM KB", "DSP", "cfg MB/s"],
+            rows,
+            title="Device catalog",
+        )
+    )
+    return 0
+
+
+def _cmd_taxonomy(args: argparse.Namespace) -> int:
+    from repro.hardware.taxonomy import taxonomy_tree
+
+    for depth, node in taxonomy_tree().walk():
+        section = f"  [{node.section}]" if node.section else ""
+        print("  " * depth + f"- {node.label}{section}")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.casestudy.mappings import matches_paper, table2
+    from repro.casestudy.nodes import build_case_study_nodes
+    from repro.casestudy.tasks import build_case_study_tasks
+
+    tasks = build_case_study_tasks()
+    nodes = build_case_study_nodes()
+    for row in table2(tasks, nodes):
+        print(row.format())
+    print(f"matches the published table: {matches_paper(tasks, nodes)}")
+    return 0
+
+
+def _cmd_casestudy(args: argparse.Namespace) -> int:
+    from repro.casestudy.pipeline import run_case_study
+
+    outcome = run_case_study(
+        family_size=args.family_size, sequence_length=args.length, seed=args.seed
+    )
+    print(
+        ascii_bar_chart(
+            [row.name for row in outcome.profile_rows],
+            [row.self_pct for row in outcome.profile_rows],
+            title="Figure 10: top kernels (% self time)",
+            unit="%",
+        )
+    )
+    print(f"\npairalign cumulative: {outcome.pairalign_pct:.2f}%  (paper 89.76%)")
+    print(f"malign cumulative:    {outcome.malign_pct:.2f}%  (paper 7.79%)")
+    print(f"\nQuipu: pairalign {outcome.pairalign_slices} / malign {outcome.malign_slices} slices")
+    print("\nTable II:")
+    for row in outcome.table:
+        print("  " + row.format())
+    print(f"  matches paper: {outcome.matches_paper_table2}")
+    print("\nSimulation:")
+    print("\n".join("  " + l for l in outcome.simulation.summary_lines()))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim.experiment import (
+        ExperimentSpec,
+        NodeSpec,
+        replicate,
+        run_experiment,
+    )
+
+    spec = ExperimentSpec(
+        strategy=args.strategy,
+        tasks=args.tasks,
+        nodes=(
+            NodeSpec(gpps=1, gpp_mips=2_000, rpe_models=("XC5VLX330",), regions_per_rpe=3),
+            NodeSpec(gpps=1, gpp_mips=1_500, rpe_models=("XC5VLX155",), regions_per_rpe=2),
+        ),
+        configurations=args.configurations,
+        arrival_rate_per_s=args.rate,
+        gpp_fraction=args.gpp_fraction,
+        # Area range bounded by the smallest PR region of the grid above
+        # (XC5VLX155 / 2 regions = 12,160 slices): no unplaceable tasks.
+        area_range=(2_000, 12_000),
+        seed=args.seed,
+    )
+    result = run_experiment(spec, audit_energy=args.energy)
+    print(f"strategy: {args.strategy}   seed: {args.seed}")
+    print("\n".join(result.report.summary_lines()))
+    if args.energy and result.energy is not None:
+        print("\n".join(result.energy.summary_lines()))
+    if args.replications > 1:
+        summary = replicate(
+            spec, seeds=[args.seed + i for i in range(args.replications)]
+        )
+        print()
+        print("\n".join(summary.summary_lines()))
+    return 0
+
+
+def _cmd_clustalw(args: argparse.Namespace) -> int:
+    from repro.bioinfo.clustalw import clustalw
+    from repro.bioinfo.sequences import read_fasta, synthetic_family, write_fasta
+
+    if args.fasta:
+        sequences = read_fasta(args.fasta)
+    else:
+        sequences = synthetic_family(args.family_size, args.length, seed=args.seed)
+    result = clustalw(sequences, tree_method=args.tree)
+    print(f"; {len(sequences)} sequences, alignment length {result.length}, "
+          f"SP score {result.sp_score:.1f}")
+    print(f"; guide tree: {result.tree.newick([s.seq_id for s in sequences])}")
+    for seq in result.alignment:
+        print(f">{seq.seq_id}")
+        print(seq.residues)
+    if args.out:
+        write_fasta(result.alignment, args.out)
+        print(f"; wrote {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with one sub-command per artifact."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Virtualization of reconfigurable hardware in distributed systems "
+        "(Nadeem, Nadeem & Wong, ICPP 2012) -- reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("catalog", help="list modeled FPGA devices")
+    p.add_argument("--family", help="filter by device family (e.g. virtex-5)")
+    p.set_defaults(func=_cmd_catalog)
+
+    p = sub.add_parser("taxonomy", help="print the Figure 1 taxonomy")
+    p.set_defaults(func=_cmd_taxonomy)
+
+    p = sub.add_parser("table2", help="regenerate Table II")
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("casestudy", help="run the full Section V pipeline")
+    p.add_argument("--family-size", type=int, default=12)
+    p.add_argument("--length", type=int, default=90)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_casestudy)
+
+    p = sub.add_parser("simulate", help="run a synthetic DReAMSim experiment")
+    p.add_argument("--strategy", default="hybrid-cost")
+    p.add_argument("--tasks", type=int, default=200)
+    p.add_argument("--gpp-fraction", type=float, default=0.4)
+    p.add_argument("--rate", type=float, default=2.0, help="Poisson arrivals/s")
+    p.add_argument("--configurations", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--energy", action="store_true", help="print the energy audit")
+    p.add_argument("--replications", type=int, default=1, help="run N seeds and report mean +/- std")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("clustalw", help="align sequences (FASTA in/out)")
+    p.add_argument("--fasta", help="input FASTA (default: synthetic family)")
+    p.add_argument("--family-size", type=int, default=8)
+    p.add_argument("--length", type=int, default=80)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tree", choices=["upgma", "nj"], default="upgma")
+    p.add_argument("--out", help="write the alignment to this FASTA file")
+    p.set_defaults(func=_cmd_clustalw)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    # Validate strategy names early for a friendly error.
+    if getattr(args, "strategy", None) is not None:
+        from repro.scheduling import ALL_STRATEGIES
+
+        if args.strategy not in ALL_STRATEGIES:
+            parser.error(
+                f"unknown strategy {args.strategy!r}; choose from "
+                + ", ".join(sorted(ALL_STRATEGIES))
+            )
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `repro catalog | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

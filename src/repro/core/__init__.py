@@ -1,0 +1,71 @@
+"""Core virtualization framework (the paper's primary contribution).
+
+This package implements Section IV of the paper:
+
+* :mod:`repro.core.execreq` -- the execution-requirement algebra
+  (``ExecReq`` of Eq. 2): typed constraints over capability descriptors.
+* :mod:`repro.core.abstraction` -- the four virtualization/abstraction
+  levels of Figure 2 and the per-level submission requirements.
+* :mod:`repro.core.task` -- the application task model of Eq. 2 /
+  Figure 4 (``Task(TaskID, Data_in, Data_out, ExecReq, t_estimated)``).
+* :mod:`repro.core.node` -- the grid node model of Eq. 1 / Figure 3
+  (``Node(NodeID, GPP Caps, RPE Caps, state)``) with runtime
+  add/remove of resources.
+* :mod:`repro.core.state` -- processing-element and node state.
+* :mod:`repro.core.application` -- the application model of Eq. 3/4
+  (``App{Seq(...), Par(...), ...}``) with parser and execution plan.
+* :mod:`repro.core.taskgraph` -- the data-dependency task graph of
+  Figure 7.
+* :mod:`repro.core.matching` -- capability matchmaking: which PEs of
+  which nodes can execute a task (feeds Table II).
+"""
+
+from repro.core.execreq import (
+    Constraint,
+    MinValue,
+    MaxValue,
+    Equals,
+    OneOf,
+    Exists,
+    ExecReq,
+    Artifacts,
+)
+from repro.core.abstraction import AbstractionLevel, SubmissionError, validate_artifacts
+from repro.core.task import DataIn, DataOut, Task
+from repro.core.state import PEState, NodeStateSnapshot
+from repro.core.node import Node, GPPResource, GPUResource, RPEResource
+from repro.core.application import Application, Clause, ClauseKind, parse_application
+from repro.core.taskgraph import TaskGraph, figure7_graph
+from repro.core.matching import Candidate, find_candidates, match_node
+
+__all__ = [
+    "Constraint",
+    "MinValue",
+    "MaxValue",
+    "Equals",
+    "OneOf",
+    "Exists",
+    "ExecReq",
+    "Artifacts",
+    "AbstractionLevel",
+    "SubmissionError",
+    "validate_artifacts",
+    "DataIn",
+    "DataOut",
+    "Task",
+    "PEState",
+    "NodeStateSnapshot",
+    "Node",
+    "GPPResource",
+    "GPUResource",
+    "RPEResource",
+    "Application",
+    "Clause",
+    "ClauseKind",
+    "parse_application",
+    "TaskGraph",
+    "figure7_graph",
+    "Candidate",
+    "find_candidates",
+    "match_node",
+]

@@ -1,0 +1,126 @@
+"""Virtualization/abstraction levels (Figure 2, Section III).
+
+Figure 2 stacks four levels; descending the stack, "the user should add
+more specifications along with his/her tasks and get more performance,
+and vice versa" (Section III-C):
+
+====  ===============================  ==========================  =========
+Rank  Level                            User must supply            Sec.
+====  ===============================  ==========================  =========
+3     SOFTWARE_ONLY                    application code + data     III-A
+2     PREDETERMINED_HW (soft cores)    code + soft-core choice     III-B1
+1     USER_DEFINED_HW (generic HDL)    code + HDL design + data    III-B2
+0     DEVICE_SPECIFIC_HW (bitstream)   code + bitstream + data     III-B3
+====  ===============================  ==========================  =========
+
+The rank orders abstraction: higher rank = more abstraction = less user
+effort = less performance.  :func:`validate_artifacts` enforces the
+"user must supply" column at job submission, and the per-level
+attributes (`provider_needs_cad_tools`, `visible_to_user`,
+`performance_factor`, `development_effort`) encode the qualitative
+trade-offs the paper states for each scenario.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.execreq import Artifacts
+
+
+class SubmissionError(ValueError):
+    """A submission is missing artifacts its abstraction level requires."""
+
+
+class AbstractionLevel(enum.Enum):
+    """The four levels of Figure 2 (value = abstraction rank)."""
+
+    SOFTWARE_ONLY = 3
+    PREDETERMINED_HW = 2
+    USER_DEFINED_HW = 1
+    DEVICE_SPECIFIC_HW = 0
+
+    # ------------------------------------------------------------------
+    # Qualitative attributes stated in Section III
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """Abstraction rank; larger = more abstracted from hardware."""
+        return self.value
+
+    @property
+    def visible_to_user(self) -> str:
+        """What the grid exposes at this level (Figure 2's right side)."""
+        return {
+            AbstractionLevel.SOFTWARE_ONLY: "grid nodes only",
+            AbstractionLevel.PREDETERMINED_HW: "soft-core CPUs and grid nodes",
+            AbstractionLevel.USER_DEFINED_HW: "reconfigurable fabric",
+            AbstractionLevel.DEVICE_SPECIFIC_HW: "specific hardware devices",
+        }[self]
+
+    @property
+    def provider_needs_cad_tools(self) -> bool:
+        """Section III-B2: the provider synthesizes user HDL, so it must
+        own CAD tools; Section III-B3: at the bitstream level it need not.
+        """
+        return self is AbstractionLevel.USER_DEFINED_HW
+
+    @property
+    def performance_factor(self) -> float:
+        """Relative achievable performance (higher at lower abstraction).
+
+        Normalized to 1.0 for device-specific hardware; the spread
+        encodes Section III-C's monotone trade-off and is ablated by
+        ``bench_fig2_abstraction_levels``.
+        """
+        return {
+            AbstractionLevel.SOFTWARE_ONLY: 0.25,
+            AbstractionLevel.PREDETERMINED_HW: 0.45,
+            AbstractionLevel.USER_DEFINED_HW: 0.75,
+            AbstractionLevel.DEVICE_SPECIFIC_HW: 1.0,
+        }[self]
+
+    @property
+    def development_effort(self) -> float:
+        """Relative application development time (Section III-B3: "the
+        cost of the high performance is long application development
+        time").  Normalized to 1.0 at the lowest level.
+        """
+        return {
+            AbstractionLevel.SOFTWARE_ONLY: 0.1,
+            AbstractionLevel.PREDETERMINED_HW: 0.25,
+            AbstractionLevel.USER_DEFINED_HW: 0.6,
+            AbstractionLevel.DEVICE_SPECIFIC_HW: 1.0,
+        }[self]
+
+    def __lt__(self, other: "AbstractionLevel") -> bool:
+        if not isinstance(other, AbstractionLevel):
+            return NotImplemented
+        return self.rank < other.rank
+
+
+def validate_artifacts(level: AbstractionLevel, artifacts: Artifacts) -> None:
+    """Check a submission carries everything its level requires.
+
+    Raises
+    ------
+    SubmissionError
+        Naming the missing artifact and the level that demands it.
+    """
+    if not artifacts.application_code:
+        raise SubmissionError(f"{level.name}: application code is always required")
+    if level is AbstractionLevel.PREDETERMINED_HW and artifacts.softcore is None:
+        raise SubmissionError(
+            "PREDETERMINED_HW: the user selects a soft-core configuration "
+            "(Section III-B1); none was supplied"
+        )
+    if level is AbstractionLevel.USER_DEFINED_HW and artifacts.hdl_design is None:
+        raise SubmissionError(
+            "USER_DEFINED_HW: a generic HDL design is required "
+            "(Section III-B2); none was supplied"
+        )
+    if level is AbstractionLevel.DEVICE_SPECIFIC_HW and artifacts.bitstream is None:
+        raise SubmissionError(
+            "DEVICE_SPECIFIC_HW: a device-specific bitstream is required "
+            "(Section III-B3); none was supplied"
+        )

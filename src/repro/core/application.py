@@ -1,0 +1,186 @@
+"""The application model (Eq. 3/4, Figure 8).
+
+.. math::
+
+    Application_i(<Keyword>, Task\\ list, <Keyword>)
+
+"Each application is identified [by] a keyword followed by a task list.
+[...] a keyword shows whether the tasks can be executed in series or
+parallel. [...] Each task list is terminated by [the] next keyword."
+(Section IV-B).  The paper's example (Eq. 4):
+
+.. code-block:: text
+
+    App{Seq(T2), Par(T4, T1, T7), Seq(T5, T10)}
+
+executes T2, then T1/T4/T7 concurrently, then T5 followed by T10
+(Figure 8).  Clauses run in order: clause *i+1* starts only when clause
+*i* has completed.
+
+Beyond the paper's ``Seq``/``Par`` we implement the ``Stream`` keyword
+for the streaming scenario Section VI defers to future work: a
+``Stream`` clause pipelines its task list over a sequence of data
+chunks (see :mod:`repro.sim` for the pipelined timing model).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import re
+from dataclasses import dataclass, field
+
+_app_ids = itertools.count(0)
+
+
+class ClauseKind(enum.Enum):
+    """Eq. 3 keywords."""
+
+    SEQ = "Seq"
+    PAR = "Par"
+    STREAM = "Stream"  # extension: Section VI future work
+
+
+@dataclass(frozen=True)
+class Clause:
+    """One ``<Keyword>(Task list)`` unit of Eq. 3."""
+
+    kind: ClauseKind
+    task_ids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.task_ids:
+            raise ValueError(f"{self.kind.value} clause needs at least one task")
+
+    def steps(self) -> list[list[int]]:
+        """Execution steps within the clause.
+
+        A ``Seq`` clause yields one single-task step per task; a ``Par``
+        clause yields one step containing every task; a ``Stream`` clause
+        behaves like ``Seq`` at the step level (the pipelining happens
+        inside the simulator's chunk scheduling).
+        """
+        if self.kind is ClauseKind.PAR:
+            return [list(self.task_ids)]
+        return [[t] for t in self.task_ids]
+
+    def describe(self) -> str:
+        tasks = ", ".join(f"T{t}" for t in self.task_ids)
+        return f"{self.kind.value}({tasks})"
+
+
+def Seq(*task_ids: int) -> Clause:
+    """Build a sequential clause: ``Seq(5, 10) == Seq(T5, T10)``."""
+    return Clause(ClauseKind.SEQ, tuple(task_ids))
+
+
+def Par(*task_ids: int) -> Clause:
+    """Build a parallel clause: ``Par(4, 1, 7) == Par(T4, T1, T7)``."""
+    return Clause(ClauseKind.PAR, tuple(task_ids))
+
+
+def Stream(*task_ids: int) -> Clause:
+    """Build a streaming clause (future-work extension)."""
+    return Clause(ClauseKind.STREAM, tuple(task_ids))
+
+
+@dataclass(frozen=True)
+class Application:
+    """An application: an ordered list of keyword clauses (Eq. 3)."""
+
+    clauses: tuple[Clause, ...]
+    app_id: int = field(default_factory=lambda: next(_app_ids))
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.clauses:
+            raise ValueError("an application needs at least one clause")
+        seen: set[int] = set()
+        for clause in self.clauses:
+            for task_id in clause.task_ids:
+                if task_id in seen:
+                    raise ValueError(
+                        f"task T{task_id} appears in more than one clause"
+                    )
+                seen.add(task_id)
+
+    @property
+    def task_ids(self) -> tuple[int, ...]:
+        """All task IDs in clause order."""
+        return tuple(t for clause in self.clauses for t in clause.task_ids)
+
+    def execution_steps(self) -> list[list[int]]:
+        """The Figure 8 schedule: a list of steps; tasks within one step
+        run concurrently, and a step starts when the previous finished.
+
+        For Eq. 4 this returns ``[[2], [4, 1, 7], [5], [10]]``.
+        """
+        steps: list[list[int]] = []
+        for clause in self.clauses:
+            steps.extend(clause.steps())
+        return steps
+
+    def makespan(self, durations: dict[int, float]) -> float:
+        """Ideal makespan given per-task durations and unlimited PEs:
+        sum over steps of the per-step maximum (Figure 8's timeline).
+        """
+        total = 0.0
+        for step in self.execution_steps():
+            try:
+                total += max(durations[t] for t in step)
+            except KeyError as exc:
+                raise KeyError(f"no duration for task T{exc.args[0]}") from None
+        return total
+
+    def describe(self) -> str:
+        """Render in the paper's Eq. 4 notation."""
+        inner = ", ".join(clause.describe() for clause in self.clauses)
+        return f"App{{{inner}}}"
+
+
+_CLAUSE_RE = re.compile(r"(Seq|Par|Stream)\s*,?\s*\(([^)]*)\)")
+_TASK_RE = re.compile(r"T?(\d+)")
+
+
+def parse_application(text: str, name: str = "") -> Application:
+    """Parse the paper's textual application notation.
+
+    Accepts Eq. 4's exact form -- including the typo in the paper where
+    a comma slips between keyword and parenthesis (``Seq,(T5, T10)``)::
+
+        App{Seq(T2), Par(T4, T1, T7), Seq,(T5, T10)}
+
+    Raises
+    ------
+    ValueError
+        If no clause can be parsed, a clause is empty, or text remains
+        outside the recognized notation.
+    """
+    body = text.strip()
+    if body.startswith("App"):
+        body = body[3:].strip()
+    if body.startswith("{") and body.endswith("}"):
+        body = body[1:-1]
+
+    clauses: list[Clause] = []
+    covered_upto = 0
+    for match in _CLAUSE_RE.finditer(body):
+        between = body[covered_upto : match.start()].strip().strip(",").strip()
+        if between:
+            raise ValueError(f"unrecognized application text: {between!r}")
+        covered_upto = match.end()
+        keyword, inner = match.groups()
+        task_ids = tuple(int(m.group(1)) for m in _TASK_RE.finditer(inner))
+        if not task_ids:
+            raise ValueError(f"{keyword} clause has no tasks: {match.group(0)!r}")
+        clauses.append(Clause(ClauseKind(keyword), task_ids))
+    trailing = body[covered_upto:].strip().strip(",").strip()
+    if trailing:
+        raise ValueError(f"unrecognized application text: {trailing!r}")
+    if not clauses:
+        raise ValueError(f"no clauses found in {text!r}")
+    return Application(clauses=tuple(clauses), name=name)
+
+
+#: The paper's Eq. 4 example application.
+EQUATION_4 = "App{Seq(T2), Par(T4, T1, T7), Seq(T5, T10)}"

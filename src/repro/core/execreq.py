@@ -1,0 +1,202 @@
+"""Execution requirements (the ``ExecReq`` of Eq. 2).
+
+The paper: "*ExecReq provides the list of resources required by the task
+for its execution.  This list is composed of the node type and its
+parameters.  Each parameter is followed by its value.  These parameters
+completely identify the architectural requirements by the current
+task.*" (Section IV-B, Figure 4 shows ``NodeType`` plus ``k`` parameter/
+value pairs.)
+
+We realize "parameter followed by its value" as a small typed constraint
+algebra over capability descriptors (the dictionaries produced by every
+hardware model's ``capabilities()``).  The case study needs exactly
+three constraint shapes -- minimum value ("at least 18,707 slices"),
+equality ("a Virtex XC6VLX365T"), and family membership -- plus
+existence checks for optional features; :class:`MaxValue` completes the
+lattice for QoS-style caps.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from numbers import Real
+
+from repro.hardware.bitstream import Bitstream, HDLDesign
+from repro.hardware.softcore import SoftcoreSpec
+from repro.hardware.taxonomy import PEClass
+
+
+class Constraint(ABC):
+    """One ``parameter: value`` requirement from Figure 4."""
+
+    key: str
+
+    @abstractmethod
+    def satisfied_by(self, caps: Mapping[str, object]) -> bool:
+        """Whether a capability descriptor meets this requirement."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable form used in Table II-style reports."""
+
+
+def _numeric(value: object) -> Real | None:
+    """Return *value* as a number if it is one (bool excluded)."""
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, Real):
+        return value
+    return None
+
+
+@dataclass(frozen=True)
+class MinValue(Constraint):
+    """``caps[key] >= value`` -- e.g. "minimum of 18,707 slices"."""
+
+    key: str
+    value: float
+
+    def satisfied_by(self, caps: Mapping[str, object]) -> bool:
+        actual = _numeric(caps.get(self.key))
+        return actual is not None and actual >= self.value
+
+    def describe(self) -> str:
+        return f"{self.key} >= {self.value}"
+
+
+@dataclass(frozen=True)
+class MaxValue(Constraint):
+    """``caps[key] <= value`` -- e.g. a power or cost ceiling."""
+
+    key: str
+    value: float
+
+    def satisfied_by(self, caps: Mapping[str, object]) -> bool:
+        actual = _numeric(caps.get(self.key))
+        return actual is not None and actual <= self.value
+
+    def describe(self) -> str:
+        return f"{self.key} <= {self.value}"
+
+
+@dataclass(frozen=True)
+class Equals(Constraint):
+    """``caps[key] == value`` -- e.g. device_model == XC6VLX365T."""
+
+    key: str
+    value: object
+
+    def satisfied_by(self, caps: Mapping[str, object]) -> bool:
+        return caps.get(self.key) == self.value
+
+    def describe(self) -> str:
+        return f"{self.key} == {self.value!r}"
+
+
+@dataclass(frozen=True)
+class OneOf(Constraint):
+    """``caps[key] in values`` -- e.g. OS in {Linux, Solaris}."""
+
+    key: str
+    values: tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("OneOf needs at least one admissible value")
+
+    def satisfied_by(self, caps: Mapping[str, object]) -> bool:
+        return caps.get(self.key) in self.values
+
+    def describe(self) -> str:
+        options = ", ".join(repr(v) for v in self.values)
+        return f"{self.key} in {{{options}}}"
+
+
+@dataclass(frozen=True)
+class Exists(Constraint):
+    """``key in caps and truthy`` -- e.g. partial_reconfig available."""
+
+    key: str
+
+    def satisfied_by(self, caps: Mapping[str, object]) -> bool:
+        return bool(caps.get(self.key))
+
+    def describe(self) -> str:
+        return f"{self.key} present"
+
+
+@dataclass(frozen=True)
+class Artifacts:
+    """What the user ships with a task.
+
+    The mix of artifacts depends on the abstraction level (Figure 2):
+    application code and input data always; HDL at the user-defined-
+    hardware level; a bitstream at the device-specific level; a soft-core
+    selection at the pre-determined level.
+    ``input_data_bytes`` sizes the JSS->node transfer.
+    """
+
+    application_code: str = ""
+    input_data_bytes: int = 0
+    hdl_design: HDLDesign | None = None
+    bitstream: Bitstream | None = None
+    softcore: SoftcoreSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.input_data_bytes < 0:
+            raise ValueError("input data size must be non-negative")
+
+
+@dataclass(frozen=True)
+class ExecReq:
+    """Execution requirements of one task (Eq. 2's ``ExecReq``).
+
+    Parameters
+    ----------
+    node_type:
+        The :class:`~repro.hardware.taxonomy.PEClass` the task needs
+        (Figure 4's ``NodeType``).
+    constraints:
+        The ``k`` parameter/value requirements of Figure 4.
+    artifacts:
+        User-supplied artifacts (code / HDL / bitstream / data).
+    """
+
+    node_type: PEClass
+    constraints: tuple[Constraint, ...] = ()
+    artifacts: Artifacts = field(default_factory=Artifacts)
+
+    def matches(self, caps: Mapping[str, object]) -> bool:
+        """Whether a PE capability descriptor satisfies this ExecReq.
+
+        A soft-core-hosting RPE advertises ``pe_class == "SOFTCORE"``;
+        per Section III-A, a GPP requirement is also satisfiable by a
+        soft-core CPU configured on an RPE, so ``node_type == GPP``
+        accepts both ``GPP`` and ``SOFTCORE`` descriptors.
+        """
+        pe_class = caps.get("pe_class")
+        if self.node_type is PEClass.GPP:
+            if pe_class not in ("GPP", "SOFTCORE"):
+                return False
+        elif pe_class != self.node_type.value:
+            return False
+        return all(c.satisfied_by(caps) for c in self.constraints)
+
+    def unmet_constraints(self, caps: Mapping[str, object]) -> list[Constraint]:
+        """Constraints *caps* fails — for diagnostics and service queries."""
+        return [c for c in self.constraints if not c.satisfied_by(caps)]
+
+    def describe(self) -> str:
+        parts = [f"NodeType={self.node_type.value}"]
+        parts.extend(c.describe() for c in self.constraints)
+        return "; ".join(parts)
+
+    def with_constraints(self, *extra: Constraint) -> "ExecReq":
+        """A copy with additional constraints (requirement refinement)."""
+        return ExecReq(
+            node_type=self.node_type,
+            constraints=self.constraints + tuple(extra),
+            artifacts=self.artifacts,
+        )

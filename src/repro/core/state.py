@@ -1,0 +1,100 @@
+"""Processing-element and node state (the ``state`` of Eq. 1).
+
+"``state`` represents the current states of different elements.  It is a
+dynamically changing attribute of the node.  For instance, the ``state``
+can provide the current available reconfigurable area or maintain the
+information of current configuration(s) on an RPE." (Section IV-A)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PEState(enum.Enum):
+    """Lifecycle states of a processing element within a node."""
+
+    IDLE = "idle"
+    BUSY = "busy"
+    CONFIGURING = "configuring"  # RPE only: bitstream being loaded
+    OFFLINE = "offline"  # resource removed / node leaving the grid
+
+    @property
+    def can_accept_work(self) -> bool:
+        return self is PEState.IDLE
+
+
+@dataclass(frozen=True)
+class RPEStateSnapshot:
+    """Point-in-time state of one RPE (Figure 5's ``State_i`` boxes)."""
+
+    resource_id: int
+    device_model: str
+    state: PEState
+    available_slices: int
+    total_slices: int
+    resident_functions: tuple[str, ...]
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the fabric area currently unavailable."""
+        if self.total_slices == 0:
+            return 0.0
+        return 1.0 - self.available_slices / self.total_slices
+
+
+@dataclass(frozen=True)
+class GPPStateSnapshot:
+    """Point-in-time state of one GPP."""
+
+    resource_id: int
+    cpu_model: str
+    state: PEState
+    current_task_id: int | None
+
+
+@dataclass(frozen=True)
+class GPUStateSnapshot:
+    """Point-in-time state of one GPU (the Section III extension
+    class; nodes may carry GPUs alongside GPPs and RPEs)."""
+
+    resource_id: int
+    gpu_model: str
+    state: PEState
+    current_task_id: int | None
+
+
+@dataclass(frozen=True)
+class NodeStateSnapshot:
+    """The dynamically-changing ``state`` attribute of Eq. 1, frozen at
+    one instant for the RMS's status table (Section V: "The RMS updates
+    the statuses of all nodes in the grid").
+    """
+
+    node_id: int
+    gpps: tuple[GPPStateSnapshot, ...]
+    rpes: tuple[RPEStateSnapshot, ...]
+    gpus: tuple[GPUStateSnapshot, ...] = ()
+
+    @property
+    def idle_gpp_count(self) -> int:
+        return sum(1 for g in self.gpps if g.state is PEState.IDLE)
+
+    @property
+    def idle_rpe_count(self) -> int:
+        return sum(1 for r in self.rpes if r.state is PEState.IDLE)
+
+    @property
+    def idle_gpu_count(self) -> int:
+        return sum(1 for g in self.gpus if g.state is PEState.IDLE)
+
+    @property
+    def available_reconfigurable_area(self) -> int:
+        """Total slices available across the node's RPEs (Section IV-A's
+        "current available reconfigurable area")."""
+        return sum(r.available_slices for r in self.rpes)
+
+    @property
+    def has_capacity(self) -> bool:
+        return self.idle_gpp_count > 0 or self.available_reconfigurable_area > 0

@@ -1,0 +1,64 @@
+"""Distributed-grid substrate.
+
+The paper situates its framework inside a grid built from: a network of
+nodes (Figure 2), Resource Management Systems and a Job Submission
+System (Section V), Condor-style matchmaking (Section II cites the
+Condor project [14] as the canonical workflow system), and the user
+services of Figure 9.  This package implements all of them:
+
+* :mod:`repro.grid.network` -- topology, link bandwidth/latency, and
+  transfer-time estimates for input data and bitstreams.
+* :mod:`repro.grid.classad` -- a Condor-ClassAd-style matchmaking
+  language (attribute ads + requirement/rank expressions) implemented
+  with a restricted, safe expression evaluator.
+* :mod:`repro.grid.rms` -- the Resource Management System: node
+  registry, status updates, matchmaking, scheduling, placement cost
+  model.
+* :mod:`repro.grid.jss` -- the Job Submission System: per-level
+  artifact validation, application decomposition, job tracking.
+* :mod:`repro.grid.virtualizer` -- the virtualization layer itself:
+  synthesis service (user HDL -> device bitstream), soft-core
+  provisioning, bitstream repository.
+* :mod:`repro.grid.services` -- Figure 9 user services: QoS, cost,
+  monitoring, and queries.
+"""
+
+from repro.grid.network import Link, Network, USER_SITE
+from repro.grid.classad import ClassAd, MatchError, evaluate, symmetric_match
+from repro.grid.classad_bridge import classad_candidates, node_to_ads, task_to_ad
+from repro.grid.virtualizer import (
+    BitstreamRepository,
+    SoftcoreProvisioner,
+    SynthesisService,
+    VirtualizationLayer,
+)
+from repro.grid.rms import Placement, ResourceManagementSystem, SchedulingError
+from repro.grid.jss import Job, JobStatus, JobSubmissionSystem
+from repro.grid.services import CostModel, Monitor, QoSRequirement, UserServices
+
+__all__ = [
+    "Link",
+    "Network",
+    "USER_SITE",
+    "ClassAd",
+    "MatchError",
+    "evaluate",
+    "symmetric_match",
+    "classad_candidates",
+    "node_to_ads",
+    "task_to_ad",
+    "BitstreamRepository",
+    "SoftcoreProvisioner",
+    "SynthesisService",
+    "VirtualizationLayer",
+    "Placement",
+    "ResourceManagementSystem",
+    "SchedulingError",
+    "Job",
+    "JobStatus",
+    "JobSubmissionSystem",
+    "CostModel",
+    "Monitor",
+    "QoSRequirement",
+    "UserServices",
+]

@@ -1,0 +1,239 @@
+"""Condor-style ClassAd matchmaking substrate.
+
+Section II singles out the Condor project [14] as the workflow system
+whose matchmaking the grid world relies on, and notes "there is no
+previous work about the efficient utilization of RPEs in such [a]
+system".  This module provides the missing substrate: a small ClassAd
+language -- advertisements of attributes plus ``requirements`` and
+``rank`` expressions -- evaluated with three-valued (Condor-style
+UNDEFINED) semantics over a restricted, safe AST subset.
+
+An RPE advertises its Table I capabilities as a ClassAd; a task
+advertises its ExecReq; :func:`symmetric_match` declares a match when
+each side's requirements evaluate to True against the other.  The RMS
+uses ClassAds for GPU-class and extension PEs where no typed model
+exists, fulfilling Section III's "extendable to add more types of
+processing elements".
+
+Expression examples::
+
+    target.slices >= 18707 and target.device_family == 'virtex-5'
+    my.budget >= target.price_per_hour * my.estimated_hours
+    target.pe_class in ('GPP', 'SOFTCORE')
+"""
+
+from __future__ import annotations
+
+import ast
+import operator
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+
+class MatchError(ValueError):
+    """Malformed or unsafe ClassAd expression."""
+
+
+class _UndefinedType:
+    """Condor's UNDEFINED: poisons comparisons, absorbed by and/or."""
+
+    _instance: "_UndefinedType | None" = None
+
+    def __new__(cls) -> "_UndefinedType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNDEFINED"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+UNDEFINED = _UndefinedType()
+
+_BIN_OPS = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.FloorDiv: operator.floordiv,
+    ast.Mod: operator.mod,
+}
+
+_CMP_OPS = {
+    ast.Eq: operator.eq,
+    ast.NotEq: operator.ne,
+    ast.Lt: operator.lt,
+    ast.LtE: operator.le,
+    ast.Gt: operator.gt,
+    ast.GtE: operator.ge,
+}
+
+
+class _Evaluator(ast.NodeVisitor):
+    """Evaluate a whitelisted expression AST against my/target scopes."""
+
+    def __init__(self, scopes: Mapping[str, Mapping[str, object]]):
+        self.scopes = scopes
+
+    def visit(self, node: ast.AST):  # noqa: D102 - dispatcher
+        method = f"visit_{type(node).__name__}"
+        visitor = getattr(self, method, None)
+        if visitor is None:
+            raise MatchError(f"disallowed syntax: {type(node).__name__}")
+        return visitor(node)
+
+    def visit_Expression(self, node: ast.Expression):
+        return self.visit(node.body)
+
+    def visit_Constant(self, node: ast.Constant):
+        if isinstance(node.value, (bool, int, float, str)) or node.value is None:
+            return node.value
+        raise MatchError(f"disallowed constant: {node.value!r}")
+
+    def visit_Tuple(self, node: ast.Tuple):
+        return tuple(self.visit(e) for e in node.elts)
+
+    def visit_List(self, node: ast.List):
+        return [self.visit(e) for e in node.elts]
+
+    def visit_Name(self, node: ast.Name):
+        if node.id in self.scopes:
+            return self.scopes[node.id]
+        if node.id == "undefined":
+            return UNDEFINED
+        raise MatchError(f"unknown name {node.id!r}; use my.* or target.*")
+
+    def visit_Attribute(self, node: ast.Attribute):
+        base = self.visit(node.value)
+        if base is UNDEFINED:
+            return UNDEFINED
+        if isinstance(base, Mapping):
+            return base.get(node.attr, UNDEFINED)
+        raise MatchError(f"cannot access attribute {node.attr!r} of {base!r}")
+
+    def visit_UnaryOp(self, node: ast.UnaryOp):
+        value = self.visit(node.operand)
+        if isinstance(node.op, ast.Not):
+            if value is UNDEFINED:
+                return UNDEFINED
+            return not value
+        if isinstance(node.op, ast.USub):
+            if value is UNDEFINED:
+                return UNDEFINED
+            return -value  # type: ignore[operator]
+        raise MatchError(f"disallowed unary operator: {type(node.op).__name__}")
+
+    def visit_BinOp(self, node: ast.BinOp):
+        op = _BIN_OPS.get(type(node.op))
+        if op is None:
+            raise MatchError(f"disallowed operator: {type(node.op).__name__}")
+        left, right = self.visit(node.left), self.visit(node.right)
+        if left is UNDEFINED or right is UNDEFINED:
+            return UNDEFINED
+        try:
+            return op(left, right)
+        except (TypeError, ZeroDivisionError) as exc:
+            raise MatchError(f"arithmetic error: {exc}") from None
+
+    def visit_BoolOp(self, node: ast.BoolOp):
+        # Three-valued logic: False and UNDEFINED -> False;
+        # True or UNDEFINED -> True; otherwise UNDEFINED propagates.
+        is_and = isinstance(node.op, ast.And)
+        saw_undefined = False
+        for value_node in node.values:
+            value = self.visit(value_node)
+            if value is UNDEFINED:
+                saw_undefined = True
+            elif is_and and not value:
+                return False
+            elif not is_and and value:
+                return True
+        if saw_undefined:
+            return UNDEFINED
+        return is_and
+
+    def visit_Compare(self, node: ast.Compare):
+        left = self.visit(node.left)
+        for op_node, right_node in zip(node.ops, node.comparators):
+            right = self.visit(right_node)
+            if left is UNDEFINED or right is UNDEFINED:
+                return UNDEFINED
+            if isinstance(op_node, ast.In):
+                result = left in right  # type: ignore[operator]
+            elif isinstance(op_node, ast.NotIn):
+                result = left not in right  # type: ignore[operator]
+            else:
+                op = _CMP_OPS.get(type(op_node))
+                if op is None:
+                    raise MatchError(f"disallowed comparison: {type(op_node).__name__}")
+                try:
+                    result = op(left, right)
+                except TypeError:
+                    return UNDEFINED
+            if not result:
+                return False
+            left = right
+        return True
+
+
+def evaluate(
+    expression: str,
+    *,
+    my: Mapping[str, object] | None = None,
+    target: Mapping[str, object] | None = None,
+):
+    """Evaluate a ClassAd expression; returns a value or UNDEFINED."""
+    try:
+        tree = ast.parse(expression, mode="eval")
+    except SyntaxError as exc:
+        raise MatchError(f"syntax error in {expression!r}: {exc}") from None
+    return _Evaluator({"my": my or {}, "target": target or {}}).visit(tree)
+
+
+@dataclass
+class ClassAd:
+    """An advertisement: attributes + requirements + rank.
+
+    ``requirements`` must evaluate to True against a counterpart for a
+    match; ``rank`` orders acceptable counterparts (higher is better).
+    """
+
+    attributes: dict[str, object] = field(default_factory=dict)
+    requirements: str = "True"
+    rank: str = "0"
+
+    def matches(self, other: "ClassAd") -> bool:
+        """One-sided: do *my* requirements accept *other*?"""
+        result = evaluate(self.requirements, my=self.attributes, target=other.attributes)
+        return result is True
+
+    def rank_of(self, other: "ClassAd") -> float:
+        value = evaluate(self.rank, my=self.attributes, target=other.attributes)
+        if value is UNDEFINED or not isinstance(value, (int, float)) or isinstance(value, bool):
+            return 0.0
+        return float(value)
+
+
+def symmetric_match(a: ClassAd, b: ClassAd) -> bool:
+    """Condor's gangmatch condition: each side accepts the other."""
+    return a.matches(b) and b.matches(a)
+
+
+def best_match(request: ClassAd, offers: list[ClassAd]) -> ClassAd | None:
+    """Highest-ranked offer that symmetrically matches, or None.
+
+    Ties break by offer order (stable), matching Condor's behaviour of
+    preferring earlier-advertised resources at equal rank.
+    """
+    best: ClassAd | None = None
+    best_rank = float("-inf")
+    for offer in offers:
+        if not symmetric_match(request, offer):
+            continue
+        r = request.rank_of(offer)
+        if r > best_rank:
+            best, best_rank = offer, r
+    return best

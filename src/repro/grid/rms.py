@@ -1,0 +1,394 @@
+"""The Resource Management System (Section V).
+
+"The RMS updates the statuses of all nodes in the grid.  It also
+implements a task scheduler which assigns the user application tasks to
+different nodes in the network.  The scheduling decisions are governed
+by a task scheduling algorithm and the availability of nodes."
+
+The RMS owns:
+
+* the **node registry** (register/unregister at runtime -- the model is
+  "adaptive in adding/removing resources", Section IV-A);
+* the **status table** (Eq. 1 state snapshots per node);
+* **matchmaking** (delegating to :mod:`repro.core.matching`);
+* the **placement cost model** -- transfer, synthesis, reconfiguration
+  and execution time per candidate (exactly the parameter list of
+  Section V);
+* the **placement lifecycle** -- reserving resources at dispatch,
+  transitioning an RPE region through CONFIGURING -> CONFIGURED ->
+  BUSY, and releasing on completion.  The discrete-event simulator
+  (:mod:`repro.sim`) drives these transitions through time; the RMS can
+  also run a placement instantaneously for untimed use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.matching import Candidate, find_candidates
+from repro.core.node import Node
+from repro.core.state import NodeStateSnapshot
+from repro.core.task import Task
+from repro.grid.network import Network, USER_SITE
+from repro.grid.virtualizer import ConfigurationPlan, VirtualizationError, VirtualizationLayer
+from repro.hardware.bitstream import Bitstream
+from repro.hardware.softcore import SoftcoreSpec
+from repro.hardware.taxonomy import PEClass
+
+
+class SchedulingError(RuntimeError):
+    """Raised when a placement cannot be planned or committed."""
+
+
+@dataclass
+class Placement:
+    """A committed-or-plannable assignment of one task to one PE.
+
+    Timing fields decompose the dispatch-to-completion delay the way
+    Section V's parameter list does:
+
+    ``transfer_time_s``
+        Input data (always) plus the bitstream when it ships from the
+        user's site (device-specific submissions).  Repository hits and
+        provider-synthesized bitstreams are provider-local, so they pay
+        no network transfer.
+    ``synthesis_time_s``
+        CAD-tool time when the task arrived as generic HDL (III-B2).
+    ``reconfig_time_s``
+        Configuration-port time; zero on configuration reuse.
+    ``exec_time_s``
+        Execution on the chosen PE.
+    """
+
+    task: Task
+    candidate: Candidate
+    region_id: int | None = None
+    bitstream: Bitstream | None = None
+    provision_softcore: SoftcoreSpec | None = None
+    transfer_time_s: float = 0.0
+    synthesis_time_s: float = 0.0
+    reconfig_time_s: float = 0.0
+    exec_time_s: float = 0.0
+    reused_configuration: bool = False
+    _committed: bool = field(default=False, repr=False)
+    _executing: bool = field(default=False, repr=False)
+
+    @property
+    def setup_time_s(self) -> float:
+        """Delay between dispatch and execution start."""
+        return self.transfer_time_s + self.synthesis_time_s + self.reconfig_time_s
+
+    @property
+    def total_time_s(self) -> float:
+        return self.setup_time_s + self.exec_time_s
+
+
+class ResourceManagementSystem:
+    """Node registry + matchmaker + scheduler + placement lifecycle."""
+
+    def __init__(
+        self,
+        *,
+        network: Network | None = None,
+        virtualization: VirtualizationLayer | None = None,
+        scheduler=None,
+        reference_mips: float = 1000.0,
+        partial_reconfiguration: bool = True,
+    ):
+        from repro.scheduling.hybrid import HybridCostScheduler
+
+        self.network = network
+        self.virtualization = virtualization or VirtualizationLayer()
+        self.scheduler = scheduler if scheduler is not None else HybridCostScheduler()
+        #: MIPS of the reference GPP against which ``Task.workload_mi``
+        #: and bitstream speedups are defined.
+        self.reference_mips = reference_mips
+        #: When False, every reconfiguration pays the full-device
+        #: bitstream time even for small circuits (the ref-[21]
+        #: partial-reconfiguration ablation in bench_dreamsim_reconfig).
+        self.partial_reconfiguration = partial_reconfiguration
+        self._nodes: dict[int, Node] = {}
+        self._sites: dict[int, int] = {}
+        #: TaskID -> node_id of the producer's output location, valid
+        #: for the duration of one plan_placement call (set from the
+        #: simulator's completion records); drives locality pricing.
+        self._data_sites: dict[int, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Node registry (runtime add/remove, Section IV-A)
+    # ------------------------------------------------------------------
+    def register_node(self, node: Node, *, site: int | None = None) -> None:
+        if node.node_id in self._nodes:
+            raise SchedulingError(f"node {node.node_id} already registered")
+        self._nodes[node.node_id] = node
+        self._sites[node.node_id] = node.node_id if site is None else site
+
+    def unregister_node(self, node_id: int) -> Node:
+        try:
+            node = self._nodes.pop(node_id)
+        except KeyError:
+            raise SchedulingError(f"node {node_id} is not registered") from None
+        self._sites.pop(node_id, None)
+        return node
+
+    @property
+    def nodes(self) -> list[Node]:
+        return list(self._nodes.values())
+
+    def node(self, node_id: int) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise SchedulingError(f"node {node_id} is not registered") from None
+
+    def site_of(self, node_id: int) -> int:
+        return self._sites.get(node_id, node_id)
+
+    def status(self) -> dict[int, NodeStateSnapshot]:
+        """The RMS status table: fresh Eq. 1 snapshots for every node."""
+        return {node_id: node.state() for node_id, node in self._nodes.items()}
+
+    # ------------------------------------------------------------------
+    # Matchmaking and cost model
+    # ------------------------------------------------------------------
+    def find_candidates(self, task: Task, *, require_available: bool = True) -> list[Candidate]:
+        return find_candidates(task, self.nodes, require_available=require_available)
+
+    def _transfer_time(
+        self, size_bytes: int, node_id: int, *, from_node: int | None = None
+    ) -> float:
+        if self.network is None or size_bytes == 0:
+            return 0.0
+        src = USER_SITE if from_node is None else self.site_of(from_node)
+        return self.network.transfer_time(size_bytes, src, self.site_of(node_id))
+
+    def _input_transfer_time(self, task: Task, node_id: int) -> float:
+        """Time to stage *task*'s inputs on *node_id*.
+
+        Inputs whose producer's location is known (``_data_sites``, set
+        by the simulator per dispatch) ship producer-node -> consumer-
+        node; everything else ships from the user's site.  Streams move
+        concurrently, so the staging time is the slowest single input --
+        which makes the cost model *data-locality aware*: a candidate on
+        the producer's node pays nothing for that edge.
+        """
+        if self.network is None:
+            return 0.0
+        sites = self._data_sites or {}
+        slowest = 0.0
+        for data in task.data_in:
+            producer_node = sites.get(data.source_task_id)
+            slowest = max(
+                slowest,
+                self._transfer_time(
+                    data.size_bytes, node_id, from_node=producer_node
+                ),
+            )
+        return slowest
+
+    def _exec_time(self, task: Task, candidate: Candidate) -> float:
+        node = self.node(candidate.node_id)
+        if candidate.kind is PEClass.GPP:
+            return node.gpp(candidate.resource_id).spec.execution_time_s(
+                task.effective_workload_mi
+            )
+        if candidate.kind is PEClass.GPU:
+            return node.gpu(candidate.resource_id).spec.execution_time_s(
+                task.effective_workload_mi
+            )
+        if candidate.kind is PEClass.SOFTCORE:
+            rpe = node.rpe(candidate.resource_id)
+            spec = task.exec_req.artifacts.softcore
+            if candidate.region_id is not None:
+                spec = rpe.hosted_softcores.get(candidate.region_id, spec)
+            if spec is None:
+                spec = self.virtualization.provisioner.default_core
+            mips = spec.effective_mips(rpe.device)
+            return task.effective_workload_mi / mips
+        # RPE accelerator: t_estimated is defined for the ExecReq-matched
+        # PE (Section IV-B); scale by the accelerator speedup when the
+        # bitstream declares one and the task also carries a workload.
+        return task.t_estimated
+
+    def _plan_rpe(self, task: Task, candidate: Candidate) -> tuple[ConfigurationPlan, int]:
+        """Configuration plan + target region for an RPE candidate."""
+        rpe = self.node(candidate.node_id).rpe(candidate.resource_id)
+        plan = self.virtualization.plan_rpe_configuration(task, rpe)
+        if not plan.needs_reconfiguration:
+            region = rpe.fabric.find_resident(task.function)
+            if region is None:  # pragma: no cover - defensive
+                raise SchedulingError(
+                    f"task {task.task_id}: resident configuration vanished"
+                )
+            return plan, region.region_id
+        assert plan.bitstream is not None
+        region = rpe.fabric.find_placeable(plan.bitstream.required_slices)
+        if region is None:
+            raise SchedulingError(
+                f"task {task.task_id}: no placeable region on RPE "
+                f"{candidate.resource_id} of node {candidate.node_id}"
+            )
+        return plan, region.region_id
+
+    def estimate_cost_s(self, task: Task, candidate: Candidate) -> float:
+        """Dispatch-to-completion time if *task* ran on *candidate* --
+        the objective the hybrid scheduler minimizes."""
+        return self._price(task, candidate).total_time_s
+
+    def _price(self, task: Task, candidate: Candidate) -> Placement:
+        """Build an (uncommitted) placement with all timing fields."""
+        placement = Placement(task=task, candidate=candidate)
+        placement.exec_time_s = self._exec_time(task, candidate)
+        bitstream_bytes = 0
+
+        if candidate.kind is PEClass.RPE:
+            plan, region_id = self._plan_rpe(task, candidate)
+            placement.region_id = region_id
+            placement.bitstream = plan.bitstream
+            placement.synthesis_time_s = plan.synthesis_time_s
+            placement.reused_configuration = not plan.needs_reconfiguration
+            if plan.bitstream is not None:
+                rpe = self.node(candidate.node_id).rpe(candidate.resource_id)
+                placement.reconfig_time_s = rpe.fabric.reconfiguration_time_s(
+                    plan.bitstream, partial=self.partial_reconfiguration
+                )
+                # Only user-shipped bitstreams traverse the network.
+                if task.exec_req.artifacts.bitstream is plan.bitstream:
+                    bitstream_bytes = plan.bitstream.size_bytes
+        elif candidate.kind is PEClass.SOFTCORE and candidate.region_id is not None:
+            # Soft core already hosted: execute in its region.
+            placement.region_id = candidate.region_id
+        elif candidate.kind is PEClass.SOFTCORE and candidate.region_id is None:
+            # Soft core must be provisioned first (Section III-B1/III-A).
+            rpe = self.node(candidate.node_id).rpe(candidate.resource_id)
+            spec = task.exec_req.artifacts.softcore or self.virtualization.provisioner.default_core
+            placement.provision_softcore = spec
+            placement.reconfig_time_s = rpe.device.reconfiguration_time_s(
+                spec.required_slices()
+            )
+
+        # Input streams and the user's bitstream move concurrently; the
+        # staging delay is the slowest of them.
+        placement.transfer_time_s = max(
+            self._input_transfer_time(task, candidate.node_id),
+            self._transfer_time(bitstream_bytes, candidate.node_id),
+        )
+        return placement
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def plan_placement(
+        self, task: Task, *, data_sites: dict[int, int] | None = None
+    ) -> Placement | None:
+        """Ask the strategy to place *task*; ``None`` defers it.
+
+        ``data_sites`` maps producer TaskIDs to the node where their
+        outputs reside; when given, input staging is priced producer ->
+        candidate instead of user -> candidate, so every cost-driven
+        strategy becomes data-locality aware for free.
+        """
+        self._data_sites = data_sites
+        try:
+            candidates = self.find_candidates(task, require_available=True)
+            choice = self.scheduler.choose(task, candidates, self)
+            if choice is None:
+                return None
+            try:
+                return self._price(task, choice)
+            except (SchedulingError, VirtualizationError) as exc:
+                raise SchedulingError(
+                    f"strategy {self.scheduler!r} chose an unpriceable candidate: {exc}"
+                ) from exc
+        finally:
+            self._data_sites = None
+
+    # ------------------------------------------------------------------
+    # Placement lifecycle (driven by the simulator through time)
+    # ------------------------------------------------------------------
+    def commit(self, placement: Placement) -> None:
+        """Reserve the chosen resources at dispatch time."""
+        if placement._committed:
+            raise SchedulingError("placement already committed")
+        if placement.bitstream is not None and placement.synthesis_time_s > 0:
+            # Freshly synthesized: archive it so later tasks for the same
+            # (function, device) skip synthesis entirely.
+            self.virtualization.repository.put(placement.bitstream)
+        node = self.node(placement.candidate.node_id)
+        kind = placement.candidate.kind
+        if kind is PEClass.GPP:
+            node.gpp(placement.candidate.resource_id).assign(placement.task.task_id)
+        elif kind is PEClass.GPU:
+            node.gpu(placement.candidate.resource_id).assign(placement.task.task_id)
+        else:
+            rpe = node.rpe(placement.candidate.resource_id)
+            if placement.provision_softcore is not None:
+                # Provisioning performs its own (instant) reconfiguration;
+                # the simulator charges reconfig_time_s before execution.
+                region = rpe.host_softcore(placement.provision_softcore)
+                placement.region_id = region.region_id
+                rpe.begin_task(region, placement.task.task_id)
+            elif placement.bitstream is not None:
+                region = rpe.fabric.regions[self._region_index(rpe, placement.region_id)]
+                if region.configuration is not None:
+                    rpe.fabric.clear(region)
+                    rpe.hosted_softcores.pop(region.region_id, None)
+                rpe.fabric.begin_reconfiguration(region, placement.bitstream)
+            else:
+                # Configuration reuse, or an already-hosted soft core:
+                # occupy the region immediately so no one else grabs it.
+                region = rpe.fabric.regions[self._region_index(rpe, placement.region_id)]
+                rpe.begin_task(region, placement.task.task_id)
+        placement._committed = True
+
+    def begin_execution(self, placement: Placement) -> None:
+        """Transfer/synthesis/reconfiguration done; start executing."""
+        if not placement._committed:
+            raise SchedulingError("placement must be committed first")
+        if placement._executing:
+            raise SchedulingError("placement already executing")
+        if (
+            placement.candidate.kind not in (PEClass.GPP, PEClass.GPU)
+            and placement.bitstream is not None
+        ):
+            node = self.node(placement.candidate.node_id)
+            rpe = node.rpe(placement.candidate.resource_id)
+            region = rpe.fabric.regions[self._region_index(rpe, placement.region_id)]
+            rpe.fabric.finish_reconfiguration(region)
+            rpe.begin_task(region, placement.task.task_id)
+        placement._executing = True
+
+    def finish_execution(self, placement: Placement) -> None:
+        """Release resources; resident configurations stay for reuse."""
+        if not placement._executing:
+            raise SchedulingError("placement is not executing")
+        node = self.node(placement.candidate.node_id)
+        kind = placement.candidate.kind
+        if kind is PEClass.GPP:
+            node.gpp(placement.candidate.resource_id).release()
+        elif kind is PEClass.GPU:
+            node.gpu(placement.candidate.resource_id).release()
+        else:
+            rpe = node.rpe(placement.candidate.resource_id)
+            region = rpe.fabric.regions[self._region_index(rpe, placement.region_id)]
+            rpe.finish_task(region)
+        placement._executing = False
+        placement._committed = False
+
+    def run_placement(self, placement: Placement) -> float:
+        """Run the full lifecycle instantly; returns total_time_s.
+
+        Untimed convenience for examples/tests; the simulator spreads
+        the same three calls over simulated time.
+        """
+        self.commit(placement)
+        self.begin_execution(placement)
+        self.finish_execution(placement)
+        return placement.total_time_s
+
+    @staticmethod
+    def _region_index(rpe, region_id: int | None) -> int:
+        for index, region in enumerate(rpe.fabric.regions):
+            if region.region_id == region_id:
+                return index
+        raise SchedulingError(f"RPE {rpe.resource_id} has no region {region_id}")

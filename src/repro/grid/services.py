@@ -1,0 +1,334 @@
+"""User services (Figure 9).
+
+"The minimum level of services required by a user is to submit his
+application tasks and get results.  But more services can be added to
+satisfy the Quality of Service (QoS) requirements.  These services
+include cost, monitoring, and other user constraints.  With these
+services, a user is able to submit his/her queries and get a response."
+(Section IV-B, Figure 9)
+
+* :class:`CostModel` -- per-PE-class pricing plus reconfiguration and
+  data-transfer fees; estimates and charges.
+* :class:`QoSRequirement` -- deadline / budget / abstraction-level
+  constraints checked at admission and at completion.
+* :class:`Monitor` -- an append-only event log with per-task status
+  queries (the "monitoring" service).
+* :class:`UserServices` -- the Figure 9 facade: submit, query, results,
+  cost reports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.abstraction import AbstractionLevel
+from repro.core.task import Task
+from repro.grid.jss import Job, JobStatus, JobSubmissionSystem
+from repro.grid.rms import Placement, ResourceManagementSystem, SchedulingError
+from repro.hardware.taxonomy import PEClass
+
+
+class QoSViolation(RuntimeError):
+    """A submission or a completed job violates its QoS contract."""
+
+
+@dataclass(frozen=True)
+class QoSRequirement:
+    """User constraints attached to a submission (Figure 9's QoS box)."""
+
+    deadline_s: float | None = None
+    budget: float | None = None
+    max_abstraction_level: AbstractionLevel | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline must be positive")
+        if self.budget is not None and self.budget < 0:
+            raise ValueError("budget must be non-negative")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Grid pricing: CPU-seconds by PE class, plus per-event fees.
+
+    Defaults make RPE time ~3x GPP time (FPGAs are scarcer) but a task
+    that runs 10x faster on the fabric still costs ~3x less there --
+    pricing therefore *rewards* acceleration, which is the economic
+    version of the paper's "more performance at lower power" claim.
+    """
+
+    gpp_rate_per_s: float = 1.0
+    rpe_rate_per_s: float = 3.0
+    softcore_rate_per_s: float = 1.5
+    gpu_rate_per_s: float = 2.0
+    reconfiguration_fee: float = 0.5
+    synthesis_fee_per_s: float = 0.05
+    transfer_fee_per_gb: float = 0.2
+
+    def rate_for(self, kind: PEClass) -> float:
+        return {
+            PEClass.GPP: self.gpp_rate_per_s,
+            PEClass.RPE: self.rpe_rate_per_s,
+            PEClass.SOFTCORE: self.softcore_rate_per_s,
+            PEClass.GPU: self.gpu_rate_per_s,
+        }[kind]
+
+    def placement_cost(self, placement: Placement) -> float:
+        """Price one placement: execution + setup events."""
+        cost = placement.exec_time_s * self.rate_for(placement.candidate.kind)
+        if placement.reconfig_time_s > 0:
+            cost += self.reconfiguration_fee
+        cost += placement.synthesis_time_s * self.synthesis_fee_per_s
+        gb = placement.task.total_input_bytes / 1e9
+        cost += gb * self.transfer_fee_per_gb
+        return cost
+
+
+class EventKind(enum.Enum):
+    """Monitor event categories (Figure 9's observable moments)."""
+
+    SUBMITTED = "submitted"
+    DISPATCHED = "dispatched"
+    STARTED = "started"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    NODE_JOINED = "node-joined"
+    NODE_LEFT = "node-left"
+
+
+@dataclass(frozen=True)
+class MonitorEvent:
+    time: float
+    kind: EventKind
+    job_id: int | None = None
+    task_id: int | None = None
+    node_id: int | None = None
+    detail: str = ""
+
+
+class Monitor:
+    """The Figure 9 monitoring service: event log + status queries."""
+
+    def __init__(self) -> None:
+        self.events: list[MonitorEvent] = []
+
+    def record(self, event: MonitorEvent) -> None:
+        self.events.append(event)
+
+    def task_history(self, job_id: int, task_id: int) -> list[MonitorEvent]:
+        return [
+            e for e in self.events if e.job_id == job_id and e.task_id == task_id
+        ]
+
+    def node_events(self, node_id: int) -> list[MonitorEvent]:
+        return [e for e in self.events if e.node_id == node_id]
+
+    def counts(self) -> dict[EventKind, int]:
+        out: dict[EventKind, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+
+@dataclass
+class QueryResponse:
+    """Answer to a user query (Figure 9's query/response arrows)."""
+
+    job_id: int
+    status: JobStatus
+    completed_tasks: int
+    total_tasks: int
+    accrued_cost: float
+    events: list[MonitorEvent]
+
+
+class UserServices:
+    """The Figure 9 service facade over a JSS + RMS pair.
+
+    Untimed operation: placements run instantaneously through
+    :meth:`ResourceManagementSystem.run_placement`.  (The discrete-event
+    simulator provides the timed equivalent; this facade is the
+    "minimum level of services" plus QoS/cost/monitoring.)
+    """
+
+    def __init__(
+        self,
+        rms: ResourceManagementSystem,
+        *,
+        jss: JobSubmissionSystem | None = None,
+        cost_model: CostModel | None = None,
+    ):
+        self.rms = rms
+        self.jss = jss or JobSubmissionSystem(virtualization=rms.virtualization)
+        self.cost_model = cost_model or CostModel()
+        self.monitor = Monitor()
+        self._charges: dict[int, float] = {}
+        self._qos: dict[int, QoSRequirement] = {}
+
+    # ------------------------------------------------------------------
+    # Submission (with QoS admission)
+    # ------------------------------------------------------------------
+    def submit(self, task: Task, qos: QoSRequirement | None = None) -> Job:
+        """Submit one task; QoS admission rejects hopeless submissions
+        (no candidate PE, or level below the user's maximum)."""
+        qos = qos or QoSRequirement()
+        if qos.max_abstraction_level is not None:
+            level = task.abstraction_level or self.rms.virtualization.required_abstraction_level(task)
+            if level.rank < qos.max_abstraction_level.rank:
+                raise QoSViolation(
+                    f"task {task.task_id} requires level {level.name}, below the "
+                    f"user's floor {qos.max_abstraction_level.name}"
+                )
+        job = self.jss.submit_task(task)
+        self._qos[job.job_id] = qos
+        self._charges[job.job_id] = 0.0
+        self.monitor.record(
+            MonitorEvent(time=0.0, kind=EventKind.SUBMITTED, job_id=job.job_id, task_id=task.task_id)
+        )
+        return job
+
+    def execute(self, job: Job) -> float:
+        """Run every task of *job* to completion (untimed); returns the
+        modeled wall-clock makespan and enforces QoS afterwards."""
+        qos = self._qos.get(job.job_id, QoSRequirement())
+        makespan = 0.0
+        for record in job.records.values():
+            placement = self.rms.plan_placement(record.task)
+            if placement is None:
+                self.jss.mark_failed(job.job_id, record.task.task_id, time=makespan)
+                self.monitor.record(
+                    MonitorEvent(
+                        time=makespan,
+                        kind=EventKind.FAILED,
+                        job_id=job.job_id,
+                        task_id=record.task.task_id,
+                        detail="no admissible placement",
+                    )
+                )
+                raise SchedulingError(
+                    f"no admissible placement for task {record.task.task_id}"
+                )
+            self.monitor.record(
+                MonitorEvent(
+                    time=makespan,
+                    kind=EventKind.DISPATCHED,
+                    job_id=job.job_id,
+                    task_id=record.task.task_id,
+                    node_id=placement.candidate.node_id,
+                )
+            )
+            self.jss.mark_started(
+                job.job_id, record.task.task_id, time=makespan, node_id=placement.candidate.node_id
+            )
+            elapsed = self.rms.run_placement(placement)
+            makespan += elapsed
+            self._charges[job.job_id] = self._charges.get(job.job_id, 0.0) + self.cost_model.placement_cost(placement)
+            self.jss.mark_completed(job.job_id, record.task.task_id, time=makespan)
+            self.monitor.record(
+                MonitorEvent(
+                    time=makespan,
+                    kind=EventKind.COMPLETED,
+                    job_id=job.job_id,
+                    task_id=record.task.task_id,
+                    node_id=placement.candidate.node_id,
+                )
+            )
+        if qos.deadline_s is not None and makespan > qos.deadline_s:
+            raise QoSViolation(
+                f"job {job.job_id} finished at {makespan:.3f}s, after its "
+                f"deadline {qos.deadline_s:.3f}s"
+            )
+        if qos.budget is not None and self._charges[job.job_id] > qos.budget:
+            raise QoSViolation(
+                f"job {job.job_id} cost {self._charges[job.job_id]:.2f}, over "
+                f"budget {qos.budget:.2f}"
+            )
+        return makespan
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, job_id: int) -> QueryResponse:
+        """The Figure 9 query service."""
+        job = self.jss.job(job_id)
+        completed = sum(
+            1 for r in job.records.values() if r.status is JobStatus.COMPLETED
+        )
+        return QueryResponse(
+            job_id=job_id,
+            status=job.status,
+            completed_tasks=completed,
+            total_tasks=len(job.records),
+            accrued_cost=self._charges.get(job_id, 0.0),
+            events=[e for e in self.monitor.events if e.job_id == job_id],
+        )
+
+    def accrued_cost(self, job_id: int) -> float:
+        return self._charges.get(job_id, 0.0)
+
+    def feasibility_query(self, task: Task) -> "FeasibilityResponse":
+        """Pre-submission query: where *could* this task run, and why
+        not elsewhere?  (Figure 9's query service; this is the per-task
+        generalization of Table II, with diagnostics per rejected PE.)
+        """
+        from repro.core.matching import find_candidates
+
+        candidates = find_candidates(task, self.rms.nodes)
+        rejections: list[tuple[str, str]] = []
+        for node in self.rms.nodes:
+            matched_ids = {
+                c.resource_id for c in candidates if c.node_id == node.node_id
+            }
+            pools = [("GPP", node.gpps), ("RPE", node.rpes), ("GPU", node.gpus)]
+            for kind, pool in pools:
+                for index, resource in enumerate(pool):
+                    if resource.resource_id in matched_ids:
+                        continue
+                    caps = (
+                        resource.device.capabilities()
+                        if kind == "RPE"
+                        else resource.spec.capabilities()
+                    )
+                    wanted = task.exec_req.node_type.value
+                    if kind == "GPP" and wanted in ("GPP",):
+                        unmet = task.exec_req.unmet_constraints(caps)
+                        reason = (
+                            "; ".join(c.describe() for c in unmet) or "unsatisfied"
+                        )
+                    elif caps.get("pe_class") != wanted and not (
+                        wanted == "GPP" and caps.get("pe_class") == "SOFTCORE"
+                    ):
+                        reason = f"pe_class {caps.get('pe_class')} != {wanted}"
+                    else:
+                        unmet = task.exec_req.unmet_constraints(caps)
+                        reason = (
+                            "; ".join(c.describe() for c in unmet) or "unsatisfied"
+                        )
+                    rejections.append((f"{kind}_{index} <-> {node.name}", reason))
+        estimate = None
+        placement = None
+        try:
+            placement = self.rms.plan_placement(task)
+        except Exception:
+            placement = None
+        if placement is not None:
+            estimate = placement.total_time_s
+        return FeasibilityResponse(
+            task_id=task.task_id,
+            feasible=bool(candidates),
+            candidate_labels=tuple(c.label for c in candidates),
+            rejections=tuple(rejections),
+            estimated_time_s=estimate,
+        )
+
+
+@dataclass(frozen=True)
+class FeasibilityResponse:
+    """Answer to a pre-submission feasibility query."""
+
+    task_id: int
+    feasible: bool
+    candidate_labels: tuple[str, ...]
+    rejections: tuple[tuple[str, str], ...]
+    estimated_time_s: float | None

@@ -1,0 +1,78 @@
+"""Hardware substrate: models of every processing-element class in Table I.
+
+The paper's framework reasons over *capability descriptors* rather than
+physical silicon.  This package provides parameterized models for each
+processing-element class named in Figure 1 / Table I of the paper:
+
+* :mod:`repro.hardware.fpga` -- FPGA devices (logic cells, slices, LUTs,
+  BRAM, DSP slices, speed grades, reconfiguration bandwidth, IOBs,
+  Ethernet MACs).
+* :mod:`repro.hardware.gpp` -- general-purpose processors (CPU type,
+  MIPS rating, OS, RAM, cores).
+* :mod:`repro.hardware.softcore` -- soft-core VLIW processors in the
+  style of the Delft rho-VEX (FU mix, issue width, memories, register
+  file, pipelines, clusters) with an area/frequency cost model so they
+  can be *placed onto* a modeled FPGA fabric.
+* :mod:`repro.hardware.gpu` -- GPUs (shader cores, warp size, SIMD
+  pipeline width, shared memory, memory frequency).
+* :mod:`repro.hardware.fabric` -- the reconfigurable fabric of a device:
+  area accounting, partial-reconfiguration regions, and resident
+  configurations.
+* :mod:`repro.hardware.bitstream` -- HDL designs, synthesis results and
+  bitstreams (the artifacts users hand to the grid at the lower
+  abstraction levels of Figure 2).
+* :mod:`repro.hardware.catalog` -- a concrete device catalog including
+  the Virtex-5 parts and the Virtex-6 XC6VLX365T named in the paper's
+  case study.
+* :mod:`repro.hardware.taxonomy` -- the Figure 1 taxonomy classifier.
+"""
+
+from repro.hardware.fpga import FPGADevice, SpeedGrade
+from repro.hardware.gpp import GPPSpec
+from repro.hardware.softcore import SoftcoreSpec, FunctionalUnitMix
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.fabric import Fabric, Region, RegionState, Configuration
+from repro.hardware.bitstream import Bitstream, HDLDesign, SynthesisResult
+from repro.hardware.catalog import (
+    DEVICE_CATALOG,
+    device_by_model,
+    devices_by_family,
+    devices_with_min_slices,
+)
+from repro.hardware.taxonomy import PEClass, TaxonomyNode, classify, taxonomy_tree
+from repro.hardware.flexfabric import AllocationError, FlexibleFabric, Span
+from repro.hardware.power import PowerDraw, energy_per_task_j, fpga_active_power, fpga_static_power, gpp_power, gpu_power, softcore_power
+
+__all__ = [
+    "FPGADevice",
+    "SpeedGrade",
+    "GPPSpec",
+    "SoftcoreSpec",
+    "FunctionalUnitMix",
+    "GPUSpec",
+    "Fabric",
+    "Region",
+    "RegionState",
+    "Configuration",
+    "Bitstream",
+    "HDLDesign",
+    "SynthesisResult",
+    "DEVICE_CATALOG",
+    "device_by_model",
+    "devices_by_family",
+    "devices_with_min_slices",
+    "PEClass",
+    "TaxonomyNode",
+    "classify",
+    "taxonomy_tree",
+    "AllocationError",
+    "FlexibleFabric",
+    "Span",
+    "PowerDraw",
+    "energy_per_task_j",
+    "fpga_active_power",
+    "fpga_static_power",
+    "gpp_power",
+    "gpu_power",
+    "softcore_power",
+]

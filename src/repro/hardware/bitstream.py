@@ -1,0 +1,184 @@
+"""Hardware design artifacts: HDL designs, synthesis results, bitstreams.
+
+The abstraction levels of Figure 2 differ in which artifact the user
+hands to the grid:
+
+* **User-defined hardware configuration** (Section III-B2): the user
+  submits a *generic HDL design* (VHDL/Verilog); the service provider
+  runs CAD tools to produce a device-specific bitstream.
+  :class:`HDLDesign` + :class:`SynthesisResult` model that flow.
+* **Device-specific hardware** (Section III-B3): the user submits a
+  ready-made :class:`Bitstream` targeting one exact device model; the
+  provider needs no CAD tools, only the matching device.
+
+Bitstreams are also what the scheduler ships over the network before a
+reconfiguration, so they carry a size for the transfer-delay model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.hardware.fpga import FPGADevice
+
+_bitstream_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class HDLDesign:
+    """A hardware design in a generic HDL, as submitted at the
+    user-defined-hardware abstraction level.
+
+    Parameters
+    ----------
+    name:
+        Design name, e.g. ``"pairalign_accel"``.
+    language:
+        ``"VHDL"`` or ``"Verilog"`` (Section III-B2 names both).
+    source_lines:
+        Size of the design entry; the synthesis-time model scales with it.
+    estimated_slices, estimated_bram_kb, estimated_dsp:
+        Resource estimates, typically produced by the Quipu predictor
+        (:mod:`repro.profiling.quipu`) from the software kernel the
+        design accelerates.
+    implements:
+        Name of the task function the design accelerates; used to check
+        that a resident configuration can serve a task without
+        reconfiguring (configuration reuse).
+    """
+
+    name: str
+    language: str
+    source_lines: int
+    estimated_slices: int
+    estimated_bram_kb: int = 0
+    estimated_dsp: int = 0
+    implements: str = ""
+
+    def __post_init__(self) -> None:
+        if self.language not in ("VHDL", "Verilog"):
+            raise ValueError(f"unsupported HDL {self.language!r}; use VHDL or Verilog")
+        if self.estimated_slices <= 0:
+            raise ValueError("estimated slices must be positive")
+        if self.source_lines <= 0:
+            raise ValueError("source size must be positive")
+
+
+@dataclass(frozen=True)
+class Bitstream:
+    """A device-specific configuration bitstream.
+
+    Parameters
+    ----------
+    bitstream_id:
+        Unique identifier.
+    target_model:
+        Exact device model this bitstream configures (bitstreams are
+        never portable across models).
+    size_bytes:
+        Bitstream size; drives both network-transfer and
+        configuration-port delays.
+    required_slices:
+        Fabric area the configured circuit occupies (for partial
+        reconfiguration placement).
+    implements:
+        Function the configured circuit computes.
+    speedup_vs_gpp:
+        Accelerator speedup relative to a 1000-MIPS reference GPP;
+        used by the simulator to derive hardware execution times.
+    """
+
+    bitstream_id: int
+    target_model: str
+    size_bytes: int
+    required_slices: int
+    implements: str = ""
+    speedup_vs_gpp: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("bitstream size must be positive")
+        if self.required_slices <= 0:
+            raise ValueError("required slices must be positive")
+        if self.speedup_vs_gpp <= 0:
+            raise ValueError("speedup must be positive")
+
+    def targets(self, device: FPGADevice) -> bool:
+        """Whether this bitstream can configure *device*."""
+        return device.model == self.target_model
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """Output of the provider-side CAD flow (Section III-B2's "mechanism
+    and tools to generate device specific bitstreams for the user").
+
+    Produced by :class:`repro.grid.virtualizer.SynthesisService`.
+    """
+
+    design: HDLDesign
+    bitstream: Bitstream
+    synthesis_time_s: float
+    achieved_frequency_mhz: float
+
+    def __post_init__(self) -> None:
+        if self.synthesis_time_s < 0:
+            raise ValueError("synthesis time must be non-negative")
+
+
+def synthesize(
+    design: HDLDesign,
+    device: FPGADevice,
+    *,
+    speedup_vs_gpp: float = 10.0,
+) -> SynthesisResult:
+    """Run the modeled CAD flow: map *design* onto *device*.
+
+    Raises
+    ------
+    ValueError
+        If the design does not fit the device (slices, BRAM, or DSP).
+
+    Notes
+    -----
+    Synthesis time is modeled as super-linear in design size, matching
+    the observation that place-and-route dominates and scales poorly;
+    achieved frequency degrades as the device fills up.
+    """
+    if design.estimated_slices > device.slices:
+        raise ValueError(
+            f"design {design.name!r} needs {design.estimated_slices} slices "
+            f"but {device.model} has only {device.slices}"
+        )
+    if design.estimated_bram_kb > device.bram_kb:
+        raise ValueError(
+            f"design {design.name!r} needs {design.estimated_bram_kb} KB BRAM "
+            f"but {device.model} has only {device.bram_kb}"
+        )
+    if design.estimated_dsp > device.dsp_slices:
+        raise ValueError(
+            f"design {design.name!r} needs {design.estimated_dsp} DSP slices "
+            f"but {device.model} has only {device.dsp_slices}"
+        )
+
+    utilization = design.estimated_slices / device.slices
+    # Place-and-route slows down sharply above ~70 % utilization.
+    congestion = 1.0 + max(0.0, utilization - 0.7) * 8.0
+    synthesis_time_s = 30.0 + 0.8 * design.source_lines * congestion
+    achieved_frequency_mhz = device.max_frequency_mhz * (0.5 - 0.2 * utilization)
+
+    bitstream = Bitstream(
+        bitstream_id=next(_bitstream_ids),
+        target_model=device.model,
+        size_bytes=device.bitstream_size_bytes(design.estimated_slices),
+        required_slices=design.estimated_slices,
+        implements=design.implements or design.name,
+        speedup_vs_gpp=speedup_vs_gpp,
+    )
+    return SynthesisResult(
+        design=design,
+        bitstream=bitstream,
+        synthesis_time_s=synthesis_time_s,
+        achieved_frequency_mhz=achieved_frequency_mhz,
+    )

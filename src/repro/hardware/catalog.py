@@ -1,0 +1,140 @@
+"""Concrete device catalog.
+
+The case study (Section V) names real parts: Virtex-5 devices "with more
+than 24,000 slices" on Node1/Node2, and a Virtex-6 XC6VLX365T on Node0.
+This catalog models the Xilinx Virtex-5 LX/LXT line, the XC6VLX365T, and
+a few smaller parts used by tests and examples.  Slice/LUT counts follow
+the public data sheets (Virtex-5 slices contain 4 six-input LUTs; logic
+cells ~= 1.6x LUTs per Xilinx marketing arithmetic); BRAM is totaled in
+KB.  Reconfiguration bandwidths model the SelectMAP/ICAP port at 32 bit
+x 100 MHz = 400 MB/s for Virtex-5/6 and slower ports for older families.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.fpga import FPGADevice, SpeedGrade
+
+
+def _v5(model: str, slices: int, bram_kb: int, dsp: int, iobs: int, macs: int = 0) -> FPGADevice:
+    luts = slices * 4
+    return FPGADevice(
+        model=model,
+        family="virtex-5",
+        logic_cells=int(luts * 1.6),
+        slices=slices,
+        luts=luts,
+        bram_kb=bram_kb,
+        dsp_slices=dsp,
+        speed_grade=SpeedGrade.GRADE_2,
+        base_frequency_mhz=450.0,
+        reconfig_bandwidth_mbps=400.0,
+        iobs=iobs,
+        ethernet_macs=macs,
+        supports_partial_reconfig=True,
+    )
+
+
+def _v6(model: str, slices: int, bram_kb: int, dsp: int, iobs: int, macs: int = 0) -> FPGADevice:
+    luts = slices * 4
+    return FPGADevice(
+        model=model,
+        family="virtex-6",
+        logic_cells=int(luts * 1.6),
+        slices=slices,
+        luts=luts,
+        bram_kb=bram_kb,
+        dsp_slices=dsp,
+        speed_grade=SpeedGrade.GRADE_2,
+        base_frequency_mhz=600.0,
+        reconfig_bandwidth_mbps=400.0,
+        iobs=iobs,
+        ethernet_macs=macs,
+        supports_partial_reconfig=True,
+    )
+
+
+#: All modeled devices, keyed by part number.
+DEVICE_CATALOG: dict[str, FPGADevice] = {
+    d.model: d
+    for d in [
+        # --- Virtex-5 LX / LXT (slice counts per DS100) -------------------
+        _v5("XC5VLX30", 4_800, 144, 32, 400),
+        _v5("XC5VLX50", 7_200, 216, 48, 560),
+        _v5("XC5VLX85", 12_960, 432, 48, 560),
+        _v5("XC5VLX110", 17_280, 512, 64, 800),
+        _v5("XC5VLX110T", 17_280, 664, 64, 680, macs=4),
+        _v5("XC5VLX155", 24_320, 768, 128, 800),
+        _v5("XC5VLX155T", 24_320, 936, 128, 680, macs=4),
+        _v5("XC5VLX220", 34_560, 768, 128, 800),
+        _v5("XC5VLX220T", 34_560, 936, 128, 680, macs=4),
+        _v5("XC5VLX330", 51_840, 1_152, 192, 1_200),
+        _v5("XC5VLX330T", 51_840, 1_458, 192, 960, macs=4),
+        # --- Virtex-6 (the case study's Node0 device) ---------------------
+        _v6("XC6VLX240T", 37_680, 1_872, 768, 720, macs=4),
+        _v6("XC6VLX365T", 56_880, 1_872, 576, 720, macs=4),
+        _v6("XC6VLX550T", 85_920, 2_844, 864, 1_200, macs=4),
+        # --- Small parts for soft-core tests ------------------------------
+        FPGADevice(
+            model="XC3S1000",
+            family="spartan-3",
+            logic_cells=17_280,
+            slices=7_680,
+            luts=15_360,
+            bram_kb=54,
+            dsp_slices=24,
+            speed_grade=SpeedGrade.GRADE_1,
+            base_frequency_mhz=280.0,
+            reconfig_bandwidth_mbps=50.0,
+            iobs=391,
+            supports_partial_reconfig=False,
+        ),
+        FPGADevice(
+            model="XC6SLX45",
+            family="spartan-6",
+            logic_cells=43_661,
+            slices=6_822,
+            luts=27_288,
+            bram_kb=261,
+            dsp_slices=58,
+            speed_grade=SpeedGrade.GRADE_2,
+            base_frequency_mhz=375.0,
+            reconfig_bandwidth_mbps=100.0,
+            iobs=358,
+            supports_partial_reconfig=False,
+        ),
+    ]
+}
+
+
+def device_by_model(model: str) -> FPGADevice:
+    """Look up a device by exact part number.
+
+    Raises :class:`KeyError` with the available models listed, so a typo
+    in an ExecReq fails loudly.
+    """
+    try:
+        return DEVICE_CATALOG[model]
+    except KeyError:
+        available = ", ".join(sorted(DEVICE_CATALOG))
+        raise KeyError(f"unknown device {model!r}; catalog has: {available}") from None
+
+
+def devices_by_family(family: str) -> list[FPGADevice]:
+    """All catalog devices of *family*, smallest first."""
+    return sorted(
+        (d for d in DEVICE_CATALOG.values() if d.family == family),
+        key=lambda d: d.slices,
+    )
+
+
+def devices_with_min_slices(min_slices: int, family: str | None = None) -> list[FPGADevice]:
+    """Catalog devices offering at least *min_slices*, smallest first.
+
+    This is the query behind the case study's Task1/Task2 placement:
+    "Virtex-5 type devices with more than 24,000 slices".
+    """
+    pool = DEVICE_CATALOG.values() if family is None else devices_by_family(family)
+    return sorted(
+        (d for d in pool if d.slices >= min_slices),
+        key=lambda d: d.slices,
+    )

@@ -1,0 +1,189 @@
+"""Slice-granularity fabric allocation (the fixed-region alternative).
+
+The paper's node state tracks "the current available reconfigurable
+area" (Section IV-A).  The :class:`~repro.hardware.fabric.Fabric` model
+realizes that with *fixed* partial-reconfiguration regions -- the way
+ref [21] models DReAMSim nodes.  Real devices also support
+column/frame-granular placement, where circuits occupy arbitrary
+contiguous slice spans; the cost is **fragmentation**: after a few
+allocate/release cycles the free area splinters and a circuit that
+*would* fit in total free slices finds no contiguous span.
+
+:class:`FlexibleFabric` implements that model: first-fit/best-fit
+contiguous allocation, external-fragmentation measurement, and a
+compaction pass (the defragmentation a relocation-capable runtime would
+perform).  ``bench_fabric_allocation`` compares it against fixed
+regions under random traffic -- the design-choice ablation DESIGN.md
+calls out.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.hardware.fpga import FPGADevice
+
+_span_ids = itertools.count(1)
+
+
+class AllocationError(RuntimeError):
+    """No contiguous span satisfies the request."""
+
+
+@dataclass
+class Span:
+    """A contiguous slice allocation [start, start + slices).
+
+    Mutable on purpose: :meth:`FlexibleFabric.compact` *relocates*
+    spans in place, so handles held by callers stay valid across
+    defragmentation (the same way a relocation-capable runtime keeps
+    module identities stable while moving their frames).
+    """
+
+    span_id: int
+    start: int
+    slices: int
+    implements: str = ""
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.slices <= 0:
+            raise ValueError("span must have non-negative start and positive size")
+
+    @property
+    def end(self) -> int:
+        return self.start + self.slices
+
+
+class FlexibleFabric:
+    """Contiguous slice allocator over one device's area.
+
+    Invariants (property-tested):
+
+    * allocated spans never overlap and never exceed the device;
+    * ``free_slices + allocated_slices == device.slices``;
+    * after :meth:`compact`, free space is one contiguous tail span.
+    """
+
+    def __init__(self, device: FPGADevice, *, policy: str = "first-fit"):
+        if policy not in ("first-fit", "best-fit"):
+            raise ValueError(f"unknown policy {policy!r}; use first-fit or best-fit")
+        self.device = device
+        self.policy = policy
+        self.spans: list[Span] = []  # kept sorted by start
+        self.relocations = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def total_slices(self) -> int:
+        return self.device.slices
+
+    @property
+    def allocated_slices(self) -> int:
+        return sum(s.slices for s in self.spans)
+
+    @property
+    def free_slices(self) -> int:
+        return self.total_slices - self.allocated_slices
+
+    def holes(self) -> list[tuple[int, int]]:
+        """Free gaps as (start, size), in address order."""
+        gaps: list[tuple[int, int]] = []
+        cursor = 0
+        for span in self.spans:
+            if span.start > cursor:
+                gaps.append((cursor, span.start - cursor))
+            cursor = span.end
+        if cursor < self.total_slices:
+            gaps.append((cursor, self.total_slices - cursor))
+        return gaps
+
+    def largest_hole(self) -> int:
+        return max((size for _, size in self.holes()), default=0)
+
+    def external_fragmentation(self) -> float:
+        """1 - largest_hole / free -- 0 when free space is contiguous,
+        approaching 1 as it splinters."""
+        free = self.free_slices
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_hole() / free
+
+    def can_allocate(self, slices: int) -> bool:
+        return self.largest_hole() >= slices > 0
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(self, slices: int, *, implements: str = "") -> Span:
+        """Place a circuit of *slices* contiguous slices.
+
+        Raises :class:`AllocationError` when no hole fits -- even if the
+        total free area would suffice (that is fragmentation).
+        """
+        if slices <= 0:
+            raise ValueError("allocation size must be positive")
+        if slices > self.total_slices:
+            raise AllocationError(
+                f"{slices} slices exceed the device ({self.total_slices})"
+            )
+        fitting = [(start, size) for start, size in self.holes() if size >= slices]
+        if not fitting:
+            raise AllocationError(
+                f"no contiguous hole of {slices} slices "
+                f"(free {self.free_slices}, largest hole {self.largest_hole()})"
+            )
+        if self.policy == "best-fit":
+            start, _ = min(fitting, key=lambda h: h[1])
+        else:
+            start, _ = fitting[0]
+        span = Span(span_id=next(_span_ids), start=start, slices=slices, implements=implements)
+        self.spans.append(span)
+        self.spans.sort(key=lambda s: s.start)
+        return span
+
+    def release(self, span: Span) -> None:
+        if span not in self.spans:
+            raise AllocationError(f"span {span.span_id} is not allocated here")
+        self.spans.remove(span)
+
+    def find_resident(self, implements: str) -> Span | None:
+        for span in self.spans:
+            if span.implements == implements:
+                return span
+        return None
+
+    # ------------------------------------------------------------------
+    # Defragmentation
+    # ------------------------------------------------------------------
+    def compact(self) -> int:
+        """Slide every span to the lowest address (module relocation).
+
+        Returns the number of spans moved.  After compaction the free
+        area is one contiguous tail, so any request up to
+        ``free_slices`` succeeds.  Each move counts as a relocation
+        (a real runtime pays a reconfiguration per moved module --
+        costed by :meth:`compaction_time_s`).
+        """
+        moved = 0
+        cursor = 0
+        for span in self.spans:
+            if span.start != cursor:
+                span.start = cursor
+                moved += 1
+            cursor = span.end
+        self.relocations += moved
+        return moved
+
+    def compaction_time_s(self) -> float:
+        """Reconfiguration time a compaction pass would cost: each
+        mis-placed span is rewritten through the configuration port."""
+        cursor = 0
+        seconds = 0.0
+        for span in self.spans:
+            if span.start != cursor:
+                seconds += self.device.reconfiguration_time_s(span.slices)
+            cursor = span.end
+        return seconds

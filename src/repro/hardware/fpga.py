@@ -1,0 +1,193 @@
+"""FPGA device model.
+
+Table I of the paper enumerates the parameters that characterize an FPGA
+as a reconfigurable processing element (RPE):
+
+======================  ======================================================
+Parameter               Description (quoting Table I)
+======================  ======================================================
+Logic cells / Slices /  "Designed to implement user-defined combinatorial and
+LUTs / Gates            sequential functions."
+BRAM / Memory blocks    "Additional memory blocks available in terms of
+                        distributed RAM."
+DSP slices              "Pre-configured multiplier, adder, and accumulator
+                        required for high-speed filtering."
+Speed grades            "Maximum frequency at which a device can operate."
+Reconfiguration         "Speed (in MB/s) to reconfigure a device."
+bandwidth
+IOBs                    "Support different I/O standards."
+Ethernet MAC            "Embedded MAC for Ethernet applications."
+======================  ======================================================
+
+:class:`FPGADevice` captures exactly this parameter set and derives the
+quantities the rest of the framework needs: a capability descriptor for
+matchmaking (Section IV-A), bitstream-size and reconfiguration-time
+estimates for the scheduler's cost model (Section V), and a
+:class:`~repro.hardware.fabric.Fabric` factory for partial
+reconfiguration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SpeedGrade(enum.IntEnum):
+    """Xilinx-style speed grade; larger numbers denote faster silicon.
+
+    The grade scales the device's maximum operating frequency: the
+    framework models grade ``-N`` as ``base_freq * (1 + 0.1 * (N - 1))``.
+    """
+
+    GRADE_1 = 1
+    GRADE_2 = 2
+    GRADE_3 = 3
+
+    @property
+    def frequency_scale(self) -> float:
+        """Multiplier applied to the family's base frequency."""
+        return 1.0 + 0.1 * (int(self) - 1)
+
+
+#: Approximate configuration-bits-per-slice for the modeled families.
+#: Derived from public bitstream sizes (e.g. a Virtex-5 LX110T bitstream
+#: is ~31 Mb over ~17,280 slices).  The exact constant does not matter to
+#: the framework; only that bitstream size grows linearly with area.
+_CONFIG_BITS_PER_SLICE: dict[str, int] = {
+    "virtex-4": 1400,
+    "virtex-5": 1800,
+    "virtex-6": 1900,
+    "spartan-3": 1100,
+    "spartan-6": 1300,
+    "stratix-iv": 1700,
+    "generic": 1500,
+}
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """An FPGA device characterized by the Table I parameter set.
+
+    Instances are immutable value objects; the mutable run-time aspect of
+    an RPE (what is configured where) lives in
+    :class:`repro.hardware.fabric.Fabric`.
+
+    Parameters
+    ----------
+    model:
+        Vendor part number, e.g. ``"XC5VLX50"`` or ``"XC6VLX365T"``.
+    family:
+        Device family in lower case, e.g. ``"virtex-5"``.
+    logic_cells, slices, luts:
+        Logic resources.  ``slices`` is the area unit used throughout the
+        paper's case study (Quipu predicts slice counts).
+    bram_kb:
+        Total block-RAM capacity in kilobytes.
+    dsp_slices:
+        Number of DSP (multiply/accumulate) slices.
+    speed_grade:
+        :class:`SpeedGrade` of this part.
+    base_frequency_mhz:
+        Family base frequency before the speed-grade scaling.
+    reconfig_bandwidth_mbps:
+        Configuration-port bandwidth in MB/s (Table I's "reconfiguration
+        bandwidth"); drives reconfiguration-delay estimates.
+    iobs:
+        Number of I/O blocks.
+    ethernet_macs:
+        Number of embedded Ethernet MACs.
+    supports_partial_reconfig:
+        Whether the device can reconfigure a sub-region while the rest of
+        the fabric keeps running (refs [21] of the paper).
+    """
+
+    model: str
+    family: str
+    logic_cells: int
+    slices: int
+    luts: int
+    bram_kb: int
+    dsp_slices: int
+    speed_grade: SpeedGrade = SpeedGrade.GRADE_1
+    base_frequency_mhz: float = 450.0
+    reconfig_bandwidth_mbps: float = 100.0
+    iobs: int = 400
+    ethernet_macs: int = 0
+    supports_partial_reconfig: bool = True
+
+    def __post_init__(self) -> None:
+        if self.slices <= 0:
+            raise ValueError(f"device {self.model!r} must have positive slices")
+        if self.luts <= 0:
+            raise ValueError(f"device {self.model!r} must have positive LUTs")
+        if self.reconfig_bandwidth_mbps <= 0:
+            raise ValueError("reconfiguration bandwidth must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def max_frequency_mhz(self) -> float:
+        """Maximum operating frequency after speed-grade scaling."""
+        return self.base_frequency_mhz * self.speed_grade.frequency_scale
+
+    @property
+    def config_bits_per_slice(self) -> int:
+        """Configuration-memory bits required per slice for this family."""
+        return _CONFIG_BITS_PER_SLICE.get(self.family, _CONFIG_BITS_PER_SLICE["generic"])
+
+    def bitstream_size_bytes(self, slices: int | None = None) -> int:
+        """Size in bytes of a (partial) bitstream covering *slices* slices.
+
+        With ``slices=None`` the full-device bitstream size is returned.
+        Partial bitstreams scale linearly with the reconfigured area,
+        which is the standard first-order model for frame-addressable
+        configuration memories.
+        """
+        area = self.slices if slices is None else slices
+        if area < 0:
+            raise ValueError("slice count must be non-negative")
+        area = min(area, self.slices)
+        return (area * self.config_bits_per_slice) // 8
+
+    def reconfiguration_time_s(self, slices: int | None = None) -> float:
+        """Seconds to load a (partial) bitstream through the config port."""
+        size_mb = self.bitstream_size_bytes(slices) / 1e6
+        return size_mb / self.reconfig_bandwidth_mbps
+
+    # ------------------------------------------------------------------
+    # Framework integration
+    # ------------------------------------------------------------------
+    def capabilities(self) -> dict[str, object]:
+        """Capability descriptor used by ExecReq matching (Section IV).
+
+        Keys follow Table I naming, lower-snake-cased.
+        """
+        return {
+            "pe_class": "RPE",
+            "device_model": self.model,
+            "device_family": self.family,
+            "logic_cells": self.logic_cells,
+            "slices": self.slices,
+            "luts": self.luts,
+            "bram_kb": self.bram_kb,
+            "dsp_slices": self.dsp_slices,
+            "speed_grade": int(self.speed_grade),
+            "max_frequency_mhz": self.max_frequency_mhz,
+            "reconfig_bandwidth_mbps": self.reconfig_bandwidth_mbps,
+            "iobs": self.iobs,
+            "ethernet_macs": self.ethernet_macs,
+            "partial_reconfig": self.supports_partial_reconfig,
+        }
+
+    def make_fabric(self, regions: int = 1):
+        """Create a :class:`~repro.hardware.fabric.Fabric` for this device.
+
+        ``regions`` partitions the slice area into equal
+        partial-reconfiguration regions; devices without partial
+        reconfiguration support only accept ``regions=1``.
+        """
+        from repro.hardware.fabric import Fabric
+
+        return Fabric.for_device(self, regions=regions)

@@ -1,0 +1,80 @@
+"""General-purpose processor (GPP) model.
+
+Table I characterizes a GPP by: CPU type/model, MIPS rating, operating
+system, RAM, and core count.  The paper's Figure 5 node specifications
+use exactly these attributes, so :class:`GPPSpec` mirrors them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPPSpec:
+    """A general-purpose processor, per Table I.
+
+    Parameters
+    ----------
+    cpu_model:
+        Type of CPU, e.g. ``"Xeon-E5430"`` or ``"PowerPC-440"``.
+    mips:
+        Million-instructions-per-second processing capability.  This is
+        the throughput number the simulator uses to convert a task's
+        abstract workload (in millions of instructions) into execution
+        time on this GPP.
+    os:
+        Operating system the node runs, e.g. ``"Linux"``.
+    ram_mb:
+        Main-memory size in megabytes.
+    cores:
+        Total number of cores.
+    frequency_mhz:
+        Clock frequency; informational and used by the cost model.
+    """
+
+    cpu_model: str
+    mips: float
+    os: str = "Linux"
+    ram_mb: int = 4096
+    cores: int = 1
+    frequency_mhz: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.mips <= 0:
+            raise ValueError("MIPS rating must be positive")
+        if self.cores <= 0:
+            raise ValueError("core count must be positive")
+        if self.ram_mb <= 0:
+            raise ValueError("RAM must be positive")
+
+    @property
+    def aggregate_mips(self) -> float:
+        """Total MIPS across all cores (ideal linear scaling)."""
+        return self.mips * self.cores
+
+    def execution_time_s(self, mega_instructions: float, parallel_fraction: float = 0.0) -> float:
+        """Seconds to execute *mega_instructions* on this GPP.
+
+        ``parallel_fraction`` is the Amdahl fraction of the workload that
+        can spread over the cores; the serial remainder runs on one core.
+        """
+        if mega_instructions < 0:
+            raise ValueError("workload must be non-negative")
+        if not 0.0 <= parallel_fraction <= 1.0:
+            raise ValueError("parallel_fraction must be in [0, 1]")
+        serial = (1.0 - parallel_fraction) * mega_instructions / self.mips
+        parallel = parallel_fraction * mega_instructions / self.aggregate_mips
+        return serial + parallel
+
+    def capabilities(self) -> dict[str, object]:
+        """Capability descriptor used by ExecReq matching (Section IV)."""
+        return {
+            "pe_class": "GPP",
+            "cpu_model": self.cpu_model,
+            "mips": self.mips,
+            "os": self.os,
+            "ram_mb": self.ram_mb,
+            "cores": self.cores,
+            "frequency_mhz": self.frequency_mhz,
+        }

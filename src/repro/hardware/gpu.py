@@ -1,0 +1,85 @@
+"""GPU model.
+
+Table I lists GPUs among the enhanced processing elements of Figure 1,
+parameterized by: model, shader cores, warp size, SIMD pipeline width,
+shared memory per core, and memory frequency.  The paper's framework is
+"extendable to add more types of processing elements" (Section III);
+including the GPU class demonstrates that extension point and lets the
+matchmaker handle a third PE class end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU processing element, per Table I.
+
+    Parameters
+    ----------
+    model:
+        GPU model name, e.g. ``"Tesla-C1060"``.
+    shader_cores:
+        Number of data-parallel cores.
+    warp_size:
+        Number of SIMD threads grouped together.
+    simd_pipeline_width:
+        Width of the SIMD pipeline.
+    shared_mem_per_core_kb:
+        Shared memory per core in KB.
+    memory_frequency_mhz:
+        Maximum memory clock rate.
+    core_frequency_mhz:
+        Shader clock used by the throughput model.
+    """
+
+    model: str
+    shader_cores: int
+    warp_size: int = 32
+    simd_pipeline_width: int = 8
+    shared_mem_per_core_kb: int = 16
+    memory_frequency_mhz: float = 800.0
+    core_frequency_mhz: float = 1300.0
+
+    def __post_init__(self) -> None:
+        if self.shader_cores <= 0:
+            raise ValueError("shader core count must be positive")
+        if self.warp_size <= 0:
+            raise ValueError("warp size must be positive")
+        if self.simd_pipeline_width <= 0:
+            raise ValueError("SIMD pipeline width must be positive")
+
+    @property
+    def peak_gflops(self) -> float:
+        """Single-precision peak: cores x 2 ops (FMA) x clock."""
+        return self.shader_cores * 2.0 * self.core_frequency_mhz / 1e3
+
+    def execution_time_s(self, mega_instructions: float, parallel_fraction: float = 0.95) -> float:
+        """Seconds to execute a workload whose *parallel_fraction* maps to
+        the SIMD lanes; the serial remainder crawls on a single lane.
+        """
+        if mega_instructions < 0:
+            raise ValueError("workload must be non-negative")
+        if not 0.0 <= parallel_fraction <= 1.0:
+            raise ValueError("parallel_fraction must be in [0, 1]")
+        lane_mips = self.core_frequency_mhz  # one op per cycle per lane
+        total_mips = lane_mips * self.shader_cores
+        serial = (1.0 - parallel_fraction) * mega_instructions / lane_mips
+        parallel = parallel_fraction * mega_instructions / total_mips
+        return serial + parallel
+
+    def capabilities(self) -> dict[str, object]:
+        """Capability descriptor used by ExecReq matching (Section IV)."""
+        return {
+            "pe_class": "GPU",
+            "gpu_model": self.model,
+            "shader_cores": self.shader_cores,
+            "warp_size": self.warp_size,
+            "simd_pipeline_width": self.simd_pipeline_width,
+            "shared_mem_per_core_kb": self.shared_mem_per_core_kb,
+            "memory_frequency_mhz": self.memory_frequency_mhz,
+            "core_frequency_mhz": self.core_frequency_mhz,
+            "peak_gflops": self.peak_gflops,
+        }

@@ -1,0 +1,141 @@
+"""Power models for the Table I processing-element classes.
+
+The paper's first stated objective is "*more performance can be
+achieved by utilizing reconfigurable hardware, at lower power*"
+(Section I), and its motivation cites FPGAs' "power efficiency" and
+"reduced energy consumption".  This module gives every PE class a
+first-order power model so the claim can be *measured* on simulated
+workloads (see :mod:`repro.sim.energy` and
+``benchmarks/bench_energy_efficiency.py``).
+
+Models (all linear, coefficients from public-era datapoints):
+
+* **GPP** -- ``idle + (peak - idle) * load``.  Peak scales with
+  aggregate MIPS at ~4 mW/MIPS (a 2006 Xeon: ~80 W for ~20k MIPS);
+  idle is 40 % of peak (pre-deep-sleep server silicon).
+* **FPGA** -- static leakage proportional to device area
+  (~55 uW/slice: a Virtex-5 LX330 leaks ~3 W) plus dynamic power
+  proportional to the *active* slices (~60 uW/slice at design-typical
+  toggle rates).  An idle configured region burns only clock-tree
+  residue, modeled at 10 % of its dynamic power.
+* **Soft core** -- the dynamic power of its occupied slices while
+  running (it is just a configuration).
+* **GPU** -- idle floor plus per-shader-core active power (a Tesla
+  C1060: ~190 W peak / ~70 W idle over 240 cores).
+
+The absolute numbers matter less than the *ratios* they encode: a
+hardware kernel that is 10x faster than a GPP at ~1/10 the power is
+~100x more energy-efficient -- which is the magnitude the
+reconfigurable-computing literature reports and the paper banks on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.fpga import FPGADevice
+from repro.hardware.gpp import GPPSpec
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.softcore import SoftcoreSpec
+
+#: GPP coefficients.
+GPP_PEAK_W_PER_MIPS = 0.004
+GPP_IDLE_FRACTION = 0.4
+#: FPGA coefficients.
+FPGA_STATIC_W_PER_SLICE = 55e-6
+FPGA_DYNAMIC_W_PER_SLICE = 60e-6
+FPGA_IDLE_CONFIG_FRACTION = 0.10
+#: Reconfiguration burns roughly dynamic power over the whole device
+#: while the configuration port streams frames.
+FPGA_RECONFIG_W_PER_SLICE = 30e-6
+#: GPU coefficients.
+GPU_IDLE_W = 70.0
+GPU_ACTIVE_W_PER_CORE = 0.5
+
+
+@dataclass(frozen=True)
+class PowerDraw:
+    """A PE's power at a point in time, split by origin."""
+
+    static_w: float
+    dynamic_w: float
+
+    def __post_init__(self) -> None:
+        if self.static_w < 0 or self.dynamic_w < 0:
+            raise ValueError("power draws must be non-negative")
+
+    @property
+    def total_w(self) -> float:
+        return self.static_w + self.dynamic_w
+
+
+def gpp_power(spec: GPPSpec, *, load: float = 1.0) -> PowerDraw:
+    """GPP power at utilization *load* in [0, 1]."""
+    if not 0.0 <= load <= 1.0:
+        raise ValueError("load must be in [0, 1]")
+    peak = spec.aggregate_mips * GPP_PEAK_W_PER_MIPS
+    idle = peak * GPP_IDLE_FRACTION
+    return PowerDraw(static_w=idle, dynamic_w=(peak - idle) * load)
+
+
+def fpga_static_power(device: FPGADevice) -> PowerDraw:
+    """Leakage of a powered (possibly empty) device."""
+    return PowerDraw(static_w=device.slices * FPGA_STATIC_W_PER_SLICE, dynamic_w=0.0)
+
+
+def fpga_active_power(device: FPGADevice, active_slices: int) -> PowerDraw:
+    """Device with *active_slices* toggling (a running accelerator)."""
+    if active_slices < 0:
+        raise ValueError("active slices must be non-negative")
+    active_slices = min(active_slices, device.slices)
+    return PowerDraw(
+        static_w=device.slices * FPGA_STATIC_W_PER_SLICE,
+        dynamic_w=active_slices * FPGA_DYNAMIC_W_PER_SLICE,
+    )
+
+
+def fpga_idle_configured_power(device: FPGADevice, configured_slices: int) -> PowerDraw:
+    """Device with resident-but-idle configurations (clock residue)."""
+    if configured_slices < 0:
+        raise ValueError("configured slices must be non-negative")
+    configured_slices = min(configured_slices, device.slices)
+    return PowerDraw(
+        static_w=device.slices * FPGA_STATIC_W_PER_SLICE,
+        dynamic_w=configured_slices
+        * FPGA_DYNAMIC_W_PER_SLICE
+        * FPGA_IDLE_CONFIG_FRACTION,
+    )
+
+
+def fpga_reconfig_power(device: FPGADevice) -> PowerDraw:
+    """Power while the configuration port is streaming a bitstream."""
+    return PowerDraw(
+        static_w=device.slices * FPGA_STATIC_W_PER_SLICE,
+        dynamic_w=device.slices * FPGA_RECONFIG_W_PER_SLICE,
+    )
+
+
+def softcore_power(spec: SoftcoreSpec, device: FPGADevice) -> PowerDraw:
+    """A running soft core: the dynamic power of its slice footprint
+    on top of the host device's leakage (charged separately)."""
+    return PowerDraw(
+        static_w=0.0,
+        dynamic_w=min(spec.required_slices(), device.slices) * FPGA_DYNAMIC_W_PER_SLICE,
+    )
+
+
+def gpu_power(spec: GPUSpec, *, load: float = 1.0) -> PowerDraw:
+    """GPU power at utilization *load* in [0, 1]."""
+    if not 0.0 <= load <= 1.0:
+        raise ValueError("load must be in [0, 1]")
+    return PowerDraw(
+        static_w=GPU_IDLE_W,
+        dynamic_w=spec.shader_cores * GPU_ACTIVE_W_PER_CORE * load,
+    )
+
+
+def energy_per_task_j(power: PowerDraw, exec_time_s: float) -> float:
+    """Joules to run one task at *power* for *exec_time_s*."""
+    if exec_time_s < 0:
+        raise ValueError("execution time must be non-negative")
+    return power.total_w * exec_time_s

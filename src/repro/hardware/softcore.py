@@ -1,0 +1,198 @@
+"""Soft-core VLIW processor model (rho-VEX style).
+
+Section III-B1 of the paper describes the *pre-determined hardware
+configuration* scenario: compute kernels optimized for a particular
+soft-core architecture -- the example given is the Delft rho-VEX VLIW
+processor [15] -- are executed on that soft core, which the grid
+configures onto an available RPE.  Table I parameterizes a soft core by:
+FU type, issue width, memory, register file, pipeline, and clusters.
+
+:class:`SoftcoreSpec` models such a processor together with a
+first-order *area and frequency cost model*, so the framework can decide
+whether a given soft-core configuration fits on a given FPGA fabric and
+how fast it will run there.  The area model is a linear composition of
+per-resource slice costs, the same modeling style the rho-VEX papers use
+for design-space exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.fpga import FPGADevice
+
+#: First-order slice costs of soft-core building blocks.  Absolute values
+#: are calibrated to published rho-VEX synthesis results (a 4-issue
+#: rho-VEX occupies roughly 8-10k Virtex-II Pro slices); the framework
+#: only relies on the *relative* scaling with issue width and FU mix.
+_SLICES_PER_ALU = 420
+_SLICES_PER_MUL = 610
+_SLICES_PER_MEM_UNIT = 380
+_SLICES_PER_BRANCH_UNIT = 240
+_SLICES_PER_ISSUE_SLOT = 350
+_SLICES_PER_REGFILE_PORT = 55
+_SLICES_BASE = 900
+_BRAM_KB_PER_MEMORY_KB = 1.0
+
+
+@dataclass(frozen=True)
+class FunctionalUnitMix:
+    """Counts of each functional-unit type (Table I's "FU type")."""
+
+    alus: int = 4
+    multipliers: int = 2
+    memory_units: int = 1
+    branch_units: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.alus, self.multipliers, self.memory_units, self.branch_units) < 0:
+            raise ValueError("functional-unit counts must be non-negative")
+        if self.alus == 0:
+            raise ValueError("a VLIW soft core needs at least one ALU")
+
+    @property
+    def total(self) -> int:
+        return self.alus + self.multipliers + self.memory_units + self.branch_units
+
+
+@dataclass(frozen=True)
+class SoftcoreSpec:
+    """A parameterized VLIW soft-core processor, per Table I.
+
+    Parameters
+    ----------
+    name:
+        Configuration name, e.g. ``"rho-VEX-4issue"``.
+    issue_width:
+        Number of operations issued per cycle ("Issue Width").
+    fu_mix:
+        Functional-unit composition ("FU Type").
+    imem_kb, dmem_kb:
+        Instruction and data memory sizes ("Memory").
+    registers:
+        General-purpose register-file size ("Register File").
+    pipeline_stages:
+        Depth of the pipeline ("Pipeline").
+    clusters:
+        Number of clusters; each cluster replicates the datapath
+        ("Clusters").
+    mips_per_mhz:
+        Sustained MIPS delivered per MHz of core clock; a VLIW ideally
+        retires ``issue_width`` ops/cycle but stalls reduce that, so this
+        defaults to ``0.7 * issue_width``.
+    """
+
+    name: str
+    issue_width: int = 4
+    fu_mix: FunctionalUnitMix = field(default_factory=FunctionalUnitMix)
+    imem_kb: int = 32
+    dmem_kb: int = 32
+    registers: int = 64
+    pipeline_stages: int = 5
+    clusters: int = 1
+    mips_per_mhz: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.issue_width <= 0:
+            raise ValueError("issue width must be positive")
+        if self.clusters <= 0:
+            raise ValueError("cluster count must be positive")
+        if self.registers <= 0:
+            raise ValueError("register file must be positive")
+        if self.pipeline_stages <= 0:
+            raise ValueError("pipeline depth must be positive")
+        if self.fu_mix.total < self.issue_width:
+            raise ValueError(
+                "functional units must be able to fill the issue width: "
+                f"{self.fu_mix.total} FUs < issue width {self.issue_width}"
+            )
+
+    # ------------------------------------------------------------------
+    # Area / frequency cost model
+    # ------------------------------------------------------------------
+    def required_slices(self) -> int:
+        """Estimated slices needed to place this core on an FPGA fabric."""
+        per_cluster = (
+            _SLICES_BASE
+            + self.issue_width * _SLICES_PER_ISSUE_SLOT
+            + self.fu_mix.alus * _SLICES_PER_ALU
+            + self.fu_mix.multipliers * _SLICES_PER_MUL
+            + self.fu_mix.memory_units * _SLICES_PER_MEM_UNIT
+            + self.fu_mix.branch_units * _SLICES_PER_BRANCH_UNIT
+            # Each issue slot needs 2 read ports + 1 write port.
+            + self.registers * 3 * _SLICES_PER_REGFILE_PORT * self.issue_width // 64
+        )
+        return per_cluster * self.clusters
+
+    def required_bram_kb(self) -> int:
+        """Block RAM needed for instruction + data memories."""
+        return int((self.imem_kb + self.dmem_kb) * _BRAM_KB_PER_MEMORY_KB) * self.clusters
+
+    def achievable_frequency_mhz(self, device: FPGADevice) -> float:
+        """Clock the core reaches on *device*.
+
+        Wider issue and shallower pipelines lengthen the critical path;
+        we model frequency as a fraction of the device maximum that
+        shrinks with issue width and grows with pipeline depth.
+        """
+        width_penalty = 1.0 / (1.0 + 0.12 * (self.issue_width - 1))
+        depth_bonus = min(1.0, 0.55 + 0.09 * self.pipeline_stages)
+        # Soft logic never reaches hard-silicon frequency; 1/3 is typical.
+        return device.max_frequency_mhz * width_penalty * depth_bonus / 3.0
+
+    def effective_mips(self, device: FPGADevice) -> float:
+        """Delivered MIPS when this core is configured on *device*."""
+        per_mhz = self.mips_per_mhz if self.mips_per_mhz is not None else 0.7 * self.issue_width
+        return per_mhz * self.achievable_frequency_mhz(device) * self.clusters
+
+    def fits_on(self, device: FPGADevice) -> bool:
+        """Whether the core fits the device's slice and BRAM budget."""
+        return (
+            self.required_slices() <= device.slices
+            and self.required_bram_kb() <= device.bram_kb
+        )
+
+    def capabilities(self, device: FPGADevice | None = None) -> dict[str, object]:
+        """Capability descriptor; when *device* is given, includes the
+        delivered frequency/MIPS on that device so a soft core configured
+        on an RPE can be matched like a GPP (Section III-A fallback).
+        """
+        caps: dict[str, object] = {
+            "pe_class": "SOFTCORE",
+            "softcore_name": self.name,
+            "issue_width": self.issue_width,
+            "alus": self.fu_mix.alus,
+            "multipliers": self.fu_mix.multipliers,
+            "memory_units": self.fu_mix.memory_units,
+            "branch_units": self.fu_mix.branch_units,
+            "imem_kb": self.imem_kb,
+            "dmem_kb": self.dmem_kb,
+            "registers": self.registers,
+            "pipeline_stages": self.pipeline_stages,
+            "clusters": self.clusters,
+            "required_slices": self.required_slices(),
+            "required_bram_kb": self.required_bram_kb(),
+        }
+        if device is not None:
+            caps["frequency_mhz"] = self.achievable_frequency_mhz(device)
+            caps["mips"] = self.effective_mips(device)
+            caps["host_device_model"] = device.model
+        return caps
+
+
+#: Ready-made rho-VEX-style configurations used by examples and tests.
+RHO_VEX_2ISSUE = SoftcoreSpec(
+    name="rho-VEX-2issue",
+    issue_width=2,
+    fu_mix=FunctionalUnitMix(alus=2, multipliers=1, memory_units=1, branch_units=1),
+    registers=64,
+    pipeline_stages=5,
+)
+RHO_VEX_4ISSUE = SoftcoreSpec(name="rho-VEX-4issue", issue_width=4)
+RHO_VEX_8ISSUE = SoftcoreSpec(
+    name="rho-VEX-8issue",
+    issue_width=8,
+    fu_mix=FunctionalUnitMix(alus=8, multipliers=4, memory_units=2, branch_units=1),
+    registers=64,
+    pipeline_stages=6,
+)

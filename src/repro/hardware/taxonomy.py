@@ -1,0 +1,120 @@
+"""Figure 1: taxonomy of enhanced processing elements.
+
+Figure 1 organizes the processing elements a polymorphic grid may offer:
+
+.. code-block:: text
+
+    Enhanced processing elements
+    |- General-purpose processors (GPPs)
+    |- Graphics processing units (GPUs)
+    '- Reconfigurable processing elements (RPEs)
+       |- Pre-determined hardware configuration
+       |  '- soft-core processors (e.g. rho-VEX VLIW)     [Sec III-A, III-B1]
+       |- User-defined hardware configuration
+       |  '- generic-HDL accelerators (e.g. OpenCores IP) [Sec III-B2]
+       '- Device-specific hardware
+          '- user bitstreams for one exact device          [Sec III-B3]
+
+:func:`classify` places any spec object from :mod:`repro.hardware` into
+this tree, and :func:`taxonomy_tree` materializes the tree itself so the
+Figure 1 benchmark can regenerate and print it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.hardware.fpga import FPGADevice
+from repro.hardware.gpp import GPPSpec
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.softcore import SoftcoreSpec
+
+
+class PEClass(enum.Enum):
+    """Top-level processing-element classes of Figure 1."""
+
+    GPP = "GPP"
+    GPU = "GPU"
+    RPE = "RPE"
+    SOFTCORE = "SOFTCORE"  # an RPE configured as a soft-core processor
+
+    @classmethod
+    def from_string(cls, value: str) -> "PEClass":
+        try:
+            return cls(value.upper())
+        except ValueError:
+            valid = ", ".join(m.value for m in cls)
+            raise ValueError(f"unknown PE class {value!r}; expected one of: {valid}") from None
+
+
+@dataclass(frozen=True)
+class TaxonomyNode:
+    """One node of the Figure 1 taxonomy tree."""
+
+    label: str
+    section: str = ""
+    children: tuple["TaxonomyNode", ...] = ()
+
+    def walk(self):
+        """Yield ``(depth, node)`` pairs in pre-order."""
+        stack: list[tuple[int, TaxonomyNode]] = [(0, self)]
+        while stack:
+            depth, node = stack.pop()
+            yield depth, node
+            for child in reversed(node.children):
+                stack.append((depth + 1, child))
+
+    def find(self, label: str) -> "TaxonomyNode | None":
+        for _, node in self.walk():
+            if node.label == label:
+                return node
+        return None
+
+
+def taxonomy_tree() -> TaxonomyNode:
+    """The Figure 1 taxonomy, as a tree of :class:`TaxonomyNode`."""
+    return TaxonomyNode(
+        label="Enhanced processing elements",
+        children=(
+            TaxonomyNode(label="General-purpose processors", section="III-A"),
+            TaxonomyNode(label="Graphics processing units", section="III"),
+            TaxonomyNode(
+                label="Reconfigurable processing elements",
+                children=(
+                    TaxonomyNode(
+                        label="Pre-determined hardware configuration",
+                        section="III-B1",
+                        children=(
+                            TaxonomyNode(label="Soft-core processors (rho-VEX VLIW)"),
+                        ),
+                    ),
+                    TaxonomyNode(
+                        label="User-defined hardware configuration",
+                        section="III-B2",
+                        children=(
+                            TaxonomyNode(label="Generic-HDL accelerators (OpenCores IP)"),
+                        ),
+                    ),
+                    TaxonomyNode(
+                        label="Device-specific hardware",
+                        section="III-B3",
+                        children=(TaxonomyNode(label="User bitstreams for one device"),),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+def classify(spec: object) -> PEClass:
+    """Classify any hardware spec into its Figure 1 top-level class."""
+    if isinstance(spec, GPPSpec):
+        return PEClass.GPP
+    if isinstance(spec, GPUSpec):
+        return PEClass.GPU
+    if isinstance(spec, SoftcoreSpec):
+        return PEClass.SOFTCORE
+    if isinstance(spec, FPGADevice):
+        return PEClass.RPE
+    raise TypeError(f"cannot classify {type(spec).__name__} into the Figure 1 taxonomy")

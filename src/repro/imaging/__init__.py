@@ -1,0 +1,38 @@
+"""Streaming image-processing substrate (second case study).
+
+Section VI: "Currently, the framework does not support streaming
+applications.  In our future work, we will propose a virtualization
+scenario for streaming applications.  We will discuss ... more case
+studies based on our virtualization approach."
+
+This package supplies both: a real streaming application -- an image
+filter chain (Gaussian blur -> Sobel edge detection -> threshold), the
+classic FPGA-acceleration workload -- and the machinery to map it onto
+the framework as an Eq. 3 ``Stream`` application whose chunks are image
+tiles.
+
+* :mod:`repro.imaging.filters` -- 2D convolution and the three filter
+  stages, numpy-vectorized, validated against ``scipy.ndimage``.
+* :mod:`repro.imaging.pipeline` -- :class:`FilterPipeline`: compose
+  stages, run them in-process, and *compile* the chain into framework
+  tasks + a ``Stream`` application for DReAMSim execution.
+"""
+
+from repro.imaging.filters import (
+    convolve2d,
+    gaussian_kernel,
+    gaussian_blur,
+    sobel_magnitude,
+    threshold,
+)
+from repro.imaging.pipeline import FilterPipeline, FilterStage
+
+__all__ = [
+    "convolve2d",
+    "gaussian_kernel",
+    "gaussian_blur",
+    "sobel_magnitude",
+    "threshold",
+    "FilterPipeline",
+    "FilterStage",
+]

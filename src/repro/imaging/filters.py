@@ -1,0 +1,75 @@
+"""2D image filters: the streaming case study's compute kernels.
+
+These are the canonical FPGA-acceleration kernels -- window-based
+stencils with perfect data parallelism (each output pixel depends on a
+small neighbourhood, so a systolic line-buffer pipeline computes one
+pixel per clock).  The implementations are numpy-vectorized: the
+convolution gathers all shifted views and contracts them in one einsum,
+which is the software analogue of the stencil's unrolled taps.
+
+Correctness is tested against ``scipy.ndimage``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def convolve2d(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """'Same'-size 2D correlation with reflected borders.
+
+    (Correlation, not flipped convolution -- matching
+    ``scipy.ndimage.correlate`` -- because filter kernels here are
+    symmetric or used as-is.)
+    """
+    if image.ndim != 2:
+        raise ValueError("image must be 2-D")
+    if kernel.ndim != 2 or kernel.shape[0] % 2 == 0 or kernel.shape[1] % 2 == 0:
+        raise ValueError("kernel must be 2-D with odd dimensions")
+    kh, kw = kernel.shape
+    ph, pw = kh // 2, kw // 2
+    # numpy's "symmetric" (edge sample repeated) is what scipy.ndimage
+    # calls mode="reflect".
+    padded = np.pad(image.astype(np.float64), ((ph, ph), (pw, pw)), mode="symmetric")
+    # Gather the kh*kw shifted windows as a strided view stack.
+    h, w = image.shape
+    windows = np.lib.stride_tricks.sliding_window_view(padded, (kh, kw))
+    return np.einsum("ijkl,kl->ij", windows[:h, :w], kernel.astype(np.float64))
+
+
+def gaussian_kernel(sigma: float, *, radius: int | None = None) -> np.ndarray:
+    """Normalized 2D Gaussian kernel (default radius ~3 sigma)."""
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    if radius is None:
+        radius = max(1, int(round(3 * sigma)))
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    ax = np.arange(-radius, radius + 1, dtype=np.float64)
+    one_d = np.exp(-0.5 * (ax / sigma) ** 2)
+    kernel = np.outer(one_d, one_d)
+    return kernel / kernel.sum()
+
+
+def gaussian_blur(image: np.ndarray, sigma: float = 1.0) -> np.ndarray:
+    """Stage 1: denoise."""
+    return convolve2d(image, gaussian_kernel(sigma))
+
+
+_SOBEL_X = np.array([[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]], dtype=np.float64)
+_SOBEL_Y = _SOBEL_X.T
+
+
+def sobel_magnitude(image: np.ndarray) -> np.ndarray:
+    """Stage 2: gradient magnitude via the Sobel operator."""
+    gx = convolve2d(image, _SOBEL_X)
+    gy = convolve2d(image, _SOBEL_Y)
+    return np.hypot(gx, gy)
+
+
+def threshold(image: np.ndarray, level: float | None = None) -> np.ndarray:
+    """Stage 3: binarize; default level is the image mean (a crude
+    adaptive threshold, sufficient for the pipeline demo)."""
+    if level is None:
+        level = float(image.mean())
+    return (image >= level).astype(np.uint8)

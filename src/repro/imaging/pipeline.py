@@ -1,0 +1,141 @@
+"""The filter pipeline: run it, and compile it onto the grid.
+
+A :class:`FilterPipeline` is an ordered chain of named stages.  It can:
+
+* :meth:`apply` -- run in-process over a frame (ground truth for tests);
+* :meth:`compile_to_application` -- emit the framework artifacts: one
+  Eq. 2 task per stage (fabric tasks with per-stage bitstreams) wrapped
+  in an Eq. 3 ``Stream`` application, so DReAMSim pipelines frame tiles
+  through the stages exactly the way a streaming overlay would.
+
+Per-stage cost metadata (reference seconds per megapixel, accelerator
+speedup, circuit area) drives the simulator's timing; defaults follow
+the usual stencil-economics (blur and Sobel are window engines with
+large speedups; threshold is trivial).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.application import Application, Clause, ClauseKind
+from repro.core.execreq import Artifacts, ExecReq, MinValue
+from repro.core.task import DataIn, DataOut, EXTERNAL_SOURCE, Task
+from repro.hardware.bitstream import Bitstream
+from repro.hardware.fpga import FPGADevice
+from repro.hardware.taxonomy import PEClass
+from repro.imaging.filters import gaussian_blur, sobel_magnitude, threshold
+
+
+@dataclass(frozen=True)
+class FilterStage:
+    """One pipeline stage with its acceleration economics."""
+
+    name: str
+    fn: Callable[[np.ndarray], np.ndarray]
+    ref_seconds_per_mpix: float
+    speedup_vs_gpp: float
+    circuit_slices: int
+
+    def __post_init__(self) -> None:
+        if self.ref_seconds_per_mpix <= 0:
+            raise ValueError("reference time must be positive")
+        if self.speedup_vs_gpp <= 0:
+            raise ValueError("speedup must be positive")
+        if self.circuit_slices <= 0:
+            raise ValueError("circuit area must be positive")
+
+
+def default_stages() -> list[FilterStage]:
+    """Blur -> Sobel -> threshold with stencil-typical economics."""
+    return [
+        FilterStage("gaussian_blur", lambda im: gaussian_blur(im, 1.2), 0.9, 25.0, 6_500),
+        FilterStage("sobel_magnitude", sobel_magnitude, 0.6, 30.0, 4_800),
+        FilterStage("threshold", threshold, 0.05, 4.0, 900),
+    ]
+
+
+class FilterPipeline:
+    """An ordered chain of :class:`FilterStage`."""
+
+    def __init__(self, stages: list[FilterStage] | None = None):
+        self.stages = stages if stages is not None else default_stages()
+        if not self.stages:
+            raise ValueError("a pipeline needs at least one stage")
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError("stage names must be unique")
+
+    # ------------------------------------------------------------------
+    # In-process execution (ground truth)
+    # ------------------------------------------------------------------
+    def apply(self, frame: np.ndarray) -> np.ndarray:
+        """Run the chain over one frame."""
+        out = frame
+        for stage in self.stages:
+            out = stage.fn(out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Compilation onto the framework
+    # ------------------------------------------------------------------
+    def compile_to_application(
+        self,
+        device: FPGADevice,
+        *,
+        frame_shape: tuple[int, int] = (1_080, 1_920),
+        first_task_id: int = 0,
+    ) -> tuple[Application, dict[int, Task]]:
+        """Emit (Stream application, task bodies) for this chain.
+
+        Every stage becomes an RPE task carrying a device bitstream for
+        its circuit; stage *i* consumes stage *i-1*'s frames.  Workloads
+        derive from the frame size and each stage's reference cost.
+        """
+        mpix = frame_shape[0] * frame_shape[1] / 1e6
+        frame_bytes = frame_shape[0] * frame_shape[1]  # 8-bit pixels
+        tasks: dict[int, Task] = {}
+        for offset, stage in enumerate(self.stages):
+            task_id = first_task_id + offset
+            if stage.circuit_slices > device.slices:
+                raise ValueError(
+                    f"stage {stage.name!r} needs {stage.circuit_slices} slices; "
+                    f"{device.model} has {device.slices}"
+                )
+            bitstream = Bitstream(
+                bitstream_id=40_000 + task_id,
+                target_model=device.model,
+                size_bytes=device.bitstream_size_bytes(stage.circuit_slices),
+                required_slices=stage.circuit_slices,
+                implements=stage.name,
+                speedup_vs_gpp=stage.speedup_vs_gpp,
+            )
+            source = EXTERNAL_SOURCE if offset == 0 else task_id - 1
+            ref_time = stage.ref_seconds_per_mpix * mpix
+            tasks[task_id] = Task(
+                task_id=task_id,
+                data_in=(DataIn(source, 0, frame_bytes),),
+                data_out=(DataOut(0, frame_bytes),),
+                exec_req=ExecReq(
+                    node_type=PEClass.RPE,
+                    constraints=(MinValue("slices", stage.circuit_slices),),
+                    artifacts=Artifacts(
+                        application_code=f"imaging --stage {stage.name}",
+                        bitstream=bitstream,
+                        input_data_bytes=frame_bytes,
+                    ),
+                ),
+                t_estimated=ref_time / stage.speedup_vs_gpp,
+                workload_mi=ref_time * 1_000.0,
+                function=stage.name,
+            )
+        application = Application(
+            clauses=(
+                Clause(ClauseKind.STREAM, tuple(sorted(tasks))),
+            ),
+            name="imaging-pipeline",
+        )
+        return application, tasks

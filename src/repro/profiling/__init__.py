@@ -1,0 +1,47 @@
+"""Profiling substrate: gprof and Quipu stand-ins.
+
+The case study's methodology (Section V) is:
+
+1. profile ClustalW with **gprof** [18] to find the compute-intensive
+   kernels (Figure 10);
+2. feed those kernels to **Quipu** [19], "a linear model based on
+   software complexity metrics (SCMs)" that "can estimate the number of
+   slices, memory units, and look-up tables (LUTs) within reasonable
+   bounds in an early design stage" -- obtaining 30,790 slices for
+   *pairalign* and 18,707 for *malign* on Virtex-5.
+
+This package rebuilds both tools:
+
+* :mod:`repro.profiling.callgraph` -- a deterministic call-graph
+  profiler (flat profile with self/cumulative seconds and call counts,
+  caller/callee edges) with gprof-style rendering.
+* :mod:`repro.profiling.metrics` -- software complexity metrics over
+  Python ASTs (SLOC, cyclomatic complexity, Halstead counts, loop
+  nesting, memory accesses), including call-closure aggregation.
+* :mod:`repro.profiling.quipu` -- the linear SCM->hardware-resources
+  model, least-squares fitting, and the paper-anchor calibration.
+"""
+
+from repro.profiling.callgraph import CallGraphProfiler, FlatProfileRow, profile_call
+from repro.profiling.metrics import ComplexityMetrics, measure, measure_closure
+from repro.profiling.quipu import (
+    HardwareEstimate,
+    QuipuModel,
+    calibrated_model,
+    PAPER_PAIRALIGN_SLICES,
+    PAPER_MALIGN_SLICES,
+)
+
+__all__ = [
+    "CallGraphProfiler",
+    "FlatProfileRow",
+    "profile_call",
+    "ComplexityMetrics",
+    "measure",
+    "measure_closure",
+    "HardwareEstimate",
+    "QuipuModel",
+    "calibrated_model",
+    "PAPER_PAIRALIGN_SLICES",
+    "PAPER_MALIGN_SLICES",
+]

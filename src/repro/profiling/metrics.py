@@ -1,0 +1,218 @@
+"""Software complexity metrics (Quipu's SCM feature extraction).
+
+Quipu [19] is "a linear model based on software complexity metrics"
+that predicts hardware resource usage of a kernel before any HDL
+exists.  The metrics it uses (and we extract here, from Python ASTs
+rather than C) are the classic static measures:
+
+* source lines of code (statements);
+* McCabe cyclomatic complexity (decision points + 1);
+* Halstead operator/operand counts and derived volume;
+* loop count and maximum loop nesting depth (hardware pipelines);
+* memory-access count (subscript expressions -> BRAM ports);
+* arithmetic-operation count (-> DSP slices);
+* call count (-> submodules).
+
+:func:`measure_closure` aggregates a function together with the
+module-local functions it calls, because a hardware kernel is the whole
+call tree, not one Python ``def``.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from collections.abc import Callable
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class ComplexityMetrics:
+    """The SCM feature vector of one kernel."""
+
+    sloc: int = 0
+    cyclomatic: int = 1
+    operators: int = 0  # Halstead N1
+    operands: int = 0  # Halstead N2
+    distinct_operators: int = 0  # Halstead n1
+    distinct_operands: int = 0  # Halstead n2
+    loops: int = 0
+    max_loop_depth: int = 0
+    branches: int = 0
+    memory_accesses: int = 0
+    arithmetic_ops: int = 0
+    calls: int = 0
+
+    @property
+    def halstead_volume(self) -> float:
+        """N * log2(n) with N = N1 + N2, n = n1 + n2."""
+        import math
+
+        n = self.distinct_operators + self.distinct_operands
+        big_n = self.operators + self.operands
+        if n <= 1 or big_n == 0:
+            return 0.0
+        return big_n * math.log2(n)
+
+    def combine(self, other: "ComplexityMetrics") -> "ComplexityMetrics":
+        """Aggregate two kernels (closure aggregation).
+
+        Counts add; cyclomatic adds as ``c1 + c2 - 1`` (one shared
+        entry); nesting depth takes the maximum.
+        """
+        return ComplexityMetrics(
+            sloc=self.sloc + other.sloc,
+            cyclomatic=self.cyclomatic + other.cyclomatic - 1,
+            operators=self.operators + other.operators,
+            operands=self.operands + other.operands,
+            distinct_operators=max(self.distinct_operators, other.distinct_operators),
+            distinct_operands=self.distinct_operands + other.distinct_operands,
+            loops=self.loops + other.loops,
+            max_loop_depth=max(self.max_loop_depth, other.max_loop_depth),
+            branches=self.branches + other.branches,
+            memory_accesses=self.memory_accesses + other.memory_accesses,
+            arithmetic_ops=self.arithmetic_ops + other.arithmetic_ops,
+            calls=self.calls + other.calls,
+        )
+
+    def as_vector(self) -> list[float]:
+        """Feature vector (declared-field order, then Halstead volume)."""
+        return [float(getattr(self, f.name)) for f in fields(self)] + [
+            self.halstead_volume
+        ]
+
+    @staticmethod
+    def feature_names() -> list[str]:
+        return [f.name for f in fields(ComplexityMetrics)] + ["halstead_volume"]
+
+
+_DECISION_NODES = (ast.If, ast.While, ast.For, ast.IfExp, ast.Assert, ast.ExceptHandler)
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow, ast.MatMult)
+
+
+class _MetricsVisitor(ast.NodeVisitor):
+    def __init__(self) -> None:
+        self.statements = 0
+        self.decisions = 0
+        self.bool_values = 0
+        self.operators = 0
+        self.operand_names: list[str] = []
+        self.operator_kinds: set[str] = set()
+        self.loops = 0
+        self.loop_depth = 0
+        self.max_loop_depth = 0
+        self.branches = 0
+        self.memory_accesses = 0
+        self.arithmetic_ops = 0
+        self.calls = 0
+        self.called_names: set[str] = set()
+
+    def generic_visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.stmt):
+            self.statements += 1
+        if isinstance(node, _DECISION_NODES):
+            self.decisions += 1
+            if isinstance(node, (ast.If, ast.IfExp)):
+                self.branches += 1
+        if isinstance(node, ast.BoolOp):
+            # Each extra boolean term adds a decision path.
+            self.decisions += len(node.values) - 1
+            self.operators += len(node.values) - 1
+            self.operator_kinds.add(type(node.op).__name__)
+        if isinstance(node, (ast.For, ast.While)):
+            self.loops += 1
+            self.loop_depth += 1
+            self.max_loop_depth = max(self.max_loop_depth, self.loop_depth)
+            super().generic_visit(node)
+            self.loop_depth -= 1
+            return
+        if isinstance(node, (ast.BinOp, ast.UnaryOp, ast.AugAssign)):
+            self.operators += 1
+            op = getattr(node, "op", None)
+            if op is not None:
+                self.operator_kinds.add(type(op).__name__)
+                if isinstance(op, _ARITH_OPS):
+                    self.arithmetic_ops += 1
+        if isinstance(node, ast.Compare):
+            self.operators += len(node.ops)
+            for op in node.ops:
+                self.operator_kinds.add(type(op).__name__)
+        if isinstance(node, ast.Subscript):
+            self.memory_accesses += 1
+        if isinstance(node, ast.Call):
+            self.calls += 1
+            target = node.func
+            if isinstance(target, ast.Name):
+                self.called_names.add(target.id)
+            elif isinstance(target, ast.Attribute):
+                self.called_names.add(target.attr)
+        if isinstance(node, ast.Name):
+            self.operand_names.append(node.id)
+        if isinstance(node, ast.Constant):
+            self.operand_names.append(repr(node.value))
+        super().generic_visit(node)
+
+
+def _metrics_from_tree(tree: ast.AST) -> tuple[ComplexityMetrics, set[str]]:
+    visitor = _MetricsVisitor()
+    visitor.visit(tree)
+    metrics = ComplexityMetrics(
+        sloc=visitor.statements,
+        cyclomatic=visitor.decisions + 1,
+        operators=visitor.operators,
+        operands=len(visitor.operand_names),
+        distinct_operators=len(visitor.operator_kinds),
+        distinct_operands=len(set(visitor.operand_names)),
+        loops=visitor.loops,
+        max_loop_depth=visitor.max_loop_depth,
+        branches=visitor.branches,
+        memory_accesses=visitor.memory_accesses,
+        arithmetic_ops=visitor.arithmetic_ops,
+        calls=visitor.calls,
+    )
+    return metrics, visitor.called_names
+
+
+def measure_source(source: str) -> ComplexityMetrics:
+    """Metrics of a source fragment (module, function, or statements)."""
+    tree = ast.parse(textwrap.dedent(source))
+    return _metrics_from_tree(tree)[0]
+
+
+def measure(func: Callable) -> ComplexityMetrics:
+    """Metrics of one Python function."""
+    return measure_source(inspect.getsource(func))
+
+
+def measure_closure(func: Callable, *, max_depth: int = 3) -> ComplexityMetrics:
+    """Metrics of *func* plus the same-module functions it calls,
+    transitively up to *max_depth* -- a hardware kernel is the whole
+    call tree (Quipu analyzed complete C kernels, not single functions).
+    """
+    if max_depth < 0:
+        raise ValueError("max_depth must be non-negative")
+    module = inspect.getmodule(func)
+    seen: set[str] = set()
+    total: ComplexityMetrics | None = None
+    frontier: list[tuple[Callable, int]] = [(func, 0)]
+    while frontier:
+        current, depth = frontier.pop()
+        name = current.__name__
+        if name in seen:
+            continue
+        seen.add(name)
+        try:
+            tree = ast.parse(textwrap.dedent(inspect.getsource(current)))
+        except (OSError, TypeError):
+            continue
+        metrics, called = _metrics_from_tree(tree)
+        total = metrics if total is None else total.combine(metrics)
+        if depth >= max_depth or module is None:
+            continue
+        for called_name in sorted(called):
+            candidate = getattr(module, called_name, None)
+            if callable(candidate) and inspect.getmodule(candidate) is module:
+                frontier.append((candidate, depth + 1))
+    assert total is not None
+    return total

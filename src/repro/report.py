@@ -1,0 +1,117 @@
+"""Plain-text reporting: tables, bar charts, and timelines.
+
+The paper's artifacts are tables (I, II) and figures (the Figure 10
+profile bars, the Figure 8 timeline).  This module renders their
+regenerated counterparts as alignment-stable ASCII so benches, examples
+and the CLI share one presentation layer (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render a left-aligned table with a header rule.
+
+    Column widths fit the widest cell; numeric cells are right-aligned.
+    """
+    if not headers:
+        raise ValueError("a table needs headers")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells; expected {len(headers)}"
+            )
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def align(text: str, width: int, value: object) -> str:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return text.rjust(width)
+        return text.ljust(width)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for raw, row in zip(rows, cells):
+        lines.append("  ".join(align(c, w, v) for c, w, v in zip(row, widths, raw)))
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart; bars scale to the maximum value.
+
+    The Figure 10 renderer: kernel names on the left, ``#`` bars sized
+    by time share, numeric value on the right.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        raise ValueError("a chart needs at least one bar")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be non-negative")
+
+    peak = max(values) or 1.0
+    label_width = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1 if value > 0 else 0, round(width * value / peak))
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_timeline(
+    spans: Sequence[tuple[str, float, float]],
+    *,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Gantt-style timeline: ``(label, start, end)`` spans on one clock.
+
+    The Figure 8 renderer: each task is a row of ``=`` between its start
+    and finish columns.
+    """
+    if not spans:
+        raise ValueError("a timeline needs at least one span")
+    for label, start, end in spans:
+        if end < start:
+            raise ValueError(f"span {label!r} ends before it starts")
+    horizon = max(end for _, _, end in spans) or 1.0
+    label_width = max(len(l) for l, _, _ in spans)
+
+    def col(t: float) -> int:
+        return min(width, round(width * t / horizon))
+
+    lines = [title] if title else []
+    for label, start, end in spans:
+        a, b = col(start), max(col(start) + 1, col(end))
+        row = " " * a + "=" * (b - a)
+        lines.append(f"{label.ljust(label_width)} |{row.ljust(width)}| {start:.2f}-{end:.2f}")
+    lines.append(f"{' ' * label_width} 0{' ' * (width - 2)}{horizon:.2f} s")
+    return "\n".join(lines)

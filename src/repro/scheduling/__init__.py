@@ -1,0 +1,61 @@
+"""Task-scheduling strategies.
+
+Section V: "The mapping decisions are based on a particular scheduling
+strategy implemented inside the scheduler in the RMS, that takes into
+account various parameters, such as area slices, reconfiguration
+delays, and the time required to send configuration bitstreams, the
+availability and current status of the nodes."
+
+Every strategy implements :class:`~repro.scheduling.base.Scheduler`:
+given a task and its admissible placements (from
+:mod:`repro.core.matching`), pick one -- or ``None`` to keep the task
+queued.  Strategies provided:
+
+* :class:`~repro.scheduling.fcfs.FCFSScheduler` -- first candidate in
+  node order (first-come-first-served over resources).
+* :class:`~repro.scheduling.first_fit.FirstFitScheduler` -- first
+  candidate that is *dynamically* available.
+* :class:`~repro.scheduling.best_fit.BestFitAreaScheduler` -- the RPE
+  whose placeable region wastes the least area (and fastest GPP for
+  GPP tasks).
+* :class:`~repro.scheduling.random_.RandomScheduler` -- seeded uniform
+  choice (baseline for ablations).
+* :class:`~repro.scheduling.hybrid.HybridCostScheduler` -- the paper's
+  full cost model: minimizes transfer + reconfiguration + execution
+  time, exploiting configuration reuse.
+* :class:`~repro.scheduling.gpp_only.GPPOnlyScheduler` -- the
+  traditional-grid baseline that ignores RPEs entirely.
+* :class:`~repro.scheduling.energy_aware.EnergyAwareScheduler` --
+  minimizes joules per task (the paper's power-efficiency objective).
+"""
+
+from repro.scheduling.base import Scheduler
+from repro.scheduling.fcfs import FCFSScheduler
+from repro.scheduling.first_fit import FirstFitScheduler
+from repro.scheduling.best_fit import BestFitAreaScheduler
+from repro.scheduling.random_ import RandomScheduler
+from repro.scheduling.hybrid import HybridCostScheduler
+from repro.scheduling.gpp_only import GPPOnlyScheduler
+from repro.scheduling.energy_aware import EnergyAwareScheduler
+
+ALL_STRATEGIES = {
+    "fcfs": FCFSScheduler,
+    "first-fit": FirstFitScheduler,
+    "best-fit-area": BestFitAreaScheduler,
+    "random": RandomScheduler,
+    "hybrid-cost": HybridCostScheduler,
+    "energy-aware": EnergyAwareScheduler,
+    "gpp-only": GPPOnlyScheduler,
+}
+
+__all__ = [
+    "Scheduler",
+    "FCFSScheduler",
+    "FirstFitScheduler",
+    "BestFitAreaScheduler",
+    "RandomScheduler",
+    "HybridCostScheduler",
+    "EnergyAwareScheduler",
+    "GPPOnlyScheduler",
+    "ALL_STRATEGIES",
+]

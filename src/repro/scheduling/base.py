@@ -1,0 +1,36 @@
+"""Scheduler strategy interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from repro.core.matching import Candidate
+from repro.core.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.grid.rms import ResourceManagementSystem
+
+
+class Scheduler(ABC):
+    """Strategy object plugged into the RMS.
+
+    :meth:`choose` receives only *dynamically available* candidates
+    (capability matched AND currently placeable); returning ``None``
+    keeps the task in the pending queue for retry at the next
+    resource-release event.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def choose(
+        self,
+        task: Task,
+        candidates: list[Candidate],
+        rms: "ResourceManagementSystem",
+    ) -> Candidate | None:
+        """Pick a placement for *task*, or ``None`` to defer it."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

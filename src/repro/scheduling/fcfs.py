@@ -1,0 +1,21 @@
+"""First-come-first-served over resources: take the first candidate."""
+
+from __future__ import annotations
+
+from repro.core.matching import Candidate
+from repro.core.task import Task
+from repro.scheduling.base import Scheduler
+
+
+class FCFSScheduler(Scheduler):
+    """Pick the first admissible candidate in node-registration order.
+
+    The simplest policy in DReAMSim's strategy suite; it ignores area
+    fit, reconfiguration cost, and transfer time, so it serves as the
+    floor for the strategy ablation (``bench_dreamsim_strategies``).
+    """
+
+    name = "fcfs"
+
+    def choose(self, task: Task, candidates: list[Candidate], rms) -> Candidate | None:
+        return candidates[0] if candidates else None

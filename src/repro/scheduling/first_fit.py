@@ -1,0 +1,26 @@
+"""First fit with configuration-reuse preference."""
+
+from __future__ import annotations
+
+from repro.core.matching import Candidate
+from repro.core.task import Task
+from repro.scheduling.base import Scheduler
+
+
+class FirstFitScheduler(Scheduler):
+    """First candidate, but prefer one whose fabric already holds the
+    task's configuration (zero reconfiguration cost).
+
+    One step above FCFS: it exploits DReAMSim's configuration reuse but
+    still ignores area fit and transfer time.
+    """
+
+    name = "first-fit"
+
+    def choose(self, task: Task, candidates: list[Candidate], rms) -> Candidate | None:
+        if not candidates:
+            return None
+        for candidate in candidates:
+            if candidate.reuses_resident:
+                return candidate
+        return candidates[0]

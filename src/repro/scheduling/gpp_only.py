@@ -1,0 +1,29 @@
+"""Traditional-grid baseline: refuse to use reconfigurable fabric.
+
+Section III-A's premise is that "traditional grid systems are already
+virtualized for GPPs".  This scheduler models that world: it only ever
+places tasks on plain GPPs.  RPE-class tasks are never dispatched (in a
+real traditional grid they could not even be expressed), and the
+soft-core fallback is disabled.  Comparing it against the hybrid
+scheduler quantifies the paper's central claim that grids gain from
+treating RPEs as first-class resources (``bench_hybrid_vs_gpponly``).
+"""
+
+from __future__ import annotations
+
+from repro.core.matching import Candidate
+from repro.core.task import Task
+from repro.hardware.taxonomy import PEClass
+from repro.scheduling.base import Scheduler
+
+
+class GPPOnlyScheduler(Scheduler):
+    """Only ever place tasks on plain GPPs (see module docstring)."""
+
+    name = "gpp-only"
+
+    def choose(self, task: Task, candidates: list[Candidate], rms) -> Candidate | None:
+        for candidate in candidates:
+            if candidate.kind is PEClass.GPP:
+                return candidate
+        return None

@@ -1,0 +1,28 @@
+"""Seeded uniform-random placement (ablation baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.matching import Candidate
+from repro.core.task import Task
+from repro.scheduling.base import Scheduler
+
+
+class RandomScheduler(Scheduler):
+    """Uniform choice among admissible candidates.
+
+    Deterministic under a fixed seed so simulation runs are
+    reproducible (every stochastic component in this library takes an
+    explicit seed).
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self.rng = np.random.default_rng(seed)
+
+    def choose(self, task: Task, candidates: list[Candidate], rms) -> Candidate | None:
+        if not candidates:
+            return None
+        return candidates[int(self.rng.integers(len(candidates)))]

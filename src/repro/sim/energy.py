@@ -1,0 +1,155 @@
+"""Energy accounting over finished simulation runs.
+
+Turns the paper's "more performance at lower power" (Section I) into a
+measurable quantity: given a finished :class:`DReAMSim` run and its
+grid, :class:`EnergyAuditor` integrates each resource's power model
+over the run horizon -- active power during task execution,
+reconfiguration power during bitstream loads, and idle/leakage power
+the rest of the time -- and reports total joules, joules per completed
+task, and the per-resource breakdown.
+
+The auditor reads the simulator's per-task metrics (execution windows,
+PE kind, reconfiguration times) rather than instrumenting the event
+loop, so it can audit any run after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.grid.rms import ResourceManagementSystem
+from repro.hardware.power import (
+    energy_per_task_j,
+    fpga_active_power,
+    fpga_reconfig_power,
+    fpga_static_power,
+    gpp_power,
+)
+from repro.sim.simulator import DReAMSim
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Joules, decomposed the way an operator would ask for them."""
+
+    horizon_s: float
+    active_j: float
+    reconfig_j: float
+    idle_j: float
+    completed_tasks: int
+
+    def __post_init__(self) -> None:
+        if min(self.active_j, self.reconfig_j, self.idle_j) < 0:
+            raise ValueError("energy terms must be non-negative")
+
+    @property
+    def total_j(self) -> float:
+        return self.active_j + self.reconfig_j + self.idle_j
+
+    @property
+    def joules_per_task(self) -> float:
+        if self.completed_tasks == 0:
+            return 0.0
+        return self.total_j / self.completed_tasks
+
+    def summary_lines(self) -> list[str]:
+        return [
+            f"energy total         {self.total_j:12.1f} J over {self.horizon_s:.1f} s",
+            f"  active / reconfig / idle   {self.active_j:.1f} / {self.reconfig_j:.1f} / {self.idle_j:.1f} J",
+            f"  per completed task {self.joules_per_task:12.2f} J",
+        ]
+
+
+class EnergyAuditor:
+    """Post-hoc energy integration for a finished run."""
+
+    def __init__(self, rms: ResourceManagementSystem):
+        self.rms = rms
+
+    # ------------------------------------------------------------------
+    # Per-task active energy
+    # ------------------------------------------------------------------
+    def _task_active_energy(self, sim: DReAMSim, key: object) -> tuple[float, float]:
+        """(active_j, reconfig_j) of one finished task."""
+        tm = sim.metrics.tasks[key]
+        if tm.finish is None or tm.start is None:
+            return 0.0, 0.0
+        exec_s = tm.finish - tm.start
+        node = self.rms._nodes.get(tm.node_id)  # node may have left
+        if node is None:
+            return 0.0, 0.0
+
+        if tm.pe_kind == "GPP":
+            if not node.gpps:
+                return 0.0, 0.0
+            index = tm.resource_index if tm.resource_index is not None else 0
+            spec = node.gpps[min(index, len(node.gpps) - 1)].spec
+            power = gpp_power(spec, load=1.0)
+            return energy_per_task_j(power, exec_s), 0.0
+
+        if tm.pe_kind == "GPU":
+            if not node.gpus:
+                return 0.0, 0.0
+            from repro.hardware.power import gpu_power
+
+            index = tm.resource_index if tm.resource_index is not None else 0
+            spec = node.gpus[min(index, len(node.gpus) - 1)].spec
+            return energy_per_task_j(gpu_power(spec, load=1.0), exec_s), 0.0
+
+        # RPE or soft core hosted on one.
+        if not node.rpes:
+            return 0.0, 0.0
+        index = tm.resource_index if tm.resource_index is not None else 0
+        device = node.rpes[min(index, len(node.rpes) - 1)].device
+        active_slices = tm.slices if tm.slices > 0 else max(1, device.slices // 4)
+        reconfig_j = energy_per_task_j(fpga_reconfig_power(device), tm.reconfig_time)
+        active_j = energy_per_task_j(fpga_active_power(device, active_slices), exec_s)
+        return active_j, reconfig_j
+
+    # ------------------------------------------------------------------
+    # Audit
+    # ------------------------------------------------------------------
+    def audit(self, sim: DReAMSim) -> EnergyReport:
+        """Integrate power over the finished run in *sim*."""
+        horizon = sim.engine.now
+        active_j = 0.0
+        reconfig_j = 0.0
+
+        completed = 0
+        # Per-resource busy seconds: (node_id, kind-group, index).
+        # SOFTCORE execution occupies an RPE, so it folds into "RPE".
+        busy: dict[tuple[int, str, int], float] = {}
+        for key, tm in sim.metrics.tasks.items():
+            if tm.finish is None:
+                continue
+            completed += 1
+            a, r = self._task_active_energy(sim, key)
+            active_j += a
+            reconfig_j += r
+            if tm.node_id is not None and tm.start is not None:
+                group = "GPP" if tm.pe_kind == "GPP" else "RPE"
+                index = tm.resource_index if tm.resource_index is not None else 0
+                slot = (tm.node_id, group, index)
+                busy[slot] = busy.get(slot, 0.0) + (tm.finish - tm.start)
+
+        # Idle/leakage for the remaining time of every registered
+        # resource (active windows already include the static share
+        # inside the per-task power models above).
+        idle_j = 0.0
+        for node in self.rms.nodes:
+            for index, gpp in enumerate(node.gpps):
+                busy_s = min(busy.get((node.node_id, "GPP", index), 0.0), horizon)
+                idle_power = gpp_power(gpp.spec, load=0.0).total_w
+                idle_j += idle_power * (horizon - busy_s)
+            for index, rpe in enumerate(node.rpes):
+                busy_s = min(busy.get((node.node_id, "RPE", index), 0.0), horizon)
+                leak = fpga_static_power(rpe.device).total_w
+                idle_j += leak * (horizon - busy_s)
+
+        return EnergyReport(
+            horizon_s=horizon,
+            active_j=active_j,
+            reconfig_j=reconfig_j,
+            idle_j=idle_j,
+            completed_tasks=completed,
+        )

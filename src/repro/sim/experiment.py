@@ -1,0 +1,225 @@
+"""Declarative DReAMSim experiments.
+
+The paper: "The DReAMSim can be used to investigate the desired system
+scenario(s) for a particular scheduling strategy and a given number of
+tasks, grid nodes, configurations, task arrival distributions, area
+ranges, and task required times etc." (Section V).
+
+:class:`ExperimentSpec` is exactly that parameter list as one
+declarative object; :func:`run_experiment` builds the grid, workload
+and simulator from it and returns the metrics (plus, optionally, the
+energy audit).  Everything is seeded, so a spec is a complete,
+reproducible description of an experiment -- specs can be compared,
+swept (:func:`sweep`), and serialized into papers' method sections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.node import Node
+from repro.grid.network import Network
+from repro.grid.rms import ResourceManagementSystem
+from repro.hardware.catalog import device_by_model
+from repro.hardware.gpp import GPPSpec
+from repro.scheduling import ALL_STRATEGIES, RandomScheduler
+from repro.sim.energy import EnergyAuditor, EnergyReport
+from repro.sim.metrics import SimulationReport
+from repro.sim.simulator import DReAMSim
+from repro.sim.workload import (
+    ArrivalProcess,
+    ConfigurationPool,
+    PoissonArrivals,
+    SyntheticWorkload,
+    WorkloadSpec,
+)
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One grid node: GPP count/speed and RPE devices/regions."""
+
+    gpps: int = 1
+    gpp_mips: float = 1_500.0
+    rpe_models: tuple[str, ...] = ("XC5VLX220",)
+    regions_per_rpe: int = 2
+
+    def __post_init__(self) -> None:
+        if self.gpps < 0:
+            raise ValueError("GPP count must be non-negative")
+        if self.gpps == 0 and not self.rpe_models:
+            raise ValueError("a node needs at least one processing element")
+        if self.regions_per_rpe <= 0:
+            raise ValueError("regions per RPE must be positive")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """The Section V parameter list, as data.
+
+    =====================  =============================================
+    Paper's knob           Field
+    =====================  =============================================
+    scheduling strategy    ``strategy`` (a key of ``ALL_STRATEGIES``)
+    number of tasks        ``tasks``
+    grid nodes             ``nodes`` (list of :class:`NodeSpec`)
+    configurations         ``configurations`` (pool size)
+    arrival distribution   ``arrival_rate_per_s`` (Poisson) or a custom
+                           process via :func:`run_experiment`'s override
+    area ranges            ``area_range``
+    task required times    ``required_time_range_s``
+    =====================  =============================================
+    """
+
+    strategy: str = "hybrid-cost"
+    tasks: int = 200
+    nodes: tuple[NodeSpec, ...] = (NodeSpec(), NodeSpec())
+    configurations: int = 8
+    arrival_rate_per_s: float = 2.0
+    area_range: tuple[int, int] = (2_000, 12_000)
+    speedup_range: tuple[float, float] = (5.0, 25.0)
+    required_time_range_s: tuple[float, float] = (0.5, 3.0)
+    gpp_fraction: float = 0.5
+    bandwidth_mbps: float = 100.0
+    latency_s: float = 0.005
+    discard_after_s: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ALL_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; choose from "
+                + ", ".join(sorted(ALL_STRATEGIES))
+            )
+        if self.tasks < 0:
+            raise ValueError("task count must be non-negative")
+        if not self.nodes:
+            raise ValueError("an experiment needs at least one node")
+        if self.arrival_rate_per_s <= 0:
+            raise ValueError("arrival rate must be positive")
+
+    def with_(self, **overrides) -> "ExperimentSpec":
+        """A modified copy -- the sweep primitive."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything one run produced."""
+
+    spec: ExperimentSpec
+    report: SimulationReport
+    energy: EnergyReport | None
+
+
+def build_grid(spec: ExperimentSpec) -> ResourceManagementSystem:
+    """Materialize the spec's grid (nodes, network, scheduler)."""
+    cls = ALL_STRATEGIES[spec.strategy]
+    scheduler = cls(seed=spec.seed) if cls is RandomScheduler else cls()
+    network = Network.fully_connected(
+        list(range(len(spec.nodes))),
+        bandwidth_mbps=spec.bandwidth_mbps,
+        latency_s=spec.latency_s,
+    )
+    rms = ResourceManagementSystem(network=network, scheduler=scheduler)
+    for node_id, node_spec in enumerate(spec.nodes):
+        node = Node(node_id=node_id, name=f"Node_{node_id}")
+        for g in range(node_spec.gpps):
+            node.add_gpp(GPPSpec(cpu_model=f"gpp{node_id}.{g}", mips=node_spec.gpp_mips))
+        for model in node_spec.rpe_models:
+            node.add_rpe(device_by_model(model), regions=node_spec.regions_per_rpe)
+        rms.register_node(node)
+    return rms
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    arrivals: ArrivalProcess | None = None,
+    audit_energy: bool = False,
+) -> ExperimentResult:
+    """Build, run, and report one experiment.
+
+    ``arrivals`` overrides the Poisson process (e.g. with
+    :class:`~repro.sim.workload.TraceArrivals` for trace-driven runs).
+    """
+    rms = build_grid(spec)
+    pool = ConfigurationPool(
+        spec.configurations,
+        area_range=spec.area_range,
+        speedup_range=spec.speedup_range,
+        seed=spec.seed,
+    )
+    pool.populate_repository(
+        rms.virtualization.repository,
+        [rpe.device for node in rms.nodes for rpe in node.rpes],
+    )
+    workload = SyntheticWorkload(
+        WorkloadSpec(
+            task_count=spec.tasks,
+            gpp_fraction=spec.gpp_fraction,
+            required_time_range_s=spec.required_time_range_s,
+        ),
+        pool,
+        arrivals or PoissonArrivals(rate_per_s=spec.arrival_rate_per_s),
+        seed=spec.seed,
+    )
+    sim = DReAMSim(rms, discard_after_s=spec.discard_after_s)
+    sim.submit_workload(workload.generate())
+    report = sim.run()
+    energy = EnergyAuditor(rms).audit(sim) if audit_energy else None
+    return ExperimentResult(spec=spec, report=report, energy=energy)
+
+
+def sweep(base: ExperimentSpec, field_name: str, values) -> list[ExperimentResult]:
+    """Run *base* once per value of one knob (the ablation primitive)."""
+    return [run_experiment(base.with_(**{field_name: value})) for value in values]
+
+
+@dataclass(frozen=True)
+class ReplicationSummary:
+    """Mean and standard deviation of the headline metrics over seeds.
+
+    A single seeded run is a point estimate; papers report intervals.
+    """
+
+    seeds: tuple[int, ...]
+    mean_wait_s: float
+    std_wait_s: float
+    mean_turnaround_s: float
+    std_turnaround_s: float
+    mean_makespan_s: float
+    std_makespan_s: float
+    mean_reuse_rate: float
+
+    def summary_lines(self) -> list[str]:
+        return [
+            f"replications        {len(self.seeds)} seeds",
+            f"mean wait           {self.mean_wait_s:8.4f} +/- {self.std_wait_s:.4f} s",
+            f"mean turnaround     {self.mean_turnaround_s:8.4f} +/- {self.std_turnaround_s:.4f} s",
+            f"mean makespan       {self.mean_makespan_s:8.2f} +/- {self.std_makespan_s:.2f} s",
+            f"mean reuse rate     {self.mean_reuse_rate:8.2%}",
+        ]
+
+
+def replicate(base: ExperimentSpec, seeds: list[int]) -> ReplicationSummary:
+    """Run *base* under each seed and aggregate (mean +/- std)."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    import numpy as np
+
+    reports = [run_experiment(base.with_(seed=s)).report for s in seeds]
+    waits = np.array([r.mean_wait_s for r in reports])
+    turnarounds = np.array([r.mean_turnaround_s for r in reports])
+    makespans = np.array([r.makespan_s for r in reports])
+    reuse = np.array([r.reuse_rate for r in reports])
+    return ReplicationSummary(
+        seeds=tuple(seeds),
+        mean_wait_s=float(waits.mean()),
+        std_wait_s=float(waits.std()),
+        mean_turnaround_s=float(turnarounds.mean()),
+        std_turnaround_s=float(turnarounds.std()),
+        mean_makespan_s=float(makespans.mean()),
+        std_makespan_s=float(makespans.std()),
+        mean_reuse_rate=float(reuse.mean()),
+    )

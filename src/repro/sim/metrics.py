@@ -1,0 +1,201 @@
+"""Simulation metrics: per-task records, per-resource utilization,
+reconfiguration statistics, and aggregate reports.
+
+These are the observables DReAMSim exists to measure: waiting times,
+turnaround, how often configuration reuse fires, how much time the grid
+burns reconfiguring, and how busy each processing element is under a
+given scheduling strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class TaskMetrics:
+    """Timeline of one task through the simulator."""
+
+    key: object
+    function: str = ""
+    pe_kind: str = ""
+    node_id: int | None = None
+    resource_index: int | None = None
+    slices: int = 0
+    arrival: float = 0.0
+    dispatch: float | None = None
+    start: float | None = None
+    finish: float | None = None
+    transfer_time: float = 0.0
+    synthesis_time: float = 0.0
+    reconfig_time: float = 0.0
+    reused_configuration: bool = False
+    discarded: bool = False
+
+    @property
+    def wait_time(self) -> float | None:
+        """Arrival to dispatch: queueing delay."""
+        if self.dispatch is None:
+            return None
+        return self.dispatch - self.arrival
+
+    @property
+    def turnaround(self) -> float | None:
+        if self.finish is None:
+            return None
+        return self.finish - self.arrival
+
+
+@dataclass
+class ResourceUsage:
+    """Busy-time accumulator for one PE (or fabric region)."""
+
+    label: str
+    busy_s: float = 0.0
+    tasks_executed: int = 0
+
+    def utilization(self, horizon_s: float) -> float:
+        if horizon_s <= 0:
+            return 0.0
+        return min(1.0, self.busy_s / horizon_s)
+
+
+@dataclass
+class SimulationReport:
+    """Aggregates over a finished run."""
+
+    horizon_s: float
+    completed: int
+    discarded: int
+    pending: int
+    mean_wait_s: float
+    p95_wait_s: float
+    mean_turnaround_s: float
+    makespan_s: float
+    reconfigurations: int
+    total_reconfig_time_s: float
+    reuse_hits: int
+    reuse_rate: float
+    mean_utilization: float
+    per_resource_utilization: dict[str, float]
+    tasks_by_pe_kind: dict[str, int]
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable report (printed by benches and examples)."""
+        return [
+            f"horizon              {self.horizon_s:10.2f} s",
+            f"completed / discarded / pending   {self.completed} / {self.discarded} / {self.pending}",
+            f"mean wait            {self.mean_wait_s:10.4f} s   (p95 {self.p95_wait_s:.4f})",
+            f"mean turnaround      {self.mean_turnaround_s:10.4f} s",
+            f"makespan             {self.makespan_s:10.2f} s",
+            f"reconfigurations     {self.reconfigurations:6d}  ({self.total_reconfig_time_s:.3f} s total)",
+            f"configuration reuse  {self.reuse_hits:6d}  (rate {self.reuse_rate:.2%})",
+            f"mean PE utilization  {self.mean_utilization:10.2%}",
+            "tasks by PE kind     "
+            + ", ".join(f"{k}: {v}" for k, v in sorted(self.tasks_by_pe_kind.items())),
+        ]
+
+
+class MetricsCollector:
+    """Accumulates task and resource records during a run."""
+
+    def __init__(self) -> None:
+        self.tasks: dict[object, TaskMetrics] = {}
+        self.resources: dict[str, ResourceUsage] = {}
+        self.trace: list[tuple[float, str, object]] = []
+
+    # ------------------------------------------------------------------
+    # Recording (called by the simulator)
+    # ------------------------------------------------------------------
+    def record_arrival(self, key: object, time: float, function: str = "") -> TaskMetrics:
+        if key in self.tasks:
+            raise ValueError(f"duplicate task key {key!r}")
+        tm = TaskMetrics(key=key, arrival=time, function=function)
+        self.tasks[key] = tm
+        self.trace.append((time, "arrival", key))
+        return tm
+
+    def record_dispatch(
+        self,
+        key: object,
+        time: float,
+        *,
+        pe_kind: str,
+        node_id: int,
+        transfer_time: float,
+        synthesis_time: float,
+        reconfig_time: float,
+        reused: bool,
+        resource_index: int | None = None,
+        slices: int = 0,
+    ) -> None:
+        tm = self.tasks[key]
+        tm.dispatch = time
+        tm.pe_kind = pe_kind
+        tm.node_id = node_id
+        tm.resource_index = resource_index
+        tm.slices = slices
+        tm.transfer_time = transfer_time
+        tm.synthesis_time = synthesis_time
+        tm.reconfig_time = reconfig_time
+        tm.reused_configuration = reused
+        self.trace.append((time, "dispatch", key))
+
+    def record_start(self, key: object, time: float) -> None:
+        self.tasks[key].start = time
+        self.trace.append((time, "start", key))
+
+    def record_finish(self, key: object, time: float, resource_label: str) -> None:
+        tm = self.tasks[key]
+        tm.finish = time
+        usage = self.resources.setdefault(resource_label, ResourceUsage(resource_label))
+        if tm.start is not None:
+            usage.busy_s += time - tm.start
+        usage.tasks_executed += 1
+        self.trace.append((time, "finish", key))
+
+    def record_discard(self, key: object, time: float) -> None:
+        self.tasks[key].discarded = True
+        self.trace.append((time, "discard", key))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self, horizon_s: float) -> SimulationReport:
+        finished = [t for t in self.tasks.values() if t.finish is not None]
+        discarded = [t for t in self.tasks.values() if t.discarded]
+        pending = [
+            t for t in self.tasks.values() if t.finish is None and not t.discarded
+        ]
+        waits = np.array([t.wait_time for t in finished if t.wait_time is not None])
+        turnarounds = np.array([t.turnaround for t in finished])
+        reconfigs = [t for t in finished if t.reconfig_time > 0]
+        reuse_hits = sum(1 for t in finished if t.reused_configuration)
+        hw_tasks = sum(1 for t in finished if t.pe_kind == "RPE")
+        utilizations = {
+            label: usage.utilization(horizon_s) for label, usage in self.resources.items()
+        }
+        by_kind: dict[str, int] = {}
+        for t in finished:
+            by_kind[t.pe_kind] = by_kind.get(t.pe_kind, 0) + 1
+        return SimulationReport(
+            horizon_s=horizon_s,
+            completed=len(finished),
+            discarded=len(discarded),
+            pending=len(pending),
+            mean_wait_s=float(waits.mean()) if waits.size else 0.0,
+            p95_wait_s=float(np.percentile(waits, 95)) if waits.size else 0.0,
+            mean_turnaround_s=float(turnarounds.mean()) if turnarounds.size else 0.0,
+            makespan_s=max((t.finish for t in finished), default=0.0),
+            reconfigurations=len(reconfigs),
+            total_reconfig_time_s=sum(t.reconfig_time for t in reconfigs),
+            reuse_hits=reuse_hits,
+            reuse_rate=reuse_hits / hw_tasks if hw_tasks else 0.0,
+            mean_utilization=(
+                float(np.mean(list(utilizations.values()))) if utilizations else 0.0
+            ),
+            per_resource_utilization=utilizations,
+            tasks_by_pe_kind=by_kind,
+        )

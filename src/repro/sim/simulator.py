@@ -1,0 +1,397 @@
+"""DReAMSim facade: the timed grid simulator.
+
+Wires the event engine, an RMS (with its scheduler strategy and
+virtualization layer), an optional JSS, and the metrics collector into
+the simulator of refs [20][21]:
+
+* independent task streams with arbitrary arrival processes;
+* task-graph execution (Figure 7): a task becomes ready when all its
+  producers complete;
+* Eq. 3 application execution (Figure 8): clause steps run in order,
+  ``Par`` steps concurrently, ``Stream`` clauses as chunked pipelines
+  (the Section VI future-work scenario);
+* configuration reuse and partial reconfiguration through the fabric
+  model;
+* dynamic node join/leave with re-queueing of in-flight tasks (the
+  Section IV-A adaptivity claim under faults);
+* optional task discard after a maximum pending age.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from collections.abc import Callable
+
+from repro.core.application import Application, ClauseKind
+from repro.core.matching import task_required_slices
+from repro.core.node import Node
+from repro.core.task import DataIn, DataOut, Task
+from repro.grid.jss import JobSubmissionSystem
+from repro.grid.rms import Placement, ResourceManagementSystem, SchedulingError
+from repro.sim.engine import EventHandle, SimulationEngine
+from repro.sim.metrics import MetricsCollector, SimulationReport
+
+
+@dataclass
+class _Entry:
+    """One schedulable unit inside the simulator."""
+
+    key: object
+    task: Task
+    job_id: int | None = None
+    on_complete: Callable[["_Entry"], None] | None = None
+    dispatched: bool = False
+    discarded: bool = False
+    placement: Placement | None = None
+    events: list[EventHandle] = field(default_factory=list)
+    #: Suppress JSS completion marking (stream chunks mark once).
+    silent: bool = False
+
+
+class DReAMSim:
+    """The simulator.  One instance = one experiment run."""
+
+    def __init__(
+        self,
+        rms: ResourceManagementSystem,
+        *,
+        jss: JobSubmissionSystem | None = None,
+        discard_after_s: float | None = None,
+    ):
+        if discard_after_s is not None and discard_after_s <= 0:
+            raise ValueError("discard_after_s must be positive")
+        self.engine = SimulationEngine()
+        self.rms = rms
+        self.jss = jss or JobSubmissionSystem(virtualization=rms.virtualization)
+        self.metrics = MetricsCollector()
+        self.discard_after_s = discard_after_s
+        self.pending: list[_Entry] = []
+        self.active: dict[object, _Entry] = {}
+        self.requeues = 0
+        #: (job_id, task_id) -> node where the task's outputs landed;
+        #: feeds the RMS's locality-aware input-staging prices.
+        self._output_sites: dict[tuple[object, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Submission APIs
+    # ------------------------------------------------------------------
+    def submit_workload(self, stream: list[tuple[float, Task]]) -> None:
+        """Schedule an independent-task arrival stream (synthetic
+        workloads); each task is tracked as its own JSS job."""
+        for time, task in stream:
+            job = self.jss.submit_task(task, submit_time=time)
+
+            def make(t: Task = task, j: int = job.job_id) -> Callable[[], None]:
+                return lambda: self._arrive(t, job_id=j, key=(j, t.task_id))
+
+            self.engine.schedule_at(time, make())
+
+    def submit_graph(self, tasks: list[Task], *, at: float = 0.0) -> int:
+        """Submit a Figure 7 style data-dependent task set; returns the
+        job id.  A task arrives the moment its producers all complete."""
+        job = self.jss.submit_graph(tasks, submit_time=at)
+        graph = job.graph
+        assert graph is not None
+        completed: set[int] = set()
+        arrived: set[int] = set()
+
+        def arrive_ready() -> None:
+            for task_id in sorted(graph.ready_tasks(completed) - arrived):
+                arrived.add(task_id)
+                task = graph.task(task_id)
+                self._arrive(
+                    task,
+                    job_id=job.job_id,
+                    key=(job.job_id, task_id),
+                    on_complete=on_complete,
+                )
+
+        def on_complete(entry: _Entry) -> None:
+            completed.add(entry.task.task_id)
+            arrive_ready()
+
+        self.engine.schedule_at(at, arrive_ready)
+        return job.job_id
+
+    def submit_application(
+        self,
+        application: Application,
+        tasks: dict[int, Task],
+        *,
+        at: float = 0.0,
+        stream_chunks: int = 4,
+    ) -> int:
+        """Submit an Eq. 3 application; clause steps execute in order
+        (Figure 8).  ``Stream`` clauses pipeline each task over
+        *stream_chunks* data chunks."""
+        if stream_chunks <= 0:
+            raise ValueError("stream_chunks must be positive")
+        job = self.jss.submit_application(application, tasks, submit_time=at)
+
+        stages: list[tuple[ClauseKind, list[int]]] = []
+        for clause in application.clauses:
+            if clause.kind is ClauseKind.STREAM:
+                stages.append((ClauseKind.STREAM, list(clause.task_ids)))
+            else:
+                for step in clause.steps():
+                    stages.append((clause.kind, step))
+
+        state = {"stage": 0}
+
+        def launch_stage() -> None:
+            if state["stage"] >= len(stages):
+                return
+            kind, task_ids = stages[state["stage"]]
+            if kind is ClauseKind.STREAM:
+                self._launch_stream(job.job_id, [tasks[t] for t in task_ids],
+                                    stream_chunks, next_stage)
+                return
+            remaining = {"n": len(task_ids)}
+
+            def on_complete(entry: _Entry) -> None:
+                remaining["n"] -= 1
+                if remaining["n"] == 0:
+                    next_stage()
+
+            for task_id in task_ids:
+                self._arrive(
+                    tasks[task_id],
+                    job_id=job.job_id,
+                    key=(job.job_id, task_id),
+                    on_complete=on_complete,
+                )
+
+        def next_stage() -> None:
+            state["stage"] += 1
+            launch_stage()
+
+        self.engine.schedule_at(at, launch_stage)
+        return job.job_id
+
+    def _launch_stream(
+        self,
+        job_id: int,
+        stream_tasks: list[Task],
+        chunks: int,
+        when_done: Callable[[], None],
+    ) -> None:
+        """Pipelined execution: chunk *c* of stage *j* becomes ready when
+        chunk *c* of stage *j-1* and chunk *c-1* of stage *j* are done."""
+        done: set[tuple[int, int]] = set()  # (stage_index, chunk)
+        arrived: set[tuple[int, int]] = set()
+        total = len(stream_tasks) * chunks
+
+        def chunk_task(stage: int, chunk: int) -> Task:
+            base = stream_tasks[stage]
+            scale = 1.0 / chunks
+            return replace(
+                base,
+                data_in=tuple(
+                    DataIn(d.source_task_id, d.data_id, max(1, d.size_bytes // chunks))
+                    for d in base.data_in
+                ),
+                data_out=tuple(
+                    DataOut(d.data_id, max(1, d.size_bytes // chunks))
+                    for d in base.data_out
+                ),
+                t_estimated=base.t_estimated * scale,
+                workload_mi=base.effective_workload_mi * scale,
+            )
+
+        def ready(stage: int, chunk: int) -> bool:
+            if stage > 0 and (stage - 1, chunk) not in done:
+                return False
+            if chunk > 0 and (stage, chunk - 1) not in done:
+                return False
+            return True
+
+        def arrive_ready() -> None:
+            for stage in range(len(stream_tasks)):
+                for chunk in range(chunks):
+                    pos = (stage, chunk)
+                    if pos in arrived or pos in done or not ready(*pos):
+                        continue
+                    arrived.add(pos)
+                    base = stream_tasks[stage]
+                    is_last = chunk == chunks - 1
+                    self._arrive(
+                        chunk_task(stage, chunk),
+                        job_id=job_id,
+                        key=(job_id, base.task_id, chunk),
+                        on_complete=make_hook(pos, base.task_id, is_last),
+                        silent=not is_last,
+                    )
+
+        def make_hook(pos: tuple[int, int], task_id: int, is_last: bool):
+            def hook(entry: _Entry) -> None:
+                done.add(pos)
+                if len(done) == total:
+                    when_done()
+                else:
+                    arrive_ready()
+
+            return hook
+
+        arrive_ready()
+
+    # ------------------------------------------------------------------
+    # Dynamic grid membership (Section IV-A adaptivity)
+    # ------------------------------------------------------------------
+    def schedule_node_join(self, time: float, node: Node, *, site: int | None = None) -> None:
+        def join() -> None:
+            self.rms.register_node(node, site=site)
+            self.metrics.trace.append((self.engine.now, "node-join", node.node_id))
+            self._dispatch_pending()
+
+        self.engine.schedule_at(time, join)
+
+    def schedule_node_leave(self, time: float, node_id: int) -> None:
+        def leave() -> None:
+            victims = [
+                e
+                for e in self.active.values()
+                if e.placement is not None and e.placement.candidate.node_id == node_id
+            ]
+            for entry in victims:
+                for handle in entry.events:
+                    handle.cancel()
+                entry.events.clear()
+                entry.dispatched = False
+                entry.placement = None
+                del self.active[entry.key]
+                self.pending.append(entry)
+                self.requeues += 1
+                self.metrics.trace.append((self.engine.now, "requeue", entry.key))
+            self.rms.unregister_node(node_id)
+            self.metrics.trace.append((self.engine.now, "node-leave", node_id))
+            self._dispatch_pending()
+
+        self.engine.schedule_at(time, leave)
+
+    # ------------------------------------------------------------------
+    # Core event handlers
+    # ------------------------------------------------------------------
+    def _arrive(
+        self,
+        task: Task,
+        *,
+        job_id: int | None = None,
+        key: object | None = None,
+        on_complete: Callable[[_Entry], None] | None = None,
+        silent: bool = False,
+    ) -> None:
+        entry = _Entry(
+            key=key if key is not None else task.task_id,
+            task=task,
+            job_id=job_id,
+            on_complete=on_complete,
+            silent=silent,
+        )
+        self.metrics.record_arrival(entry.key, self.engine.now, task.function)
+        self.pending.append(entry)
+        if self.discard_after_s is not None:
+            deadline = self.discard_after_s
+
+            def maybe_discard() -> None:
+                if not entry.dispatched and not entry.discarded:
+                    entry.discarded = True
+                    self.pending.remove(entry)
+                    self.metrics.record_discard(entry.key, self.engine.now)
+                    if entry.job_id is not None and not entry.silent:
+                        self.jss.mark_failed(
+                            entry.job_id, entry.task.task_id, time=self.engine.now
+                        )
+
+            self.engine.schedule(deadline, maybe_discard)
+        self._dispatch_pending()
+
+    def _dispatch_pending(self) -> None:
+        """One FIFO pass over the queue; each successful dispatch
+        immediately reserves resources, so later entries see the
+        updated state."""
+        for entry in list(self.pending):
+            if entry.discarded or entry.dispatched:
+                continue
+            if self._try_dispatch(entry):
+                self.pending.remove(entry)
+
+    def _try_dispatch(self, entry: _Entry) -> bool:
+        data_sites = {
+            data.source_task_id: self._output_sites[(entry.job_id, data.source_task_id)]
+            for data in entry.task.data_in
+            if (entry.job_id, data.source_task_id) in self._output_sites
+        }
+        try:
+            placement = self.rms.plan_placement(
+                entry.task, data_sites=data_sites or None
+            )
+        except SchedulingError:
+            return False
+        if placement is None:
+            return False
+        self.rms.commit(placement)
+        entry.dispatched = True
+        entry.placement = placement
+        self.active[entry.key] = entry
+        self.metrics.record_dispatch(
+            entry.key,
+            self.engine.now,
+            pe_kind=placement.candidate.kind.value,
+            node_id=placement.candidate.node_id,
+            transfer_time=placement.transfer_time_s,
+            synthesis_time=placement.synthesis_time_s,
+            reconfig_time=placement.reconfig_time_s,
+            reused=placement.reused_configuration,
+            resource_index=placement.candidate.resource_index,
+            slices=(
+                placement.bitstream.required_slices
+                if placement.bitstream is not None
+                else task_required_slices(entry.task)
+            ),
+        )
+        entry.events.append(
+            self.engine.schedule(placement.setup_time_s, lambda: self._start(entry))
+        )
+        return True
+
+    def _start(self, entry: _Entry) -> None:
+        placement = entry.placement
+        assert placement is not None
+        self.rms.begin_execution(placement)
+        self.metrics.record_start(entry.key, self.engine.now)
+        if entry.job_id is not None:
+            self.jss.mark_started(
+                entry.job_id,
+                entry.task.task_id,
+                time=self.engine.now,
+                node_id=placement.candidate.node_id,
+            )
+        entry.events.append(
+            self.engine.schedule(placement.exec_time_s, lambda: self._finish(entry))
+        )
+
+    def _finish(self, entry: _Entry) -> None:
+        placement = entry.placement
+        assert placement is not None
+        self.rms.finish_execution(placement)
+        label = (
+            f"node{placement.candidate.node_id}:"
+            f"{placement.candidate.kind.value}{placement.candidate.resource_index}"
+        )
+        self.metrics.record_finish(entry.key, self.engine.now, label)
+        self.active.pop(entry.key, None)
+        self._output_sites[(entry.job_id, entry.task.task_id)] = (
+            placement.candidate.node_id
+        )
+        if entry.job_id is not None and not entry.silent:
+            self.jss.mark_completed(entry.job_id, entry.task.task_id, time=self.engine.now)
+        if entry.on_complete is not None:
+            entry.on_complete(entry)
+        self._dispatch_pending()
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None, max_events: int | None = None) -> SimulationReport:
+        self.engine.run(until=until, max_events=max_events)
+        return self.metrics.report(self.engine.now)

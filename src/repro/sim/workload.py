@@ -1,0 +1,302 @@
+"""Synthetic workloads: arrival processes and task generators.
+
+DReAMSim's inputs are "a given number of tasks, grid nodes,
+configurations, task arrival distributions, area ranges, and task
+required times" (Section V).  This module generates exactly those:
+
+* :class:`PoissonArrivals` / :class:`UniformArrivals` /
+  :class:`DeterministicArrivals` -- the task arrival distributions.
+* :class:`ConfigurationPool` -- the "configurations": K distinct
+  hardware functions with slice footprints drawn from an area range.
+  The pool also pre-populates a bitstream repository for every catalog
+  device a grid offers, so the virtualization layer can resolve any
+  (function, device) pair and configuration *reuse* emerges naturally
+  when the pool is small relative to the task count.
+* :class:`SyntheticWorkload` -- draws tasks (PE class mix, required
+  times, data sizes, functions) with a seeded generator; identical
+  seeds give identical workloads.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.execreq import Artifacts, ExecReq, MinValue
+from repro.core.task import DataIn, DataOut, EXTERNAL_SOURCE, Task
+from repro.grid.virtualizer import BitstreamRepository
+from repro.hardware.bitstream import Bitstream
+from repro.hardware.fpga import FPGADevice
+from repro.hardware.taxonomy import PEClass
+
+_bitstream_ids = itertools.count(10_000)
+
+
+class ArrivalProcess(ABC):
+    """A stochastic (or deterministic) task inter-arrival process."""
+
+    @abstractmethod
+    def interarrival(self, rng: np.random.Generator) -> float:
+        """Draw the gap to the next arrival (seconds, >= 0)."""
+
+    def arrival_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Cumulative arrival times of *n* tasks starting at t=0+gap."""
+        if n < 0:
+            raise ValueError("task count must be non-negative")
+        gaps = np.array([self.interarrival(rng) for _ in range(n)])
+        return np.cumsum(gaps)
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Poisson process: exponential inter-arrival with given rate."""
+
+    rate_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ValueError("arrival rate must be positive")
+
+    def interarrival(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(1.0 / self.rate_per_s))
+
+
+@dataclass(frozen=True)
+class UniformArrivals(ArrivalProcess):
+    """Uniform inter-arrival in [low, high]."""
+
+    low_s: float
+    high_s: float
+
+    def __post_init__(self) -> None:
+        if self.low_s < 0 or self.high_s < self.low_s:
+            raise ValueError("need 0 <= low <= high")
+
+    def interarrival(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low_s, self.high_s))
+
+
+@dataclass(frozen=True)
+class DeterministicArrivals(ArrivalProcess):
+    """Fixed inter-arrival gap."""
+
+    interval_s: float
+
+    def __post_init__(self) -> None:
+        if self.interval_s < 0:
+            raise ValueError("interval must be non-negative")
+
+    def interarrival(self, rng: np.random.Generator) -> float:
+        return self.interval_s
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replay explicit arrival times (trace-driven simulation).
+
+    Times must be non-decreasing; generating more tasks than the trace
+    holds raises rather than inventing arrivals.
+    """
+
+    def __init__(self, times: list[float]):
+        if not times:
+            raise ValueError("a trace needs at least one arrival")
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("trace times must be non-decreasing")
+        if times[0] < 0:
+            raise ValueError("trace times must be non-negative")
+        self.times = list(times)
+        self._cursor = 0
+        self._last = 0.0
+
+    def interarrival(self, rng: np.random.Generator) -> float:
+        if self._cursor >= len(self.times):
+            raise ValueError(
+                f"trace exhausted after {len(self.times)} arrivals"
+            )
+        gap = self.times[self._cursor] - self._last
+        self._last = self.times[self._cursor]
+        self._cursor += 1
+        return gap
+
+    def arrival_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n < 0:
+            raise ValueError("task count must be non-negative")
+        if n > len(self.times) - self._cursor:
+            raise ValueError(
+                f"trace has {len(self.times) - self._cursor} arrivals left; {n} requested"
+            )
+        # Return the absolute trace times directly (cumulating gaps
+        # would lose the offset after partial interarrival consumption).
+        out = np.asarray(self.times[self._cursor : self._cursor + n], dtype=float)
+        self._cursor += n
+        if n:
+            self._last = float(out[-1])
+        return out
+
+
+@dataclass(frozen=True)
+class PoolEntry:
+    """One hardware function in the configuration pool."""
+
+    function: str
+    required_slices: int
+    speedup_vs_gpp: float
+
+
+class ConfigurationPool:
+    """K distinct hardware functions with slice footprints in a range.
+
+    ``populate_repository`` synthesizes a bitstream of every function
+    for every given device (provider-side, as in Section III-B2), so
+    tasks can reference functions by name only.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        area_range: tuple[int, int] = (2_000, 20_000),
+        speedup_range: tuple[float, float] = (5.0, 40.0),
+        seed: int = 0,
+    ):
+        if size <= 0:
+            raise ValueError("pool size must be positive")
+        lo, hi = area_range
+        if lo <= 0 or hi < lo:
+            raise ValueError("need 0 < area_lo <= area_hi")
+        slo, shi = speedup_range
+        if slo <= 0 or shi < slo:
+            raise ValueError("need 0 < speedup_lo <= speedup_hi")
+        rng = np.random.default_rng(seed)
+        self.entries: list[PoolEntry] = [
+            PoolEntry(
+                function=f"hwfunc_{i:03d}",
+                required_slices=int(rng.integers(lo, hi + 1)),
+                speedup_vs_gpp=float(rng.uniform(slo, shi)),
+            )
+            for i in range(size)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def entry(self, function: str) -> PoolEntry:
+        for e in self.entries:
+            if e.function == function:
+                return e
+        raise KeyError(f"pool has no function {function!r}")
+
+    def populate_repository(
+        self, repository: BitstreamRepository, devices: list[FPGADevice]
+    ) -> int:
+        """Store a bitstream for every (function, device) pair that
+        fits; returns the number stored."""
+        stored = 0
+        for device in devices:
+            for entry in self.entries:
+                if entry.required_slices > device.slices:
+                    continue
+                repository.put(
+                    Bitstream(
+                        bitstream_id=next(_bitstream_ids),
+                        target_model=device.model,
+                        size_bytes=device.bitstream_size_bytes(entry.required_slices),
+                        required_slices=entry.required_slices,
+                        implements=entry.function,
+                        speedup_vs_gpp=entry.speedup_vs_gpp,
+                    )
+                )
+                stored += 1
+        return stored
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameter set for synthetic task generation (the DReAMSim knobs).
+
+    ``gpp_fraction`` of tasks are software-only (GPP class); the rest
+    are hardware tasks drawn from the configuration pool.  Required
+    times are the *reference-GPP* times; hardware tasks run
+    ``speedup_vs_gpp`` faster on fabric.
+    """
+
+    task_count: int = 100
+    gpp_fraction: float = 0.5
+    required_time_range_s: tuple[float, float] = (0.5, 5.0)
+    data_size_range_bytes: tuple[int, int] = (1 << 16, 1 << 22)
+    reference_mips: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.task_count < 0:
+            raise ValueError("task count must be non-negative")
+        if not 0.0 <= self.gpp_fraction <= 1.0:
+            raise ValueError("gpp_fraction must be in [0, 1]")
+        lo, hi = self.required_time_range_s
+        if lo <= 0 or hi < lo:
+            raise ValueError("need 0 < time_lo <= time_hi")
+        dlo, dhi = self.data_size_range_bytes
+        if dlo < 0 or dhi < dlo:
+            raise ValueError("need 0 <= data_lo <= data_hi")
+
+
+class SyntheticWorkload:
+    """Seeded generator of (arrival_time, Task) streams."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        pool: ConfigurationPool,
+        arrivals: ArrivalProcess,
+        *,
+        seed: int = 0,
+        first_task_id: int = 0,
+    ):
+        self.spec = spec
+        self.pool = pool
+        self.arrivals = arrivals
+        self.seed = seed
+        self.first_task_id = first_task_id
+
+    def generate(self) -> list[tuple[float, Task]]:
+        """Produce the full arrival stream, deterministically."""
+        rng = np.random.default_rng(self.seed)
+        times = self.arrivals.arrival_times(self.spec.task_count, rng)
+        out: list[tuple[float, Task]] = []
+        for i in range(self.spec.task_count):
+            task_id = self.first_task_id + i
+            ref_time = float(rng.uniform(*self.spec.required_time_range_s))
+            data_bytes = int(rng.integers(*self.spec.data_size_range_bytes))
+            workload_mi = ref_time * self.spec.reference_mips
+            if rng.random() < self.spec.gpp_fraction:
+                task = Task(
+                    task_id=task_id,
+                    data_in=(DataIn(EXTERNAL_SOURCE, 0, data_bytes),),
+                    data_out=(DataOut(0, data_bytes // 2),),
+                    exec_req=ExecReq(
+                        node_type=PEClass.GPP,
+                        artifacts=Artifacts(application_code="synthetic", input_data_bytes=data_bytes),
+                    ),
+                    t_estimated=ref_time,
+                    workload_mi=workload_mi,
+                    function="",
+                )
+            else:
+                entry = self.pool.entries[int(rng.integers(len(self.pool.entries)))]
+                task = Task(
+                    task_id=task_id,
+                    data_in=(DataIn(EXTERNAL_SOURCE, 0, data_bytes),),
+                    data_out=(DataOut(0, data_bytes // 2),),
+                    exec_req=ExecReq(
+                        node_type=PEClass.RPE,
+                        constraints=(MinValue("slices", entry.required_slices),),
+                        artifacts=Artifacts(application_code="synthetic", input_data_bytes=data_bytes),
+                    ),
+                    t_estimated=ref_time / entry.speedup_vs_gpp,
+                    workload_mi=workload_mi,
+                    function=entry.function,
+                )
+            out.append((float(times[i]), task))
+        return out

@@ -1,0 +1,109 @@
+"""Unit tests for guide-tree construction."""
+
+import numpy as np
+import pytest
+
+from repro.bioinfo.guidetree import TreeNode, neighbor_joining, upgma
+
+
+def simple_distances():
+    """4 taxa: {0,1} close, {2,3} close, the groups far apart."""
+    d = np.array(
+        [
+            [0.0, 0.1, 0.8, 0.9],
+            [0.1, 0.0, 0.85, 0.8],
+            [0.8, 0.85, 0.0, 0.1],
+            [0.9, 0.8, 0.1, 0.0],
+        ]
+    )
+    return d
+
+
+class TestTreeNode:
+    def test_leaf_and_internal_validation(self):
+        leaf = TreeNode(leaf=3)
+        assert leaf.is_leaf
+        with pytest.raises(ValueError):
+            TreeNode()  # neither leaf nor internal
+        with pytest.raises(ValueError):
+            TreeNode(left=leaf)  # one child only
+        with pytest.raises(ValueError):
+            TreeNode(leaf=1, left=leaf, right=leaf)  # both
+
+    def test_leaves_in_order(self):
+        tree = TreeNode(left=TreeNode(leaf=2), right=TreeNode(left=TreeNode(leaf=0), right=TreeNode(leaf=1)))
+        assert tree.leaves() == [2, 0, 1]
+
+    def test_merge_order_is_postorder(self):
+        inner = TreeNode(left=TreeNode(leaf=0), right=TreeNode(leaf=1))
+        root = TreeNode(left=inner, right=TreeNode(leaf=2))
+        order = root.merge_order()
+        assert order == [inner, root]
+
+    def test_newick_rendering(self):
+        tree = TreeNode(left=TreeNode(leaf=0), right=TreeNode(leaf=1))
+        assert tree.newick() == "(s0,s1)"
+        assert tree.newick(["alpha", "beta"]) == "(alpha,beta)"
+
+
+class TestUPGMA:
+    def test_clusters_close_pairs_first(self):
+        tree = upgma(simple_distances())
+        # The two shallow internal nodes must be {0,1} and {2,3}.
+        merges = tree.merge_order()
+        first_two = [set(node.leaves()) for node in merges[:2]]
+        assert {0, 1} in first_two and {2, 3} in first_two
+
+    def test_all_leaves_present(self):
+        tree = upgma(simple_distances())
+        assert sorted(tree.leaves()) == [0, 1, 2, 3]
+
+    def test_heights_monotone_up_the_tree(self):
+        tree = upgma(simple_distances())
+        for node in tree.merge_order():
+            for child in (node.left, node.right):
+                if not child.is_leaf:
+                    assert node.height >= child.height
+
+    def test_two_taxa(self):
+        tree = upgma(np.array([[0.0, 0.4], [0.4, 0.0]]))
+        assert sorted(tree.leaves()) == [0, 1]
+        assert tree.height == pytest.approx(0.2)
+
+    @pytest.mark.parametrize(
+        "matrix,message",
+        [
+            (np.zeros((2, 3)), "square"),
+            (np.array([[0.0, 1.0], [2.0, 0.0]]), "symmetric"),
+            (np.array([[1.0, 1.0], [1.0, 0.0]]), "zero diagonal"),
+            (np.array([[0.0, -1.0], [-1.0, 0.0]]), "non-negative"),
+            (np.zeros((1, 1)), "two taxa"),
+        ],
+    )
+    def test_input_validation(self, matrix, message):
+        with pytest.raises(ValueError, match=message):
+            upgma(matrix)
+
+
+class TestNeighborJoining:
+    def test_partitions_match_structure(self):
+        tree = neighbor_joining(simple_distances())
+        assert sorted(tree.leaves()) == [0, 1, 2, 3]
+        merges = tree.merge_order()
+        grouped = [set(node.leaves()) for node in merges if len(node.leaves()) == 2]
+        assert {0, 1} in grouped or {2, 3} in grouped
+
+    def test_three_taxa(self):
+        d = np.array(
+            [
+                [0.0, 0.2, 0.7],
+                [0.2, 0.0, 0.6],
+                [0.7, 0.6, 0.0],
+            ]
+        )
+        tree = neighbor_joining(d)
+        assert sorted(tree.leaves()) == [0, 1, 2]
+
+    def test_validation_shared_with_upgma(self):
+        with pytest.raises(ValueError):
+            neighbor_joining(np.zeros((2, 3)))

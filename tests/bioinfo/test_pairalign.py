@@ -1,0 +1,193 @@
+"""Unit tests for the pairwise alignment kernels."""
+
+import numpy as np
+import pytest
+
+from repro.bioinfo.pairalign import (
+    AlignmentResult,
+    GAP_CHAR,
+    OP_DEL,
+    OP_INS,
+    OP_MATCH,
+    align_pair,
+    diff,
+    forward_pass,
+    gotoh_reference,
+    hirschberg_align,
+    needleman_wunsch_reference,
+    pairalign,
+    tracepath,
+)
+from repro.bioinfo.scoring import GapPenalty, blosum62, dna_matrix
+from repro.bioinfo.sequences import Sequence, synthetic_family
+
+
+@pytest.fixture(scope="module")
+def protein():
+    return blosum62()
+
+
+@pytest.fixture(scope="module")
+def gap():
+    return GapPenalty(10.0, 0.5)
+
+
+class TestWavefrontCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_score_matches_reference(self, protein, gap, seed):
+        fam = synthetic_family(2, 40, seed=seed, divergence=0.3, indel_rate=0.1)
+        a, b = fam[0].residues, fam[1].residues
+        ref = gotoh_reference(a, b, protein, gap)
+        fast = forward_pass(protein.encode(a), protein.encode(b), protein, gap)
+        assert fast == pytest.approx(ref)
+
+    def test_identical_sequences_score_self_alignment(self, protein, gap):
+        s = "ARNDCQEGHILK"
+        x = protein.encode(s)
+        expected = sum(protein.score(c, c) for c in s)
+        assert forward_pass(x, x, protein, gap) == pytest.approx(expected)
+
+    def test_asymmetric_lengths(self, protein, gap):
+        a, b = "ARND", "ARNDCQEGHILKMFPST"
+        ref = gotoh_reference(a, b, protein, gap)
+        assert forward_pass(protein.encode(a), protein.encode(b), protein, gap) == pytest.approx(ref)
+
+    def test_single_residues(self, protein, gap):
+        assert forward_pass(
+            protein.encode("A"), protein.encode("A"), protein, gap
+        ) == pytest.approx(protein.score("A", "A"))
+
+    def test_score_symmetric_in_arguments(self, protein, gap):
+        a, b = "ARNDCQE", "MFPSTWY"
+        s1 = forward_pass(protein.encode(a), protein.encode(b), protein, gap)
+        s2 = forward_pass(protein.encode(b), protein.encode(a), protein, gap)
+        assert s1 == pytest.approx(s2)
+
+
+class TestAlignPair:
+    def test_alignment_recovers_inputs(self, protein, gap):
+        fam = synthetic_family(2, 60, seed=5)
+        result = align_pair(fam[0], fam[1], protein, gap)
+        assert result.aligned_x.replace(GAP_CHAR, "") == fam[0].residues
+        assert result.aligned_y.replace(GAP_CHAR, "") == fam[1].residues
+
+    def test_no_double_gap_columns(self, protein, gap):
+        fam = synthetic_family(2, 60, seed=6, indel_rate=0.1)
+        result = align_pair(fam[0], fam[1], protein, gap)
+        for a, b in zip(result.aligned_x, result.aligned_y):
+            assert not (a == GAP_CHAR and b == GAP_CHAR)
+
+    def test_traceback_score_equals_dp_score(self, protein, gap):
+        fam = synthetic_family(2, 50, seed=7, indel_rate=0.08)
+        result = align_pair(fam[0], fam[1], protein, gap)
+        # Recompute affine score from the alignment strings.
+        score, prev = 0.0, None
+        for a, b in zip(result.aligned_x, result.aligned_y):
+            if a == GAP_CHAR:
+                score -= gap.extend if prev == "E" else gap.open
+                prev = "E"
+            elif b == GAP_CHAR:
+                score -= gap.extend if prev == "F" else gap.open
+                prev = "F"
+            else:
+                score += protein.score(a, b)
+                prev = "M"
+        assert score == pytest.approx(result.score)
+
+    def test_identity_of_identical_sequences(self, protein, gap):
+        s = Sequence("a", "ARNDCQEGHILKMFPSTWYV")
+        result = align_pair(s, s, protein, gap)
+        assert result.identity == 1.0
+
+    def test_affine_gaps_preferred_over_scattered(self):
+        # With a big open and tiny extend, the aligner should produce one
+        # long gap rather than many short ones.
+        m = dna_matrix()
+        gap = GapPenalty(20.0, 0.1)
+        a = Sequence("a", "ACGTACGTACGT")
+        b = Sequence("b", "ACGTACGT")
+        result = align_pair(a, b, m, gap)
+        gap_runs = [run for run in result.aligned_y.split("".join(set("ACGT"))) if run]
+        # Count contiguous gap runs directly:
+        runs, in_gap = 0, False
+        for ch in result.aligned_y:
+            if ch == GAP_CHAR and not in_gap:
+                runs += 1
+                in_gap = True
+            elif ch != GAP_CHAR:
+                in_gap = False
+        assert runs == 1
+
+
+class TestAlignmentResult:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            AlignmentResult(score=0.0, aligned_x="AB", aligned_y="ABC")
+
+    def test_identity_counts_matches_only(self):
+        r = AlignmentResult(score=0.0, aligned_x="AB-D", aligned_y="ABC-")
+        assert r.identity == pytest.approx(0.5)
+
+
+class TestTracepath:
+    def test_decodes_ops(self):
+        ops = [OP_MATCH, OP_INS, OP_DEL, OP_MATCH]
+        ax, ay = tracepath(ops, "ABC", "XYZ")
+        assert ax == "A-BC"
+        assert ay == "XY-Z"
+
+    def test_incomplete_consumption_rejected(self):
+        with pytest.raises(ValueError, match="consumed"):
+            tracepath([OP_MATCH], "AB", "XY")
+
+
+class TestHirschberg:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_score_matches_nw_reference(self, protein, seed):
+        fam = synthetic_family(2, 45, seed=seed, divergence=0.25, indel_rate=0.08)
+        result = hirschberg_align(fam[0], fam[1], protein, 8.0)
+        ref = needleman_wunsch_reference(fam[0].residues, fam[1].residues, protein, 8.0)
+        assert result.score == pytest.approx(ref)
+
+    def test_alignment_recovers_inputs(self, protein):
+        fam = synthetic_family(2, 70, seed=3)
+        result = hirschberg_align(fam[0], fam[1], protein, 8.0)
+        assert result.aligned_x.replace(GAP_CHAR, "") == fam[0].residues
+        assert result.aligned_y.replace(GAP_CHAR, "") == fam[1].residues
+
+    def test_diff_base_cases(self, protein):
+        x = protein.encode("AR")
+        assert diff(x, np.array([], dtype=np.int8), protein, 8.0) == [OP_DEL, OP_DEL]
+        assert diff(np.array([], dtype=np.int8), x, protein, 8.0) == [OP_INS, OP_INS]
+
+    def test_negative_gap_rejected(self, protein):
+        fam = synthetic_family(2, 10, seed=0)
+        with pytest.raises(ValueError):
+            hirschberg_align(fam[0], fam[1], protein, -1.0)
+
+
+class TestPairalign:
+    def test_distance_matrix_properties(self, protein, gap):
+        fam = synthetic_family(5, 60, seed=8)
+        d = pairalign(fam, protein, gap)
+        assert d.shape == (5, 5)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+        assert (d >= 0).all() and (d <= 1).all()
+
+    def test_close_pair_closer_than_random(self, protein, gap):
+        low = synthetic_family(2, 80, divergence=0.05, seed=9)
+        high = synthetic_family(2, 80, divergence=0.6, seed=9)
+        d_low = pairalign(low, protein, gap)[0, 1]
+        d_high = pairalign(high, protein, gap)[0, 1]
+        assert d_low < d_high
+
+    def test_quick_mode_symmetric(self, protein, gap):
+        fam = synthetic_family(4, 50, seed=10)
+        d = pairalign(fam, protein, gap, full_alignments=False)
+        assert np.allclose(d, d.T)
+        assert (d >= 0).all()
+
+    def test_needs_two_sequences(self, protein, gap):
+        with pytest.raises(ValueError):
+            pairalign(synthetic_family(2, 30, seed=0)[:1], protein, gap)

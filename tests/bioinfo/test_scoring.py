@@ -1,0 +1,103 @@
+"""Unit tests for substitution matrices and gap penalties."""
+
+import numpy as np
+import pytest
+
+from repro.bioinfo.scoring import (
+    GapPenalty,
+    PROTEIN_ALPHABET,
+    SubstitutionMatrix,
+    blosum62,
+    dna_matrix,
+)
+
+
+class TestBlosum62:
+    def test_is_symmetric(self):
+        m = blosum62()
+        assert np.array_equal(m.matrix, m.matrix.T)
+
+    def test_known_entries(self):
+        m = blosum62()
+        assert m.score("W", "W") == 11
+        assert m.score("A", "A") == 4
+        assert m.score("W", "C") == -2
+        assert m.score("I", "V") == 3
+
+    def test_diagonal_dominates_row(self):
+        # Identity should never score worse than substitution.
+        m = blosum62()
+        for a in PROTEIN_ALPHABET:
+            for b in PROTEIN_ALPHABET:
+                assert m.score(a, a) >= m.score(a, b)
+
+    def test_alphabet_has_20_amino_acids(self):
+        assert len(blosum62().alphabet) == 20
+
+
+class TestDnaMatrix:
+    def test_defaults(self):
+        m = dna_matrix()
+        assert m.score("A", "A") == 5
+        assert m.score("A", "G") == -4
+
+    def test_match_must_beat_mismatch(self):
+        with pytest.raises(ValueError):
+            dna_matrix(match=1, mismatch=1)
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        m = blosum62()
+        encoded = m.encode("ARNDV")
+        assert list(encoded) == [m.index_of(c) for c in "ARNDV"]
+
+    def test_lowercase_accepted(self):
+        m = dna_matrix()
+        assert list(m.encode("acgt")) == [0, 1, 2, 3]
+
+    def test_unknown_residue_rejected(self):
+        with pytest.raises(KeyError, match="Z"):
+            blosum62().encode("ARZ")
+        with pytest.raises(KeyError):
+            blosum62().index_of("Z")
+
+    def test_pair_scores_shape_and_values(self):
+        m = dna_matrix()
+        s = m.pair_scores(m.encode("ACG"), m.encode("AG"))
+        assert s.shape == (3, 2)
+        assert s[0, 0] == 5 and s[0, 1] == -4
+
+
+class TestMatrixValidation:
+    def test_asymmetric_rejected(self):
+        bad = np.zeros((2, 2), dtype=np.int16)
+        bad[0, 1] = 3
+        with pytest.raises(ValueError, match="symmetric"):
+            SubstitutionMatrix("bad", "AB", bad)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="alphabet"):
+            SubstitutionMatrix("bad", "ABC", np.zeros((2, 2), dtype=np.int16))
+
+    def test_duplicate_alphabet_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SubstitutionMatrix("bad", "AA", np.zeros((2, 2), dtype=np.int16))
+
+
+class TestGapPenalty:
+    def test_affine_cost(self):
+        gap = GapPenalty(10.0, 0.5)
+        assert gap.cost(0) == 0.0
+        assert gap.cost(1) == 10.0
+        assert gap.cost(4) == pytest.approx(11.5)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            GapPenalty().cost(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GapPenalty(-1, 0)
+        with pytest.raises(ValueError, match="extend"):
+            GapPenalty(1.0, 2.0)

@@ -1,0 +1,121 @@
+"""Unit tests for sequence generation and FASTA IO."""
+
+import numpy as np
+import pytest
+
+from repro.bioinfo.scoring import DNA_ALPHABET, PROTEIN_ALPHABET
+from repro.bioinfo.sequences import (
+    Sequence,
+    mutate,
+    random_sequence,
+    read_fasta,
+    synthetic_family,
+    write_fasta,
+)
+
+
+class TestSequence:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Sequence(seq_id="", residues="ACGT")
+        with pytest.raises(ValueError):
+            Sequence(seq_id="x", residues="")
+
+    def test_len(self):
+        assert len(Sequence("x", "ACGT")) == 4
+
+
+class TestGenerators:
+    def test_random_sequence_uses_alphabet(self):
+        rng = np.random.default_rng(0)
+        seq = random_sequence(500, alphabet=DNA_ALPHABET, rng=rng)
+        assert set(seq.residues) <= set(DNA_ALPHABET)
+        assert len(seq) == 500
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            random_sequence(0)
+
+    def test_mutate_rates_validated(self):
+        seq = Sequence("x", "ACGT" * 10)
+        with pytest.raises(ValueError):
+            mutate(seq, substitution_rate=1.5)
+        with pytest.raises(ValueError):
+            mutate(seq, indel_rate=-0.1)
+
+    def test_mutation_changes_roughly_rate_fraction(self):
+        rng = np.random.default_rng(1)
+        seq = random_sequence(5_000, alphabet=PROTEIN_ALPHABET, rng=rng)
+        mutant = mutate(seq, substitution_rate=0.2, indel_rate=0.0, rng=rng)
+        assert len(mutant) == len(seq)
+        diffs = sum(1 for a, b in zip(seq.residues, mutant.residues) if a != b)
+        assert diffs / len(seq) == pytest.approx(0.2, abs=0.03)
+
+    def test_zero_rates_is_identity(self):
+        seq = Sequence("x", "ACGTACGT")
+        mutant = mutate(seq, substitution_rate=0.0, indel_rate=0.0)
+        assert mutant.residues == seq.residues
+
+    def test_family_deterministic_under_seed(self):
+        a = synthetic_family(5, 100, seed=9)
+        b = synthetic_family(5, 100, seed=9)
+        assert [s.residues for s in a] == [s.residues for s in b]
+        c = synthetic_family(5, 100, seed=10)
+        assert [s.residues for s in a] != [s.residues for s in c]
+
+    def test_family_members_are_homologous(self):
+        # Low divergence keeps most residues identical to the ancestor,
+        # so members stay pairwise similar.
+        family = synthetic_family(4, 300, divergence=0.05, indel_rate=0.0, seed=2)
+        a, b = family[0].residues, family[1].residues
+        same = sum(1 for x, y in zip(a, b) if x == y)
+        assert same / min(len(a), len(b)) > 0.8
+
+    def test_family_ids_unique(self):
+        family = synthetic_family(6, 50, seed=0)
+        ids = [s.seq_id for s in family]
+        assert len(set(ids)) == 6
+
+
+class TestFasta:
+    def test_roundtrip(self, tmp_path):
+        family = synthetic_family(5, 137, seed=4)
+        path = tmp_path / "family.fasta"
+        write_fasta(family, path, width=60)
+        loaded = read_fasta(path)
+        assert [(s.seq_id, s.residues) for s in loaded] == [
+            (s.seq_id, s.residues) for s in family
+        ]
+
+    def test_description_preserved(self, tmp_path):
+        seq = Sequence("id1", "ACGT", description="a test record")
+        path = tmp_path / "one.fasta"
+        write_fasta([seq], path)
+        assert read_fasta(path)[0].description == "a test record"
+
+    def test_wrapping_respected(self, tmp_path):
+        seq = Sequence("id1", "A" * 100)
+        path = tmp_path / "wrap.fasta"
+        write_fasta([seq], path, width=30)
+        lines = path.read_text().splitlines()
+        assert max(len(l) for l in lines[1:]) <= 30
+
+    def test_malformed_inputs(self, tmp_path):
+        no_header = tmp_path / "a.fasta"
+        no_header.write_text("ACGT\n")
+        with pytest.raises(ValueError, match="before any header"):
+            read_fasta(no_header)
+
+        empty_header = tmp_path / "b.fasta"
+        empty_header.write_text(">\nACGT\n")
+        with pytest.raises(ValueError, match="empty FASTA header"):
+            read_fasta(empty_header)
+
+        no_residues = tmp_path / "c.fasta"
+        no_residues.write_text(">x\n>y\nACGT\n")
+        with pytest.raises(ValueError, match="no residues"):
+            read_fasta(no_residues)
+
+    def test_invalid_width(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_fasta([Sequence("x", "ACGT")], tmp_path / "w.fasta", width=0)

@@ -1,0 +1,110 @@
+"""Unit tests for ClustalW sequence weighting."""
+
+import numpy as np
+import pytest
+
+from repro.bioinfo.clustalw import clustalw
+from repro.bioinfo.guidetree import TreeNode, upgma
+from repro.bioinfo.malign import Profile
+from repro.bioinfo.pairalign import GAP_CHAR, pairalign
+from repro.bioinfo.scoring import GapPenalty, blosum62
+from repro.bioinfo.sequences import Sequence, synthetic_family
+from repro.bioinfo.weights import sequence_weights, weighted_profile
+
+
+def three_taxa_tree():
+    """Ultrametric tree: leaves 0 and 1 are close (joined at height
+    0.1), leaf 2 is distant (root at height 0.5)."""
+    inner = TreeNode(left=TreeNode(leaf=0), right=TreeNode(leaf=1), height=0.1)
+    return TreeNode(left=inner, right=TreeNode(leaf=2), height=0.5)
+
+
+class TestSequenceWeights:
+    def test_hand_computed_weights(self):
+        weights = sequence_weights(three_taxa_tree(), normalize=False)
+        # Leaf 0: own branch 0.1 + half of the shared 0.4 branch.
+        assert weights[0] == pytest.approx(0.1 + 0.4 / 2)
+        assert weights[1] == pytest.approx(0.1 + 0.4 / 2)
+        # Leaf 2: its own branch straight from the root.
+        assert weights[2] == pytest.approx(0.5)
+
+    def test_divergent_sequence_weighs_more(self):
+        weights = sequence_weights(three_taxa_tree())
+        assert weights[2] > weights[0]
+        assert weights[0] == pytest.approx(weights[1])
+
+    def test_normalization_mean_is_one(self):
+        weights = sequence_weights(three_taxa_tree())
+        assert np.mean(list(weights.values())) == pytest.approx(1.0)
+
+    def test_degenerate_tree_uniform(self):
+        # Identical sequences -> zero distances -> zero-height tree.
+        tree = TreeNode(left=TreeNode(leaf=0), right=TreeNode(leaf=1), height=0.0)
+        assert sequence_weights(tree) == {0: 1.0, 1: 1.0}
+
+    def test_duplicates_get_downweighted_from_real_distances(self):
+        base = synthetic_family(3, 60, seed=1)
+        twin = Sequence("twin", base[0].residues)  # exact duplicate of seq 0
+        family = base + [twin]
+        matrix, gap = blosum62(), GapPenalty(10.0, 0.5)
+        tree = upgma(pairalign(family, matrix, gap))
+        weights = sequence_weights(tree)
+        # The duplicated pair (indices 0 and 3) share all branches, so
+        # each weighs less than the unique sequences.
+        assert weights[0] < weights[1]
+        assert weights[3] < weights[1]
+        assert weights[0] == pytest.approx(weights[3], rel=1e-6)
+
+
+class TestWeightedProfile:
+    def test_weighted_frequencies(self):
+        matrix = blosum62()
+        members = [(0, "A"), (1, "R")]
+        profile = weighted_profile(members, matrix, {0: 3.0, 1: 1.0})
+        assert profile.frequencies[0, matrix.index_of("A")] == pytest.approx(0.75)
+        assert profile.frequencies[0, matrix.index_of("R")] == pytest.approx(0.25)
+
+    def test_uniform_weights_match_unweighted(self):
+        matrix = blosum62()
+        members = [(0, "AR-"), (1, "ARN")]
+        weighted = weighted_profile(members, matrix, {0: 1.0, 1: 1.0})
+        plain = Profile.from_members(members, matrix)
+        assert np.allclose(weighted.frequencies, plain.frequencies)
+        assert np.allclose(weighted.gap_fraction, plain.gap_fraction)
+
+    def test_missing_weight_rejected(self):
+        with pytest.raises(KeyError, match="no weights"):
+            weighted_profile([(0, "A")], blosum62(), {1: 1.0})
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            weighted_profile([(0, "A")], blosum62(), {0: 0.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_profile([], blosum62(), {})
+
+
+class TestWeightedClustalW:
+    def test_invariants_hold_with_weights(self):
+        family = synthetic_family(6, 60, seed=2)
+        result = clustalw(family, use_weights=True)
+        assert len({len(s.residues) for s in result.alignment}) == 1
+        for original, aligned in zip(family, result.alignment):
+            assert aligned.residues.replace(GAP_CHAR, "") == original.residues
+
+    def test_weighting_resists_duplicate_flooding(self):
+        """Flood the input with copies of one sequence; the weighted
+        alignment of the *unique* sequences should not get worse than
+        the unweighted one (copies dominate unweighted profiles)."""
+        base = synthetic_family(4, 60, seed=3, divergence=0.25, indel_rate=0.05)
+        flooded = base + [
+            Sequence(f"copy{i}", base[0].residues) for i in range(4)
+        ]
+        unweighted = clustalw(flooded, use_weights=False)
+        weighted = clustalw(flooded, use_weights=True)
+        # Both remain valid MSAs.
+        for result in (unweighted, weighted):
+            assert len({len(s.residues) for s in result.alignment}) == 1
+        # Weighted SP score over all pairs must stay competitive.
+        assert weighted.sp_score >= unweighted.sp_score * 0.95

@@ -1,0 +1,44 @@
+"""End-to-end test of the Section V methodology."""
+
+import pytest
+
+from repro.casestudy.pipeline import run_case_study
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    # Small family: the pipeline's *structure* is under test, not the
+    # profile percentages (those are benched with a realistic size).
+    return run_case_study(family_size=8, sequence_length=60, seed=0)
+
+
+class TestCaseStudyPipeline:
+    def test_pairalign_dominates_profile(self, outcome):
+        assert outcome.pairalign_pct > 50.0
+        assert outcome.pairalign_pct > outcome.malign_pct
+
+    def test_top10_has_known_kernels(self, outcome):
+        names = {row.name for row in outcome.profile_rows}
+        assert "pairalign" in names or "_wavefront" in names
+        assert any("malign" in n or "pdiff" in n for n in names)
+
+    def test_quipu_anchors_reproduced(self, outcome):
+        assert outcome.pairalign_slices == 30_790
+        assert outcome.malign_slices == 18_707
+
+    def test_table2_matches_paper(self, outcome):
+        assert outcome.matches_paper_table2
+
+    def test_all_four_tasks_execute(self, outcome):
+        assert outcome.simulation.completed == 4
+        assert outcome.simulation.discarded == 0
+        kinds = outcome.simulation.tasks_by_pe_kind
+        assert kinds.get("GPP", 0) == 1
+        assert kinds.get("RPE", 0) == 3
+
+    def test_profiler_left_no_patches(self, outcome):
+        import importlib
+
+        pa = importlib.import_module("repro.bioinfo.pairalign")
+        assert pa.pairalign.__module__ == "repro.bioinfo.pairalign"
+        assert not hasattr(pa.pairalign, "__wrapped__")

@@ -1,0 +1,97 @@
+"""Unit tests for the Figure 2 abstraction levels."""
+
+import pytest
+
+from repro.core.abstraction import AbstractionLevel, SubmissionError, validate_artifacts
+from repro.core.execreq import Artifacts
+from repro.hardware.bitstream import Bitstream, HDLDesign
+from repro.hardware.softcore import RHO_VEX_4ISSUE
+
+ALL = list(AbstractionLevel)
+
+
+class TestOrdering:
+    def test_rank_order_matches_figure2(self):
+        assert (
+            AbstractionLevel.DEVICE_SPECIFIC_HW.rank
+            < AbstractionLevel.USER_DEFINED_HW.rank
+            < AbstractionLevel.PREDETERMINED_HW.rank
+            < AbstractionLevel.SOFTWARE_ONLY.rank
+        )
+
+    def test_lt_uses_rank(self):
+        assert AbstractionLevel.DEVICE_SPECIFIC_HW < AbstractionLevel.SOFTWARE_ONLY
+
+    def test_performance_monotone_decreasing_in_abstraction(self):
+        # Section III-C: lower abstraction -> more performance.
+        ordered = sorted(ALL, key=lambda l: l.rank)
+        perfs = [l.performance_factor for l in ordered]
+        assert perfs == sorted(perfs, reverse=True)
+
+    def test_effort_monotone_decreasing_in_abstraction(self):
+        ordered = sorted(ALL, key=lambda l: l.rank)
+        efforts = [l.development_effort for l in ordered]
+        assert efforts == sorted(efforts, reverse=True)
+
+    def test_device_specific_is_reference(self):
+        assert AbstractionLevel.DEVICE_SPECIFIC_HW.performance_factor == 1.0
+        assert AbstractionLevel.DEVICE_SPECIFIC_HW.development_effort == 1.0
+
+
+class TestProviderRequirements:
+    def test_only_user_defined_needs_cad_tools(self):
+        # Section III-B2 vs III-B3.
+        for level in ALL:
+            expected = level is AbstractionLevel.USER_DEFINED_HW
+            assert level.provider_needs_cad_tools is expected
+
+    def test_visibility_strings(self):
+        assert "soft-core" in AbstractionLevel.PREDETERMINED_HW.visible_to_user
+        assert "fabric" in AbstractionLevel.USER_DEFINED_HW.visible_to_user
+        assert "devices" in AbstractionLevel.DEVICE_SPECIFIC_HW.visible_to_user
+
+
+class TestValidation:
+    def make_bitstream(self):
+        return Bitstream(1, "XC5VLX110", 1_000, 100, implements="x")
+
+    def make_hdl(self):
+        return HDLDesign("acc", "VHDL", 100, estimated_slices=500)
+
+    def test_code_always_required(self):
+        for level in ALL:
+            with pytest.raises(SubmissionError, match="application code"):
+                validate_artifacts(level, Artifacts())
+
+    def test_software_only_needs_nothing_else(self):
+        validate_artifacts(AbstractionLevel.SOFTWARE_ONLY, Artifacts(application_code="x"))
+
+    def test_predetermined_needs_softcore(self):
+        with pytest.raises(SubmissionError, match="soft-core"):
+            validate_artifacts(
+                AbstractionLevel.PREDETERMINED_HW, Artifacts(application_code="x")
+            )
+        validate_artifacts(
+            AbstractionLevel.PREDETERMINED_HW,
+            Artifacts(application_code="x", softcore=RHO_VEX_4ISSUE),
+        )
+
+    def test_user_defined_needs_hdl(self):
+        with pytest.raises(SubmissionError, match="HDL"):
+            validate_artifacts(
+                AbstractionLevel.USER_DEFINED_HW, Artifacts(application_code="x")
+            )
+        validate_artifacts(
+            AbstractionLevel.USER_DEFINED_HW,
+            Artifacts(application_code="x", hdl_design=self.make_hdl()),
+        )
+
+    def test_device_specific_needs_bitstream(self):
+        with pytest.raises(SubmissionError, match="bitstream"):
+            validate_artifacts(
+                AbstractionLevel.DEVICE_SPECIFIC_HW, Artifacts(application_code="x")
+            )
+        validate_artifacts(
+            AbstractionLevel.DEVICE_SPECIFIC_HW,
+            Artifacts(application_code="x", bitstream=self.make_bitstream()),
+        )

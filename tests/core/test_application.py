@@ -1,0 +1,108 @@
+"""Unit tests for the Eq. 3/4 application model and parser."""
+
+import pytest
+
+from repro.core.application import (
+    Application,
+    Clause,
+    ClauseKind,
+    EQUATION_4,
+    Par,
+    Seq,
+    Stream,
+    parse_application,
+)
+
+
+class TestClauses:
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError):
+            Clause(ClauseKind.SEQ, ())
+
+    def test_seq_steps_are_singletons(self):
+        assert Seq(5, 10).steps() == [[5], [10]]
+
+    def test_par_steps_are_one_batch(self):
+        assert Par(4, 1, 7).steps() == [[4, 1, 7]]
+
+    def test_stream_steps_like_seq(self):
+        assert Stream(1, 2).steps() == [[1], [2]]
+
+    def test_describe(self):
+        assert Par(4, 1, 7).describe() == "Par(T4, T1, T7)"
+
+
+class TestApplication:
+    def eq4(self) -> Application:
+        return Application(clauses=(Seq(2), Par(4, 1, 7), Seq(5, 10)))
+
+    def test_needs_a_clause(self):
+        with pytest.raises(ValueError):
+            Application(clauses=())
+
+    def test_task_cannot_repeat_across_clauses(self):
+        with pytest.raises(ValueError, match="more than one clause"):
+            Application(clauses=(Seq(1), Par(1, 2)))
+
+    def test_execution_steps_figure8(self):
+        # Figure 8: T2, then T1/T4/T7 together, then T5, then T10.
+        assert self.eq4().execution_steps() == [[2], [4, 1, 7], [5], [10]]
+
+    def test_task_ids_in_clause_order(self):
+        assert self.eq4().task_ids == (2, 4, 1, 7, 5, 10)
+
+    def test_makespan_sums_step_maxima(self):
+        durations = {2: 1.0, 4: 2.0, 1: 5.0, 7: 3.0, 5: 1.0, 10: 2.0}
+        # 1 + max(2,5,3) + 1 + 2 = 9
+        assert self.eq4().makespan(durations) == pytest.approx(9.0)
+
+    def test_makespan_missing_duration(self):
+        with pytest.raises(KeyError):
+            self.eq4().makespan({2: 1.0})
+
+    def test_describe_roundtrips_through_parser(self):
+        app = self.eq4()
+        reparsed = parse_application(app.describe())
+        assert reparsed.clauses == app.clauses
+
+
+class TestParser:
+    def test_equation_4(self):
+        app = parse_application(EQUATION_4)
+        assert app.execution_steps() == [[2], [4, 1, 7], [5], [10]]
+
+    def test_papers_typo_form_accepted(self):
+        # The paper prints "Seq,(T5, T10)" -- comma between keyword and list.
+        app = parse_application("App{Seq(T2), Par(T4, T1, T7), Seq,(T5, T10)}")
+        assert app.execution_steps() == [[2], [4, 1, 7], [5], [10]]
+
+    def test_bare_numbers_accepted(self):
+        app = parse_application("Seq(2), Par(4, 1)")
+        assert app.task_ids == (2, 4, 1)
+
+    def test_stream_keyword(self):
+        app = parse_application("App{Stream(T0, T1, T2)}")
+        assert app.clauses[0].kind is ClauseKind.STREAM
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError, match="no tasks"):
+            parse_application("App{Seq()}")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_application("App{Frobnicate(T1)}")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ValueError, match="unrecognized"):
+            parse_application("Seq(T1) and then some")
+
+    def test_garbage_between_clauses_rejected(self):
+        with pytest.raises(ValueError, match="unrecognized"):
+            parse_application("Seq(T1) xyz Par(T2)")
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(ValueError, match="no clauses"):
+            parse_application("App{}")
+
+    def test_name_is_attached(self):
+        assert parse_application("Seq(T1)", name="demo").name == "demo"

@@ -1,0 +1,118 @@
+"""Tests for the GPU extension class end to end.
+
+Section III: the framework "is extendable to add more types of
+processing elements."  These tests prove the extension point works all
+the way through: node model, Eq. 1 state, matchmaking, RMS lifecycle,
+simulation, and energy audit.
+"""
+
+import pytest
+
+from repro.core.execreq import Artifacts, ExecReq, MinValue
+from repro.core.node import Node, ResourceError
+from repro.core.state import PEState
+from repro.core.task import simple_task
+from repro.core.matching import find_candidates
+from repro.grid.rms import ResourceManagementSystem
+from repro.hardware.gpp import GPPSpec
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.taxonomy import PEClass
+from repro.sim.energy import EnergyAuditor
+from repro.sim.simulator import DReAMSim
+
+
+@pytest.fixture
+def node():
+    n = Node(node_id=0, name="Node_0")
+    n.add_gpp(GPPSpec(cpu_model="Xeon", mips=2_000))
+    n.add_gpu(GPUSpec(model="Tesla-C1060", shader_cores=240))
+    n.add_gpu(GPUSpec(model="Tesla-C870", shader_cores=128))
+    return n
+
+
+def gpu_task(task_id=0, min_cores=0, t=1.0):
+    constraints = (MinValue("shader_cores", min_cores),) if min_cores else ()
+    return simple_task(
+        task_id,
+        ExecReq(
+            node_type=PEClass.GPU,
+            constraints=constraints,
+            artifacts=Artifacts(application_code="kernel.cu"),
+        ),
+        t,
+        workload_mi=t * 100_000.0,
+    )
+
+
+class TestNodeModel:
+    def test_gpu_in_eq1_state(self, node):
+        state = node.state()
+        assert len(state.gpus) == 2
+        assert state.idle_gpu_count == 2
+
+    def test_gpu_caps_listed(self, node):
+        caps = node.gpu_caps()
+        assert caps[0]["pe_class"] == "GPU"
+        assert caps[0]["shader_cores"] == 240
+
+    def test_assign_release(self, node):
+        gpu = node.gpus[0]
+        gpu.assign(7)
+        assert gpu.state is PEState.BUSY
+        with pytest.raises(ResourceError):
+            gpu.assign(8)
+        gpu.release()
+        assert gpu.state is PEState.IDLE
+
+    def test_remove_busy_needs_force(self, node):
+        gpu = node.gpus[0]
+        gpu.assign(7)
+        with pytest.raises(ResourceError):
+            node.remove_gpu(gpu.resource_id)
+        node.remove_gpu(gpu.resource_id, force=True)
+        assert len(node.gpus) == 1
+
+
+class TestMatching:
+    def test_constraint_filters_small_gpu(self, node):
+        candidates = find_candidates(gpu_task(min_cores=200), [node])
+        assert len(candidates) == 1
+        assert candidates[0].label == "GPU_0 <-> Node_0"
+
+    def test_availability_filter(self, node):
+        node.gpus[0].assign(9)
+        dynamic = find_candidates(gpu_task(), [node], require_available=True)
+        assert [c.resource_index for c in dynamic] == [1]
+
+    def test_gpp_task_never_lands_on_gpu(self, node):
+        task = simple_task(
+            0,
+            ExecReq(node_type=PEClass.GPP, artifacts=Artifacts(application_code="x")),
+            1.0,
+        )
+        candidates = find_candidates(task, [node])
+        assert all(c.kind is not PEClass.GPU for c in candidates)
+
+
+class TestLifecycleAndSim:
+    def test_rms_runs_gpu_placement(self, node):
+        rms = ResourceManagementSystem()
+        rms.register_node(node)
+        placement = rms.plan_placement(gpu_task(min_cores=200, t=1.0))
+        assert placement.candidate.kind is PEClass.GPU
+        # 100,000 MI at 95 % parallel on 240 cores @ 1300 MHz.
+        expected = node.gpus[0].spec.execution_time_s(100_000.0)
+        assert placement.exec_time_s == pytest.approx(expected)
+        rms.run_placement(placement)
+        assert node.gpus[0].state is PEState.IDLE
+
+    def test_simulated_gpu_workload_with_energy(self, node):
+        rms = ResourceManagementSystem()
+        rms.register_node(node)
+        sim = DReAMSim(rms)
+        sim.submit_workload([(0.1 * i, gpu_task(i, t=1.0)) for i in range(6)])
+        report = sim.run()
+        assert report.completed == 6
+        assert report.tasks_by_pe_kind == {"GPU": 6}
+        energy = EnergyAuditor(rms).audit(sim)
+        assert energy.active_j > 0

@@ -1,0 +1,188 @@
+"""Unit tests for capability matchmaking."""
+
+import pytest
+
+from repro.core.execreq import Artifacts, Equals, ExecReq, MinValue
+from repro.core.matching import find_candidates, match_node, task_required_slices
+from repro.core.node import Node
+from repro.core.task import simple_task
+from repro.hardware.bitstream import Bitstream, HDLDesign
+from repro.hardware.catalog import device_by_model
+from repro.hardware.gpp import GPPSpec
+from repro.hardware.softcore import RHO_VEX_2ISSUE, RHO_VEX_4ISSUE
+from repro.hardware.taxonomy import PEClass
+
+
+@pytest.fixture
+def node():
+    n = Node(node_id=0, name="Node_0")
+    n.add_gpp(GPPSpec(cpu_model="Xeon", mips=5_000))
+    n.add_gpp(GPPSpec(cpu_model="Atom", mips=800))
+    n.add_rpe(device_by_model("XC5VLX155"), regions=2)  # 24,320 slices
+    n.add_rpe(device_by_model("XC5VLX50"))  # 7,200 slices
+    return n
+
+
+def gpp_task(min_mips=1_000):
+    return simple_task(
+        0,
+        ExecReq(
+            node_type=PEClass.GPP,
+            constraints=(MinValue("mips", min_mips),),
+            artifacts=Artifacts(application_code="x"),
+        ),
+        1.0,
+    )
+
+
+def rpe_task(min_slices=10_000, function="fft"):
+    return simple_task(
+        1,
+        ExecReq(
+            node_type=PEClass.RPE,
+            constraints=(MinValue("slices", min_slices),),
+            artifacts=Artifacts(application_code="x", hdl_design=HDLDesign(
+                name=function, language="VHDL", source_lines=100,
+                estimated_slices=min_slices, implements=function,
+            )),
+        ),
+        1.0,
+        function=function,
+    )
+
+
+class TestGPPMatching:
+    def test_constraint_filters_slow_cpu(self, node):
+        candidates = match_node(gpp_task(min_mips=1_000), node)
+        assert [c.resource_index for c in candidates] == [0]
+
+    def test_all_match_with_low_bar(self, node):
+        candidates = match_node(gpp_task(min_mips=100), node)
+        assert len(candidates) == 2
+
+    def test_availability_filter(self, node):
+        node.gpps[0].assign(99)
+        static = match_node(gpp_task(100), node)
+        dynamic = match_node(gpp_task(100), node, require_available=True)
+        assert len(static) == 2
+        assert [c.resource_index for c in dynamic] == [1]
+
+    def test_label_follows_table2_notation(self, node):
+        label = match_node(gpp_task(), node)[0].label
+        assert label == "GPP_0 <-> Node_0"
+
+
+class TestRPEMatching:
+    def test_slice_constraint_selects_devices(self, node):
+        candidates = match_node(rpe_task(min_slices=10_000), node)
+        assert [c.resource_index for c in candidates] == [0]
+        both = match_node(rpe_task(min_slices=5_000), node)
+        assert len(both) == 2
+
+    def test_bitstream_pins_device_model(self, node):
+        bs = Bitstream(1, "XC5VLX50", 1_000, 900, implements="x")
+        task = simple_task(
+            2,
+            ExecReq(
+                node_type=PEClass.RPE,
+                artifacts=Artifacts(application_code="x", bitstream=bs),
+            ),
+            1.0,
+        )
+        candidates = match_node(task, node)
+        assert len(candidates) == 1
+        assert candidates[0].resource_index == 1
+
+    def test_oversized_requirement_matches_nothing(self, node):
+        assert match_node(rpe_task(min_slices=99_999), node) == []
+
+    def test_reuse_flag_when_function_resident(self, node):
+        task = rpe_task(min_slices=5_000, function="fft")
+        rpe = node.rpes[0]
+        bs = Bitstream(
+            2, rpe.device.model, 1_000, 5_000, implements="fft"
+        )
+        region = rpe.fabric.find_placeable(5_000)
+        rpe.fabric.begin_reconfiguration(region, bs)
+        rpe.fabric.finish_reconfiguration(region)
+        candidates = match_node(task, node)
+        by_index = {c.resource_index: c for c in candidates}
+        assert by_index[0].reuses_resident
+        assert not by_index[1].reuses_resident
+
+    def test_dynamic_filter_respects_busy_fabric(self, node):
+        rpe = node.rpes[1]  # single-region XC5VLX50
+        region = rpe.host_softcore(RHO_VEX_2ISSUE)
+        rpe.begin_task(region, 1)
+        task = rpe_task(min_slices=5_000)
+        dynamic = match_node(task, node, require_available=True)
+        assert [c.resource_index for c in dynamic] == [0]
+
+
+class TestSoftcoreMatching:
+    def test_hosted_core_serves_gpp_task(self, node):
+        node.rpes[0].host_softcore(RHO_VEX_4ISSUE)
+        candidates = match_node(gpp_task(min_mips=100), node)
+        kinds = {c.kind for c in candidates}
+        assert PEClass.SOFTCORE in kinds
+        soft = [c for c in candidates if c.kind is PEClass.SOFTCORE][0]
+        assert soft.region_id is not None
+
+    def test_softcore_class_task_needs_provisionable_rpe(self, node):
+        task = simple_task(
+            5,
+            ExecReq(
+                node_type=PEClass.SOFTCORE,
+                artifacts=Artifacts(application_code="x", softcore=RHO_VEX_4ISSUE),
+            ),
+            1.0,
+        )
+        candidates = match_node(task, node)
+        # Both RPEs can fit a 4-issue core; no GPP may serve it.
+        assert all(c.kind is PEClass.SOFTCORE for c in candidates)
+        assert len(candidates) == 2
+
+    def test_softcore_task_without_artifact_matches_hosted_only(self, node):
+        task = simple_task(
+            6,
+            ExecReq(node_type=PEClass.SOFTCORE, artifacts=Artifacts(application_code="x")),
+            1.0,
+        )
+        assert match_node(task, node) == []
+        node.rpes[0].host_softcore(RHO_VEX_4ISSUE)
+        assert len(match_node(task, node)) == 1
+
+
+class TestRequiredSlices:
+    def test_from_bitstream(self):
+        bs = Bitstream(1, "XC5VLX50", 1_000, 4_242, implements="x")
+        task = simple_task(
+            1, ExecReq(node_type=PEClass.RPE, artifacts=Artifacts(application_code="x", bitstream=bs)), 1.0
+        )
+        assert task_required_slices(task) == 4_242
+
+    def test_from_constraint(self):
+        task = rpe_task(min_slices=7_000)
+        assert task_required_slices(task) == 7_000
+
+    def test_from_softcore(self):
+        task = simple_task(
+            1,
+            ExecReq(
+                node_type=PEClass.SOFTCORE,
+                artifacts=Artifacts(application_code="x", softcore=RHO_VEX_2ISSUE),
+            ),
+            1.0,
+        )
+        assert task_required_slices(task) == RHO_VEX_2ISSUE.required_slices()
+
+    def test_unknown_is_zero(self):
+        assert task_required_slices(gpp_task()) == 0
+
+
+class TestMultiNode:
+    def test_candidates_ordered_by_node(self, node):
+        other = Node(node_id=1, name="Node_1")
+        other.add_gpp(GPPSpec(cpu_model="Xeon2", mips=9_000))
+        candidates = find_candidates(gpp_task(), [node, other])
+        assert [c.node_id for c in candidates] == [0, 1]

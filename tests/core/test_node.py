@@ -1,0 +1,181 @@
+"""Unit tests for the Eq. 1 node model."""
+
+import pytest
+
+from repro.core.node import Node, ResourceError
+from repro.core.state import PEState
+from repro.hardware.catalog import device_by_model
+from repro.hardware.gpp import GPPSpec
+from repro.hardware.softcore import RHO_VEX_2ISSUE, RHO_VEX_4ISSUE
+
+
+@pytest.fixture
+def node():
+    n = Node(node_id=0, name="Node_0")
+    n.add_gpp(GPPSpec(cpu_model="Xeon", mips=2_000))
+    n.add_rpe(device_by_model("XC5VLX110"), regions=2)
+    return n
+
+
+class TestEq1Structure:
+    def test_as_tuple_shape(self, node):
+        node_id, gpp_caps, rpe_caps, state = node.as_tuple()
+        assert node_id == 0
+        assert len(gpp_caps) == 1 and len(rpe_caps) == 1
+        assert state.node_id == 0
+
+    def test_gpp_caps_include_state(self, node):
+        caps = node.gpp_caps()[0]
+        assert caps["state"] == "idle"
+        assert caps["mips"] == 2_000
+
+    def test_rpe_caps_include_dynamic_area(self, node):
+        caps = node.rpe_caps()[0]
+        assert caps["available_slices"] == 17_280
+        assert caps["resident_functions"] == ()
+
+    def test_auto_node_ids_unique(self):
+        a, b = Node(), Node()
+        assert a.node_id != b.node_id
+
+    def test_default_name(self):
+        assert Node(node_id=7).name == "Node_7"
+
+
+class TestRuntimeAddRemove:
+    def test_add_assigns_distinct_resource_ids(self, node):
+        g2 = node.add_gpp(GPPSpec(cpu_model="Opteron", mips=1_000))
+        r2 = node.add_rpe(device_by_model("XC5VLX50"))
+        ids = [node.gpps[0].resource_id, g2.resource_id, node.rpes[0].resource_id, r2.resource_id]
+        assert len(set(ids)) == 4
+
+    def test_remove_gpp(self, node):
+        rid = node.gpps[0].resource_id
+        removed = node.remove_gpp(rid)
+        assert removed.state is PEState.OFFLINE
+        assert node.gpps == []
+
+    def test_remove_busy_gpp_requires_force(self, node):
+        gpp = node.gpps[0]
+        gpp.assign(42)
+        with pytest.raises(ResourceError, match="force"):
+            node.remove_gpp(gpp.resource_id)
+        node.remove_gpp(gpp.resource_id, force=True)
+        assert node.gpps == []
+
+    def test_remove_busy_rpe_requires_force(self, node):
+        rpe = node.rpes[0]
+        region = rpe.host_softcore(RHO_VEX_2ISSUE)
+        rpe.begin_task(region, 7)
+        with pytest.raises(ResourceError, match="force"):
+            node.remove_rpe(rpe.resource_id)
+        node.remove_rpe(rpe.resource_id, force=True)
+
+    def test_remove_unknown_resource(self, node):
+        with pytest.raises(KeyError):
+            node.remove_gpp(999)
+
+
+class TestGPPResource:
+    def test_assign_release_cycle(self, node):
+        gpp = node.gpps[0]
+        gpp.assign(5)
+        assert gpp.state is PEState.BUSY
+        assert gpp.current_task_id == 5
+        gpp.release()
+        assert gpp.state is PEState.IDLE
+        assert gpp.current_task_id is None
+
+    def test_double_assign_rejected(self, node):
+        gpp = node.gpps[0]
+        gpp.assign(5)
+        with pytest.raises(ResourceError):
+            gpp.assign(6)
+
+    def test_release_idle_rejected(self, node):
+        with pytest.raises(ResourceError):
+            node.gpps[0].release()
+
+
+class TestRPEResource:
+    def test_derived_state_idle_initially(self, node):
+        assert node.rpes[0].state is PEState.IDLE
+
+    def test_busy_when_all_regions_busy(self, node):
+        rpe = node.rpes[0]
+        for _ in range(2):
+            region = rpe.host_softcore(RHO_VEX_2ISSUE)
+            rpe.begin_task(region, 1)
+        assert rpe.state is PEState.BUSY
+
+    def test_offline_state(self, node):
+        rpe = node.rpes[0]
+        rpe.set_offline()
+        assert rpe.state is PEState.OFFLINE
+        with pytest.raises(ResourceError, match="offline"):
+            rpe.host_softcore(RHO_VEX_2ISSUE)
+
+
+class TestSoftcoreHosting:
+    def test_host_exposes_gpp_like_capabilities(self, node):
+        rpe = node.rpes[0]
+        rpe.host_softcore(RHO_VEX_4ISSUE)
+        descriptors = rpe.softcore_capabilities()
+        assert len(descriptors) == 1
+        caps = descriptors[0]
+        assert caps["pe_class"] == "SOFTCORE"
+        assert caps["mips"] > 0
+        assert caps["host_device_model"] == "XC5VLX110"
+
+    def test_busy_softcore_not_advertised(self, node):
+        rpe = node.rpes[0]
+        region = rpe.host_softcore(RHO_VEX_4ISSUE)
+        rpe.begin_task(region, 1)
+        assert rpe.softcore_capabilities() == []
+        rpe.finish_task(region)
+        assert len(rpe.softcore_capabilities()) == 1
+
+    def test_too_big_core_rejected(self):
+        node = Node()
+        node.add_rpe(device_by_model("XC5VLX30"))  # 4,800 slices
+        from repro.hardware.softcore import RHO_VEX_8ISSUE
+
+        with pytest.raises(ResourceError, match="cannot host"):
+            node.rpes[0].host_softcore(RHO_VEX_8ISSUE)
+
+    def test_hosting_evicts_idle_configuration(self, node):
+        rpe = node.rpes[0]
+        first = rpe.host_softcore(RHO_VEX_2ISSUE)
+        second = rpe.host_softcore(RHO_VEX_2ISSUE)
+        third = rpe.host_softcore(RHO_VEX_4ISSUE)  # evicts one idle core
+        assert len(rpe.hosted_softcores) == 2
+
+    def test_snapshot_reports_resident_functions(self, node):
+        rpe = node.rpes[0]
+        rpe.host_softcore(RHO_VEX_4ISSUE)
+        snap = rpe.snapshot()
+        assert any("rho-VEX-4issue" in f for f in snap.resident_functions)
+        assert snap.total_slices == 17_280
+
+
+class TestStateSnapshot:
+    def test_counts(self, node):
+        state = node.state()
+        assert state.idle_gpp_count == 1
+        assert state.idle_rpe_count == 1
+        assert state.available_reconfigurable_area == 17_280
+        assert state.has_capacity
+
+    def test_snapshot_is_frozen_in_time(self, node):
+        before = node.state()
+        node.gpps[0].assign(1)
+        after = node.state()
+        assert before.idle_gpp_count == 1
+        assert after.idle_gpp_count == 0
+
+    def test_utilization_math(self, node):
+        rpe = node.rpes[0]
+        region = rpe.host_softcore(RHO_VEX_2ISSUE)
+        rpe.begin_task(region, 1)
+        snap = rpe.snapshot()
+        assert 0.0 < snap.utilization < 1.0

@@ -1,0 +1,97 @@
+"""Unit tests for the Eq. 2 task model."""
+
+import pytest
+
+from repro.core.execreq import Artifacts, ExecReq
+from repro.core.task import EXTERNAL_SOURCE, DataIn, DataOut, Task, simple_task
+from repro.hardware.taxonomy import PEClass
+
+
+def gpp_req():
+    return ExecReq(node_type=PEClass.GPP, artifacts=Artifacts(application_code="x"))
+
+
+def make_task(**overrides) -> Task:
+    params = dict(
+        task_id=8,
+        data_in=(
+            DataIn(0, 0, 1_000),
+            DataIn(2, 0, 2_000),
+            DataIn(5, 1, 3_000),
+        ),
+        data_out=(DataOut(0, 500), DataOut(1, 700)),
+        exec_req=gpp_req(),
+        t_estimated=2.0,
+    )
+    params.update(overrides)
+    return Task(**params)
+
+
+class TestValidation:
+    def test_negative_estimate_rejected(self):
+        with pytest.raises(ValueError):
+            make_task(t_estimated=-1.0)
+
+    def test_negative_workload_rejected(self):
+        with pytest.raises(ValueError):
+            make_task(workload_mi=-5.0)
+
+    def test_duplicate_output_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate output"):
+            make_task(data_out=(DataOut(0, 10), DataOut(0, 20)))
+
+    def test_negative_data_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            DataIn(0, 0, -1)
+        with pytest.raises(ValueError):
+            DataOut(0, -1)
+
+
+class TestEq2Semantics:
+    def test_predecessors_from_data_in(self):
+        # Figure 7: inputs to T8 are the outputs of T0, T2 and T5.
+        assert make_task().predecessor_ids == frozenset({0, 2, 5})
+
+    def test_external_source_not_a_predecessor(self):
+        task = make_task(data_in=(DataIn(EXTERNAL_SOURCE, 0, 100),))
+        assert task.predecessor_ids == frozenset()
+
+    def test_total_io_bytes(self):
+        task = make_task()
+        assert task.total_input_bytes == 6_000
+        assert task.total_output_bytes == 1_200
+
+    def test_output_lookup(self):
+        task = make_task()
+        assert task.output(1).size_bytes == 700
+        with pytest.raises(KeyError):
+            task.output(9)
+
+    def test_workload_defaults_to_reference_gpp(self):
+        # 2 s on a 1000-MIPS reference = 2000 MI.
+        assert make_task().effective_workload_mi == pytest.approx(2_000.0)
+
+    def test_explicit_workload_wins(self):
+        assert make_task(workload_mi=42.0).effective_workload_mi == 42.0
+
+    def test_with_estimate_copies(self):
+        original = make_task()
+        revised = original.with_estimate(9.0)
+        assert revised.t_estimated == 9.0
+        assert original.t_estimated == 2.0
+        assert revised.task_id == original.task_id
+
+
+class TestSimpleTaskHelper:
+    def test_sources_become_data_in(self):
+        task = simple_task(3, gpp_req(), 1.0, sources=(1, 2), in_bytes=10)
+        assert task.predecessor_ids == frozenset({1, 2})
+
+    def test_external_input_when_no_sources(self):
+        task = simple_task(3, gpp_req(), 1.0, in_bytes=10)
+        assert task.data_in[0].source_task_id == EXTERNAL_SOURCE
+        assert task.total_input_bytes == 10
+
+    def test_no_input_data(self):
+        task = simple_task(3, gpp_req(), 1.0)
+        assert task.data_in == ()

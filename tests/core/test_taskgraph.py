@@ -1,0 +1,122 @@
+"""Unit tests for the Figure 7 task graph."""
+
+import pytest
+
+from repro.core.execreq import ExecReq
+from repro.core.task import DataIn, DataOut, Task, simple_task
+from repro.core.taskgraph import DependencyError, FIGURE7_EDGES, TaskGraph, figure7_graph
+from repro.hardware.taxonomy import PEClass
+
+
+def req():
+    return ExecReq(node_type=PEClass.GPP)
+
+
+class TestFigure7:
+    def test_paper_stated_dependencies(self):
+        graph = figure7_graph()
+        # "inputs to T8 are the outputs of tasks T0, T2, and T5"
+        assert graph.predecessors(8) == {0, 2, 5}
+        # "DataIN(T11) -> DataOUT(T7, T9, T13)"
+        assert graph.predecessors(11) == {7, 9, 13}
+        # "DataIN(T13) -> DataOUT(T7, T8)"
+        assert graph.predecessors(13) == {7, 8}
+        # "DataIN(T17) -> DataOUT(T7, T13)"
+        assert graph.predecessors(17) == {7, 13}
+
+    def test_has_18_tasks(self):
+        assert len(figure7_graph()) == 18
+
+    def test_generations_respect_chains(self):
+        gens = figure7_graph().generations()
+        # T8 depends on gen-0 tasks; T13 on T8; T11/T17 on T13.
+        level = {t: i for i, gen in enumerate(gens) for t in gen}
+        assert level[8] == 1
+        assert level[13] == 2
+        assert level[11] == 3 and level[17] == 3
+
+    def test_critical_path_is_four_deep(self):
+        path, length = figure7_graph(t_estimated=2.0).critical_path()
+        assert length == pytest.approx(8.0)
+        assert len(path) == 4
+        assert path[-1] in (11, 17)
+
+
+class TestConstruction:
+    def test_duplicate_task_ids_rejected(self):
+        t = simple_task(1, req(), 1.0)
+        with pytest.raises(DependencyError, match="duplicate"):
+            TaskGraph([t, simple_task(1, req(), 2.0)])
+
+    def test_unknown_producer_rejected(self):
+        t = simple_task(1, req(), 1.0, sources=(99,), in_bytes=10)
+        with pytest.raises(DependencyError, match="unknown"):
+            TaskGraph([t])
+
+    def test_cycle_detected_and_named(self):
+        a = simple_task(1, req(), 1.0, sources=(2,), in_bytes=1)
+        b = simple_task(2, req(), 1.0, sources=(1,), in_bytes=1)
+        with pytest.raises(DependencyError, match="cycle"):
+            TaskGraph([a, b])
+
+    def test_self_loop_detected(self):
+        t = simple_task(1, req(), 1.0, sources=(1,), in_bytes=1)
+        with pytest.raises(DependencyError, match="cycle"):
+            TaskGraph([t])
+
+    def test_empty_graph_fine(self):
+        graph = TaskGraph([])
+        assert len(graph) == 0
+        assert graph.critical_path() == ([], 0.0)
+
+
+class TestScheduling:
+    def chain(self):
+        t1 = simple_task(1, req(), 1.0)
+        t2 = simple_task(2, req(), 2.0, sources=(1,), in_bytes=4)
+        t3 = simple_task(3, req(), 3.0, sources=(1,), in_bytes=4)
+        t4 = simple_task(4, req(), 1.0, sources=(2, 3), in_bytes=4)
+        return TaskGraph([t1, t2, t3, t4])
+
+    def test_entry_and_exit(self):
+        graph = self.chain()
+        assert graph.entry_tasks() == {1}
+        assert graph.exit_tasks() == {4}
+
+    def test_ready_tasks_frontier(self):
+        graph = self.chain()
+        assert graph.ready_tasks(set()) == {1}
+        assert graph.ready_tasks({1}) == {2, 3}
+        assert graph.ready_tasks({1, 2}) == {3}
+        assert graph.ready_tasks({1, 2, 3}) == {4}
+        assert graph.ready_tasks({1, 2, 3, 4}) == set()
+
+    def test_topological_order_valid(self):
+        graph = self.chain()
+        order = graph.topological_order()
+        pos = {t: i for i, t in enumerate(order)}
+        for consumer in (2, 3, 4):
+            for producer in graph.predecessors(consumer):
+                assert pos[producer] < pos[consumer]
+
+    def test_critical_path_diamond(self):
+        graph = self.chain()
+        path, length = graph.critical_path()
+        assert path == [1, 3, 4]
+        assert length == pytest.approx(5.0)
+
+    def test_transfer_bytes(self):
+        graph = self.chain()
+        assert graph.transfer_bytes(1, 2) == 4
+        with pytest.raises(KeyError):
+            graph.transfer_bytes(2, 1)
+
+    def test_total_work(self):
+        assert self.chain().total_work() == pytest.approx(7.0)
+
+    def test_task_lookup(self):
+        graph = self.chain()
+        assert graph.task(2).t_estimated == 2.0
+        with pytest.raises(KeyError):
+            graph.task(99)
+        assert 2 in graph and 99 not in graph

@@ -1,0 +1,141 @@
+"""Unit tests for the ClassAd matchmaking language."""
+
+import pytest
+
+from repro.grid.classad import (
+    ClassAd,
+    MatchError,
+    UNDEFINED,
+    best_match,
+    evaluate,
+    symmetric_match,
+)
+
+
+class TestEvaluator:
+    def test_comparisons(self):
+        assert evaluate("target.slices >= 18707", target={"slices": 24_320}) is True
+        assert evaluate("target.slices >= 18707", target={"slices": 17_280}) is False
+
+    def test_arithmetic(self):
+        assert evaluate("2 * target.x + 1", target={"x": 5}) == 11
+        assert evaluate("10 / 4") == 2.5
+        assert evaluate("10 // 4") == 2
+        assert evaluate("-target.x", target={"x": 3}) == -3
+
+    def test_membership(self):
+        ctx = {"os": "Linux"}
+        assert evaluate("target.os in ('Linux', 'Solaris')", target=ctx) is True
+        assert evaluate("target.os not in ('Windows',)", target=ctx) is True
+
+    def test_boolean_logic(self):
+        my = {"a": 1}
+        assert evaluate("my.a == 1 and not (my.a == 2)", my=my) is True
+        assert evaluate("my.a == 2 or my.a == 1", my=my) is True
+
+    def test_chained_comparison(self):
+        assert evaluate("1 < target.x < 10", target={"x": 5}) is True
+        assert evaluate("1 < target.x < 10", target={"x": 20}) is False
+
+    def test_my_and_target_scopes(self):
+        result = evaluate(
+            "my.budget >= target.price", my={"budget": 10}, target={"price": 7}
+        )
+        assert result is True
+
+
+class TestUndefinedSemantics:
+    def test_missing_attribute_is_undefined(self):
+        assert evaluate("target.nope", target={}) is UNDEFINED
+
+    def test_comparison_with_undefined_is_undefined(self):
+        assert evaluate("target.nope > 3", target={}) is UNDEFINED
+
+    def test_and_short_circuits_false(self):
+        assert evaluate("target.x == 1 and target.nope > 3", target={"x": 2}) is False
+
+    def test_or_short_circuits_true(self):
+        assert evaluate("target.x == 1 or target.nope > 3", target={"x": 1}) is True
+
+    def test_undefined_propagates_through_and(self):
+        assert evaluate("target.x == 1 and target.nope > 3", target={"x": 1}) is UNDEFINED
+
+    def test_type_mismatch_is_undefined(self):
+        assert evaluate("target.x > 3", target={"x": "hello"}) is UNDEFINED
+
+    def test_undefined_is_falsy(self):
+        assert not UNDEFINED
+
+
+class TestSafety:
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            "__import__('os')",
+            "open('/etc/passwd')",
+            "target.x.__class__",
+            "[x for x in target]",
+            "lambda: 1",
+            "target.f()",
+        ],
+    )
+    def test_dangerous_syntax_rejected(self, expr):
+        with pytest.raises(MatchError):
+            evaluate(expr, target={"x": 1, "f": print})
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(MatchError, match="unknown name"):
+            evaluate("os.path", target={})
+
+    def test_syntax_error_reported(self):
+        with pytest.raises(MatchError, match="syntax"):
+            evaluate("target.x >=", target={})
+
+    def test_division_by_zero_reported(self):
+        with pytest.raises(MatchError, match="arithmetic"):
+            evaluate("1 / 0")
+
+
+class TestMatching:
+    def rpe_offer(self, slices=24_320):
+        return ClassAd(
+            attributes={"pe_class": "RPE", "slices": slices, "price": 3.0},
+            requirements="target.budget >= my.price",
+        )
+
+    def task_request(self, min_slices=18_707, budget=5.0):
+        return ClassAd(
+            attributes={"budget": budget},
+            requirements=f"target.pe_class == 'RPE' and target.slices >= {min_slices}",
+            rank="target.slices",
+        )
+
+    def test_symmetric_match(self):
+        assert symmetric_match(self.task_request(), self.rpe_offer())
+
+    def test_one_sided_failure(self):
+        poor = self.task_request(budget=1.0)
+        assert poor.matches(self.rpe_offer())  # task accepts the RPE
+        assert not self.rpe_offer().matches(poor)  # RPE rejects the budget
+        assert not symmetric_match(poor, self.rpe_offer())
+
+    def test_undefined_requirement_is_no_match(self):
+        vague = ClassAd(attributes={}, requirements="target.nonexistent > 1")
+        assert not vague.matches(self.rpe_offer())
+
+    def test_best_match_uses_rank(self):
+        small = self.rpe_offer(slices=20_000)
+        big = self.rpe_offer(slices=50_000)
+        assert best_match(self.task_request(), [small, big]) is big
+
+    def test_best_match_none_when_nothing_fits(self):
+        assert best_match(self.task_request(min_slices=99_999), [self.rpe_offer()]) is None
+
+    def test_rank_defaults_to_zero_on_undefined(self):
+        req = ClassAd(attributes={}, requirements="True", rank="target.nope")
+        assert req.rank_of(self.rpe_offer()) == 0.0
+
+    def test_tie_prefers_first_offer(self):
+        a, b = self.rpe_offer(), self.rpe_offer()
+        request = ClassAd(attributes={"budget": 5.0}, requirements="True", rank="1")
+        assert best_match(request, [a, b]) is a

@@ -1,0 +1,90 @@
+"""Tests for the ClassAd bridge, cross-validated against the typed
+matchmaker on the paper's own Table II."""
+
+import pytest
+
+from repro.casestudy.mappings import PAPER_TABLE2
+from repro.casestudy.nodes import build_case_study_nodes
+from repro.casestudy.tasks import build_case_study_tasks
+from repro.core.execreq import Equals, ExecReq, Exists, MaxValue, MinValue, OneOf
+from repro.core.matching import find_candidates
+from repro.core.node import Node
+from repro.core.task import simple_task
+from repro.grid.classad import evaluate
+from repro.grid.classad_bridge import (
+    classad_candidates,
+    compile_constraint,
+    compile_execreq,
+    node_to_ads,
+    task_to_ad,
+)
+from repro.hardware.gpp import GPPSpec
+from repro.hardware.softcore import RHO_VEX_4ISSUE
+from repro.hardware.catalog import device_by_model
+from repro.hardware.taxonomy import PEClass
+
+
+class TestConstraintCompilation:
+    CAPS = {"slices": 24_320, "device_family": "virtex-5", "os": "Linux", "partial_reconfig": True}
+
+    @pytest.mark.parametrize(
+        "constraint",
+        [
+            MinValue("slices", 18_707),
+            MinValue("slices", 30_790),
+            MaxValue("slices", 30_000),
+            Equals("device_family", "virtex-5"),
+            Equals("device_family", "virtex-6"),
+            OneOf("os", ("Linux", "Solaris")),
+            OneOf("os", ("Windows",)),
+            Exists("partial_reconfig"),
+            Exists("nonexistent"),
+        ],
+    )
+    def test_compiled_form_agrees_with_typed_form(self, constraint):
+        expr = compile_constraint(constraint)
+        typed = constraint.satisfied_by(self.CAPS)
+        classad = evaluate(expr, target=self.CAPS) is True
+        assert typed == classad, expr
+
+    def test_execreq_gpp_accepts_softcore(self):
+        req = ExecReq(node_type=PEClass.GPP)
+        expr = compile_execreq(req)
+        assert evaluate(expr, target={"pe_class": "SOFTCORE"}) is True
+        assert evaluate(expr, target={"pe_class": "RPE"}) is False
+
+
+class TestNodeAds:
+    def test_one_ad_per_pe(self):
+        node = Node(node_id=0)
+        node.add_gpp(GPPSpec(cpu_model="Xeon", mips=1_000))
+        node.add_rpe(device_by_model("XC5VLX155"), regions=2)
+        node.rpes[0].host_softcore(RHO_VEX_4ISSUE)
+        ads = node_to_ads(node)
+        kinds = [c.kind for _, c in ads]
+        assert kinds.count(PEClass.GPP) == 1
+        assert kinds.count(PEClass.RPE) == 1
+        assert kinds.count(PEClass.SOFTCORE) == 1
+
+    def test_task_ad_carries_identity(self):
+        task = simple_task(7, ExecReq(node_type=PEClass.GPP), 1.0, function="fft")
+        ad = task_to_ad(task)
+        assert ad.attributes["task_id"] == 7
+        assert ad.attributes["function"] == "fft"
+
+
+class TestTable2CrossValidation:
+    def test_classad_path_reproduces_table2(self):
+        tasks = build_case_study_tasks()
+        nodes = build_case_study_nodes()
+        for task_id, expected in PAPER_TABLE2.items():
+            labels = [c.label for c in classad_candidates(tasks[task_id], nodes)]
+            assert sorted(labels) == sorted(expected), f"Task_{task_id}"
+
+    def test_agrees_with_typed_matcher_everywhere(self):
+        tasks = build_case_study_tasks()
+        nodes = build_case_study_nodes()
+        for task in tasks.values():
+            typed = {c.label for c in find_candidates(task, nodes)}
+            via_ads = {c.label for c in classad_candidates(task, nodes)}
+            assert typed == via_ads, task.task_id

@@ -1,0 +1,64 @@
+"""Tests for the pre-submission feasibility query (Figure 9)."""
+
+import pytest
+
+from repro.casestudy.mappings import PAPER_TABLE2
+from repro.casestudy.nodes import build_case_study_nodes
+from repro.casestudy.tasks import build_case_study_tasks
+from repro.core.execreq import Artifacts, ExecReq, MinValue
+from repro.core.task import simple_task
+from repro.grid.rms import ResourceManagementSystem
+from repro.grid.services import UserServices
+from repro.hardware.taxonomy import PEClass
+
+
+@pytest.fixture
+def services():
+    rms = ResourceManagementSystem()
+    for node in build_case_study_nodes():
+        rms.register_node(node)
+    return UserServices(rms)
+
+
+class TestFeasibilityQuery:
+    def test_reproduces_table2_per_task(self, services):
+        tasks = build_case_study_tasks()
+        for task_id, expected in PAPER_TABLE2.items():
+            response = services.feasibility_query(tasks[task_id])
+            assert response.feasible
+            assert sorted(response.candidate_labels) == sorted(expected)
+
+    def test_estimates_time_for_feasible_task(self, services):
+        tasks = build_case_study_tasks()
+        response = services.feasibility_query(tasks[0])
+        assert response.estimated_time_s is not None
+        assert response.estimated_time_s > 0
+
+    def test_infeasible_task_explains_rejections(self, services):
+        impossible = simple_task(
+            99,
+            ExecReq(
+                node_type=PEClass.GPP,
+                constraints=(MinValue("mips", 10**9),),
+                artifacts=Artifacts(application_code="x"),
+            ),
+            1.0,
+        )
+        response = services.feasibility_query(impossible)
+        assert not response.feasible
+        assert response.candidate_labels == ()
+        assert response.estimated_time_s is None
+        # Every GPP rejection names the failing constraint.
+        gpp_rejections = [r for r in response.rejections if r[0].startswith("GPP")]
+        assert gpp_rejections
+        assert all("mips >= 1000000000" in reason for _, reason in gpp_rejections)
+
+    def test_wrong_pe_class_reported(self, services):
+        gpu_task = simple_task(
+            98,
+            ExecReq(node_type=PEClass.GPU, artifacts=Artifacts(application_code="x")),
+            1.0,
+        )
+        response = services.feasibility_query(gpu_task)
+        assert not response.feasible
+        assert any("pe_class" in reason for _, reason in response.rejections)

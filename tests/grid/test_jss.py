@@ -1,0 +1,136 @@
+"""Unit tests for the Job Submission System."""
+
+import pytest
+
+from repro.core.abstraction import AbstractionLevel, SubmissionError
+from repro.core.application import Par, Seq, Application
+from repro.core.execreq import Artifacts, ExecReq
+from repro.core.task import simple_task
+from repro.grid.jss import JobStatus, JobSubmissionSystem
+from repro.hardware.bitstream import Bitstream
+from repro.hardware.taxonomy import PEClass
+
+
+def sw_task(task_id=0, code="print()"):
+    return simple_task(
+        task_id,
+        ExecReq(node_type=PEClass.GPP, artifacts=Artifacts(application_code=code)),
+        1.0,
+    )
+
+
+class TestValidation:
+    def test_accepts_valid_software_task(self):
+        jss = JobSubmissionSystem()
+        job = jss.submit_task(sw_task())
+        assert job.status is JobStatus.SUBMITTED
+        assert job.records[0].level is AbstractionLevel.SOFTWARE_ONLY
+
+    def test_rejects_missing_code(self):
+        jss = JobSubmissionSystem()
+        with pytest.raises(SubmissionError):
+            jss.submit_task(sw_task(code=""))
+        assert jss.rejected == 1
+        assert jss.jobs == {}
+
+    def test_explicit_level_enforced(self):
+        # A task claiming DEVICE_SPECIFIC must actually carry a bitstream.
+        task = simple_task(
+            0,
+            ExecReq(node_type=PEClass.RPE, artifacts=Artifacts(application_code="x")),
+            1.0,
+        )
+        import dataclasses
+
+        task = dataclasses.replace(
+            task, abstraction_level=AbstractionLevel.DEVICE_SPECIFIC_HW
+        )
+        jss = JobSubmissionSystem()
+        with pytest.raises(SubmissionError, match="bitstream"):
+            jss.submit_task(task)
+
+    def test_level_inferred_from_artifacts(self):
+        bs = Bitstream(1, "XC5VLX110", 100, 50, implements="f")
+        task = simple_task(
+            0,
+            ExecReq(
+                node_type=PEClass.RPE,
+                artifacts=Artifacts(application_code="x", bitstream=bs),
+            ),
+            1.0,
+        )
+        jss = JobSubmissionSystem()
+        job = jss.submit_task(task)
+        assert job.records[0].level is AbstractionLevel.DEVICE_SPECIFIC_HW
+
+
+class TestGraphSubmission:
+    def test_atomic_admission(self):
+        jss = JobSubmissionSystem()
+        good, bad = sw_task(0), sw_task(1, code="")
+        with pytest.raises(SubmissionError):
+            jss.submit_graph([good, bad])
+        assert jss.jobs == {}  # nothing admitted
+
+    def test_graph_attached(self):
+        jss = JobSubmissionSystem()
+        t0 = sw_task(0)
+        t1 = simple_task(
+            1,
+            ExecReq(node_type=PEClass.GPP, artifacts=Artifacts(application_code="y")),
+            1.0,
+            sources=(0,),
+            in_bytes=8,
+        )
+        job = jss.submit_graph([t0, t1])
+        assert job.graph is not None
+        assert job.graph.predecessors(1) == {0}
+
+
+class TestApplicationSubmission:
+    def test_task_set_must_match_clauses(self):
+        jss = JobSubmissionSystem()
+        app = Application(clauses=(Seq(1), Par(2, 3)))
+        with pytest.raises(SubmissionError, match="missing task bodies"):
+            jss.submit_application(app, {1: sw_task(1)})
+        with pytest.raises(SubmissionError, match="unreferenced"):
+            jss.submit_application(
+                app, {i: sw_task(i) for i in (1, 2, 3, 4)}
+            )
+
+    def test_valid_application(self):
+        jss = JobSubmissionSystem()
+        app = Application(clauses=(Seq(1), Par(2, 3)))
+        job = jss.submit_application(app, {i: sw_task(i) for i in (1, 2, 3)})
+        assert job.application is app
+        assert len(job.records) == 3
+
+
+class TestStatusTracking:
+    def test_lifecycle_rollup(self):
+        jss = JobSubmissionSystem()
+        job = jss.submit_graph([sw_task(0), sw_task(1)])
+        assert job.status is JobStatus.SUBMITTED
+        jss.mark_started(job.job_id, 0, time=1.0, node_id=3)
+        assert job.status is JobStatus.RUNNING
+        jss.mark_completed(job.job_id, 0, time=2.0)
+        assert job.status is JobStatus.RUNNING  # task 1 outstanding
+        jss.mark_started(job.job_id, 1, time=2.0, node_id=3)
+        jss.mark_completed(job.job_id, 1, time=4.0)
+        assert job.status is JobStatus.COMPLETED
+        assert job.record(0).turnaround_s == pytest.approx(2.0)
+
+    def test_failure_dominates(self):
+        jss = JobSubmissionSystem()
+        job = jss.submit_graph([sw_task(0), sw_task(1)])
+        jss.mark_completed(job.job_id, 0, time=1.0)
+        jss.mark_failed(job.job_id, 1, time=1.0)
+        assert job.status is JobStatus.FAILED
+
+    def test_unknown_ids_raise(self):
+        jss = JobSubmissionSystem()
+        job = jss.submit_task(sw_task(0))
+        with pytest.raises(KeyError):
+            jss.job(999)
+        with pytest.raises(KeyError):
+            job.record(999)

@@ -1,0 +1,141 @@
+"""Tests for data-locality-aware input staging.
+
+The Section V parameter list includes "the time required to send
+configuration bitstreams" and, implicitly, task data.  With the
+producer's location known, the RMS prices producer->consumer transfers
+instead of user->consumer -- so cost-driven strategies co-locate
+consumers with their producers when the network makes that worthwhile.
+"""
+
+import pytest
+
+from repro.core.execreq import Artifacts, ExecReq
+from repro.core.node import Node
+from repro.core.task import simple_task
+from repro.grid.network import Link, Network, USER_SITE
+from repro.grid.rms import ResourceManagementSystem
+from repro.hardware.gpp import GPPSpec
+from repro.hardware.taxonomy import PEClass
+from repro.scheduling import HybridCostScheduler
+from repro.sim.simulator import DReAMSim
+
+MB = 1 << 20
+
+
+def slow_wan() -> Network:
+    """Two sites joined by a slow WAN; the user uplinks to site 0."""
+    net = Network()
+    # High-latency user uplinks so node-to-node traffic cannot shortcut
+    # through the user site: the slow WAN is the only sensible route.
+    net.connect(USER_SITE, 0, Link(bandwidth_mbps=100.0, latency_s=0.2))
+    net.connect(USER_SITE, 1, Link(bandwidth_mbps=100.0, latency_s=0.2))
+    net.connect(0, 1, Link(bandwidth_mbps=2.0, latency_s=0.05))  # slow WAN
+    return net
+
+
+def build_rms():
+    rms = ResourceManagementSystem(network=slow_wan(), scheduler=HybridCostScheduler())
+    for node_id in (0, 1):
+        node = Node(node_id=node_id, name=f"Node_{node_id}")
+        node.add_gpp(GPPSpec(cpu_model=f"cpu{node_id}", mips=1_000))
+        rms.register_node(node)
+    return rms
+
+
+def gpp_task(task_id, t=1.0, sources=(), in_bytes=0):
+    return simple_task(
+        task_id,
+        ExecReq(node_type=PEClass.GPP, artifacts=Artifacts(application_code="x")),
+        t,
+        sources=sources,
+        in_bytes=in_bytes,
+    )
+
+
+class TestPricing:
+    def test_known_producer_prices_node_to_node(self):
+        rms = build_rms()
+        consumer = gpp_task(1, sources=(0,), in_bytes=40 * MB)
+        candidates = rms.find_candidates(consumer)
+        by_node = {c.node_id: c for c in candidates}
+
+        # Producer output on node 0: placing there is free, placing on
+        # node 1 pays the slow WAN.
+        rms._data_sites = {0: 0}
+        try:
+            local = rms._price(consumer, by_node[0])
+            remote = rms._price(consumer, by_node[1])
+        finally:
+            rms._data_sites = None
+        assert local.transfer_time_s == 0.0
+        assert remote.transfer_time_s == pytest.approx(
+            rms.network.transfer_time(40 * MB, 0, 1)
+        )
+
+    def test_unknown_producer_ships_from_user(self):
+        rms = build_rms()
+        consumer = gpp_task(1, sources=(0,), in_bytes=40 * MB)
+        candidate = rms.find_candidates(consumer)[0]
+        placement = rms._price(consumer, candidate)
+        assert placement.transfer_time_s == pytest.approx(
+            rms.network.transfer_time(40 * MB, USER_SITE, candidate.node_id)
+        )
+
+    def test_parallel_streams_take_the_max(self):
+        rms = build_rms()
+        from repro.core.task import DataIn, DataOut, Task
+
+        consumer = Task(
+            task_id=2,
+            data_in=(DataIn(0, 0, 40 * MB), DataIn(1, 0, 5 * MB)),
+            data_out=(DataOut(0, MB),),
+            exec_req=ExecReq(node_type=PEClass.GPP, artifacts=Artifacts(application_code="x")),
+            t_estimated=1.0,
+        )
+        by_node = {c.node_id: c for c in rms.find_candidates(consumer)}
+        rms._data_sites = {0: 0, 1: 1}
+        try:
+            placement = rms._price(consumer, by_node[1])
+        finally:
+            rms._data_sites = None
+        # The 40 MB edge crosses the WAN; the 5 MB edge is local.
+        assert placement.transfer_time_s == pytest.approx(
+            rms.network.transfer_time(40 * MB, 0, 1)
+        )
+
+
+class TestSchedulerCoLocation:
+    def test_hybrid_follows_the_data(self):
+        """Chain A -> B with a huge intermediate: the cost model must
+        keep B on A's node rather than pay the WAN."""
+        rms = build_rms()
+        sim = DReAMSim(rms)
+        chain = [
+            gpp_task(0, t=1.0),
+            gpp_task(1, t=1.0, sources=(0,), in_bytes=100 * MB),
+        ]
+        job_id = sim.submit_graph(chain)
+        sim.run()
+        t0 = sim.metrics.tasks[(job_id, 0)]
+        t1 = sim.metrics.tasks[(job_id, 1)]
+        assert t1.node_id == t0.node_id
+        assert t1.transfer_time == 0.0
+
+    def test_colocation_abandoned_when_producer_node_leaves(self):
+        rms = build_rms()
+        sim = DReAMSim(rms)
+        chain = [
+            gpp_task(0, t=1.0),
+            gpp_task(1, t=1.0, sources=(0,), in_bytes=10 * MB),
+        ]
+        job_id = sim.submit_graph(chain)
+        # Drop whichever node ran T0 the moment it finishes.
+        sim.engine.schedule_at(1.5, lambda: None)  # keep clock comparable
+        report_mid = sim.run(until=1.2)
+        t0 = sim.metrics.tasks[(job_id, 0)]
+        leaving = t0.node_id
+        sim.schedule_node_leave(1.2, leaving)
+        sim.run()
+        t1 = sim.metrics.tasks[(job_id, 1)]
+        assert t1.finish is not None
+        assert t1.node_id != leaving

@@ -1,0 +1,108 @@
+"""Unit tests for HDL designs, bitstreams and the modeled CAD flow."""
+
+import pytest
+
+from repro.hardware.bitstream import Bitstream, HDLDesign, synthesize
+from repro.hardware.catalog import device_by_model
+
+
+def make_design(**overrides) -> HDLDesign:
+    params = dict(
+        name="fir_filter",
+        language="VHDL",
+        source_lines=800,
+        estimated_slices=3_000,
+        estimated_bram_kb=32,
+        estimated_dsp=8,
+        implements="fir",
+    )
+    params.update(overrides)
+    return HDLDesign(**params)
+
+
+class TestHDLDesign:
+    def test_rejects_unknown_language(self):
+        with pytest.raises(ValueError, match="VHDL or Verilog"):
+            make_design(language="Chisel")
+
+    def test_rejects_non_positive_slices(self):
+        with pytest.raises(ValueError):
+            make_design(estimated_slices=0)
+
+    def test_rejects_empty_source(self):
+        with pytest.raises(ValueError):
+            make_design(source_lines=0)
+
+
+class TestBitstream:
+    def test_targets_exact_model_only(self):
+        bs = Bitstream(1, "XC5VLX110", 1_000, 100, implements="x")
+        assert bs.targets(device_by_model("XC5VLX110"))
+        assert not bs.targets(device_by_model("XC5VLX220"))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(size_bytes=0),
+            dict(required_slices=0),
+            dict(speedup_vs_gpp=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        params = dict(
+            bitstream_id=1,
+            target_model="XC5VLX110",
+            size_bytes=1_000,
+            required_slices=100,
+        )
+        params.update(kwargs)
+        with pytest.raises(ValueError):
+            Bitstream(**params)
+
+
+class TestSynthesis:
+    def test_produces_device_targeted_bitstream(self):
+        device = device_by_model("XC5VLX110")
+        result = synthesize(make_design(), device)
+        assert result.bitstream.target_model == device.model
+        assert result.bitstream.required_slices == 3_000
+        assert result.bitstream.implements == "fir"
+        assert result.synthesis_time_s > 0
+        assert 0 < result.achieved_frequency_mhz < device.max_frequency_mhz
+
+    def test_oversized_design_rejected(self):
+        small = device_by_model("XC5VLX30")  # 4,800 slices
+        with pytest.raises(ValueError, match="slices"):
+            synthesize(make_design(estimated_slices=10_000), small)
+
+    def test_bram_overflow_rejected(self):
+        small = device_by_model("XC3S1000")  # 54 KB BRAM
+        with pytest.raises(ValueError, match="BRAM"):
+            synthesize(make_design(estimated_slices=1_000, estimated_bram_kb=100), small)
+
+    def test_dsp_overflow_rejected(self):
+        small = device_by_model("XC3S1000")  # 24 DSP
+        with pytest.raises(ValueError, match="DSP"):
+            synthesize(
+                make_design(estimated_slices=1_000, estimated_bram_kb=10, estimated_dsp=50),
+                small,
+            )
+
+    def test_congestion_slows_synthesis(self):
+        device = device_by_model("XC5VLX30")  # 4,800 slices
+        light = synthesize(make_design(estimated_slices=1_000), device)
+        heavy = synthesize(
+            make_design(name="big", estimated_slices=4_500), device
+        )
+        assert heavy.synthesis_time_s > light.synthesis_time_s
+
+    def test_bitstream_size_matches_area(self):
+        device = device_by_model("XC5VLX110")
+        result = synthesize(make_design(), device)
+        assert result.bitstream.size_bytes == device.bitstream_size_bytes(3_000)
+
+    def test_fuller_device_clocks_lower(self):
+        device = device_by_model("XC5VLX110")
+        light = synthesize(make_design(estimated_slices=1_000), device)
+        heavy = synthesize(make_design(name="big2", estimated_slices=15_000), device)
+        assert heavy.achieved_frequency_mhz < light.achieved_frequency_mhz

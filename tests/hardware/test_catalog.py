@@ -1,0 +1,69 @@
+"""Unit tests for the device catalog."""
+
+import pytest
+
+from repro.hardware.catalog import (
+    DEVICE_CATALOG,
+    device_by_model,
+    devices_by_family,
+    devices_with_min_slices,
+)
+
+
+class TestLookups:
+    def test_case_study_devices_present(self):
+        # Every part the Section V case study names or implies.
+        for model in ("XC6VLX365T", "XC5VLX110", "XC5VLX155", "XC5VLX220", "XC5VLX330"):
+            assert model in DEVICE_CATALOG
+
+    def test_unknown_model_lists_catalog(self):
+        with pytest.raises(KeyError, match="XC5VLX30"):
+            device_by_model("NOPE123")
+
+    def test_by_family_sorted_by_slices(self):
+        v5 = devices_by_family("virtex-5")
+        assert len(v5) >= 5
+        sizes = [d.slices for d in v5]
+        assert sizes == sorted(sizes)
+        assert all(d.family == "virtex-5" for d in v5)
+
+    def test_unknown_family_is_empty(self):
+        assert devices_by_family("virtex-99") == []
+
+
+class TestCaseStudyQueries:
+    def test_virtex5_over_24000_slices(self):
+        # "RPE_0 and RPE_1 in Node_1 and RPE_0 in Node_2 all contain
+        # Virtex-5 type devices with more than 24,000 slices".
+        hits = devices_with_min_slices(24_000, family="virtex-5")
+        assert {d.model for d in hits} >= {"XC5VLX155", "XC5VLX220", "XC5VLX330"}
+        assert all(d.slices >= 24_000 for d in hits)
+
+    def test_task2_requirement_excludes_lx155(self):
+        hits = devices_with_min_slices(30_790, family="virtex-5")
+        models = {d.model for d in hits}
+        assert "XC5VLX155" not in models
+        assert "XC5VLX220" in models
+
+    def test_results_sorted_smallest_first(self):
+        hits = devices_with_min_slices(10_000)
+        sizes = [d.slices for d in hits]
+        assert sizes == sorted(sizes)
+
+
+class TestDataSanity:
+    def test_slice_counts_match_datasheet(self):
+        assert device_by_model("XC5VLX155").slices == 24_320
+        assert device_by_model("XC5VLX220").slices == 34_560
+        assert device_by_model("XC5VLX330").slices == 51_840
+        assert device_by_model("XC6VLX365T").slices == 56_880
+
+    def test_virtex5_luts_are_4x_slices(self):
+        for device in devices_by_family("virtex-5"):
+            assert device.luts == device.slices * 4
+
+    def test_all_devices_have_positive_resources(self):
+        for device in DEVICE_CATALOG.values():
+            assert device.slices > 0
+            assert device.bram_kb > 0
+            assert device.reconfig_bandwidth_mbps > 0

@@ -1,0 +1,134 @@
+"""Unit tests for the slice-granularity fabric allocator."""
+
+import pytest
+
+from repro.hardware.catalog import device_by_model
+from repro.hardware.flexfabric import AllocationError, FlexibleFabric, Span
+
+
+@pytest.fixture
+def fabric():
+    return FlexibleFabric(device_by_model("XC5VLX110"))  # 17,280 slices
+
+
+class TestSpan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Span(1, -1, 10)
+        with pytest.raises(ValueError):
+            Span(1, 0, 0)
+
+    def test_end(self):
+        assert Span(1, 100, 50).end == 150
+
+
+class TestAllocation:
+    def test_accounting(self, fabric):
+        a = fabric.allocate(5_000)
+        b = fabric.allocate(3_000)
+        assert fabric.allocated_slices == 8_000
+        assert fabric.free_slices == 17_280 - 8_000
+        assert a.end <= b.start or b.end <= a.start
+
+    def test_first_fit_uses_lowest_hole(self, fabric):
+        a = fabric.allocate(5_000)
+        b = fabric.allocate(5_000)
+        fabric.release(a)
+        c = fabric.allocate(2_000)
+        assert c.start == 0  # dropped into the freed low hole
+
+    def test_best_fit_picks_tightest_hole(self):
+        fabric = FlexibleFabric(device_by_model("XC5VLX110"), policy="best-fit")
+        a = fabric.allocate(6_000)
+        fabric.allocate(2_000)
+        fabric.allocate(6_000)
+        fabric.release(a)
+        # Holes: 6,000 at address 0, and the 3,280 tail at 14,000.
+        d = fabric.allocate(1_500)
+        assert d.start == 14_000  # best-fit takes the tighter tail
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            FlexibleFabric(device_by_model("XC5VLX110"), policy="magic")
+
+    def test_oversized_rejected(self, fabric):
+        with pytest.raises(AllocationError, match="exceed"):
+            fabric.allocate(20_000)
+        with pytest.raises(ValueError):
+            fabric.allocate(0)
+
+    def test_double_release_rejected(self, fabric):
+        span = fabric.allocate(100)
+        fabric.release(span)
+        with pytest.raises(AllocationError):
+            fabric.release(span)
+
+    def test_find_resident(self, fabric):
+        fabric.allocate(1_000, implements="fft")
+        assert fabric.find_resident("fft") is not None
+        assert fabric.find_resident("fir") is None
+
+
+class TestFragmentation:
+    def make_swiss_cheese(self, fabric):
+        """Alternate allocations, release every other one."""
+        spans = [fabric.allocate(2_000) for _ in range(8)]  # 16,000 of 17,280
+        for span in spans[::2]:
+            fabric.release(span)
+        return spans[1::2]
+
+    def test_fragmentation_blocks_fitting_total(self, fabric):
+        self.make_swiss_cheese(fabric)
+        # 9,280 slices free, but the largest hole is only 3,280.
+        assert fabric.free_slices == 17_280 - 8_000
+        assert fabric.largest_hole() < 4_000
+        with pytest.raises(AllocationError, match="contiguous"):
+            fabric.allocate(6_000)
+        assert not fabric.can_allocate(6_000)
+
+    def test_fragmentation_metric(self, fabric):
+        assert fabric.external_fragmentation() == 0.0
+        self.make_swiss_cheese(fabric)
+        assert fabric.external_fragmentation() > 0.5
+
+    def test_full_fabric_reports_zero_fragmentation(self, fabric):
+        fabric.allocate(17_280)
+        assert fabric.external_fragmentation() == 0.0
+
+    def test_holes_are_sorted_and_disjoint(self, fabric):
+        self.make_swiss_cheese(fabric)
+        holes = fabric.holes()
+        for (s1, z1), (s2, _) in zip(holes, holes[1:]):
+            assert s1 + z1 < s2
+
+
+class TestCompaction:
+    def test_compaction_restores_allocatability(self, fabric):
+        spans = [fabric.allocate(2_000) for _ in range(8)]
+        for span in spans[::2]:
+            fabric.release(span)
+        moved = fabric.compact()
+        assert moved > 0
+        assert fabric.external_fragmentation() == 0.0
+        fabric.allocate(9_000)  # now fits
+
+    def test_compaction_time_charged_per_moved_span(self, fabric):
+        spans = [fabric.allocate(2_000) for _ in range(4)]
+        fabric.release(spans[0])
+        cost = fabric.compaction_time_s()
+        assert cost > 0
+        fabric.compact()
+        assert fabric.compaction_time_s() == 0.0
+
+    def test_compaction_preserves_contents(self, fabric):
+        a = fabric.allocate(1_000, implements="fft")
+        b = fabric.allocate(1_000, implements="fir")
+        fabric.release(a)
+        fabric.compact()
+        assert fabric.find_resident("fir") is not None
+        assert fabric.allocated_slices == 1_000
+
+    def test_compact_idempotent(self, fabric):
+        fabric.allocate(1_000)
+        fabric.compact()
+        assert fabric.compact() == 0

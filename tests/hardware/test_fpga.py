@@ -1,0 +1,123 @@
+"""Unit tests for the FPGA device model (Table I parameters)."""
+
+import pytest
+
+from repro.hardware.fpga import FPGADevice, SpeedGrade
+
+
+def make_device(**overrides) -> FPGADevice:
+    params = dict(
+        model="TEST1",
+        family="virtex-5",
+        logic_cells=10_000,
+        slices=5_000,
+        luts=20_000,
+        bram_kb=256,
+        dsp_slices=32,
+    )
+    params.update(overrides)
+    return FPGADevice(**params)
+
+
+class TestValidation:
+    def test_rejects_non_positive_slices(self):
+        with pytest.raises(ValueError, match="positive slices"):
+            make_device(slices=0)
+
+    def test_rejects_non_positive_luts(self):
+        with pytest.raises(ValueError, match="positive LUTs"):
+            make_device(luts=-1)
+
+    def test_rejects_non_positive_reconfig_bandwidth(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            make_device(reconfig_bandwidth_mbps=0)
+
+    def test_devices_are_immutable(self):
+        device = make_device()
+        with pytest.raises(AttributeError):
+            device.slices = 1
+
+
+class TestSpeedGrades:
+    def test_grade_scaling_is_monotone(self):
+        freqs = [
+            make_device(speed_grade=g).max_frequency_mhz
+            for g in (SpeedGrade.GRADE_1, SpeedGrade.GRADE_2, SpeedGrade.GRADE_3)
+        ]
+        assert freqs[0] < freqs[1] < freqs[2]
+
+    def test_grade1_is_base_frequency(self):
+        device = make_device(speed_grade=SpeedGrade.GRADE_1, base_frequency_mhz=400.0)
+        assert device.max_frequency_mhz == pytest.approx(400.0)
+
+    def test_grade3_is_twenty_percent_up(self):
+        device = make_device(speed_grade=SpeedGrade.GRADE_3, base_frequency_mhz=400.0)
+        assert device.max_frequency_mhz == pytest.approx(480.0)
+
+
+class TestBitstreamModel:
+    def test_full_bitstream_scales_with_slices(self):
+        small = make_device(slices=1_000, luts=4_000)
+        large = make_device(slices=4_000, luts=16_000)
+        assert large.bitstream_size_bytes() == 4 * small.bitstream_size_bytes()
+
+    def test_partial_bitstream_is_proportional(self):
+        device = make_device(slices=4_000, luts=16_000)
+        assert device.bitstream_size_bytes(1_000) * 4 == device.bitstream_size_bytes()
+
+    def test_partial_bitstream_clamps_to_device(self):
+        device = make_device()
+        assert device.bitstream_size_bytes(10**9) == device.bitstream_size_bytes()
+
+    def test_negative_slices_rejected(self):
+        with pytest.raises(ValueError):
+            make_device().bitstream_size_bytes(-1)
+
+    def test_unknown_family_uses_generic_density(self):
+        exotic = make_device(family="weird-fpga")
+        assert exotic.config_bits_per_slice == 1500
+
+
+class TestReconfigurationTime:
+    def test_time_is_size_over_bandwidth(self):
+        device = make_device(reconfig_bandwidth_mbps=100.0)
+        expected = device.bitstream_size_bytes() / 1e6 / 100.0
+        assert device.reconfiguration_time_s() == pytest.approx(expected)
+
+    def test_faster_port_reconfigures_faster(self):
+        slow = make_device(reconfig_bandwidth_mbps=50.0)
+        fast = make_device(reconfig_bandwidth_mbps=400.0)
+        assert fast.reconfiguration_time_s() < slow.reconfiguration_time_s()
+
+    def test_partial_faster_than_full(self):
+        device = make_device()
+        assert device.reconfiguration_time_s(100) < device.reconfiguration_time_s()
+
+
+class TestCapabilities:
+    def test_descriptor_has_table1_keys(self):
+        caps = make_device().capabilities()
+        for key in (
+            "pe_class",
+            "device_model",
+            "device_family",
+            "logic_cells",
+            "slices",
+            "luts",
+            "bram_kb",
+            "dsp_slices",
+            "speed_grade",
+            "max_frequency_mhz",
+            "reconfig_bandwidth_mbps",
+            "iobs",
+            "ethernet_macs",
+            "partial_reconfig",
+        ):
+            assert key in caps, key
+
+    def test_pe_class_is_rpe(self):
+        assert make_device().capabilities()["pe_class"] == "RPE"
+
+    def test_make_fabric_covers_whole_device(self):
+        fabric = make_device().make_fabric(regions=3)
+        assert sum(r.slices for r in fabric.regions) == 5_000

@@ -1,0 +1,58 @@
+"""Unit tests for the GPP model."""
+
+import pytest
+
+from repro.hardware.gpp import GPPSpec
+
+
+def make_gpp(**overrides) -> GPPSpec:
+    params = dict(cpu_model="Xeon", mips=2_000.0, ram_mb=4_096, cores=2)
+    params.update(overrides)
+    return GPPSpec(**params)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [("mips", 0), ("cores", 0), ("ram_mb", -1)])
+    def test_rejects_non_positive(self, field, value):
+        with pytest.raises(ValueError):
+            make_gpp(**{field: value})
+
+
+class TestExecutionModel:
+    def test_serial_time_is_work_over_mips(self):
+        gpp = make_gpp(mips=1_000)
+        assert gpp.execution_time_s(2_000) == pytest.approx(2.0)
+
+    def test_fully_parallel_uses_all_cores(self):
+        gpp = make_gpp(mips=1_000, cores=4)
+        assert gpp.execution_time_s(4_000, parallel_fraction=1.0) == pytest.approx(1.0)
+
+    def test_amdahl_mixture(self):
+        gpp = make_gpp(mips=1_000, cores=2)
+        # Half serial (1s per 1000 MI), half across 2 cores.
+        t = gpp.execution_time_s(2_000, parallel_fraction=0.5)
+        assert t == pytest.approx(1.0 + 0.5)
+
+    def test_zero_work_is_instant(self):
+        assert make_gpp().execution_time_s(0.0) == 0.0
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            make_gpp().execution_time_s(-1.0)
+
+    def test_bad_parallel_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            make_gpp().execution_time_s(10.0, parallel_fraction=1.5)
+
+    def test_aggregate_mips(self):
+        assert make_gpp(mips=1_500, cores=4).aggregate_mips == pytest.approx(6_000)
+
+
+class TestCapabilities:
+    def test_table1_keys(self):
+        caps = make_gpp().capabilities()
+        for key in ("pe_class", "cpu_model", "mips", "os", "ram_mb", "cores"):
+            assert key in caps
+
+    def test_pe_class(self):
+        assert make_gpp().capabilities()["pe_class"] == "GPP"

@@ -1,0 +1,59 @@
+"""Unit tests for the GPU model."""
+
+import pytest
+
+from repro.hardware.gpu import GPUSpec
+
+
+def make_gpu(**overrides) -> GPUSpec:
+    params = dict(model="Tesla-C1060", shader_cores=240)
+    params.update(overrides)
+    return GPUSpec(**params)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field", ["shader_cores", "warp_size", "simd_pipeline_width"]
+    )
+    def test_rejects_non_positive(self, field):
+        with pytest.raises(ValueError):
+            make_gpu(**{field: 0})
+
+
+class TestThroughput:
+    def test_peak_gflops(self):
+        gpu = make_gpu(shader_cores=100, core_frequency_mhz=1_000)
+        assert gpu.peak_gflops == pytest.approx(200.0)
+
+    def test_parallel_work_scales_with_cores(self):
+        small = make_gpu(shader_cores=10)
+        big = make_gpu(shader_cores=100)
+        assert big.execution_time_s(1e6, 1.0) == pytest.approx(
+            small.execution_time_s(1e6, 1.0) / 10
+        )
+
+    def test_serial_tail_dominates_low_parallelism(self):
+        gpu = make_gpu()
+        assert gpu.execution_time_s(1e6, 0.1) > gpu.execution_time_s(1e6, 0.99)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            make_gpu().execution_time_s(-1.0)
+        with pytest.raises(ValueError):
+            make_gpu().execution_time_s(1.0, parallel_fraction=2.0)
+
+
+class TestCapabilities:
+    def test_table1_keys(self):
+        caps = make_gpu().capabilities()
+        for key in (
+            "pe_class",
+            "gpu_model",
+            "shader_cores",
+            "warp_size",
+            "simd_pipeline_width",
+            "shared_mem_per_core_kb",
+            "memory_frequency_mhz",
+        ):
+            assert key in caps
+        assert caps["pe_class"] == "GPU"

@@ -1,0 +1,116 @@
+"""Unit tests for the PE power models."""
+
+import pytest
+
+from repro.hardware.catalog import device_by_model
+from repro.hardware.gpp import GPPSpec
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.power import (
+    PowerDraw,
+    energy_per_task_j,
+    fpga_active_power,
+    fpga_idle_configured_power,
+    fpga_reconfig_power,
+    fpga_static_power,
+    gpp_power,
+    gpu_power,
+    softcore_power,
+)
+from repro.hardware.softcore import RHO_VEX_4ISSUE
+
+
+class TestPowerDraw:
+    def test_total(self):
+        assert PowerDraw(static_w=2.0, dynamic_w=3.0).total_w == 5.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PowerDraw(static_w=-1.0, dynamic_w=0.0)
+
+
+class TestGPPPower:
+    def test_scales_with_load(self):
+        spec = GPPSpec(cpu_model="Xeon", mips=20_000, cores=1)
+        idle = gpp_power(spec, load=0.0).total_w
+        full = gpp_power(spec, load=1.0).total_w
+        half = gpp_power(spec, load=0.5).total_w
+        assert idle < half < full
+        assert half == pytest.approx((idle + full) / 2)
+
+    def test_xeon_era_magnitude(self):
+        # ~20k MIPS -> ~80 W peak.
+        spec = GPPSpec(cpu_model="Xeon", mips=20_000)
+        assert 60.0 < gpp_power(spec, load=1.0).total_w < 100.0
+
+    def test_invalid_load(self):
+        with pytest.raises(ValueError):
+            gpp_power(GPPSpec(cpu_model="x", mips=1_000), load=1.5)
+
+
+class TestFPGAPower:
+    def setup_method(self):
+        self.device = device_by_model("XC5VLX330")
+
+    def test_static_magnitude(self):
+        # LX330 leaks on the order of watts, not tens of watts.
+        leak = fpga_static_power(self.device).total_w
+        assert 1.0 < leak < 10.0
+
+    def test_active_adds_dynamic(self):
+        active = fpga_active_power(self.device, 30_000)
+        assert active.static_w == fpga_static_power(self.device).static_w
+        assert active.dynamic_w > 0
+        assert active.total_w < gpp_power(
+            GPPSpec(cpu_model="Xeon", mips=20_000), load=1.0
+        ).total_w  # an accelerator burns far less than a Xeon
+
+    def test_active_clamped_to_device(self):
+        a = fpga_active_power(self.device, 10**9)
+        b = fpga_active_power(self.device, self.device.slices)
+        assert a.total_w == b.total_w
+
+    def test_idle_configured_is_residual(self):
+        idle = fpga_idle_configured_power(self.device, 30_000)
+        active = fpga_active_power(self.device, 30_000)
+        assert 0 < idle.dynamic_w < active.dynamic_w
+
+    def test_reconfig_power_positive(self):
+        assert fpga_reconfig_power(self.device).dynamic_w > 0
+
+    def test_negative_slices_rejected(self):
+        with pytest.raises(ValueError):
+            fpga_active_power(self.device, -1)
+
+
+class TestSoftcoreAndGPU:
+    def test_softcore_power_from_footprint(self):
+        device = device_by_model("XC5VLX110")
+        power = softcore_power(RHO_VEX_4ISSUE, device)
+        assert power.static_w == 0.0
+        assert 0 < power.dynamic_w < 2.0
+
+    def test_gpu_power(self):
+        spec = GPUSpec(model="Tesla", shader_cores=240)
+        idle = gpu_power(spec, load=0.0).total_w
+        full = gpu_power(spec, load=1.0).total_w
+        assert idle == pytest.approx(70.0)
+        assert full == pytest.approx(70.0 + 120.0)
+
+
+class TestEnergy:
+    def test_energy_is_power_times_time(self):
+        power = PowerDraw(static_w=10.0, dynamic_w=10.0)
+        assert energy_per_task_j(power, 3.0) == pytest.approx(60.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            energy_per_task_j(PowerDraw(1.0, 1.0), -1.0)
+
+    def test_acceleration_pays_off_in_joules(self):
+        """The paper's claim, at the model level: a 10x-faster kernel on
+        fabric uses ~2 orders of magnitude less energy than a Xeon."""
+        xeon = GPPSpec(cpu_model="Xeon", mips=20_000)
+        device = device_by_model("XC5VLX220")
+        software_j = energy_per_task_j(gpp_power(xeon, load=1.0), 10.0)
+        hardware_j = energy_per_task_j(fpga_active_power(device, 30_000), 1.0)
+        assert hardware_j < software_j / 20

@@ -1,0 +1,105 @@
+"""Unit tests for the soft-core VLIW (rho-VEX) model."""
+
+import pytest
+
+from repro.hardware.catalog import device_by_model
+from repro.hardware.softcore import (
+    RHO_VEX_2ISSUE,
+    RHO_VEX_4ISSUE,
+    RHO_VEX_8ISSUE,
+    FunctionalUnitMix,
+    SoftcoreSpec,
+)
+
+
+class TestFunctionalUnitMix:
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            FunctionalUnitMix(alus=-1)
+
+    def test_requires_an_alu(self):
+        with pytest.raises(ValueError, match="at least one ALU"):
+            FunctionalUnitMix(alus=0, multipliers=4)
+
+    def test_total(self):
+        assert FunctionalUnitMix(alus=4, multipliers=2, memory_units=1, branch_units=1).total == 8
+
+
+class TestValidation:
+    def test_fu_mix_must_fill_issue_width(self):
+        with pytest.raises(ValueError, match="issue width"):
+            SoftcoreSpec(
+                name="bad",
+                issue_width=8,
+                fu_mix=FunctionalUnitMix(alus=2, multipliers=1, memory_units=1, branch_units=1),
+            )
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("issue_width", 0), ("clusters", 0), ("registers", 0), ("pipeline_stages", 0)],
+    )
+    def test_rejects_non_positive(self, field, value):
+        with pytest.raises(ValueError):
+            SoftcoreSpec(name="bad", **{field: value})
+
+
+class TestAreaModel:
+    def test_wider_issue_needs_more_slices(self):
+        assert (
+            RHO_VEX_2ISSUE.required_slices()
+            < RHO_VEX_4ISSUE.required_slices()
+            < RHO_VEX_8ISSUE.required_slices()
+        )
+
+    def test_clusters_multiply_area(self):
+        one = SoftcoreSpec(name="c1", clusters=1)
+        two = SoftcoreSpec(name="c2", clusters=2)
+        assert two.required_slices() == 2 * one.required_slices()
+
+    def test_bram_follows_memories(self):
+        small = SoftcoreSpec(name="m1", imem_kb=16, dmem_kb=16)
+        big = SoftcoreSpec(name="m2", imem_kb=64, dmem_kb=64)
+        assert big.required_bram_kb() > small.required_bram_kb()
+
+    def test_fits_on_large_device_not_tiny(self):
+        v5 = device_by_model("XC5VLX110")
+        spartan = device_by_model("XC3S1000")
+        assert RHO_VEX_8ISSUE.fits_on(v5)
+        assert not RHO_VEX_8ISSUE.fits_on(spartan)
+
+
+class TestPerformanceModel:
+    def test_wider_issue_lowers_frequency(self):
+        device = device_by_model("XC5VLX110")
+        assert RHO_VEX_8ISSUE.achievable_frequency_mhz(device) < RHO_VEX_2ISSUE.achievable_frequency_mhz(device)
+
+    def test_wider_issue_still_raises_throughput(self):
+        # Frequency drops slower than issue width grows.
+        device = device_by_model("XC5VLX110")
+        assert RHO_VEX_8ISSUE.effective_mips(device) > RHO_VEX_2ISSUE.effective_mips(device)
+
+    def test_softcore_is_slower_than_device_peak(self):
+        device = device_by_model("XC5VLX110")
+        assert RHO_VEX_4ISSUE.achievable_frequency_mhz(device) < device.max_frequency_mhz
+
+    def test_explicit_mips_per_mhz_honoured(self):
+        device = device_by_model("XC5VLX110")
+        spec = SoftcoreSpec(name="x", mips_per_mhz=1.0)
+        assert spec.effective_mips(device) == pytest.approx(
+            spec.achievable_frequency_mhz(device)
+        )
+
+
+class TestCapabilities:
+    def test_without_device(self):
+        caps = RHO_VEX_4ISSUE.capabilities()
+        assert caps["pe_class"] == "SOFTCORE"
+        assert "mips" not in caps
+
+    def test_with_device_adds_delivered_numbers(self):
+        device = device_by_model("XC5VLX110")
+        caps = RHO_VEX_4ISSUE.capabilities(device)
+        assert caps["mips"] > 0
+        assert caps["host_device_model"] == "XC5VLX110"
+        for key in ("issue_width", "registers", "clusters", "required_slices"):
+            assert key in caps

@@ -1,0 +1,75 @@
+"""Unit tests for the Figure 1 taxonomy."""
+
+import pytest
+
+from repro.hardware.catalog import device_by_model
+from repro.hardware.gpp import GPPSpec
+from repro.hardware.gpu import GPUSpec
+from repro.hardware.softcore import RHO_VEX_4ISSUE
+from repro.hardware.taxonomy import PEClass, classify, taxonomy_tree
+
+
+class TestClassification:
+    def test_gpp(self):
+        assert classify(GPPSpec(cpu_model="X", mips=1000)) is PEClass.GPP
+
+    def test_gpu(self):
+        assert classify(GPUSpec(model="T", shader_cores=32)) is PEClass.GPU
+
+    def test_fpga(self):
+        assert classify(device_by_model("XC5VLX110")) is PEClass.RPE
+
+    def test_softcore(self):
+        assert classify(RHO_VEX_4ISSUE) is PEClass.SOFTCORE
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            classify("not hardware")
+
+
+class TestPEClassParsing:
+    def test_roundtrip(self):
+        for member in PEClass:
+            assert PEClass.from_string(member.value) is member
+
+    def test_case_insensitive(self):
+        assert PEClass.from_string("gpp") is PEClass.GPP
+
+    def test_unknown_lists_options(self):
+        with pytest.raises(ValueError, match="GPP"):
+            PEClass.from_string("TPU")
+
+
+class TestTree:
+    def test_figure1_structure(self):
+        tree = taxonomy_tree()
+        assert tree.label == "Enhanced processing elements"
+        top = {child.label for child in tree.children}
+        assert top == {
+            "General-purpose processors",
+            "Graphics processing units",
+            "Reconfigurable processing elements",
+        }
+        rpe = tree.find("Reconfigurable processing elements")
+        scenarios = {c.label for c in rpe.children}
+        assert scenarios == {
+            "Pre-determined hardware configuration",
+            "User-defined hardware configuration",
+            "Device-specific hardware",
+        }
+
+    def test_sections_annotated(self):
+        tree = taxonomy_tree()
+        assert tree.find("Pre-determined hardware configuration").section == "III-B1"
+        assert tree.find("User-defined hardware configuration").section == "III-B2"
+        assert tree.find("Device-specific hardware").section == "III-B3"
+
+    def test_walk_visits_all_nodes_preorder(self):
+        tree = taxonomy_tree()
+        walked = list(tree.walk())
+        assert walked[0][1] is tree
+        assert walked[0][0] == 0
+        assert len(walked) == 10  # 1 root + 3 classes + 3 scenarios + 3 leaves
+
+    def test_find_missing_returns_none(self):
+        assert taxonomy_tree().find("Quantum annealers") is None

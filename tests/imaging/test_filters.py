@@ -1,0 +1,110 @@
+"""Unit tests for the image filters, against scipy.ndimage oracles."""
+
+import numpy as np
+import pytest
+from scipy import ndimage
+
+from repro.imaging.filters import (
+    convolve2d,
+    gaussian_blur,
+    gaussian_kernel,
+    sobel_magnitude,
+    threshold,
+)
+
+
+@pytest.fixture
+def image():
+    rng = np.random.default_rng(5)
+    return rng.random((48, 64))
+
+
+class TestConvolve2D:
+    def test_matches_scipy_correlate(self, image):
+        kernel = np.array([[0.0, 1.0, 0.0], [1.0, -4.0, 1.0], [0.0, 1.0, 0.0]])
+        ours = convolve2d(image, kernel)
+        scipy_out = ndimage.correlate(image, kernel, mode="reflect")
+        assert np.allclose(ours, scipy_out)
+
+    def test_asymmetric_kernel_matches_scipy(self, image):
+        rng = np.random.default_rng(1)
+        kernel = rng.random((5, 3))
+        assert np.allclose(
+            convolve2d(image, kernel),
+            ndimage.correlate(image, kernel, mode="reflect"),
+        )
+
+    def test_identity_kernel(self, image):
+        identity = np.zeros((3, 3))
+        identity[1, 1] = 1.0
+        assert np.allclose(convolve2d(image, identity), image)
+
+    def test_shape_preserved(self, image):
+        out = convolve2d(image, gaussian_kernel(2.0))
+        assert out.shape == image.shape
+
+    def test_validation(self, image):
+        with pytest.raises(ValueError, match="odd"):
+            convolve2d(image, np.ones((2, 3)))
+        with pytest.raises(ValueError, match="2-D"):
+            convolve2d(image.ravel(), np.ones((3, 3)))
+
+
+class TestGaussian:
+    def test_kernel_normalized_and_symmetric(self):
+        k = gaussian_kernel(1.5)
+        assert k.sum() == pytest.approx(1.0)
+        assert np.allclose(k, k.T)
+        assert np.allclose(k, k[::-1, ::-1])
+
+    def test_blur_matches_scipy_within_truncation(self, image):
+        ours = gaussian_blur(image, 1.0)
+        scipy_out = ndimage.gaussian_filter(image, 1.0, mode="reflect", truncate=3.0)
+        assert np.allclose(ours, scipy_out, atol=1e-3)
+
+    def test_blur_reduces_variance(self, image):
+        assert gaussian_blur(image, 2.0).var() < image.var()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel(0.0)
+        with pytest.raises(ValueError):
+            gaussian_kernel(1.0, radius=0)
+
+
+class TestSobel:
+    def test_flat_image_has_zero_gradient(self):
+        flat = np.full((20, 20), 3.7)
+        assert np.allclose(sobel_magnitude(flat), 0.0)
+
+    def test_vertical_edge_detected(self):
+        img = np.zeros((20, 20))
+        img[:, 10:] = 1.0
+        mag = sobel_magnitude(img)
+        # Strongest response on the edge columns, none far away.
+        assert mag[:, 9:11].min() > 1.0
+        assert np.allclose(mag[:, :5], 0.0)
+
+    def test_matches_scipy_component_magnitudes(self, image):
+        gx = ndimage.correlate(
+            image, np.array([[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]], float), mode="reflect"
+        )
+        gy = ndimage.correlate(
+            image, np.array([[-1, -2, -1], [0, 0, 0], [1, 2, 1]], float), mode="reflect"
+        )
+        assert np.allclose(sobel_magnitude(image), np.hypot(gx, gy))
+
+
+class TestThreshold:
+    def test_binary_output(self, image):
+        out = threshold(image)
+        assert set(np.unique(out)) <= {0, 1}
+        assert out.dtype == np.uint8
+
+    def test_explicit_level(self):
+        img = np.array([[0.1, 0.9]])
+        assert threshold(img, 0.5).tolist() == [[0, 1]]
+
+    def test_default_level_is_mean(self, image):
+        out = threshold(image)
+        assert np.array_equal(out, (image >= image.mean()).astype(np.uint8))

@@ -1,0 +1,91 @@
+"""Integration tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCatalog:
+    def test_lists_devices(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "XC6VLX365T" in out
+        assert "XC5VLX155" in out
+
+    def test_family_filter(self, capsys):
+        assert main(["catalog", "--family", "virtex-6"]) == 0
+        out = capsys.readouterr().out
+        assert "XC6VLX365T" in out
+        assert "XC5VLX155" not in out
+
+
+class TestTaxonomy:
+    def test_prints_tree(self, capsys):
+        assert main(["taxonomy"]) == 0
+        out = capsys.readouterr().out
+        assert "Enhanced processing elements" in out
+        assert "Device-specific hardware" in out
+
+
+class TestTable2:
+    def test_matches_paper(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "RPE_0 <-> Node_2" in out
+        assert "matches the published table: True" in out
+
+
+class TestSimulate:
+    def test_default_run(self, capsys):
+        assert main(["simulate", "--tasks", "30", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "completed / discarded / pending   30 / 0 / 0" in out
+
+    def test_energy_flag(self, capsys):
+        assert main(["simulate", "--tasks", "10", "--energy"]) == 0
+        assert "energy total" in capsys.readouterr().out
+
+    def test_every_strategy_accepted(self, capsys):
+        from repro.scheduling import ALL_STRATEGIES
+
+        for name in ALL_STRATEGIES:
+            assert main(["simulate", "--tasks", "5", "--strategy", name]) == 0
+            capsys.readouterr()
+
+    def test_unknown_strategy_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--strategy", "magic"])
+        assert "unknown strategy" in capsys.readouterr().err
+
+    def test_deterministic_under_seed(self, capsys):
+        main(["simulate", "--tasks", "20", "--seed", "9"])
+        first = capsys.readouterr().out
+        main(["simulate", "--tasks", "20", "--seed", "9"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestClustalw:
+    def test_synthetic_alignment(self, capsys):
+        assert main(["clustalw", "--family-size", "3", "--length", "30"]) == 0
+        out = capsys.readouterr().out
+        assert out.count(">seq") == 3
+        assert "guide tree" in out
+
+    def test_fasta_roundtrip(self, tmp_path, capsys):
+        from repro.bioinfo.sequences import synthetic_family, write_fasta
+
+        src = tmp_path / "in.fasta"
+        dst = tmp_path / "out.fasta"
+        write_fasta(synthetic_family(3, 40, seed=1), src)
+        assert main(["clustalw", "--fasta", str(src), "--out", str(dst)]) == 0
+        capsys.readouterr()
+        from repro.bioinfo.sequences import read_fasta
+
+        aligned = read_fasta(dst)
+        assert len(aligned) == 3
+        assert len({len(s.residues) for s in aligned}) == 1
+
+    def test_nj_tree_option(self, capsys):
+        assert main(["clustalw", "--family-size", "3", "--length", "30", "--tree", "nj"]) == 0
+        capsys.readouterr()

@@ -1,0 +1,151 @@
+"""Cross-module integration tests: JSS -> RMS -> scheduler -> DReAMSim."""
+
+import pytest
+
+from repro.casestudy.nodes import build_case_study_nodes, case_study_network
+from repro.casestudy.tasks import build_case_study_tasks
+from repro.core.node import Node
+from repro.grid.jss import JobStatus
+from repro.grid.rms import ResourceManagementSystem
+from repro.grid.services import QoSRequirement, UserServices
+from repro.hardware.catalog import device_by_model
+from repro.hardware.gpp import GPPSpec
+from repro.scheduling import GPPOnlyScheduler, HybridCostScheduler
+from repro.sim.simulator import DReAMSim
+from repro.sim.workload import (
+    ConfigurationPool,
+    PoissonArrivals,
+    SyntheticWorkload,
+    WorkloadSpec,
+)
+
+
+def hybrid_grid(scheduler=None, *, gpp_mips=1_000):
+    """Two nodes: one GPP-heavy, one fabric-heavy."""
+    n0 = Node(node_id=0, name="Node_0")
+    n0.add_gpp(GPPSpec(cpu_model="XeonA", mips=gpp_mips))
+    n0.add_gpp(GPPSpec(cpu_model="XeonB", mips=gpp_mips))
+    n1 = Node(node_id=1, name="Node_1")
+    n1.add_rpe(device_by_model("XC5VLX220"), regions=2)
+    n1.add_rpe(device_by_model("XC5VLX155"), regions=2)
+    rms = ResourceManagementSystem(scheduler=scheduler or HybridCostScheduler())
+    rms.register_node(n0)
+    rms.register_node(n1)
+    return rms
+
+
+def run_synthetic(rms, *, task_count=120, gpp_fraction=0.5, seed=7):
+    pool = ConfigurationPool(6, area_range=(3_000, 15_000), seed=3)
+    devices = [rpe.device for node in rms.nodes for rpe in node.rpes]
+    pool.populate_repository(rms.virtualization.repository, devices)
+    workload = SyntheticWorkload(
+        WorkloadSpec(task_count=task_count, gpp_fraction=gpp_fraction),
+        pool,
+        PoissonArrivals(rate_per_s=3.0),
+        seed=seed,
+    )
+    sim = DReAMSim(rms)
+    sim.submit_workload(workload.generate())
+    return sim, sim.run()
+
+
+class TestSyntheticWorkloadRuns:
+    def test_everything_completes(self):
+        _, report = run_synthetic(hybrid_grid())
+        assert report.completed == 120
+        assert report.pending == 0
+        assert report.discarded == 0
+
+    def test_configuration_reuse_emerges(self):
+        # 6 configurations over ~60 hardware tasks: reuse must fire.
+        _, report = run_synthetic(hybrid_grid())
+        assert report.reuse_hits > 0
+        assert report.reconfigurations + report.reuse_hits == report.tasks_by_pe_kind.get("RPE", 0)
+
+    def test_determinism_across_runs(self):
+        _, r1 = run_synthetic(hybrid_grid())
+        _, r2 = run_synthetic(hybrid_grid())
+        assert r1.makespan_s == r2.makespan_s
+        assert r1.mean_wait_s == r2.mean_wait_s
+        assert r1.reconfigurations == r2.reconfigurations
+
+    def test_jobs_all_completed_in_jss(self):
+        sim, _ = run_synthetic(hybrid_grid())
+        statuses = {job.status for job in sim.jss.jobs.values()}
+        assert statuses == {JobStatus.COMPLETED}
+
+
+class TestHybridVsGPPOnly:
+    """The paper's central qualitative claim: a grid that schedules onto
+    RPEs outperforms a traditional GPP-only grid on hardware-friendly
+    workloads."""
+
+    def test_hybrid_completes_hardware_tasks_gpponly_cannot(self):
+        hybrid = hybrid_grid(HybridCostScheduler())
+        gpp_only = hybrid_grid(GPPOnlyScheduler())
+        _, hybrid_report = run_synthetic(hybrid, gpp_fraction=0.5)
+        _, gpp_report = run_synthetic(gpp_only, gpp_fraction=0.5)
+        assert hybrid_report.completed == 120
+        # RPE-class tasks cannot be expressed on a traditional grid.
+        assert gpp_report.completed < 120
+        assert gpp_report.pending > 0
+
+    def test_hybrid_turnaround_beats_gpp_only_on_software(self):
+        # Even on an all-software workload, hybrid matches GPP-only
+        # (same decisions available).
+        _, hybrid_report = run_synthetic(hybrid_grid(HybridCostScheduler()), gpp_fraction=1.0)
+        _, gpp_report = run_synthetic(hybrid_grid(GPPOnlyScheduler()), gpp_fraction=1.0)
+        assert hybrid_report.completed == gpp_report.completed == 120
+        assert hybrid_report.mean_turnaround_s <= gpp_report.mean_turnaround_s + 1e-6
+
+
+class TestCaseStudyOnSimulator:
+    def test_case_study_tasks_complete_with_dependencies(self):
+        rms = ResourceManagementSystem(network=case_study_network())
+        for node in build_case_study_nodes():
+            rms.register_node(node)
+        tasks = build_case_study_tasks()
+        sim = DReAMSim(rms)
+        job_id = sim.submit_graph([tasks[0], tasks[1], tasks[2]])
+        report = sim.run()
+        assert report.completed == 3
+        job = sim.jss.job(job_id)
+        assert job.status is JobStatus.COMPLETED
+        # Dependencies: Task_1/Task_2 start after Task_0 finishes.
+        t0_finish = job.record(0).finish_time
+        assert job.record(1).start_time >= t0_finish
+        assert job.record(2).start_time >= t0_finish
+
+    def test_task2_lands_on_a_big_virtex5(self):
+        rms = ResourceManagementSystem(network=case_study_network())
+        for node in build_case_study_nodes():
+            rms.register_node(node)
+        tasks = build_case_study_tasks()
+        sim = DReAMSim(rms)
+        job_id = sim.submit_graph([tasks[0], tasks[1], tasks[2]])
+        sim.run()
+        t2 = sim.metrics.tasks[(job_id, 2)]
+        assert t2.pe_kind == "RPE"
+        # Only Node_1's RPE_1 and Node_2's RPE_0 can take 30,790 slices.
+        assert t2.node_id in (1, 2)
+
+
+class TestServicesOverRealGrid:
+    def test_qos_deadline_met_on_fast_grid(self):
+        rms = hybrid_grid(gpp_mips=50_000)
+        services = UserServices(rms)
+        from repro.core.execreq import Artifacts, ExecReq
+        from repro.core.task import simple_task
+        from repro.hardware.taxonomy import PEClass
+
+        task = simple_task(
+            0,
+            ExecReq(node_type=PEClass.GPP, artifacts=Artifacts(application_code="x")),
+            1.0,
+        )
+        job = services.submit(task, QoSRequirement(deadline_s=10.0, budget=100.0))
+        makespan = services.execute(job)
+        assert makespan < 10.0
+        response = services.query(job.job_id)
+        assert response.status is JobStatus.COMPLETED
+        assert 0 < response.accrued_cost < 100.0

@@ -1,0 +1,187 @@
+"""Unit tests for the gprof-style call-graph profiler."""
+
+import pytest
+
+from repro.profiling.callgraph import CallGraphProfiler, profile_call
+
+
+class FakeClock:
+    """Deterministic clock: advances only when told."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestSelfVsCumulative:
+    def test_nested_calls_attributed_correctly(self):
+        clock = FakeClock()
+        prof = CallGraphProfiler(clock=clock)
+
+        def inner():
+            clock.advance(3.0)
+
+        inner_w = prof.wrap(inner, name="inner")
+
+        def outer():
+            clock.advance(1.0)
+            inner_w()
+            clock.advance(1.0)
+
+        outer_w = prof.wrap(outer, name="outer")
+        outer_w()
+
+        assert prof.stats["outer"].cumulative_s == pytest.approx(5.0)
+        assert prof.stats["outer"].self_s == pytest.approx(2.0)
+        assert prof.stats["inner"].self_s == pytest.approx(3.0)
+        assert prof.stats["inner"].cumulative_s == pytest.approx(3.0)
+        assert prof.total_self_s == pytest.approx(5.0)
+
+    def test_call_counts(self):
+        clock = FakeClock()
+        prof = CallGraphProfiler(clock=clock)
+        f = prof.wrap(lambda: clock.advance(0.5), name="f")
+        for _ in range(4):
+            f()
+        assert prof.stats["f"].calls == 4
+        assert prof.stats["f"].self_s == pytest.approx(2.0)
+
+    def test_edges_record_caller_callee(self):
+        clock = FakeClock()
+        prof = CallGraphProfiler(clock=clock)
+        child = prof.wrap(lambda: clock.advance(1.0), name="child")
+
+        def parent():
+            child()
+            child()
+
+        parent_w = prof.wrap(parent, name="parent")
+        parent_w()
+        assert prof.edges[("parent", "child")] == 2
+        assert prof.callers_of("child") == {"parent": 2}
+        assert prof.callees_of("parent") == {"child": 2}
+
+    def test_exceptions_still_account_time(self):
+        clock = FakeClock()
+        prof = CallGraphProfiler(clock=clock)
+
+        def boom():
+            clock.advance(2.0)
+            raise RuntimeError("x")
+
+        wrapped = prof.wrap(boom, name="boom")
+        with pytest.raises(RuntimeError):
+            wrapped()
+        assert prof.stats["boom"].self_s == pytest.approx(2.0)
+        assert prof.stats["boom"].calls == 1
+
+    def test_recursion_counts_once_per_frame(self):
+        clock = FakeClock()
+        prof = CallGraphProfiler(clock=clock)
+
+        def fib(n):
+            clock.advance(1.0)
+            if n <= 1:
+                return n
+            return wrapped(n - 1) + wrapped(n - 2)
+
+        wrapped = prof.wrap(fib, name="fib")
+        wrapped(3)
+        # fib(3) -> fib(2), fib(1); fib(2) -> fib(1), fib(0): 5 frames.
+        assert prof.stats["fib"].calls == 5
+        assert prof.stats["fib"].self_s == pytest.approx(5.0)
+
+
+class TestReports:
+    def build(self):
+        clock = FakeClock()
+        prof = CallGraphProfiler(clock=clock)
+        heavy = prof.wrap(lambda: clock.advance(9.0), name="pairalign")
+        light = prof.wrap(lambda: clock.advance(1.0), name="malign")
+        heavy()
+        light()
+        return prof
+
+    def test_flat_profile_sorted_by_self_time(self):
+        rows = self.build().flat_profile()
+        assert [r.name for r in rows] == ["pairalign", "malign"]
+        assert rows[0].self_pct == pytest.approx(90.0)
+        assert rows[1].self_pct == pytest.approx(10.0)
+
+    def test_top_limits_rows(self):
+        prof = self.build()
+        assert len(prof.top(1)) == 1
+        with pytest.raises(ValueError):
+            prof.top(0)
+
+    def test_cumulative_pct(self):
+        prof = self.build()
+        assert prof.cumulative_pct("pairalign") == pytest.approx(90.0)
+
+    def test_gprof_report_layout(self):
+        report = self.build().gprof_report()
+        assert "Flat profile:" in report
+        assert "pairalign" in report
+        assert "calls" in report
+
+    def test_empty_profiler(self):
+        prof = CallGraphProfiler()
+        assert prof.flat_profile() == []
+        assert prof.total_self_s == 0.0
+
+
+class TestInstrumentation:
+    def test_instrument_and_restore_module(self):
+        import repro.bioinfo.guidetree as gt
+
+        original = gt.upgma
+        prof = CallGraphProfiler()
+        prof.instrument(gt, "upgma")
+        assert gt.upgma is not original
+        prof.restore()
+        assert gt.upgma is original
+
+    def test_context_manager_restores(self):
+        import repro.bioinfo.guidetree as gt
+
+        original = gt.upgma
+        with CallGraphProfiler() as prof:
+            prof.instrument(gt, "upgma")
+        assert gt.upgma is original
+
+    def test_profile_call_helper(self):
+        result, prof = profile_call(sorted, [3, 1, 2])
+        assert result == [1, 2, 3]
+        assert prof.stats["sorted"].calls == 1
+
+
+class TestCallGraphSection:
+    def test_blocks_show_callers_and_callees(self):
+        clock = FakeClock()
+        prof = CallGraphProfiler(clock=clock)
+        child = prof.wrap(lambda: clock.advance(1.0), name="child")
+
+        def parent():
+            clock.advance(0.5)
+            child()
+            child()
+
+        prof.wrap(parent, name="parent")()
+        report = prof.callgraph_report()
+        assert "Call graph:" in report
+        # child's block shows its caller with the edge count 2/2.
+        assert "2/2" in report
+        assert "parent" in report and "child" in report
+
+    def test_top_limits_blocks(self):
+        clock = FakeClock()
+        prof = CallGraphProfiler(clock=clock)
+        for name in ("a", "b", "c"):
+            prof.wrap(lambda: clock.advance(1.0), name=name)()
+        report = prof.callgraph_report(top=1)
+        assert "[1]" in report and "[2]" not in report

@@ -1,0 +1,124 @@
+"""Unit tests for software complexity metrics (Quipu SCMs)."""
+
+import pytest
+
+from repro.profiling.metrics import (
+    ComplexityMetrics,
+    measure,
+    measure_closure,
+    measure_source,
+)
+
+
+def straight_line(a, b):
+    c = a + b
+    return c
+
+
+def branchy(x):
+    if x > 0:
+        return 1
+    elif x < 0:
+        return -1
+    return 0
+
+
+def loopy(matrix):
+    total = 0
+    for row in matrix:
+        for cell in row:
+            total += cell * cell
+    return total
+
+
+class TestBasicCounts:
+    def test_straight_line_cyclomatic_is_one(self):
+        m = measure(straight_line)
+        assert m.cyclomatic == 1
+        assert m.loops == 0
+        assert m.branches == 0
+
+    def test_branches_counted(self):
+        m = measure(branchy)
+        # Two if-statements -> cyclomatic 3.
+        assert m.cyclomatic == 3
+        assert m.branches == 2
+
+    def test_loops_and_nesting(self):
+        m = measure(loopy)
+        assert m.loops == 2
+        assert m.max_loop_depth == 2
+
+    def test_arithmetic_and_memory(self):
+        m = measure_source("y = a[i] * a[i] + b[j]")
+        assert m.memory_accesses == 3
+        assert m.arithmetic_ops == 2
+
+    def test_calls_counted(self):
+        m = measure_source("f(); g.h(); f()")
+        assert m.calls == 3
+
+    def test_boolean_terms_add_decisions(self):
+        simple = measure_source("if a:\n    pass")
+        compound = measure_source("if a and b and c:\n    pass")
+        assert compound.cyclomatic == simple.cyclomatic + 2
+
+    def test_halstead_volume_grows_with_code(self):
+        small = measure_source("a = b + c")
+        large = measure_source("a = b + c\nd = e * f + g\nh = a - d\ni = h % 3")
+        assert large.halstead_volume > small.halstead_volume
+
+    def test_empty_source_has_zero_volume(self):
+        assert measure_source("pass").halstead_volume == 0.0
+
+
+class TestCombine:
+    def test_counts_add_and_depth_maxes(self):
+        a = ComplexityMetrics(sloc=10, cyclomatic=3, loops=2, max_loop_depth=2)
+        b = ComplexityMetrics(sloc=5, cyclomatic=2, loops=1, max_loop_depth=3)
+        c = a.combine(b)
+        assert c.sloc == 15
+        assert c.cyclomatic == 4  # 3 + 2 - 1 shared entry
+        assert c.loops == 3
+        assert c.max_loop_depth == 3
+
+    def test_vector_matches_feature_names(self):
+        m = ComplexityMetrics()
+        assert len(m.as_vector()) == len(ComplexityMetrics.feature_names())
+
+
+class TestClosure:
+    def test_closure_includes_module_callees(self):
+        import importlib
+
+        pa = importlib.import_module("repro.bioinfo.pairalign")
+        solo = measure(pa.align_pair)
+        closure = measure_closure(pa.align_pair)
+        # align_pair calls _wavefront, _traceback_ops, tracepath.
+        assert closure.sloc > solo.sloc
+        assert closure.loops >= solo.loops
+
+    def test_depth_zero_is_single_function(self):
+        import importlib
+
+        pa = importlib.import_module("repro.bioinfo.pairalign")
+        solo = measure(pa.align_pair)
+        closure0 = measure_closure(pa.align_pair, max_depth=0)
+        assert closure0.sloc == solo.sloc
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            measure_closure(straight_line, max_depth=-1)
+
+    def test_pairalign_closure_heavier_than_malign(self):
+        # The premise behind the case study's slice ordering.
+        import importlib
+
+        pa = importlib.import_module("repro.bioinfo.pairalign")
+        ma = importlib.import_module("repro.bioinfo.malign")
+        from repro.profiling.quipu import QuipuModel
+
+        model = QuipuModel()
+        assert model.raw_score(measure_closure(pa.pairalign)) > model.raw_score(
+            measure_closure(ma.malign)
+        )

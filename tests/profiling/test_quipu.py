@@ -1,0 +1,129 @@
+"""Unit tests for the Quipu hardware-cost predictor."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.catalog import device_by_model
+from repro.profiling.metrics import ComplexityMetrics
+from repro.profiling.quipu import (
+    HardwareEstimate,
+    PAPER_MALIGN_SLICES,
+    PAPER_PAIRALIGN_SLICES,
+    QuipuModel,
+    calibrated_model,
+)
+
+
+def metrics(scale=1):
+    return ComplexityMetrics(
+        sloc=10 * scale,
+        cyclomatic=1 + 2 * scale,
+        operators=20 * scale,
+        operands=30 * scale,
+        distinct_operators=4,
+        distinct_operands=10 * scale,
+        loops=scale,
+        max_loop_depth=min(scale, 3),
+        branches=scale,
+        memory_accesses=5 * scale,
+        arithmetic_ops=8 * scale,
+        calls=2 * scale,
+    )
+
+
+class TestLinearModel:
+    def test_raw_score_is_linear(self):
+        model = QuipuModel()
+        base = model.raw_score(metrics(1))
+        # Features scale (roughly) with `scale`; raw score must grow.
+        assert model.raw_score(metrics(3)) > base > 0
+
+    def test_wrong_feature_length_rejected(self):
+        model = QuipuModel(weights=np.ones(3))
+        with pytest.raises(ValueError, match="feature vector"):
+            model.raw_score(metrics())
+
+    def test_predict_never_negative(self):
+        model = QuipuModel(scale=-1.0, offset=0.0)
+        assert model.predict_slices(metrics()) == 0
+
+    def test_estimate_bundle(self):
+        est = QuipuModel().predict(metrics(2))
+        assert est.luts == est.slices * 4
+        assert est.bram_kb > 0
+        assert est.dsp_slices >= 0
+
+    def test_estimate_validation(self):
+        with pytest.raises(ValueError):
+            HardwareEstimate(slices=-1, luts=0, bram_kb=0, dsp_slices=0)
+
+    def test_fits_device(self):
+        small = HardwareEstimate(slices=1_000, luts=4_000, bram_kb=10, dsp_slices=2)
+        huge = HardwareEstimate(slices=10**6, luts=4 * 10**6, bram_kb=10, dsp_slices=2)
+        v5 = device_by_model("XC5VLX110")
+        assert small.fits(v5)
+        assert not huge.fits(v5)
+
+
+class TestFitting:
+    def test_lstsq_recovers_linear_relationship(self):
+        true_model = QuipuModel()
+        samples = [
+            (metrics(s), true_model.raw_score(metrics(s))) for s in range(1, 8)
+        ]
+        fitted = QuipuModel().fit(samples)
+        for s in (2, 5):
+            assert fitted.raw_score(metrics(s)) == pytest.approx(
+                true_model.raw_score(metrics(s)), rel=1e-6
+            )
+
+    def test_fit_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            QuipuModel().fit([(metrics(), 100.0)])
+
+
+class TestCalibration:
+    def test_two_point_calibration_exact(self):
+        m1, m2 = metrics(1), metrics(4)
+        model = QuipuModel().calibrate([(m1, 5_000.0), (m2, 20_000.0)])
+        assert model.predict_slices(m1) == 5_000
+        assert model.predict_slices(m2) == 20_000
+
+    def test_identical_anchors_rejected(self):
+        m = metrics(2)
+        with pytest.raises(ValueError, match="identical"):
+            QuipuModel().calibrate([(m, 1.0), (m, 2.0)])
+
+    def test_inverted_anchors_rejected(self):
+        # More complexity mapped to fewer slices -> non-physical scale.
+        with pytest.raises(ValueError, match="non-positive"):
+            QuipuModel().calibrate([(metrics(1), 20_000.0), (metrics(4), 5_000.0)])
+
+    def test_wrong_anchor_count(self):
+        with pytest.raises(ValueError):
+            QuipuModel().calibrate([(metrics(), 1.0)])
+
+
+class TestPaperAnchors:
+    def test_reproduces_section5_slice_counts(self):
+        import importlib
+
+        from repro.profiling.metrics import measure_closure
+
+        pa = importlib.import_module("repro.bioinfo.pairalign")
+        ma = importlib.import_module("repro.bioinfo.malign")
+        model = calibrated_model()
+        assert model.predict_slices(measure_closure(pa.pairalign)) == PAPER_PAIRALIGN_SLICES
+        assert model.predict_slices(measure_closure(ma.malign)) == PAPER_MALIGN_SLICES
+
+    def test_pairalign_estimate_needs_lx220_not_lx155(self):
+        # The Table II consequence: Task_2 fits only the larger parts.
+        import importlib
+
+        from repro.profiling.metrics import measure_closure
+
+        pa = importlib.import_module("repro.bioinfo.pairalign")
+        model = calibrated_model()
+        est_slices = model.predict_slices(measure_closure(pa.pairalign))
+        assert est_slices > device_by_model("XC5VLX155").slices
+        assert est_slices <= device_by_model("XC5VLX220").slices

@@ -1,0 +1,111 @@
+"""Property-based tests for the alignment kernels.
+
+The wavefront Gotoh and the Hirschberg recursion are checked against
+naive per-cell oracles on random inputs, plus structural invariants:
+symmetry, self-alignment optimality, and input recovery.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.bioinfo.pairalign import (
+    GAP_CHAR,
+    align_pair,
+    forward_pass,
+    gotoh_reference,
+    hirschberg_align,
+    needleman_wunsch_reference,
+)
+from repro.bioinfo.scoring import (
+    DNA_ALPHABET,
+    GapPenalty,
+    blosum62,
+    dna_matrix,
+)
+from repro.bioinfo.sequences import Sequence
+
+PROTEIN = blosum62()
+DNA = dna_matrix()
+
+protein_seq = st.text(alphabet=PROTEIN.alphabet, min_size=1, max_size=24)
+dna_seq = st.text(alphabet=DNA_ALPHABET, min_size=1, max_size=24)
+gaps = st.builds(
+    GapPenalty,
+    open=st.floats(min_value=0.5, max_value=20.0),
+    extend=st.floats(min_value=0.0, max_value=0.5),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(x=protein_seq, y=protein_seq, gap=gaps)
+def test_wavefront_matches_percell_oracle(x, y, gap):
+    fast = forward_pass(PROTEIN.encode(x), PROTEIN.encode(y), PROTEIN, gap)
+    slow = gotoh_reference(x, y, PROTEIN, gap)
+    assert np.isclose(fast, slow)
+
+
+@settings(max_examples=60, deadline=None)
+@given(x=dna_seq, y=dna_seq, gap=gaps)
+def test_wavefront_symmetric_in_inputs(x, y, gap):
+    a = forward_pass(DNA.encode(x), DNA.encode(y), DNA, gap)
+    b = forward_pass(DNA.encode(y), DNA.encode(x), DNA, gap)
+    assert np.isclose(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=protein_seq, gap=gaps)
+def test_self_alignment_is_optimal(x, gap):
+    """No alignment of x against x can beat the gapless diagonal (the
+    substitution matrix diagonal dominates every row)."""
+    score = forward_pass(PROTEIN.encode(x), PROTEIN.encode(x), PROTEIN, gap)
+    diagonal = sum(PROTEIN.score(c, c) for c in x)
+    assert np.isclose(score, diagonal)
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=protein_seq, y=protein_seq, gap=gaps)
+def test_alignment_recovers_inputs_and_score(x, y, gap):
+    result = align_pair(Sequence("x", x), Sequence("y", y), PROTEIN, gap)
+    assert result.aligned_x.replace(GAP_CHAR, "") == x
+    assert result.aligned_y.replace(GAP_CHAR, "") == y
+    assert len(result.aligned_x) == len(result.aligned_y)
+    # No column may be all-gap.
+    assert all(
+        not (a == GAP_CHAR and b == GAP_CHAR)
+        for a, b in zip(result.aligned_x, result.aligned_y)
+    )
+    # Traceback score must equal the DP score.
+    score, prev = 0.0, None
+    for a, b in zip(result.aligned_x, result.aligned_y):
+        if a == GAP_CHAR:
+            score -= gap.extend if prev == "E" else gap.open
+            prev = "E"
+        elif b == GAP_CHAR:
+            score -= gap.extend if prev == "F" else gap.open
+            prev = "F"
+        else:
+            score += PROTEIN.score(a, b)
+            prev = "M"
+    assert np.isclose(score, result.score)
+
+
+@settings(max_examples=60, deadline=None)
+@given(x=dna_seq, y=dna_seq, g=st.floats(min_value=0.0, max_value=12.0))
+def test_hirschberg_matches_nw_oracle(x, y, g):
+    result = hirschberg_align(Sequence("x", x), Sequence("y", y), DNA, g)
+    oracle = needleman_wunsch_reference(x, y, DNA, g)
+    assert np.isclose(result.score, oracle)
+    assert result.aligned_x.replace(GAP_CHAR, "") == x
+    assert result.aligned_y.replace(GAP_CHAR, "") == y
+
+
+@settings(max_examples=30, deadline=None)
+@given(x=protein_seq, y=protein_seq, gap=gaps, extra=protein_seq)
+def test_score_upper_bounded_by_self_alignments(x, y, gap, extra):
+    """Cross-alignment can never beat the smaller self-alignment: every
+    matched pair scores at most min(s(a,a), s(b,b)) by diagonal
+    dominance, and gaps only subtract."""
+    cross = forward_pass(PROTEIN.encode(x), PROTEIN.encode(y), PROTEIN, gap)
+    self_x = sum(PROTEIN.score(c, c) for c in x)
+    self_y = sum(PROTEIN.score(c, c) for c in y)
+    assert cross <= max(self_x, self_y) + 1e-9

@@ -1,0 +1,45 @@
+"""Property-based tests for the Eq. 3 application grammar."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.application import Application, Clause, ClauseKind, parse_application
+
+
+@st.composite
+def applications(draw):
+    n_clauses = draw(st.integers(min_value=1, max_value=6))
+    pool = iter(range(100))
+    clauses = []
+    for _ in range(n_clauses):
+        kind = draw(st.sampled_from(list(ClauseKind)))
+        size = draw(st.integers(min_value=1, max_value=5))
+        clauses.append(Clause(kind, tuple(next(pool) for _ in range(size))))
+    return Application(clauses=tuple(clauses))
+
+
+@settings(max_examples=80, deadline=None)
+@given(app=applications())
+def test_describe_parse_roundtrip(app):
+    reparsed = parse_application(app.describe())
+    assert reparsed.clauses == app.clauses
+
+
+@settings(max_examples=80, deadline=None)
+@given(app=applications())
+def test_steps_partition_tasks_in_order(app):
+    steps = app.execution_steps()
+    flat = [t for step in steps for t in step]
+    assert tuple(flat) == app.task_ids
+    assert all(step for step in steps)
+
+
+@settings(max_examples=80, deadline=None)
+@given(app=applications(), base=st.floats(min_value=0.1, max_value=10.0))
+def test_makespan_between_max_and_sum(app, base):
+    durations = {t: base * (1 + (t % 3)) for t in app.task_ids}
+    makespan = app.makespan(durations)
+    assert makespan <= sum(durations.values()) + 1e-9
+    assert makespan >= max(durations.values()) - 1e-9
+    # All-Seq applications take exactly the serial sum.
+    if all(c.kind is not ClauseKind.PAR for c in app.clauses):
+        assert abs(makespan - sum(durations.values())) < 1e-9

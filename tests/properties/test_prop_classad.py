@@ -1,0 +1,85 @@
+"""Property-based tests for the ClassAd evaluator.
+
+The evaluator is differential-tested against Python's own ``eval`` on a
+generated subset of expressions where both are defined (all attributes
+present, no division), and checked for UNDEFINED totality when
+attributes are missing: evaluation must never raise, and three-valued
+logic must absorb UNDEFINED correctly.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.grid.classad import MatchError, UNDEFINED, evaluate
+
+KEYS = ["a", "b", "c"]
+number = st.integers(min_value=-50, max_value=50)
+
+
+@st.composite
+def comparisons(draw):
+    """Expressions over target.a/b/c with comparisons and boolean ops."""
+    def atom():
+        key = draw(st.sampled_from(KEYS))
+        op = draw(st.sampled_from([">", ">=", "<", "<=", "==", "!="]))
+        value = draw(number)
+        return f"target.{key} {op} {value}"
+
+    terms = [atom() for _ in range(draw(st.integers(min_value=1, max_value=4)))]
+    expr = terms[0]
+    for term in terms[1:]:
+        joiner = draw(st.sampled_from(["and", "or"]))
+        if draw(st.booleans()):
+            term = f"not ({term})"
+        expr = f"({expr}) {joiner} ({term})"
+    return expr
+
+
+@settings(max_examples=150, deadline=None)
+@given(expr=comparisons(), values=st.tuples(number, number, number))
+def test_differential_against_python_eval(expr, values):
+    target = dict(zip(KEYS, values))
+    ours = evaluate(expr, target=target)
+    theirs = eval(  # noqa: S307 - generated from a known-safe grammar
+        expr.replace("target.", "t_"),
+        {"__builtins__": {}},
+        {f"t_{k}": v for k, v in target.items()},
+    )
+    assert ours == theirs
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    expr=comparisons(),
+    values=st.tuples(number, number, number),
+    present=st.sets(st.sampled_from(KEYS)),
+)
+def test_total_under_missing_attributes(expr, values, present):
+    """With any subset of attributes missing, evaluation returns a
+    value (bool or UNDEFINED) and never raises."""
+    target = {k: v for k, v in zip(KEYS, values) if k in present}
+    result = evaluate(expr, target=target)
+    assert result is True or result is False or result is UNDEFINED
+
+
+@settings(max_examples=100, deadline=None)
+@given(expr=comparisons(), values=st.tuples(number, number, number))
+def test_negation_involution(expr, values):
+    target = dict(zip(KEYS, values))
+    inner = evaluate(expr, target=target)
+    double_neg = evaluate(f"not (not ({expr}))", target=target)
+    assert double_neg == inner
+
+
+@settings(max_examples=100, deadline=None)
+@given(expr=comparisons())
+def test_short_circuit_absorption(expr):
+    """False and X == False; True or X == True, even with X undefined."""
+    assert evaluate(f"1 == 2 and ({expr})", target={}) is False
+    assert evaluate(f"1 == 1 or ({expr})", target={}) is True
+
+
+@settings(max_examples=60, deadline=None)
+@given(key=st.sampled_from(KEYS), value=number)
+def test_undefined_comparisons_poison(key, value):
+    assert evaluate(f"target.{key} > {value}", target={}) is UNDEFINED
+    assert evaluate(f"target.{key} == {value}", target={}) is UNDEFINED

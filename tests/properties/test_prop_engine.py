@@ -1,0 +1,55 @@
+"""Property-based tests for the discrete-event engine."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import SimulationEngine
+
+
+@settings(max_examples=80, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40))
+def test_events_fire_in_nondecreasing_time(delays):
+    engine = SimulationEngine()
+    fired: list[float] = []
+    for d in delays:
+        engine.schedule(d, lambda: fired.append(engine.now))
+    engine.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert engine.now == max(delays)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=2, max_size=30),
+    cancel_mask=st.lists(st.booleans(), min_size=2, max_size=30),
+)
+def test_cancelled_events_never_fire(delays, cancel_mask):
+    engine = SimulationEngine()
+    fired: list[int] = []
+    handles = [
+        engine.schedule(d, lambda i=i: fired.append(i)) for i, d in enumerate(delays)
+    ]
+    for handle, cancel in zip(handles, cancel_mask):
+        if cancel:
+            handle.cancel()
+    engine.run()
+    cancelled = {i for i, c in enumerate(zip(cancel_mask, delays)) if cancel_mask[i]}
+    assert set(fired).isdisjoint(cancelled)
+    expected = {i for i in range(len(delays)) if i >= len(cancel_mask) or not cancel_mask[i]}
+    assert set(fired) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=1, max_size=30),
+    until=st.floats(min_value=0.0, max_value=60.0),
+)
+def test_run_until_is_a_clean_cut(delays, until):
+    engine = SimulationEngine()
+    fired: list[float] = []
+    for d in delays:
+        engine.schedule(d, lambda d=d: fired.append(d))
+    engine.run(until=until)
+    assert all(d <= until for d in fired)
+    assert engine.pending_events == sum(1 for d in delays if d > until)
+    assert engine.now == until or (engine.now <= until and not delays)

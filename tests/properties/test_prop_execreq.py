@@ -1,0 +1,90 @@
+"""Property-based tests for ExecReq matching.
+
+Key invariant (requirement-matching monotonicity): *improving* a
+capability descriptor -- raising a numeric capability, adding a new key
+-- can never break an existing MinValue/Exists-style match, and adding
+constraints to a requirement can only shrink the set of matching
+descriptors.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.execreq import Equals, ExecReq, Exists, MinValue, OneOf
+from repro.hardware.taxonomy import PEClass
+
+cap_values = st.integers(min_value=0, max_value=10**6)
+
+
+@st.composite
+def descriptors(draw):
+    keys = draw(
+        st.lists(
+            st.sampled_from(["slices", "luts", "bram_kb", "dsp_slices", "mips", "cores"]),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        )
+    )
+    caps = {k: draw(cap_values) for k in keys}
+    caps["pe_class"] = "RPE"
+    return caps
+
+
+@st.composite
+def min_reqs(draw, from_caps=None):
+    n = draw(st.integers(min_value=0, max_value=4))
+    constraints = []
+    for _ in range(n):
+        key = draw(
+            st.sampled_from(["slices", "luts", "bram_kb", "dsp_slices", "mips", "cores"])
+        )
+        constraints.append(MinValue(key, draw(cap_values)))
+    return ExecReq(node_type=PEClass.RPE, constraints=tuple(constraints))
+
+
+@settings(max_examples=100, deadline=None)
+@given(caps=descriptors(), req=min_reqs(), boost=cap_values)
+def test_raising_capabilities_preserves_match(caps, req, boost):
+    if not req.matches(caps):
+        return
+    improved = {
+        k: (v + boost if isinstance(v, int) and k != "pe_class" else v)
+        for k, v in caps.items()
+    }
+    assert req.matches(improved)
+
+
+@settings(max_examples=100, deadline=None)
+@given(caps=descriptors(), req=min_reqs(), extra_key=st.text(min_size=1, max_size=8), extra_val=cap_values)
+def test_adding_capabilities_preserves_match(caps, req, extra_key, extra_val):
+    if extra_key in caps or not req.matches(caps):
+        return
+    augmented = {**caps, extra_key: extra_val}
+    assert req.matches(augmented)
+
+
+@settings(max_examples=100, deadline=None)
+@given(caps=descriptors(), req=min_reqs(), key=st.sampled_from(["slices", "mips"]), value=cap_values)
+def test_adding_constraints_only_shrinks_matches(caps, req, key, value):
+    refined = req.with_constraints(MinValue(key, value))
+    if refined.matches(caps):
+        assert req.matches(caps)
+
+
+@settings(max_examples=100, deadline=None)
+@given(caps=descriptors())
+def test_unmet_constraints_iff_no_match(caps):
+    req = ExecReq(
+        node_type=PEClass.RPE,
+        constraints=(MinValue("slices", 500_000), Exists("pe_class")),
+    )
+    unmet = req.unmet_constraints(caps)
+    assert req.matches(caps) == (len(unmet) == 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(caps=descriptors(), values=st.lists(cap_values, min_size=1, max_size=5))
+def test_oneof_equivalent_to_any_equals(caps, values):
+    one_of = OneOf("slices", tuple(values))
+    any_equals = any(Equals("slices", v).satisfied_by(caps) for v in values)
+    assert one_of.satisfied_by(caps) == any_equals

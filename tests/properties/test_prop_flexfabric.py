@@ -1,0 +1,73 @@
+"""Property-based tests for the slice-granularity allocator."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.hardware.catalog import device_by_model
+from repro.hardware.flexfabric import AllocationError, FlexibleFabric
+
+DEVICE = device_by_model("XC5VLX50")  # 7,200 slices: small => collisions
+
+
+class FlexFabricMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.fabric = FlexibleFabric(DEVICE)
+        self.live = []
+
+    @rule(size=st.integers(min_value=1, max_value=3_000))
+    def allocate(self, size):
+        can = self.fabric.can_allocate(size)
+        try:
+            span = self.fabric.allocate(size)
+            assert can, "allocate succeeded although can_allocate said no"
+            self.live.append(span)
+        except AllocationError:
+            assert not can, "allocate failed although can_allocate said yes"
+
+    @rule(index=st.integers(min_value=0, max_value=10))
+    def release(self, index):
+        if self.live:
+            span = self.live.pop(index % len(self.live))
+            self.fabric.release(span)
+
+    @rule()
+    def compact(self):
+        self.fabric.compact()
+        assert self.fabric.external_fragmentation() == 0.0
+        # After compaction, anything up to the free total fits.
+        free = self.fabric.free_slices
+        if free > 0:
+            assert self.fabric.can_allocate(free)
+
+    @invariant()
+    def area_conserved(self):
+        assert (
+            self.fabric.allocated_slices + self.fabric.free_slices
+            == self.fabric.total_slices
+        )
+        assert self.fabric.allocated_slices == sum(s.slices for s in self.live)
+
+    @invariant()
+    def spans_disjoint_and_in_bounds(self):
+        spans = sorted(self.fabric.spans, key=lambda s: s.start)
+        for span in spans:
+            assert 0 <= span.start and span.end <= self.fabric.total_slices
+        for a, b in zip(spans, spans[1:]):
+            assert a.end <= b.start
+
+    @invariant()
+    def holes_complement_spans(self):
+        hole_total = sum(size for _, size in self.fabric.holes())
+        assert hole_total == self.fabric.free_slices
+
+    @invariant()
+    def fragmentation_in_unit_interval(self):
+        assert 0.0 <= self.fabric.external_fragmentation() <= 1.0
+
+
+FlexFabricMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestFlexFabricStateMachine = FlexFabricMachine.TestCase

@@ -1,0 +1,121 @@
+"""Property-based tests for the DReAMSim simulator.
+
+Conservation and sanity invariants over randomized grids and workloads:
+every submitted task is accounted for exactly once (completed,
+discarded, or pending); per-resource busy time never exceeds the run
+horizon; hardware accounting (reconfigurations + reuses = hardware
+tasks) balances; and identical seeds give identical runs.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.node import Node
+from repro.grid.rms import ResourceManagementSystem
+from repro.hardware.catalog import device_by_model
+from repro.hardware.gpp import GPPSpec
+from repro.scheduling import ALL_STRATEGIES, RandomScheduler
+from repro.sim.simulator import DReAMSim
+from repro.sim.workload import (
+    ConfigurationPool,
+    PoissonArrivals,
+    SyntheticWorkload,
+    WorkloadSpec,
+)
+
+STRATEGY_NAMES = [n for n in ALL_STRATEGIES if n != "gpp-only"]
+
+
+def build_sim(strategy_name: str, *, gpps: int, rpes: int, seed: int) -> DReAMSim:
+    cls = ALL_STRATEGIES[strategy_name]
+    scheduler = cls(seed=seed) if cls is RandomScheduler else cls()
+    node = Node(node_id=0)
+    for i in range(gpps):
+        node.add_gpp(GPPSpec(cpu_model=f"cpu{i}", mips=1_000.0 + 500.0 * i))
+    for _ in range(rpes):
+        node.add_rpe(device_by_model("XC5VLX220"), regions=2)
+    rms = ResourceManagementSystem(scheduler=scheduler)
+    rms.register_node(node)
+    return DReAMSim(rms)
+
+
+def run(strategy_name: str, *, gpps: int, rpes: int, tasks: int, seed: int):
+    sim = build_sim(strategy_name, gpps=gpps, rpes=rpes, seed=seed)
+    pool = ConfigurationPool(4, area_range=(2_000, 12_000), seed=seed)
+    pool.populate_repository(
+        sim.rms.virtualization.repository,
+        [rpe.device for node in sim.rms.nodes for rpe in node.rpes],
+    )
+    workload = SyntheticWorkload(
+        WorkloadSpec(task_count=tasks, gpp_fraction=0.5,
+                     required_time_range_s=(0.2, 1.5)),
+        pool,
+        PoissonArrivals(rate_per_s=3.0),
+        seed=seed,
+    )
+    sim.submit_workload(workload.generate())
+    report = sim.run()
+    return sim, report
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    strategy=st.sampled_from(STRATEGY_NAMES),
+    gpps=st.integers(min_value=1, max_value=3),
+    rpes=st.integers(min_value=1, max_value=2),
+    tasks=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_conservation_and_sanity(strategy, gpps, rpes, tasks, seed):
+    sim, report = run(strategy, gpps=gpps, rpes=rpes, tasks=tasks, seed=seed)
+
+    # Every submitted task accounted exactly once.
+    assert report.completed + report.discarded + report.pending == tasks
+    assert report.discarded == 0  # no discard deadline configured
+    assert report.pending == 0  # every task is placeable on this grid
+    # Hardware accounting balances.
+    hw = report.tasks_by_pe_kind.get("RPE", 0)
+    assert report.reconfigurations + report.reuse_hits == hw
+    # Busy time per resource bounded by the horizon.
+    for usage in sim.metrics.resources.values():
+        assert usage.busy_s <= report.horizon_s + 1e-9
+    # Timeline ordering per task.
+    for tm in sim.metrics.tasks.values():
+        assert tm.dispatch >= tm.arrival - 1e-9
+        assert tm.start >= tm.dispatch - 1e-9
+        assert tm.finish >= tm.start - 1e-9
+    # Makespan is the last finish.
+    assert report.makespan_s == max(t.finish for t in sim.metrics.tasks.values())
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    strategy=st.sampled_from(STRATEGY_NAMES),
+    seed=st.integers(min_value=0, max_value=1_000),
+)
+def test_bit_reproducibility(strategy, seed):
+    _, first = run(strategy, gpps=2, rpes=1, tasks=25, seed=seed)
+    _, second = run(strategy, gpps=2, rpes=1, tasks=25, seed=seed)
+    assert first == second
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000))
+def test_gpp_only_never_touches_fabric(seed):
+    sim = build_sim("gpp-only", gpps=2, rpes=1, seed=seed)
+    pool = ConfigurationPool(4, area_range=(2_000, 12_000), seed=seed)
+    pool.populate_repository(
+        sim.rms.virtualization.repository,
+        [rpe.device for node in sim.rms.nodes for rpe in node.rpes],
+    )
+    workload = SyntheticWorkload(
+        WorkloadSpec(task_count=20, gpp_fraction=0.5),
+        pool,
+        PoissonArrivals(rate_per_s=3.0),
+        seed=seed,
+    )
+    sim.submit_workload(workload.generate())
+    report = sim.run()
+    assert report.tasks_by_pe_kind.get("RPE", 0) == 0
+    assert report.reconfigurations == 0
+    # Pending tasks are exactly the hardware-class ones.
+    assert report.completed + report.pending == 20

@@ -1,0 +1,85 @@
+"""Property-based tests for guide-tree sequence weighting."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.bioinfo.guidetree import TreeNode, upgma
+from repro.bioinfo.weights import sequence_weights
+
+
+@st.composite
+def random_ultrametric_trees(draw):
+    """Random binary ultrametric tree over n leaves, built bottom-up by
+    UPGMA over a random distance matrix (guaranteed valid)."""
+    n = draw(st.integers(min_value=2, max_value=10))
+    tri = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1.0),
+            min_size=n * (n - 1) // 2,
+            max_size=n * (n - 1) // 2,
+        )
+    )
+    dist = np.zeros((n, n))
+    k = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            dist[i, j] = dist[j, i] = tri[k]
+            k += 1
+    return upgma(dist), n
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=random_ultrametric_trees())
+def test_weights_positive_and_normalized(data):
+    tree, n = data
+    weights = sequence_weights(tree)
+    assert set(weights) == set(range(n))
+    assert all(w > 0 for w in weights.values())
+    assert np.mean(list(weights.values())) == 1.0 or abs(
+        np.mean(list(weights.values())) - 1.0
+    ) < 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=random_ultrametric_trees())
+def test_unnormalized_weights_sum_to_tree_length(data):
+    """Each branch's length is fully distributed among the leaves under
+    it, so the weights sum to the total branch length of the tree."""
+    tree, _ = data
+    weights = sequence_weights(tree, normalize=False)
+
+    def total_branch_length(node: TreeNode, parent_height: float) -> float:
+        own = max(0.0, parent_height - (0.0 if node.is_leaf else node.height))
+        if node.is_leaf:
+            return own
+        assert node.left is not None and node.right is not None
+        return (
+            own
+            + total_branch_length(node.left, node.height)
+            + total_branch_length(node.right, node.height)
+        )
+
+    assert sum(weights.values()) == np.float64(
+        total_branch_length(tree, tree.height)
+    ) or abs(sum(weights.values()) - total_branch_length(tree, tree.height)) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=random_ultrametric_trees())
+def test_sibling_symmetry(data):
+    """Two leaves that are direct siblings share every edge above their
+    cherry, so their weights are equal."""
+    tree, _ = data
+    weights = sequence_weights(tree, normalize=False)
+
+    def find_cherries(node: TreeNode):
+        if node.is_leaf:
+            return
+        assert node.left is not None and node.right is not None
+        if node.left.is_leaf and node.right.is_leaf:
+            yield node.left.leaf, node.right.leaf
+        yield from find_cherries(node.left)
+        yield from find_cherries(node.right)
+
+    for a, b in find_cherries(tree):
+        assert abs(weights[a] - weights[b]) < 1e-9

@@ -1,0 +1,117 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(3.0, lambda: fired.append("c"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(2.0, lambda: fired.append("b"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_scheduling_order(self):
+        engine = SimulationEngine()
+        fired = []
+        for tag in "abc":
+            engine.schedule(1.0, lambda t=tag: fired.append(t))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_times(self):
+        engine = SimulationEngine()
+        times = []
+        engine.schedule(2.5, lambda: times.append(engine.now))
+        engine.schedule(5.0, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [2.5, 5.0]
+        assert engine.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_the_past_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_callbacks_can_schedule_more(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                engine.schedule(1.0, lambda: chain(n + 1))
+
+        engine.schedule(0.0, lambda: chain(0))
+        engine.run()
+        assert fired == [0, 1, 2, 3]
+        assert engine.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = SimulationEngine()
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_pending_events_excludes_cancelled(self):
+        engine = SimulationEngine()
+        h1 = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        h1.cancel()
+        assert engine.pending_events == 1
+
+    def test_peek_skips_cancelled(self):
+        engine = SimulationEngine()
+        h1 = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        h1.cancel()
+        assert engine.peek_time() == 2.0
+
+
+class TestRunBounds:
+    def test_until_stops_before_later_events(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(10))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        assert engine.pending_events == 1
+
+    def test_until_past_everything_advances_clock(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.run(until=100.0)
+        assert engine.now == 100.0
+
+    def test_max_events_bounds_runaway(self):
+        engine = SimulationEngine()
+
+        def forever():
+            engine.schedule(1.0, forever)
+
+        engine.schedule(0.0, forever)
+        engine.run(max_events=50)
+        assert engine.processed_events == 50
+
+    def test_step_returns_false_when_dry(self):
+        engine = SimulationEngine()
+        assert engine.step() is False
+        engine.schedule(1.0, lambda: None)
+        assert engine.step() is True
+        assert engine.step() is False

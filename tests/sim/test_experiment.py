@@ -1,0 +1,141 @@
+"""Unit tests for the declarative experiment API."""
+
+import pytest
+
+from repro.sim.experiment import (
+    ExperimentSpec,
+    NodeSpec,
+    build_grid,
+    run_experiment,
+    sweep,
+)
+from repro.sim.workload import TraceArrivals
+
+
+class TestSpecValidation:
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            ExperimentSpec(strategy="magic")
+
+    def test_needs_nodes(self):
+        with pytest.raises(ValueError, match="node"):
+            ExperimentSpec(nodes=())
+
+    def test_node_spec_validation(self):
+        with pytest.raises(ValueError):
+            NodeSpec(gpps=-1)
+        with pytest.raises(ValueError):
+            NodeSpec(gpps=0, rpe_models=())
+        with pytest.raises(ValueError):
+            NodeSpec(regions_per_rpe=0)
+
+    def test_with_creates_modified_copy(self):
+        base = ExperimentSpec(tasks=10)
+        changed = base.with_(tasks=20, seed=5)
+        assert base.tasks == 10
+        assert changed.tasks == 20 and changed.seed == 5
+
+
+class TestBuildGrid:
+    def test_grid_matches_spec(self):
+        spec = ExperimentSpec(
+            nodes=(
+                NodeSpec(gpps=2, rpe_models=("XC5VLX110", "XC5VLX220")),
+                NodeSpec(gpps=0, rpe_models=("XC5VLX330",)),
+            )
+        )
+        rms = build_grid(spec)
+        assert len(rms.nodes) == 2
+        assert len(rms.nodes[0].gpps) == 2
+        assert [r.device.model for r in rms.nodes[0].rpes] == ["XC5VLX110", "XC5VLX220"]
+        assert len(rms.nodes[1].gpps) == 0
+
+
+class TestRunExperiment:
+    def small_spec(self, **overrides):
+        params = dict(tasks=30, arrival_rate_per_s=4.0, seed=7)
+        params.update(overrides)
+        return ExperimentSpec(**params)
+
+    def test_completes_and_reports(self):
+        result = run_experiment(self.small_spec())
+        assert result.report.completed == 30
+        assert result.energy is None
+
+    def test_energy_audit_optional(self):
+        result = run_experiment(self.small_spec(), audit_energy=True)
+        assert result.energy is not None
+        assert result.energy.total_j > 0
+
+    def test_reproducible(self):
+        a = run_experiment(self.small_spec())
+        b = run_experiment(self.small_spec())
+        assert a.report == b.report
+
+    def test_seed_changes_outcome(self):
+        a = run_experiment(self.small_spec(seed=1))
+        b = run_experiment(self.small_spec(seed=2))
+        assert a.report != b.report
+
+    def test_trace_arrivals_override(self):
+        trace = TraceArrivals([0.1 * i for i in range(30)])
+        result = run_experiment(self.small_spec(), arrivals=trace)
+        assert result.report.completed == 30
+
+    def test_discard_knob(self):
+        # One slow node, instant arrivals, tight discard deadline.
+        spec = self.small_spec(
+            nodes=(NodeSpec(gpps=1, rpe_models=()),),
+            gpp_fraction=1.0,
+            discard_after_s=0.5,
+            arrival_rate_per_s=100.0,
+        )
+        result = run_experiment(spec)
+        assert result.report.discarded > 0
+        assert (
+            result.report.completed + result.report.discarded + result.report.pending
+            == 30
+        )
+
+
+class TestSweep:
+    def test_strategy_sweep(self):
+        base = ExperimentSpec(tasks=20, seed=3)
+        results = sweep(base, "strategy", ["fcfs", "hybrid-cost"])
+        assert [r.spec.strategy for r in results] == ["fcfs", "hybrid-cost"]
+        assert all(r.report.completed == 20 for r in results)
+
+    def test_load_sweep_waits_grow(self):
+        base = ExperimentSpec(
+            tasks=60,
+            nodes=(NodeSpec(gpps=1, rpe_models=("XC5VLX220",)),),
+            seed=11,
+        )
+        slow, fast = sweep(base, "arrival_rate_per_s", [0.5, 8.0])
+        assert fast.report.mean_wait_s >= slow.report.mean_wait_s
+
+
+class TestReplication:
+    def test_aggregates_over_seeds(self):
+        from repro.sim.experiment import replicate
+
+        base = ExperimentSpec(tasks=25, arrival_rate_per_s=4.0)
+        summary = replicate(base, seeds=[1, 2, 3])
+        assert summary.seeds == (1, 2, 3)
+        assert summary.mean_makespan_s > 0
+        assert summary.std_makespan_s >= 0
+        assert any("replications" in line for line in summary.summary_lines())
+
+    def test_identical_seeds_zero_variance(self):
+        from repro.sim.experiment import replicate
+
+        base = ExperimentSpec(tasks=20)
+        summary = replicate(base, seeds=[5, 5])
+        assert summary.std_wait_s == 0.0
+        assert summary.std_makespan_s == 0.0
+
+    def test_needs_seeds(self):
+        from repro.sim.experiment import replicate
+
+        with pytest.raises(ValueError):
+            replicate(ExperimentSpec(tasks=5), seeds=[])

@@ -1,0 +1,92 @@
+"""Unit tests for the simulation metrics collector."""
+
+import pytest
+
+from repro.sim.metrics import MetricsCollector, ResourceUsage, TaskMetrics
+
+
+def record_one(collector, key, *, arrival, dispatch, start, finish, reconfig=0.0, reused=False):
+    collector.record_arrival(key, arrival)
+    collector.record_dispatch(
+        key,
+        dispatch,
+        pe_kind="RPE",
+        node_id=0,
+        transfer_time=0.1,
+        synthesis_time=0.0,
+        reconfig_time=reconfig,
+        reused=reused,
+    )
+    collector.record_start(key, start)
+    collector.record_finish(key, finish, "node0:RPE0")
+
+
+class TestTaskMetrics:
+    def test_derived_times(self):
+        tm = TaskMetrics(key=1, arrival=1.0, dispatch=3.0, finish=10.0)
+        assert tm.wait_time == 2.0
+        assert tm.turnaround == 9.0
+
+    def test_undefined_until_events_happen(self):
+        tm = TaskMetrics(key=1, arrival=1.0)
+        assert tm.wait_time is None
+        assert tm.turnaround is None
+
+
+class TestResourceUsage:
+    def test_utilization_clamped(self):
+        usage = ResourceUsage("r", busy_s=15.0)
+        assert usage.utilization(10.0) == 1.0
+        assert usage.utilization(30.0) == pytest.approx(0.5)
+        assert usage.utilization(0.0) == 0.0
+
+
+class TestCollector:
+    def test_duplicate_key_rejected(self):
+        collector = MetricsCollector()
+        collector.record_arrival(1, 0.0)
+        with pytest.raises(ValueError):
+            collector.record_arrival(1, 0.0)
+
+    def test_report_aggregates(self):
+        collector = MetricsCollector()
+        record_one(collector, "a", arrival=0.0, dispatch=1.0, start=1.5, finish=3.5, reconfig=0.5)
+        record_one(collector, "b", arrival=0.0, dispatch=3.0, start=3.0, finish=5.0, reused=True)
+        collector.record_arrival("c", 4.0)  # still pending
+        collector.record_arrival("d", 4.0)
+        collector.record_discard("d", 9.0)
+
+        report = collector.report(horizon_s=10.0)
+        assert report.completed == 2
+        assert report.pending == 1
+        assert report.discarded == 1
+        assert report.mean_wait_s == pytest.approx((1.0 + 3.0) / 2)
+        assert report.mean_turnaround_s == pytest.approx((3.5 + 5.0) / 2)
+        assert report.makespan_s == 5.0
+        assert report.reconfigurations == 1
+        assert report.total_reconfig_time_s == pytest.approx(0.5)
+        assert report.reuse_hits == 1
+        assert report.reuse_rate == pytest.approx(0.5)
+        # busy time: (3.5-1.5) + (5.0-3.0) = 4 over 10 s horizon
+        assert report.per_resource_utilization["node0:RPE0"] == pytest.approx(0.4)
+        assert report.tasks_by_pe_kind == {"RPE": 2}
+
+    def test_empty_report(self):
+        report = MetricsCollector().report(horizon_s=5.0)
+        assert report.completed == 0
+        assert report.mean_wait_s == 0.0
+        assert report.reuse_rate == 0.0
+        assert report.mean_utilization == 0.0
+
+    def test_summary_lines_render(self):
+        collector = MetricsCollector()
+        record_one(collector, "a", arrival=0.0, dispatch=1.0, start=1.0, finish=2.0)
+        lines = collector.report(5.0).summary_lines()
+        assert any("completed" in line for line in lines)
+        assert any("reuse" in line for line in lines)
+
+    def test_trace_is_chronological_per_task(self):
+        collector = MetricsCollector()
+        record_one(collector, "a", arrival=0.0, dispatch=1.0, start=1.5, finish=3.0)
+        kinds = [kind for _, kind, key in collector.trace if key == "a"]
+        assert kinds == ["arrival", "dispatch", "start", "finish"]

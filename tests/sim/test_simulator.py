@@ -1,0 +1,257 @@
+"""Integration-grade unit tests for the DReAMSim facade."""
+
+import pytest
+
+from repro.core.application import Application, Par, Seq, Stream
+from repro.core.execreq import Artifacts, ExecReq, MinValue
+from repro.core.node import Node
+from repro.core.task import simple_task
+from repro.grid.jss import JobStatus
+from repro.grid.rms import ResourceManagementSystem
+from repro.hardware.bitstream import Bitstream
+from repro.hardware.catalog import device_by_model
+from repro.hardware.gpp import GPPSpec
+from repro.hardware.taxonomy import PEClass
+from repro.sim.simulator import DReAMSim
+
+
+def gpp_req():
+    return ExecReq(node_type=PEClass.GPP, artifacts=Artifacts(application_code="x"))
+
+
+def gpp_task(task_id, t=1.0, sources=(), in_bytes=0):
+    return simple_task(task_id, gpp_req(), t, sources=sources, in_bytes=in_bytes)
+
+
+def gpp_rms(gpps=3, mips=1_000):
+    node = Node()
+    for i in range(gpps):
+        node.add_gpp(GPPSpec(cpu_model=f"cpu{i}", mips=mips))
+    rms = ResourceManagementSystem()
+    rms.register_node(node)
+    return rms, node
+
+
+class TestIndependentTasks:
+    def test_parallel_capacity(self):
+        rms, _ = gpp_rms(gpps=3)
+        sim = DReAMSim(rms)
+        sim.submit_workload([(0.0, gpp_task(i)) for i in range(3)])
+        report = sim.run()
+        assert report.completed == 3
+        assert report.makespan_s == pytest.approx(1.0)
+
+    def test_queueing_when_saturated(self):
+        rms, _ = gpp_rms(gpps=1)
+        sim = DReAMSim(rms)
+        sim.submit_workload([(0.0, gpp_task(i)) for i in range(3)])
+        report = sim.run()
+        assert report.completed == 3
+        assert report.makespan_s == pytest.approx(3.0)
+        # Mean wait: 0 + 1 + 2 over three tasks.
+        assert report.mean_wait_s == pytest.approx(1.0)
+
+    def test_jobs_tracked_through_jss(self):
+        rms, _ = gpp_rms()
+        sim = DReAMSim(rms)
+        sim.submit_workload([(0.0, gpp_task(0))])
+        sim.run()
+        job = next(iter(sim.jss.jobs.values()))
+        assert job.status is JobStatus.COMPLETED
+
+    def test_discard_after_timeout(self):
+        rms, _ = gpp_rms(gpps=1)
+        sim = DReAMSim(rms, discard_after_s=0.5)
+        # Second task cannot start within 0.5 s: the single GPP is busy for 10.
+        sim.submit_workload([(0.0, gpp_task(0, t=10.0)), (0.0, gpp_task(1))])
+        report = sim.run()
+        assert report.completed == 1
+        assert report.discarded == 1
+        job1 = sim.jss.jobs[max(sim.jss.jobs)]
+        assert job1.status is JobStatus.FAILED
+
+
+class TestTaskGraphs:
+    def test_dependencies_serialize(self):
+        rms, _ = gpp_rms(gpps=3)
+        sim = DReAMSim(rms)
+        chain = [
+            gpp_task(0),
+            gpp_task(1, sources=(0,), in_bytes=8),
+            gpp_task(2, sources=(1,), in_bytes=8),
+        ]
+        sim.submit_graph(chain)
+        report = sim.run()
+        assert report.completed == 3
+        assert report.makespan_s == pytest.approx(3.0)
+
+    def test_diamond_parallelism(self):
+        rms, _ = gpp_rms(gpps=3)
+        sim = DReAMSim(rms)
+        tasks = [
+            gpp_task(0),
+            gpp_task(1, sources=(0,), in_bytes=8),
+            gpp_task(2, sources=(0,), in_bytes=8),
+            gpp_task(3, sources=(1, 2), in_bytes=8),
+        ]
+        sim.submit_graph(tasks)
+        report = sim.run()
+        # 1 + max(1,1) + 1 = 3, not 4: the middle pair overlaps.
+        assert report.makespan_s == pytest.approx(3.0)
+
+
+class TestApplications:
+    def test_equation4_schedule(self):
+        rms, _ = gpp_rms(gpps=3)
+        sim = DReAMSim(rms)
+        app = Application(clauses=(Seq(2), Par(4, 1, 7), Seq(5, 10)))
+        tasks = {i: gpp_task(i) for i in (2, 4, 1, 7, 5, 10)}
+        job_id = sim.submit_application(app, tasks)
+        report = sim.run()
+        # Figure 8: 1 (T2) + 1 (par step) + 1 (T5) + 1 (T10).
+        assert report.makespan_s == pytest.approx(4.0)
+        assert sim.jss.job(job_id).status is JobStatus.COMPLETED
+
+    def test_par_step_limited_by_capacity(self):
+        rms, _ = gpp_rms(gpps=1)
+        sim = DReAMSim(rms)
+        app = Application(clauses=(Par(1, 2, 3),))
+        sim.submit_application(app, {i: gpp_task(i) for i in (1, 2, 3)})
+        report = sim.run()
+        assert report.makespan_s == pytest.approx(3.0)
+
+    def test_stream_pipelines_chunks(self):
+        rms, _ = gpp_rms(gpps=3)
+        sim = DReAMSim(rms)
+        app = Application(clauses=(Stream(0, 1, 2),))
+        tasks = {i: gpp_task(i) for i in (0, 1, 2)}
+        job_id = sim.submit_application(app, tasks, stream_chunks=4)
+        report = sim.run()
+        # 3 stages x 4 chunks of 0.25 s in a pipeline:
+        # (stages + chunks - 1) * 0.25 = 1.5 s, vs 3.0 s sequentially.
+        assert report.makespan_s == pytest.approx(1.5)
+        assert sim.jss.job(job_id).status is JobStatus.COMPLETED
+
+    def test_stream_chunks_must_be_positive(self):
+        rms, _ = gpp_rms()
+        sim = DReAMSim(rms)
+        app = Application(clauses=(Stream(0),))
+        with pytest.raises(ValueError):
+            sim.submit_application(app, {0: gpp_task(0)}, stream_chunks=0)
+
+    def test_mixed_application(self):
+        rms, _ = gpp_rms(gpps=2)
+        sim = DReAMSim(rms)
+        app = Application(clauses=(Seq(0), Stream(1, 2), Seq(3)))
+        tasks = {i: gpp_task(i) for i in range(4)}
+        sim.submit_application(app, tasks, stream_chunks=2)
+        report = sim.run()
+        # 1 + pipeline((2 stages + 2 chunks - 1) * 0.5 = 1.5) + 1
+        assert report.makespan_s == pytest.approx(3.5)
+
+
+class TestReconfigurableGrid:
+    def build(self):
+        node = Node(node_id=0)
+        node.add_rpe(device_by_model("XC5VLX155"), regions=2)
+        rms = ResourceManagementSystem()
+        rms.register_node(node)
+        return rms
+
+    def hw_task(self, task_id, function="fft", slices=9_000):
+        bs = Bitstream(200 + task_id, "XC5VLX155", 1_000_000, slices, implements=function)
+        return simple_task(
+            task_id,
+            ExecReq(
+                node_type=PEClass.RPE,
+                constraints=(MinValue("slices", slices),),
+                artifacts=Artifacts(application_code="x", bitstream=bs),
+            ),
+            1.0,
+            function=function,
+        )
+
+    def test_configuration_reuse_counted(self):
+        rms = self.build()
+        sim = DReAMSim(rms)
+        # Arrivals spaced wider than exec + reconfig, so each task finds
+        # the configuration resident and idle.
+        sim.submit_workload([(2.0 * i, self.hw_task(i)) for i in range(4)])
+        report = sim.run()
+        assert report.completed == 4
+        assert report.reconfigurations == 1  # only the first load
+        assert report.reuse_hits == 3
+
+    def test_region_reconfigures_while_sibling_executes(self):
+        """Partial reconfiguration's point: loading one region must not
+        block the other region's running task (ref [21])."""
+        rms = self.build()
+        sim = DReAMSim(rms)
+        # Task 0 occupies region A; task 1 arrives mid-execution and
+        # must configure region B concurrently rather than queue.
+        long_task = self.hw_task(0, "fft")
+        import dataclasses
+
+        long_task = dataclasses.replace(long_task, t_estimated=5.0)
+        sim.submit_workload([(0.0, long_task), (1.0, self.hw_task(1, "fir"))])
+        report = sim.run()
+        assert report.completed == 2
+        t1 = sim.metrics.tasks[(max(j for j, _ in sim.metrics.tasks), 1)]
+        # Task 1 started well before task 0's 5-second finish.
+        assert t1.start < 2.0
+        assert report.reconfigurations == 2
+
+    def test_distinct_functions_fill_regions(self):
+        rms = self.build()
+        sim = DReAMSim(rms)
+        sim.submit_workload(
+            [(0.0, self.hw_task(0, "fft")), (0.0, self.hw_task(1, "fir"))]
+        )
+        report = sim.run()
+        assert report.completed == 2
+        assert report.reconfigurations == 2
+
+
+class TestNodeChurn:
+    def test_leave_requeues_and_join_rescues(self):
+        node_a = Node(node_id=10)
+        node_a.add_gpp(GPPSpec(cpu_model="X", mips=1_000))
+        rms = ResourceManagementSystem()
+        rms.register_node(node_a)
+        sim = DReAMSim(rms)
+        sim.submit_workload([(0.0, gpp_task(0, t=10.0))])
+        node_b = Node(node_id=11)
+        node_b.add_gpp(GPPSpec(cpu_model="Y", mips=1_000))
+        sim.schedule_node_leave(2.0, 10)
+        sim.schedule_node_join(3.0, node_b)
+        report = sim.run()
+        assert report.completed == 1
+        assert sim.requeues == 1
+        # Restarted from scratch on the new node at t=3.
+        assert report.makespan_s == pytest.approx(13.0)
+
+    def test_leave_without_victims(self):
+        rms, _ = gpp_rms()
+        extra = Node(node_id=77)
+        extra.add_gpp(GPPSpec(cpu_model="Z", mips=500))
+        rms.register_node(extra)
+        sim = DReAMSim(rms)
+        sim.schedule_node_leave(1.0, 77)
+        sim.submit_workload([(0.0, gpp_task(0))])
+        report = sim.run()
+        assert report.completed == 1
+        assert sim.requeues == 0
+
+    def test_join_triggers_dispatch_of_waiting_tasks(self):
+        rms = ResourceManagementSystem()  # empty grid
+        sim = DReAMSim(rms)
+        sim.submit_workload([(0.0, gpp_task(0))])
+        node = Node(node_id=5)
+        node.add_gpp(GPPSpec(cpu_model="X", mips=1_000))
+        sim.schedule_node_join(4.0, node)
+        report = sim.run()
+        assert report.completed == 1
+        assert report.makespan_s == pytest.approx(5.0)
+        # The wait reflects the grid having no capacity until t=4.
+        task = next(iter(sim.metrics.tasks.values()))
+        assert task.wait_time == pytest.approx(4.0)

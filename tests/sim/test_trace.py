@@ -1,0 +1,92 @@
+"""Unit tests for run-record export/import."""
+
+import pytest
+
+from repro.core.execreq import Artifacts, ExecReq
+from repro.core.node import Node
+from repro.core.task import simple_task
+from repro.grid.rms import ResourceManagementSystem
+from repro.hardware.gpp import GPPSpec
+from repro.hardware.taxonomy import PEClass
+from repro.sim.simulator import DReAMSim
+from repro.sim.trace import (
+    export_report_json,
+    export_task_records,
+    export_trace,
+    load_report_json,
+    load_task_records,
+)
+
+
+@pytest.fixture
+def finished_sim():
+    node = Node(node_id=0)
+    node.add_gpp(GPPSpec(cpu_model="Xeon", mips=1_000))
+    rms = ResourceManagementSystem()
+    rms.register_node(node)
+    sim = DReAMSim(rms)
+    tasks = [
+        (
+            float(i),
+            simple_task(
+                i,
+                ExecReq(node_type=PEClass.GPP, artifacts=Artifacts(application_code="x")),
+                0.5,
+            ),
+        )
+        for i in range(4)
+    ]
+    sim.submit_workload(tasks)
+    report = sim.run()
+    return sim, report
+
+
+class TestTaskRecords:
+    def test_roundtrip(self, finished_sim, tmp_path):
+        sim, _ = finished_sim
+        path = tmp_path / "tasks.csv"
+        count = export_task_records(sim.metrics, path)
+        assert count == 4
+        records = load_task_records(path)
+        assert len(records) == 4
+        for record, tm in zip(records, sim.metrics.tasks.values()):
+            assert record["pe_kind"] == tm.pe_kind
+            assert record["node_id"] == tm.node_id
+            assert record["arrival"] == pytest.approx(tm.arrival)
+            assert record["finish"] == pytest.approx(tm.finish)
+            assert record["reused_configuration"] == tm.reused_configuration
+            assert record["discarded"] == tm.discarded
+
+    def test_none_fields_roundtrip_as_none(self, tmp_path):
+        from repro.sim.metrics import MetricsCollector
+
+        collector = MetricsCollector()
+        collector.record_arrival("pending", 1.0)
+        path = tmp_path / "tasks.csv"
+        export_task_records(collector, path)
+        [record] = load_task_records(path)
+        assert record["dispatch"] is None
+        assert record["finish"] is None
+        assert record["node_id"] is None
+
+
+class TestTrace:
+    def test_trace_rows(self, finished_sim, tmp_path):
+        sim, _ = finished_sim
+        path = tmp_path / "trace.csv"
+        count = export_trace(sim.metrics, path)
+        text = path.read_text()
+        assert count == len(sim.metrics.trace)
+        # 4 tasks x (arrival, dispatch, start, finish).
+        assert count == 16
+        assert text.startswith("time,event,key")
+        assert "dispatch" in text
+
+
+class TestReportJson:
+    def test_roundtrip(self, finished_sim, tmp_path):
+        _, report = finished_sim
+        path = tmp_path / "report.json"
+        export_report_json(report, path)
+        loaded = load_report_json(path)
+        assert loaded == report

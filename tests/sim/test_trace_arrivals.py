@@ -1,0 +1,51 @@
+"""Unit tests for trace-driven arrivals."""
+
+import numpy as np
+import pytest
+
+from repro.sim.workload import (
+    ConfigurationPool,
+    SyntheticWorkload,
+    TraceArrivals,
+    WorkloadSpec,
+)
+
+
+class TestTraceArrivals:
+    def test_replays_exact_times(self):
+        rng = np.random.default_rng(0)
+        trace = TraceArrivals([0.5, 1.0, 4.0, 4.0])
+        times = trace.arrival_times(4, rng)
+        assert np.allclose(times, [0.5, 1.0, 4.0, 4.0])
+
+    def test_exhaustion_raises(self):
+        rng = np.random.default_rng(0)
+        trace = TraceArrivals([1.0, 2.0])
+        with pytest.raises(ValueError, match="trace"):
+            trace.arrival_times(3, rng)
+
+    def test_partial_consumption_then_exhaustion(self):
+        rng = np.random.default_rng(0)
+        trace = TraceArrivals([1.0, 2.0, 3.0])
+        assert trace.interarrival(rng) == 1.0
+        assert np.allclose(trace.arrival_times(2, rng) , [2.0, 3.0])
+        with pytest.raises(ValueError):
+            trace.interarrival(rng)
+
+    @pytest.mark.parametrize(
+        "times", [[], [2.0, 1.0], [-1.0, 0.0]]
+    )
+    def test_validation(self, times):
+        with pytest.raises(ValueError):
+            TraceArrivals(times)
+
+    def test_drives_synthetic_workload(self):
+        trace = TraceArrivals([0.0, 0.1, 5.0])
+        workload = SyntheticWorkload(
+            WorkloadSpec(task_count=3, gpp_fraction=1.0),
+            ConfigurationPool(2, seed=0),
+            trace,
+            seed=1,
+        )
+        stream = workload.generate()
+        assert [t for t, _ in stream] == [0.0, 0.1, 5.0]

@@ -1,0 +1,139 @@
+"""Unit tests for arrival processes and synthetic workloads."""
+
+import numpy as np
+import pytest
+
+from repro.grid.virtualizer import BitstreamRepository
+from repro.hardware.catalog import device_by_model
+from repro.hardware.taxonomy import PEClass
+from repro.sim.workload import (
+    ConfigurationPool,
+    DeterministicArrivals,
+    PoissonArrivals,
+    SyntheticWorkload,
+    UniformArrivals,
+    WorkloadSpec,
+)
+
+
+class TestArrivalProcesses:
+    def test_poisson_mean_matches_rate(self):
+        rng = np.random.default_rng(0)
+        process = PoissonArrivals(rate_per_s=4.0)
+        gaps = [process.interarrival(rng) for _ in range(20_000)]
+        assert np.mean(gaps) == pytest.approx(0.25, rel=0.05)
+
+    def test_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        process = UniformArrivals(0.5, 1.5)
+        gaps = [process.interarrival(rng) for _ in range(1_000)]
+        assert all(0.5 <= g <= 1.5 for g in gaps)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(0)
+        process = DeterministicArrivals(2.0)
+        assert [process.interarrival(rng) for _ in range(3)] == [2.0, 2.0, 2.0]
+
+    def test_arrival_times_cumulative_and_sorted(self):
+        rng = np.random.default_rng(1)
+        times = PoissonArrivals(1.0).arrival_times(100, rng)
+        assert len(times) == 100
+        assert (np.diff(times) >= 0).all()
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: PoissonArrivals(0),
+            lambda: UniformArrivals(-1, 2),
+            lambda: UniformArrivals(3, 2),
+            lambda: DeterministicArrivals(-1),
+        ],
+    )
+    def test_validation(self, factory):
+        with pytest.raises(ValueError):
+            factory()
+
+
+class TestConfigurationPool:
+    def test_deterministic_under_seed(self):
+        a = ConfigurationPool(8, seed=3)
+        b = ConfigurationPool(8, seed=3)
+        assert [(e.function, e.required_slices) for e in a.entries] == [
+            (e.function, e.required_slices) for e in b.entries
+        ]
+
+    def test_area_range_respected(self):
+        pool = ConfigurationPool(50, area_range=(1_000, 2_000), seed=0)
+        assert all(1_000 <= e.required_slices <= 2_000 for e in pool.entries)
+
+    def test_entry_lookup(self):
+        pool = ConfigurationPool(3, seed=0)
+        assert pool.entry("hwfunc_001").function == "hwfunc_001"
+        with pytest.raises(KeyError):
+            pool.entry("nope")
+
+    def test_populate_repository_skips_oversized(self):
+        pool = ConfigurationPool(10, area_range=(5_000, 40_000), seed=2)
+        repo = BitstreamRepository()
+        small = device_by_model("XC5VLX50")  # 7,200 slices
+        stored = pool.populate_repository(repo, [small])
+        fitting = sum(1 for e in pool.entries if e.required_slices <= small.slices)
+        assert stored == fitting == len(repo)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConfigurationPool(0)
+        with pytest.raises(ValueError):
+            ConfigurationPool(3, area_range=(0, 10))
+        with pytest.raises(ValueError):
+            ConfigurationPool(3, speedup_range=(5.0, 1.0))
+
+
+class TestSyntheticWorkload:
+    def make(self, **spec_overrides):
+        spec_params = dict(task_count=200, gpp_fraction=0.5)
+        spec_params.update(spec_overrides)
+        return SyntheticWorkload(
+            WorkloadSpec(**spec_params),
+            ConfigurationPool(5, seed=1),
+            PoissonArrivals(2.0),
+            seed=42,
+        )
+
+    def test_deterministic_under_seed(self):
+        s1 = self.make().generate()
+        s2 = self.make().generate()
+        assert [(t, task.task_id, task.function) for t, task in s1] == [
+            (t, task.task_id, task.function) for t, task in s2
+        ]
+
+    def test_task_count_and_unique_ids(self):
+        stream = self.make().generate()
+        assert len(stream) == 200
+        ids = [task.task_id for _, task in stream]
+        assert len(set(ids)) == 200
+
+    def test_pe_mix_follows_fraction(self):
+        stream = self.make(task_count=2_000).generate()
+        gpp = sum(1 for _, t in stream if t.exec_req.node_type is PEClass.GPP)
+        assert gpp / 2_000 == pytest.approx(0.5, abs=0.05)
+
+    def test_all_gpp_extreme(self):
+        stream = self.make(gpp_fraction=1.0).generate()
+        assert all(t.exec_req.node_type is PEClass.GPP for _, t in stream)
+
+    def test_hw_tasks_reference_pool_functions(self):
+        stream = self.make(gpp_fraction=0.0).generate()
+        pool_functions = {e.function for e in self.make().pool.entries}
+        assert all(t.function in pool_functions for _, t in stream)
+
+    def test_hw_task_estimates_reflect_speedup(self):
+        wl = self.make(gpp_fraction=0.0)
+        for _, task in wl.generate():
+            entry = wl.pool.entry(task.function)
+            ref_time = task.effective_workload_mi / wl.spec.reference_mips
+            assert task.t_estimated == pytest.approx(ref_time / entry.speedup_vs_gpp)
+
+    def test_arrival_times_non_decreasing(self):
+        times = [t for t, _ in self.make().generate()]
+        assert times == sorted(times)
