@@ -16,6 +16,7 @@ from repro.grid.rms import ResourceManagementSystem
 from repro.hardware.catalog import device_by_model
 from repro.hardware.gpp import GPPSpec
 from repro.scheduling import HybridCostScheduler
+from repro.sim.runner import parallel_map
 from repro.sim.simulator import DReAMSim
 from repro.sim.workload import (
     ConfigurationPool,
@@ -65,13 +66,19 @@ def run_point(rate: float, with_fabric: bool):
     return sim.run()
 
 
+def _run_point_star(args: tuple[float, bool]):
+    """Module-level unpacking wrapper so points pickle into workers."""
+    return run_point(*args)
+
+
 def regenerate():
-    rows = []
-    for rate in RATES:
-        hybrid = run_point(rate, with_fabric=True)
-        gpp = run_point(rate, with_fabric=False)
-        rows.append((rate, hybrid, gpp))
-    return rows
+    """All (rate, grid) sample points, run wide across processes."""
+    points = [(rate, fabric) for rate in RATES for fabric in (True, False)]
+    reports = parallel_map(_run_point_star, points)
+    by_point = dict(zip(points, reports))
+    return [
+        (rate, by_point[(rate, True)], by_point[(rate, False)]) for rate in RATES
+    ]
 
 
 def bench_arrival_rate_sweep(benchmark):

@@ -19,6 +19,7 @@ from repro.grid.rms import ResourceManagementSystem
 from repro.hardware.catalog import device_by_model
 from repro.hardware.gpp import GPPSpec
 from repro.scheduling import ALL_STRATEGIES, RandomScheduler
+from repro.sim.runner import parallel_map
 from repro.sim.simulator import DReAMSim
 from repro.sim.workload import (
     ConfigurationPool,
@@ -65,7 +66,14 @@ def run_strategy(name: str):
 
 
 def regenerate() -> dict[str, object]:
-    return {name: run_strategy(name) for name in ALL_STRATEGIES if name != "gpp-only"}
+    """One report per strategy, run wide across worker processes.
+
+    Every run is independently seeded, so the parallel map returns
+    byte-identical reports to the old serial loop (pinned by
+    ``tests/sim/test_runner.py``).
+    """
+    names = [name for name in ALL_STRATEGIES if name != "gpp-only"]
+    return dict(zip(names, parallel_map(run_strategy, names)))
 
 
 def bench_dreamsim_strategy_sweep(benchmark):

@@ -1,0 +1,63 @@
+"""Harness benchmark: the parallel runner vs the serial sweep path.
+
+Not a paper figure -- this pins down the experiment infrastructure
+itself: a strategy-comparison sweep executed through
+:class:`~repro.sim.runner.ExperimentRunner` must produce reports
+byte-identical to the serial :func:`~repro.sim.experiment.sweep`, the
+spec-hash cache must turn a re-run into pure file reads, and every
+traced run must pass the invariant checker.  The timed section is the
+wide sweep (speedup over serial scales with available cores; on a
+single-core box the two are within process-spawn overhead).
+"""
+
+import json
+from dataclasses import asdict
+
+from repro.scheduling import ALL_STRATEGIES
+from repro.sim.experiment import ExperimentSpec, run_experiment, sweep
+from repro.sim.runner import ExperimentRunner
+from repro.sim.tracing import TraceInvariantChecker, Tracer
+
+STRATEGIES = sorted(ALL_STRATEGIES)
+BASE = ExperimentSpec(tasks=120, configurations=6, arrival_rate_per_s=2.5, seed=23)
+
+
+def run_wide(jobs: int | None = None, cache_dir=None):
+    runner = ExperimentRunner(jobs=jobs, cache_dir=cache_dir)
+    results = runner.sweep(BASE, "strategy", STRATEGIES)
+    return runner, results
+
+
+def bench_parallel_runner(benchmark, tmp_path):
+    serial = sweep(BASE, "strategy", STRATEGIES)
+    runner, wide = run_wide(cache_dir=tmp_path / "cache")
+    print(f"\nparallel runner: {runner.last_stats.summary_line()}")
+
+    # Parallel results are byte-identical to the serial sweep.
+    for a, b in zip(serial, wide):
+        assert json.dumps(asdict(a.report), sort_keys=True) == json.dumps(
+            asdict(b.report), sort_keys=True
+        )
+
+    # A re-run of the same grid is served entirely from the cache.
+    rerun_runner, rerun = run_wide(cache_dir=tmp_path / "cache")
+    assert rerun_runner.last_stats.cache_hits == len(STRATEGIES)
+    assert rerun_runner.last_stats.executed == 0
+    for a, b in zip(wide, rerun):
+        assert a.report == b.report
+
+    # Every strategy's traced run satisfies the simulator invariants.
+    for name in STRATEGIES:
+        tracer = Tracer.with_invariants()
+        run_experiment(BASE.with_(strategy=name), tracer=tracer)
+        assert tracer.checker.events_checked == tracer.events_emitted > 0
+
+    runner, _ = benchmark(run_wide)
+    assert runner.last_stats.executed == len(STRATEGIES)
+
+
+if __name__ == "__main__":
+    runner, results = run_wide()
+    print(runner.last_stats.summary_line())
+    for r in results:
+        print(f"{r.spec.strategy:15s} wait {r.report.mean_wait_s:.4f} s")

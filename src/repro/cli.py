@@ -8,7 +8,11 @@ Commands map to the paper's artifacts and the library's experiments:
 * ``casestudy``  -- run the full Section V pipeline (profile -> Quipu
   -> Table II -> simulation).
 * ``simulate``   -- run a synthetic DReAMSim experiment
-  (``--strategy``, ``--tasks``, ``--seed``, ``--gpp-fraction``...).
+  (``--strategy``, ``--tasks``, ``--seed``, ``--gpp-fraction``...;
+  ``--trace`` writes a validated JSONL event trace, ``--jobs`` /
+  ``--cache-dir`` parallelize and cache ``--replications``).
+* ``sweep``      -- sweep one ExperimentSpec knob across values
+  through the parallel runner (``--field``, ``--values``, ``--jobs``).
 * ``clustalw``   -- align a FASTA file (or a generated family) and
   print the MSA; optionally profile it (Figure 10).
 """
@@ -17,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.report import ascii_bar_chart, ascii_table
 
@@ -90,12 +95,9 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.sim.experiment import (
-        ExperimentSpec,
-        NodeSpec,
-        replicate,
-        run_experiment,
-    )
+    from repro.sim.experiment import ExperimentSpec, NodeSpec, run_experiment
+    from repro.sim.runner import ExperimentRunner
+    from repro.sim.tracing import JsonlSink, TraceInvariantChecker, Tracer
 
     spec = ExperimentSpec(
         strategy=args.strategy,
@@ -112,17 +114,109 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         area_range=(2_000, 12_000),
         seed=args.seed,
     )
-    result = run_experiment(spec, audit_energy=args.energy)
+    tracer = None
+    if args.trace:
+        tracer = Tracer(TraceInvariantChecker(), JsonlSink(args.trace))
+    result = run_experiment(spec, audit_energy=args.energy, tracer=tracer)
     print(f"strategy: {args.strategy}   seed: {args.seed}")
     print("\n".join(result.report.summary_lines()))
+    if tracer is not None:
+        tracer.close()
+        checker = tracer.checker
+        assert checker is not None
+        print(
+            f"trace                {tracer.events_emitted} events -> {args.trace} "
+            f"(invariants OK: {checker.events_checked} checked)"
+        )
     if args.energy and result.energy is not None:
         print("\n".join(result.energy.summary_lines()))
     if args.replications > 1:
-        summary = replicate(
+        runner = ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+        summary = runner.replicate(
             spec, seeds=[args.seed + i for i in range(args.replications)]
         )
         print()
         print("\n".join(summary.summary_lines()))
+        print(f"runner              {runner.last_stats.summary_line()}")
+    return 0
+
+
+#: ExperimentSpec fields sweepable from the command line, with the
+#: parser for one comma-separated value.
+SWEEPABLE_FIELDS = {
+    "strategy": str,
+    "tasks": int,
+    "configurations": int,
+    "arrival_rate_per_s": float,
+    "gpp_fraction": float,
+    "seed": int,
+    "discard_after_s": float,
+}
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.scheduling import ALL_STRATEGIES
+    from repro.sim.experiment import ExperimentSpec, NodeSpec
+    from repro.sim.runner import ExperimentRunner
+
+    parse = SWEEPABLE_FIELDS[args.field]
+    if args.values:
+        try:
+            values = [parse(v) for v in args.values.split(",")]
+        except ValueError:
+            print(
+                f"repro sweep: error: --values for {args.field!r} must be "
+                f"comma-separated {parse.__name__} literals, got {args.values!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.field == "strategy":
+            bad = [v for v in values if v not in ALL_STRATEGIES]
+            if bad:
+                print(
+                    f"repro sweep: error: unknown strategy values {bad}; choose "
+                    "from " + ", ".join(sorted(ALL_STRATEGIES)),
+                    file=sys.stderr,
+                )
+                return 2
+    elif args.field == "strategy":
+        values = sorted(ALL_STRATEGIES)
+    else:
+        print(f"--values is required when sweeping {args.field!r}", file=sys.stderr)
+        return 2
+    base = ExperimentSpec(
+        strategy=args.strategy,
+        tasks=args.tasks,
+        nodes=(
+            NodeSpec(gpps=1, gpp_mips=2_000, rpe_models=("XC5VLX330",), regions_per_rpe=3),
+            NodeSpec(gpps=1, gpp_mips=1_500, rpe_models=("XC5VLX155",), regions_per_rpe=2),
+        ),
+        arrival_rate_per_s=args.rate,
+        area_range=(2_000, 12_000),
+        seed=args.seed,
+    )
+    runner = ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+    results = runner.sweep(base, args.field, values)
+    rows = [
+        (
+            str(getattr(r.spec, args.field)),
+            f"{r.report.mean_wait_s:.4f}",
+            f"{r.report.mean_turnaround_s:.4f}",
+            f"{r.report.makespan_s:.2f}",
+            str(r.report.reconfigurations),
+            f"{r.report.reuse_rate:.1%}",
+            f"{r.report.completed}/{r.report.discarded}/{r.report.pending}",
+        )
+        for r in results
+    ]
+    print(
+        ascii_table(
+            [args.field, "wait s", "turnd s", "makespan", "reconf", "reuse", "done/disc/pend"],
+            rows,
+            title=f"Sweep over {args.field} ({args.tasks} tasks, seed {args.seed})",
+        )
+    )
+    print(runner.last_stats.summary_line())
     return 0
 
 
@@ -181,7 +275,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--energy", action="store_true", help="print the energy audit")
     p.add_argument("--replications", type=int, default=1, help="run N seeds and report mean +/- std")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write a JSONL event trace and validate invariants online")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for --replications (default: CPU count)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="cache replication results keyed by spec hash")
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("sweep", help="sweep one experiment knob through the parallel runner")
+    p.add_argument("--field", choices=sorted(SWEEPABLE_FIELDS), default="strategy",
+                   help="ExperimentSpec field to sweep (default: strategy)")
+    p.add_argument("--values", help="comma-separated values (default for strategy: all)")
+    p.add_argument("--strategy", default="hybrid-cost", help="base strategy for non-strategy sweeps")
+    p.add_argument("--tasks", type=int, default=200)
+    p.add_argument("--rate", type=float, default=2.0, help="Poisson arrivals/s")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: CPU count; 1 forces serial)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="cache results keyed by spec hash")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("clustalw", help="align sequences (FASTA in/out)")
     p.add_argument("--fasta", help="input FASTA (default: synthetic family)")
@@ -208,6 +322,16 @@ def main(argv: list[str] | None = None) -> int:
                 f"unknown strategy {args.strategy!r}; choose from "
                 + ", ".join(sorted(ALL_STRATEGIES))
             )
+    if getattr(args, "jobs", None) is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if getattr(args, "trace", None):
+        parent = Path(args.trace).resolve().parent
+        if not parent.is_dir():
+            parser.error(f"--trace directory does not exist: {parent}")
+    if getattr(args, "cache_dir", None) is not None:
+        cache_dir = Path(args.cache_dir)
+        if cache_dir.exists() and not cache_dir.is_dir():
+            parser.error(f"--cache-dir is not a directory: {cache_dir}")
     try:
         return args.func(args)
     except BrokenPipeError:  # e.g. `repro catalog | head`

@@ -20,6 +20,11 @@ This package is that simulator, rebuilt in Python:
 * :mod:`repro.sim.simulator` -- the DReAMSim facade wiring engine +
   RMS + JSS + workload, including application (Seq/Par) execution,
   task-graph execution, streaming pipelines, and node join/leave.
+* :mod:`repro.sim.tracing` -- typed event stream (submit/dispatch/
+  reconfigure/complete, node membership, slice occupancy) with
+  pluggable sinks and an online invariant checker.
+* :mod:`repro.sim.runner` -- parallel experiment execution across
+  worker processes with spec-hash result caching.
 """
 
 from repro.sim.engine import SimulationEngine, EventHandle
@@ -49,9 +54,31 @@ from repro.sim.experiment import (
     ReplicationSummary,
     replicate,
     run_experiment,
+    summarize_replications,
     sweep,
 )
+from repro.sim.runner import (
+    ExperimentRunner,
+    RunnerStats,
+    parallel_map,
+    parallel_replicate,
+    parallel_sweep,
+    run_many,
+    spec_cache_key,
+)
 from repro.sim.simulator import DReAMSim
+from repro.sim.tracing import (
+    InMemorySink,
+    InvariantViolation,
+    JsonlSink,
+    TraceEvent,
+    TraceInvariantChecker,
+    Tracer,
+    canonical_events,
+    read_jsonl,
+    verify_jsonl,
+    verify_trace,
+)
 
 __all__ = [
     "SimulationEngine",
@@ -82,4 +109,22 @@ __all__ = [
     "sweep",
     "ReplicationSummary",
     "replicate",
+    "summarize_replications",
+    "ExperimentRunner",
+    "RunnerStats",
+    "parallel_map",
+    "parallel_replicate",
+    "parallel_sweep",
+    "run_many",
+    "spec_cache_key",
+    "TraceEvent",
+    "Tracer",
+    "InMemorySink",
+    "JsonlSink",
+    "TraceInvariantChecker",
+    "InvariantViolation",
+    "canonical_events",
+    "read_jsonl",
+    "verify_trace",
+    "verify_jsonl",
 ]

@@ -26,6 +26,7 @@ from repro.scheduling import ALL_STRATEGIES, RandomScheduler
 from repro.sim.energy import EnergyAuditor, EnergyReport
 from repro.sim.metrics import SimulationReport
 from repro.sim.simulator import DReAMSim
+from repro.sim.tracing import Tracer
 from repro.sim.workload import (
     ArrivalProcess,
     ConfigurationPool,
@@ -137,11 +138,15 @@ def run_experiment(
     *,
     arrivals: ArrivalProcess | None = None,
     audit_energy: bool = False,
+    tracer: Tracer | None = None,
 ) -> ExperimentResult:
     """Build, run, and report one experiment.
 
     ``arrivals`` overrides the Poisson process (e.g. with
     :class:`~repro.sim.workload.TraceArrivals` for trace-driven runs).
+    ``tracer`` receives the structured event stream (and, when it
+    carries a :class:`~repro.sim.tracing.TraceInvariantChecker`,
+    validates the run online).
     """
     rms = build_grid(spec)
     pool = ConfigurationPool(
@@ -164,7 +169,7 @@ def run_experiment(
         arrivals or PoissonArrivals(rate_per_s=spec.arrival_rate_per_s),
         seed=spec.seed,
     )
-    sim = DReAMSim(rms, discard_after_s=spec.discard_after_s)
+    sim = DReAMSim(rms, discard_after_s=spec.discard_after_s, tracer=tracer)
     sim.submit_workload(workload.generate())
     report = sim.run()
     energy = EnergyAuditor(rms).audit(sim) if audit_energy else None
@@ -202,13 +207,20 @@ class ReplicationSummary:
         ]
 
 
-def replicate(base: ExperimentSpec, seeds: list[int]) -> ReplicationSummary:
-    """Run *base* under each seed and aggregate (mean +/- std)."""
+def summarize_replications(
+    seeds: list[int], reports: list[SimulationReport]
+) -> ReplicationSummary:
+    """Aggregate per-seed reports into a :class:`ReplicationSummary`.
+
+    Shared by the serial :func:`replicate` and the parallel runner
+    (:mod:`repro.sim.runner`), so both paths summarize identically.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
+    if len(seeds) != len(reports):
+        raise ValueError("one report per seed required")
     import numpy as np
 
-    reports = [run_experiment(base.with_(seed=s)).report for s in seeds]
     waits = np.array([r.mean_wait_s for r in reports])
     turnarounds = np.array([r.mean_turnaround_s for r in reports])
     makespans = np.array([r.makespan_s for r in reports])
@@ -223,3 +235,9 @@ def replicate(base: ExperimentSpec, seeds: list[int]) -> ReplicationSummary:
         std_makespan_s=float(makespans.std()),
         mean_reuse_rate=float(reuse.mean()),
     )
+
+
+def replicate(base: ExperimentSpec, seeds: list[int]) -> ReplicationSummary:
+    """Run *base* under each seed and aggregate (mean +/- std)."""
+    reports = [run_experiment(base.with_(seed=s)).report for s in seeds]
+    return summarize_replications(seeds, reports)

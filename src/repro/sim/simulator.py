@@ -30,6 +30,7 @@ from repro.grid.jss import JobSubmissionSystem
 from repro.grid.rms import Placement, ResourceManagementSystem, SchedulingError
 from repro.sim.engine import EventHandle, SimulationEngine
 from repro.sim.metrics import MetricsCollector, SimulationReport
+from repro.sim.tracing import Tracer
 
 
 @dataclass
@@ -57,6 +58,7 @@ class DReAMSim:
         *,
         jss: JobSubmissionSystem | None = None,
         discard_after_s: float | None = None,
+        tracer: Tracer | None = None,
     ):
         if discard_after_s is not None and discard_after_s <= 0:
             raise ValueError("discard_after_s must be positive")
@@ -64,6 +66,7 @@ class DReAMSim:
         self.rms = rms
         self.jss = jss or JobSubmissionSystem(virtualization=rms.virtualization)
         self.metrics = MetricsCollector()
+        self.tracer = tracer
         self.discard_after_s = discard_after_s
         self.pending: list[_Entry] = []
         self.active: dict[object, _Entry] = {}
@@ -71,6 +74,40 @@ class DReAMSim:
         #: (job_id, task_id) -> node where the task's outputs landed;
         #: feeds the RMS's locality-aware input-staging prices.
         self._output_sites: dict[tuple[object, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Structured tracing (no-ops without a tracer)
+    # ------------------------------------------------------------------
+    def _emit(self, kind: str, key: object = None, **payload) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(self.engine.now, kind, key=key, **payload)
+
+    def _region_slices(self, placement: Placement) -> tuple[int, int]:
+        """(region slices, device capacity) of a committed placement."""
+        rpe = self.rms.node(placement.candidate.node_id).rpe(
+            placement.candidate.resource_id
+        )
+        for region in rpe.fabric.regions:
+            if region.region_id == placement.region_id:
+                return region.slices, rpe.fabric.total_slices
+        raise SchedulingError(  # pragma: no cover - defensive
+            f"placement region {placement.region_id} vanished"
+        )
+
+    def _emit_slice_free(self, entry: _Entry) -> None:
+        placement = entry.placement
+        if self.tracer is None or placement is None or placement.region_id is None:
+            return
+        slices, capacity = self._region_slices(placement)
+        self._emit(
+            "slice-free",
+            entry.key,
+            node=placement.candidate.node_id,
+            resource=placement.candidate.resource_id,
+            region=placement.region_id,
+            slices=slices,
+            capacity=capacity,
+        )
 
     # ------------------------------------------------------------------
     # Submission APIs
@@ -241,6 +278,12 @@ class DReAMSim:
         def join() -> None:
             self.rms.register_node(node, site=site)
             self.metrics.trace.append((self.engine.now, "node-join", node.node_id))
+            self._emit(
+                "node-join",
+                node=node.node_id,
+                gpps=len(node.gpps),
+                rpes=len(node.rpes),
+            )
             self._dispatch_pending()
 
         self.engine.schedule_at(time, join)
@@ -256,6 +299,8 @@ class DReAMSim:
                 for handle in entry.events:
                     handle.cancel()
                 entry.events.clear()
+                self._emit_slice_free(entry)
+                self._emit("requeue", entry.key, node=node_id)
                 entry.dispatched = False
                 entry.placement = None
                 del self.active[entry.key]
@@ -264,6 +309,7 @@ class DReAMSim:
                 self.metrics.trace.append((self.engine.now, "requeue", entry.key))
             self.rms.unregister_node(node_id)
             self.metrics.trace.append((self.engine.now, "node-leave", node_id))
+            self._emit("node-leave", node=node_id)
             self._dispatch_pending()
 
         self.engine.schedule_at(time, leave)
@@ -288,6 +334,12 @@ class DReAMSim:
             silent=silent,
         )
         self.metrics.record_arrival(entry.key, self.engine.now, task.function)
+        self._emit(
+            "submit",
+            entry.key,
+            function=task.function,
+            pe_class=task.exec_req.node_type.value,
+        )
         self.pending.append(entry)
         if self.discard_after_s is not None:
             deadline = self.discard_after_s
@@ -297,6 +349,7 @@ class DReAMSim:
                     entry.discarded = True
                     self.pending.remove(entry)
                     self.metrics.record_discard(entry.key, self.engine.now)
+                    self._emit("discard", entry.key)
                     if entry.job_id is not None and not entry.silent:
                         self.jss.mark_failed(
                             entry.job_id, entry.task.task_id, time=self.engine.now
@@ -349,6 +402,41 @@ class DReAMSim:
                 else task_required_slices(entry.task)
             ),
         )
+        if self.tracer is not None:
+            self._emit(
+                "dispatch",
+                entry.key,
+                node=placement.candidate.node_id,
+                resource=placement.candidate.resource_id,
+                region=placement.region_id,
+                pe_kind=placement.candidate.kind.value,
+                function=entry.task.function,
+                reused=placement.reused_configuration,
+                transfer_time=placement.transfer_time_s,
+                synthesis_time=placement.synthesis_time_s,
+                reconfig_time=placement.reconfig_time_s,
+            )
+            if placement.region_id is not None:
+                slices, capacity = self._region_slices(placement)
+                self._emit(
+                    "slice-alloc",
+                    entry.key,
+                    node=placement.candidate.node_id,
+                    resource=placement.candidate.resource_id,
+                    region=placement.region_id,
+                    slices=slices,
+                    capacity=capacity,
+                )
+            if placement.reconfig_time_s > 0:
+                self._emit(
+                    "reconfigure",
+                    entry.key,
+                    node=placement.candidate.node_id,
+                    resource=placement.candidate.resource_id,
+                    region=placement.region_id,
+                    function=entry.task.function,
+                    duration=placement.reconfig_time_s,
+                )
         entry.events.append(
             self.engine.schedule(placement.setup_time_s, lambda: self._start(entry))
         )
@@ -359,6 +447,7 @@ class DReAMSim:
         assert placement is not None
         self.rms.begin_execution(placement)
         self.metrics.record_start(entry.key, self.engine.now)
+        self._emit("start", entry.key, node=placement.candidate.node_id)
         if entry.job_id is not None:
             self.jss.mark_started(
                 entry.job_id,
@@ -379,6 +468,8 @@ class DReAMSim:
             f"{placement.candidate.kind.value}{placement.candidate.resource_index}"
         )
         self.metrics.record_finish(entry.key, self.engine.now, label)
+        self._emit("complete", entry.key, node=placement.candidate.node_id)
+        self._emit_slice_free(entry)
         self.active.pop(entry.key, None)
         self._output_sites[(entry.job_id, entry.task.task_id)] = (
             placement.candidate.node_id

@@ -1,0 +1,428 @@
+"""Structured simulator tracing: typed events, sinks, and invariants.
+Event schema: ``submit`` / ``dispatch`` / ``start`` / ``reconfigure`` /
+``complete`` / ``discard`` / ``requeue`` (task lifecycle, keyed by
+``(job, task)``), ``node-join`` / ``node-leave`` (grid membership),
+``slice-alloc`` / ``slice-free`` (fabric-region occupancy).  Checked
+invariants: per-task causality, global time monotonicity, per-fabric
+slice-capacity conservation, and configuration-reuse accounting.
+
+The DReAMSim runs behind the paper's quantitative claims are only
+trustworthy if their event streams can be audited.  This module gives
+the simulator an observability layer:
+
+* :class:`TraceEvent` -- one typed, timestamped event.  The simulator
+  emits ``submit`` / ``dispatch`` / ``start`` / ``reconfigure`` /
+  ``complete`` / ``discard`` / ``requeue`` for tasks, ``node-join`` /
+  ``node-leave`` for grid membership, and ``slice-alloc`` /
+  ``slice-free`` for fabric-region occupancy.
+* :class:`Tracer` -- fan-out of events to pluggable sinks.
+* :class:`InMemorySink` -- bounded (ring) or unbounded event list.
+* :class:`JsonlSink` -- one JSON object per line; traces round-trip
+  through :func:`read_jsonl` so stored baselines can be re-verified.
+* :class:`TraceInvariantChecker` -- a sink that validates the stream
+  *as it is produced*: per-task causality (dispatch after submit,
+  start after dispatch, complete after start), global time
+  monotonicity, slice-capacity conservation per fabric, and
+  configuration-reuse accounting (a reuse hit must name a function
+  actually resident in the chosen region, and pays zero
+  reconfiguration time).
+
+Event payloads deliberately exclude process-global identifiers
+(bitstream ids, configuration ids): :func:`canonical_events` remaps the
+remaining job-id component of task keys to dense indices, which makes
+traces byte-stable across interpreter sessions -- the property the
+golden-trace regression tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Every event kind the simulator emits, in no particular order.
+EVENT_KINDS = frozenset(
+    {
+        "submit",
+        "dispatch",
+        "start",
+        "reconfigure",
+        "complete",
+        "discard",
+        "requeue",
+        "node-join",
+        "node-leave",
+        "slice-alloc",
+        "slice-free",
+    }
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped simulator event.
+
+    ``key`` identifies the task for task-lifecycle events (``None`` for
+    grid-membership events); ``payload`` carries kind-specific fields
+    (node ids, region ids, slice counts, timing decomposition...).
+    """
+
+    time: float
+    kind: str
+    key: object = None
+    payload: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Serialize to one deterministic JSON line (sorted keys)."""
+        record = {"t": self.time, "kind": self.kind, "key": _jsonable_key(self.key)}
+        record.update(self.payload)
+        return json.dumps(record, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        data = json.loads(line)
+        time = data.pop("t")
+        kind = data.pop("kind")
+        key = _tuple_key(data.pop("key", None))
+        return cls(time=time, kind=kind, key=key, payload=data)
+
+
+def _jsonable_key(key: object) -> object:
+    return list(key) if isinstance(key, tuple) else key
+
+
+def _tuple_key(key: object) -> object:
+    return tuple(key) if isinstance(key, list) else key
+
+
+class TraceSink:
+    """Receives events from a :class:`Tracer`.  Subclass and override."""
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; called by :meth:`Tracer.close`."""
+
+
+class InMemorySink(TraceSink):
+    """Keeps events in memory; ``capacity`` makes it a ring buffer."""
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.events: deque[TraceEvent] = deque(maxlen=capacity)
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlSink(TraceSink):
+    """Streams events to a JSONL file, one object per line."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh = self.path.open("w", encoding="ascii")
+        self.lines_written = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._fh.write(event.to_json() + "\n")
+        self.lines_written += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+def read_jsonl(path: str | Path) -> list[TraceEvent]:
+    """Load a JSONL trace back into events (keys re-tupled)."""
+    out = []
+    with Path(path).open(encoding="ascii") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(TraceEvent.from_json(line))
+    return out
+
+
+def canonical_events(events: list[TraceEvent]) -> list[TraceEvent]:
+    """Remap the job-id component of task keys to dense indices.
+
+    JSS job ids come from a process-global counter, so the same seeded
+    run yields shifted ids depending on what ran earlier in the
+    process.  Canonicalization assigns each distinct job id its order
+    of first appearance, making traces reproducible byte-for-byte.
+    """
+    mapping: dict[object, int] = {}
+    out: list[TraceEvent] = []
+    for event in events:
+        key = event.key
+        if isinstance(key, tuple) and key:
+            job = key[0]
+            if job not in mapping:
+                mapping[job] = len(mapping)
+            key = (mapping[job],) + key[1:]
+        out.append(TraceEvent(time=event.time, kind=event.kind, key=key,
+                              payload=event.payload))
+    return out
+
+
+class Tracer:
+    """Fans simulator events out to sinks.
+
+    The simulator calls :meth:`emit`; each sink sees every event in
+    emission order.  A :class:`TraceInvariantChecker` is just another
+    sink, so invariants can be validated online during the run.
+    """
+
+    def __init__(self, *sinks: TraceSink):
+        self.sinks: list[TraceSink] = list(sinks)
+        self.events_emitted = 0
+
+    @classmethod
+    def with_invariants(cls, *sinks: TraceSink) -> "Tracer":
+        """A tracer whose first sink is a fresh invariant checker."""
+        return cls(TraceInvariantChecker(), *sinks)
+
+    @property
+    def checker(self) -> "TraceInvariantChecker | None":
+        for sink in self.sinks:
+            if isinstance(sink, TraceInvariantChecker):
+                return sink
+        return None
+
+    def add_sink(self, sink: TraceSink) -> None:
+        self.sinks.append(sink)
+
+    def emit(self, time: float, kind: str, key: object = None, **payload) -> None:
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        event = TraceEvent(time=time, kind=kind, key=key, payload=payload)
+        self.events_emitted += 1
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class InvariantViolation(RuntimeError):
+    """An event stream broke a simulator invariant."""
+
+
+#: Task lifecycle states tracked by the checker.
+_SUBMITTED = "submitted"
+_DISPATCHED = "dispatched"
+_STARTED = "started"
+_COMPLETED = "completed"
+_DISCARDED = "discarded"
+
+
+class TraceInvariantChecker(TraceSink):
+    """Validates an event stream against the simulator's contracts.
+
+    Raised violations name the offending event.  Checked invariants:
+
+    * **Monotonic time** -- event timestamps never decrease.
+    * **Task causality** -- ``submit`` -> ``dispatch`` -> ``start`` ->
+      ``complete``; ``discard`` only before dispatch; ``requeue`` only
+      after dispatch (and returns the task to the queue); no duplicate
+      submits or transitions from terminal states.
+    * **Slice conservation** -- a fabric region is allocated at most
+      once at a time, allocated slices per (node, RPE) never exceed the
+      device capacity, frees match their allocs, and a departing node
+      has no live allocations left (its victims were requeued first).
+    * **Reuse accounting** -- a dispatch flagged ``reused`` pays zero
+      reconfiguration time and names a function previously placed (and
+      not since evicted) in that exact region.
+    """
+
+    def __init__(self) -> None:
+        self.events_checked = 0
+        self._last_time = 0.0
+        self._task_state: dict[object, str] = {}
+        #: (node, resource) -> {region_id: allocated slices}
+        self._alloc: dict[tuple[int, int], dict[int, int]] = {}
+        #: (node, resource) -> device slice capacity
+        self._capacity: dict[tuple[int, int], int] = {}
+        #: (node, resource, region) -> resident hardware function
+        self._resident: dict[tuple[int, int, int], str] = {}
+
+    # ------------------------------------------------------------------
+    def _fail(self, event: TraceEvent, message: str) -> None:
+        raise InvariantViolation(
+            f"t={event.time:.6f} {event.kind} key={event.key!r}: {message}"
+        )
+
+    def _expect_state(self, event: TraceEvent, *allowed: str) -> str:
+        state = self._task_state.get(event.key)
+        if state not in allowed:
+            self._fail(
+                event,
+                f"task is {state or 'unknown'}; expected one of {', '.join(allowed)}",
+            )
+        return state
+
+    def emit(self, event: TraceEvent) -> None:
+        if event.kind not in EVENT_KINDS:
+            self._fail(event, "unknown event kind")
+        if event.time < self._last_time - 1e-12:
+            self._fail(
+                event, f"time moved backwards (previous {self._last_time:.6f})"
+            )
+        self._last_time = max(self._last_time, event.time)
+        handler = getattr(self, "_on_" + event.kind.replace("-", "_"), None)
+        if handler is not None:
+            handler(event)
+        self.events_checked += 1
+
+    # ------------------------------------------------------------------
+    # Task lifecycle
+    # ------------------------------------------------------------------
+    def _on_submit(self, event: TraceEvent) -> None:
+        if event.key in self._task_state:
+            self._fail(event, "duplicate submit")
+        self._task_state[event.key] = _SUBMITTED
+
+    def _on_dispatch(self, event: TraceEvent) -> None:
+        self._expect_state(event, _SUBMITTED)
+        self._task_state[event.key] = _DISPATCHED
+        payload = event.payload
+        reused = payload.get("reused", False)
+        if reused and payload.get("reconfig_time", 0.0) > 0.0:
+            self._fail(event, "configuration reuse must pay zero reconfiguration")
+        if payload.get("pe_kind") == "RPE":
+            place = (payload.get("node"), payload.get("resource"), payload.get("region"))
+            function = payload.get("function", "")
+            if reused:
+                resident = self._resident.get(place)
+                if resident != function:
+                    self._fail(
+                        event,
+                        f"reuse of {function!r} but region {place} holds {resident!r}",
+                    )
+            elif function:
+                self._resident[place] = function
+
+    def _on_start(self, event: TraceEvent) -> None:
+        self._expect_state(event, _DISPATCHED)
+        self._task_state[event.key] = _STARTED
+
+    def _on_complete(self, event: TraceEvent) -> None:
+        self._expect_state(event, _STARTED)
+        self._task_state[event.key] = _COMPLETED
+
+    def _on_discard(self, event: TraceEvent) -> None:
+        self._expect_state(event, _SUBMITTED)
+        self._task_state[event.key] = _DISCARDED
+
+    def _on_requeue(self, event: TraceEvent) -> None:
+        self._expect_state(event, _DISPATCHED, _STARTED)
+        self._task_state[event.key] = _SUBMITTED
+
+    # ------------------------------------------------------------------
+    # Slice conservation
+    # ------------------------------------------------------------------
+    def _on_slice_alloc(self, event: TraceEvent) -> None:
+        payload = event.payload
+        pe = (payload["node"], payload["resource"])
+        region = payload["region"]
+        slices = payload["slices"]
+        capacity = payload["capacity"]
+        if slices <= 0 or capacity <= 0:
+            self._fail(event, "slice counts must be positive")
+        known = self._capacity.setdefault(pe, capacity)
+        if known != capacity:
+            self._fail(event, f"capacity changed from {known} to {capacity}")
+        allocations = self._alloc.setdefault(pe, {})
+        if region in allocations:
+            self._fail(event, f"region {region} is already allocated")
+        if sum(allocations.values()) + slices > capacity:
+            self._fail(
+                event,
+                f"allocating {slices} slices exceeds capacity {capacity} "
+                f"(already {sum(allocations.values())} in use)",
+            )
+        allocations[region] = slices
+
+    def _on_slice_free(self, event: TraceEvent) -> None:
+        payload = event.payload
+        pe = (payload["node"], payload["resource"])
+        region = payload["region"]
+        allocations = self._alloc.get(pe, {})
+        if region not in allocations:
+            self._fail(event, f"freeing region {region} that is not allocated")
+        if allocations[region] != payload["slices"]:
+            self._fail(
+                event,
+                f"free of {payload['slices']} slices does not match "
+                f"allocation of {allocations[region]}",
+            )
+        del allocations[region]
+
+    # ------------------------------------------------------------------
+    # Grid membership
+    # ------------------------------------------------------------------
+    def _on_node_leave(self, event: TraceEvent) -> None:
+        node_id = event.payload["node"]
+        for (node, resource), allocations in self._alloc.items():
+            if node == node_id and allocations:
+                self._fail(
+                    event,
+                    f"node leaves with regions {sorted(allocations)} of "
+                    f"resource {resource} still allocated",
+                )
+        self._alloc = {pe: a for pe, a in self._alloc.items() if pe[0] != node_id}
+        self._capacity = {pe: c for pe, c in self._capacity.items() if pe[0] != node_id}
+        self._resident = {
+            place: fn for place, fn in self._resident.items() if place[0] != node_id
+        }
+
+    # ------------------------------------------------------------------
+    # Summary helpers
+    # ------------------------------------------------------------------
+    @property
+    def live_allocations(self) -> int:
+        return sum(len(a) for a in self._alloc.values())
+
+    def assert_quiescent(self) -> None:
+        """After a fully drained run: no region is still allocated and
+        no task is stuck between dispatch and completion."""
+        if self.live_allocations:
+            raise InvariantViolation(
+                f"{self.live_allocations} fabric region(s) still allocated"
+            )
+        stuck = [
+            key
+            for key, state in self._task_state.items()
+            if state in (_DISPATCHED, _STARTED)
+        ]
+        if stuck:
+            raise InvariantViolation(f"tasks stuck mid-flight: {stuck!r}")
+
+
+def verify_trace(events: list[TraceEvent]) -> int:
+    """Run a fresh checker over *events*; returns the count checked.
+
+    Raises :class:`InvariantViolation` on the first broken invariant.
+    """
+    checker = TraceInvariantChecker()
+    for event in events:
+        checker.emit(event)
+    return checker.events_checked
+
+
+def verify_jsonl(path: str | Path) -> int:
+    """Validate a stored JSONL trace file."""
+    return verify_trace(read_jsonl(path))

@@ -1,0 +1,181 @@
+"""Property tests: the trace invariant checker vs the stock simulator.
+
+Across random workloads, strategies, grids, and discard deadlines, the
+checker must never fire on an event stream the simulator actually
+produced -- and must always fire on streams corrupted in ways that
+break causality, slice conservation, or reuse accounting.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.node import Node
+from repro.grid.rms import ResourceManagementSystem
+from repro.hardware.catalog import device_by_model
+from repro.hardware.gpp import GPPSpec
+from repro.scheduling import ALL_STRATEGIES, RandomScheduler
+from repro.sim.simulator import DReAMSim
+from repro.sim.tracing import (
+    InMemorySink,
+    InvariantViolation,
+    TraceEvent,
+    TraceInvariantChecker,
+    Tracer,
+    verify_trace,
+)
+from repro.sim.workload import (
+    ConfigurationPool,
+    PoissonArrivals,
+    SyntheticWorkload,
+    WorkloadSpec,
+)
+
+STRATEGY_NAMES = sorted(ALL_STRATEGIES)
+
+
+def traced_run(
+    strategy: str,
+    *,
+    tasks: int,
+    seed: int,
+    gpp_fraction: float,
+    discard_after_s: float | None = None,
+    leave_at: float | None = None,
+) -> tuple[DReAMSim, list[TraceEvent]]:
+    cls = ALL_STRATEGIES[strategy]
+    scheduler = cls(seed=seed) if cls is RandomScheduler else cls()
+    node0 = Node(node_id=0)
+    node0.add_gpp(GPPSpec(cpu_model="cpu0", mips=1_200.0))
+    node0.add_rpe(device_by_model("XC5VLX220"), regions=2)
+    node1 = Node(node_id=1)
+    node1.add_gpp(GPPSpec(cpu_model="cpu1", mips=1_500.0))
+    node1.add_rpe(device_by_model("XC5VLX110"), regions=2)
+    rms = ResourceManagementSystem(scheduler=scheduler)
+    rms.register_node(node0)
+    rms.register_node(node1)
+    sink = InMemorySink()
+    sim = DReAMSim(
+        rms,
+        discard_after_s=discard_after_s,
+        tracer=Tracer(TraceInvariantChecker(), sink),
+    )
+    if leave_at is not None:
+        sim.schedule_node_leave(leave_at, 1)
+    pool = ConfigurationPool(4, area_range=(2_000, 10_000), seed=seed)
+    pool.populate_repository(
+        rms.virtualization.repository,
+        [rpe.device for node in rms.nodes for rpe in node.rpes],
+    )
+    workload = SyntheticWorkload(
+        WorkloadSpec(
+            task_count=tasks,
+            gpp_fraction=gpp_fraction,
+            required_time_range_s=(0.2, 1.5),
+        ),
+        pool,
+        PoissonArrivals(rate_per_s=3.0),
+        seed=seed,
+    )
+    sim.submit_workload(workload.generate())
+    sim.run()
+    return sim, list(sink.events)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    strategy=st.sampled_from(STRATEGY_NAMES),
+    tasks=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=10_000),
+    gpp_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_checker_never_fires_on_stock_runs(strategy, tasks, seed, gpp_fraction):
+    sim, events = traced_run(
+        strategy, tasks=tasks, seed=seed, gpp_fraction=gpp_fraction
+    )
+    checker = sim.tracer.checker
+    # Online validation saw every emitted event and raised nothing.
+    assert checker.events_checked == len(events)
+    # A fully drained run holds no fabric slices (gpp-only may leave
+    # hardware tasks pending, but pending tasks own no regions).
+    assert checker.live_allocations == 0
+    # The stream verifies offline as well.
+    assert verify_trace(events) == len(events)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    strategy=st.sampled_from([n for n in STRATEGY_NAMES if n != "gpp-only"]),
+    seed=st.integers(min_value=0, max_value=1_000),
+    discard_after_s=st.floats(min_value=0.1, max_value=2.0),
+)
+def test_checker_clean_under_discard_deadlines(strategy, seed, discard_after_s):
+    sim, events = traced_run(
+        strategy,
+        tasks=30,
+        seed=seed,
+        gpp_fraction=0.5,
+        discard_after_s=discard_after_s,
+    )
+    assert sim.tracer.checker.events_checked == len(events)
+    submits = sum(1 for e in events if e.kind == "submit")
+    discards = sum(1 for e in events if e.kind == "discard")
+    completes = sum(1 for e in events if e.kind == "complete")
+    assert submits == 30
+    assert discards + completes == 30  # this grid leaves nothing pending
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    strategy=st.sampled_from([n for n in STRATEGY_NAMES if n != "gpp-only"]),
+    seed=st.integers(min_value=0, max_value=1_000),
+    leave_at=st.floats(min_value=0.5, max_value=5.0),
+)
+def test_checker_clean_under_node_departure(strategy, seed, leave_at):
+    sim, events = traced_run(
+        strategy, tasks=25, seed=seed, gpp_fraction=0.5, leave_at=leave_at
+    )
+    assert any(e.kind == "node-leave" for e in events)
+    assert sim.tracer.checker.events_checked == len(events)
+    assert verify_trace(events) == len(events)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    drop=st.sampled_from(["submit", "dispatch", "start", "complete"]),
+    victim=st.integers(min_value=0, max_value=10_000),
+)
+def test_dropping_any_lifecycle_event_is_rejected(seed, drop, victim):
+    _, events = traced_run("hybrid-cost", tasks=15, seed=seed, gpp_fraction=0.5)
+    indices = [i for i, e in enumerate(events) if e.kind == drop]
+    assert indices  # every lifecycle kind occurs in a fully drained run
+    corrupted = list(events)
+    del corrupted[indices[victim % len(indices)]]
+    with pytest.raises(InvariantViolation):
+        verify_trace(corrupted)
+        # Dropping a terminal event only shows up at quiescence.
+        checker = TraceInvariantChecker()
+        for e in corrupted:
+            checker.emit(e)
+        checker.assert_quiescent()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5_000),
+       victim=st.integers(min_value=0, max_value=10_000))
+def test_swapping_adjacent_task_events_is_rejected(seed, victim):
+    """Reordering a task's dispatch before its submit breaks causality."""
+    _, events = traced_run("fcfs", tasks=15, seed=seed, gpp_fraction=0.5)
+    pairs = [
+        i
+        for i, e in enumerate(events[:-1])
+        if e.kind == "submit" and events[i + 1].kind == "dispatch"
+        and e.key == events[i + 1].key
+    ]
+    if not pairs:  # pragma: no cover - depends on draw
+        return
+    i = pairs[victim % len(pairs)]
+    corrupted = list(events)
+    corrupted[i], corrupted[i + 1] = corrupted[i + 1], corrupted[i]
+    with pytest.raises(InvariantViolation):
+        verify_trace(corrupted)

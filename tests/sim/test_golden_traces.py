@@ -1,0 +1,101 @@
+"""Golden-trace regression lock.
+
+Small JSONL traces for one FCFS and one hybrid-cost scenario are
+committed under ``tests/data/``; seeded reruns must reproduce them
+byte-for-byte.  This pins the *entire* simulation pipeline -- workload
+generation, matchmaking, the cost model, scheduler tie-breaking, the
+event engine's ordering, and the trace serialization itself.  Any
+future PR that changes simulated behaviour (even a reordering of
+simultaneous events) trips these tests and must regenerate the goldens
+deliberately::
+
+    PYTHONPATH=src python tests/sim/test_golden_traces.py --write
+
+Traces are canonicalized (dense job ids) before comparison, so they
+are independent of process history and test execution order.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.sim.experiment import ExperimentSpec, run_experiment
+from repro.sim.tracing import (
+    InMemorySink,
+    TraceInvariantChecker,
+    Tracer,
+    canonical_events,
+    verify_trace,
+)
+
+DATA_DIR = Path(__file__).resolve().parent.parent / "data"
+
+#: The two locked scenarios: strategy -> golden file.
+GOLDEN = {
+    "fcfs": "golden_trace_fcfs.jsonl",
+    "hybrid-cost": "golden_trace_hybrid.jsonl",
+}
+
+#: One small, contended scenario (both strategies share it).  The high
+#: arrival rate forces queueing so fcfs and hybrid-cost actually make
+#: different placement decisions and the two goldens differ.
+SPEC = ExperimentSpec(
+    tasks=14,
+    configurations=4,
+    arrival_rate_per_s=8.0,
+    area_range=(2_000, 14_000),
+    gpp_fraction=0.2,
+    seed=0,
+)
+
+
+def generate_trace_lines(strategy: str) -> list[str]:
+    """Run the locked scenario and return canonical JSONL lines."""
+    sink = InMemorySink()
+    tracer = Tracer(TraceInvariantChecker(), sink)
+    run_experiment(SPEC.with_(strategy=strategy), tracer=tracer)
+    events = canonical_events(list(sink.events))
+    return [event.to_json() for event in events]
+
+
+@pytest.mark.parametrize("strategy", sorted(GOLDEN))
+def test_seeded_rerun_reproduces_golden_trace(strategy):
+    golden_path = DATA_DIR / GOLDEN[strategy]
+    golden = golden_path.read_text(encoding="ascii").splitlines()
+    fresh = generate_trace_lines(strategy)
+    assert fresh == golden, (
+        f"{strategy} trace diverged from {golden_path.name}; if the "
+        "behaviour change is intentional, regenerate with "
+        "`python tests/sim/test_golden_traces.py --write`"
+    )
+
+
+@pytest.mark.parametrize("strategy", sorted(GOLDEN))
+def test_golden_traces_satisfy_invariants(strategy):
+    from repro.sim.tracing import TraceEvent
+
+    lines = (DATA_DIR / GOLDEN[strategy]).read_text(encoding="ascii").splitlines()
+    events = [TraceEvent.from_json(line) for line in lines]
+    assert verify_trace(events) == len(events) > 0
+
+
+def test_generation_is_stable_within_process():
+    first = generate_trace_lines("fcfs")
+    second = generate_trace_lines("fcfs")
+    assert first == second
+
+
+def write_goldens() -> None:
+    DATA_DIR.mkdir(parents=True, exist_ok=True)
+    for strategy, name in GOLDEN.items():
+        lines = generate_trace_lines(strategy)
+        (DATA_DIR / name).write_text("\n".join(lines) + "\n", encoding="ascii")
+        print(f"wrote {DATA_DIR / name} ({len(lines)} events)")
+
+
+if __name__ == "__main__":
+    if "--write" in sys.argv:
+        write_goldens()
+    else:
+        print(__doc__)

@@ -1,0 +1,298 @@
+"""Tests for the structured trace layer: events, sinks, invariants."""
+
+import pytest
+
+from repro.core.node import Node
+from repro.grid.rms import ResourceManagementSystem
+from repro.hardware.catalog import device_by_model
+from repro.hardware.gpp import GPPSpec
+from repro.sim.experiment import ExperimentSpec, NodeSpec, run_experiment
+from repro.sim.simulator import DReAMSim
+from repro.sim.tracing import (
+    InMemorySink,
+    InvariantViolation,
+    JsonlSink,
+    TraceEvent,
+    TraceInvariantChecker,
+    Tracer,
+    canonical_events,
+    read_jsonl,
+    verify_jsonl,
+    verify_trace,
+)
+from repro.sim.workload import (
+    ConfigurationPool,
+    PoissonArrivals,
+    SyntheticWorkload,
+    WorkloadSpec,
+)
+
+
+def traced_run(spec: ExperimentSpec) -> tuple[Tracer, list[TraceEvent]]:
+    sink = InMemorySink()
+    tracer = Tracer(TraceInvariantChecker(), sink)
+    run_experiment(spec, tracer=tracer)
+    return tracer, list(sink.events)
+
+
+SPEC = ExperimentSpec(tasks=25, configurations=4, seed=3)
+
+
+class TestTraceEvent:
+    def test_json_roundtrip_tuples_keys(self):
+        event = TraceEvent(time=1.5, kind="dispatch", key=(3, 7),
+                           payload={"node": 1, "reused": False})
+        again = TraceEvent.from_json(event.to_json())
+        assert again == event
+
+    def test_json_roundtrip_none_key(self):
+        event = TraceEvent(time=0.0, kind="node-join", payload={"node": 9})
+        assert TraceEvent.from_json(event.to_json()) == event
+
+    def test_json_lines_are_deterministic(self):
+        event = TraceEvent(time=2.0, kind="submit", key=(0, 1),
+                           payload={"function": "f", "pe_class": "RPE"})
+        assert event.to_json() == event.to_json()
+        assert '"kind": "submit"' in event.to_json()
+
+
+class TestSinks:
+    def test_in_memory_ring_capacity(self):
+        sink = InMemorySink(capacity=3)
+        for i in range(10):
+            sink.emit(TraceEvent(time=float(i), kind="submit", key=i))
+        assert len(sink) == 3
+        assert [e.key for e in sink.events] == [7, 8, 9]
+
+    def test_ring_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            InMemorySink(capacity=0)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        tracer = Tracer(sink)
+        spec_sink = InMemorySink()
+        tracer.add_sink(spec_sink)
+        run_experiment(SPEC, tracer=tracer)
+        tracer.close()
+        loaded = read_jsonl(path)
+        assert loaded == list(spec_sink.events)
+        assert sink.lines_written == len(loaded) > 0
+
+    def test_unknown_kind_rejected(self):
+        tracer = Tracer(InMemorySink())
+        with pytest.raises(ValueError, match="unknown event kind"):
+            tracer.emit(0.0, "teleport", key=1)
+
+
+class TestSimulatorEmission:
+    def test_event_kinds_cover_lifecycle(self):
+        tracer, events = traced_run(SPEC)
+        kinds = {e.kind for e in events}
+        assert {"submit", "dispatch", "start", "complete"} <= kinds
+        # Hardware tasks exist in this spec, so fabric events appear.
+        assert {"slice-alloc", "slice-free", "reconfigure"} <= kinds
+        assert tracer.events_emitted == len(events)
+
+    def test_per_task_event_counts_match_report(self):
+        result_events = traced_run(SPEC)[1]
+        by_kind = {}
+        for e in result_events:
+            by_kind[e.kind] = by_kind.get(e.kind, 0) + 1
+        assert by_kind["submit"] == SPEC.tasks
+        assert by_kind["complete"] == by_kind["dispatch"] == SPEC.tasks
+        assert by_kind["slice-alloc"] == by_kind["slice-free"]
+
+    def test_discard_events_emitted(self):
+        # A starved single-GPP grid with an aggressive deadline discards.
+        spec = ExperimentSpec(
+            tasks=30,
+            nodes=(NodeSpec(gpps=1, rpe_models=()),),
+            gpp_fraction=1.0,
+            arrival_rate_per_s=20.0,
+            required_time_range_s=(1.0, 2.0),
+            discard_after_s=0.5,
+            seed=1,
+        )
+        tracer, events = traced_run(spec)
+        assert any(e.kind == "discard" for e in events)
+        # Still invariant-clean: discards fire only before dispatch.
+        assert tracer.checker.events_checked == len(events)
+
+    def test_untraced_run_unchanged(self):
+        baseline = run_experiment(SPEC)
+        traced = run_experiment(SPEC, tracer=Tracer(InMemorySink()))
+        assert baseline.report == traced.report
+
+    def test_node_join_leave_events(self):
+        node0 = Node(node_id=0)
+        node0.add_gpp(GPPSpec(cpu_model="a", mips=1_000))
+        rms = ResourceManagementSystem()
+        rms.register_node(node0)
+        sink = InMemorySink()
+        sim = DReAMSim(rms, tracer=Tracer(TraceInvariantChecker(), sink))
+
+        late = Node(node_id=1)
+        late.add_gpp(GPPSpec(cpu_model="b", mips=1_000))
+        late.add_rpe(device_by_model("XC5VLX110"), regions=2)
+        sim.schedule_node_join(1.0, late)
+        sim.schedule_node_leave(5.0, 1)
+
+        pool = ConfigurationPool(3, area_range=(2_000, 10_000), seed=2)
+        pool.populate_repository(
+            rms.virtualization.repository, [device_by_model("XC5VLX110")]
+        )
+        workload = SyntheticWorkload(
+            WorkloadSpec(task_count=15, gpp_fraction=0.5,
+                         required_time_range_s=(0.3, 1.0)),
+            pool,
+            PoissonArrivals(rate_per_s=4.0),
+            seed=2,
+        )
+        sim.submit_workload(workload.generate())
+        sim.run()
+        kinds = [e.kind for e in sink.events]
+        assert "node-join" in kinds
+        assert "node-leave" in kinds
+        # The leave's requeues (if any) preceded it and freed their slices.
+        verify_trace(list(sink.events))
+
+
+class TestInvariantChecker:
+    def test_stock_run_passes_and_quiesces(self):
+        tracer, events = traced_run(SPEC)
+        checker = tracer.checker
+        assert checker.events_checked == len(events) > 0
+        checker.assert_quiescent()
+        # The same stream verifies offline too.
+        assert verify_trace(events) == len(events)
+
+    def test_verify_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(JsonlSink(path))
+        run_experiment(SPEC, tracer=tracer)
+        tracer.close()
+        assert verify_jsonl(path) == tracer.events_emitted
+
+    def test_missing_submit_rejected(self):
+        events = traced_run(SPEC)[1]
+        corrupted = [e for e in events if e.kind != "submit"]
+        with pytest.raises(InvariantViolation, match="expected one of submitted"):
+            verify_trace(corrupted)
+
+    def test_complete_before_start_rejected(self):
+        events = traced_run(SPEC)[1]
+        corrupted = [
+            TraceEvent(e.time, "complete", e.key, e.payload) if e.kind == "start" else e
+            for e in events
+        ]
+        with pytest.raises(InvariantViolation):
+            verify_trace(corrupted)
+
+    def test_time_reversal_rejected(self):
+        events = traced_run(SPEC)[1]
+        last = events[-1]
+        corrupted = events[:-1] + [
+            TraceEvent(0.0, last.kind, last.key, last.payload)
+        ]
+        with pytest.raises(InvariantViolation, match="time moved backwards"):
+            verify_trace(corrupted)
+
+    def test_fake_reuse_rejected(self):
+        events = traced_run(SPEC)[1]
+        corrupted = []
+        flipped = False
+        for e in events:
+            if (
+                not flipped
+                and e.kind == "dispatch"
+                and e.payload.get("pe_kind") == "RPE"
+                and not e.payload.get("reused")
+            ):
+                payload = dict(e.payload)
+                payload["reused"] = True
+                payload["reconfig_time"] = 0.0
+                e = TraceEvent(e.time, e.kind, e.key, payload)
+                flipped = True
+            corrupted.append(e)
+        assert flipped
+        with pytest.raises(InvariantViolation, match="reuse"):
+            verify_trace(corrupted)
+
+    def test_reuse_with_reconfig_time_rejected(self):
+        checker = TraceInvariantChecker()
+        checker.emit(TraceEvent(0.0, "submit", (0, 0), {"function": "f"}))
+        with pytest.raises(InvariantViolation, match="zero reconfiguration"):
+            checker.emit(
+                TraceEvent(
+                    1.0,
+                    "dispatch",
+                    (0, 0),
+                    {"pe_kind": "RPE", "node": 0, "resource": 0, "region": 0,
+                     "function": "f", "reused": True, "reconfig_time": 0.5},
+                )
+            )
+
+    def test_double_allocation_rejected(self):
+        events = traced_run(SPEC)[1]
+        corrupted = []
+        duplicated = False
+        for e in events:
+            corrupted.append(e)
+            if e.kind == "slice-alloc" and not duplicated:
+                corrupted.append(e)
+                duplicated = True
+        assert duplicated
+        with pytest.raises(InvariantViolation, match="already allocated"):
+            verify_trace(corrupted)
+
+    def test_free_without_alloc_rejected(self):
+        checker = TraceInvariantChecker()
+        with pytest.raises(InvariantViolation, match="not allocated"):
+            checker.emit(
+                TraceEvent(0.0, "slice-free", (0, 0),
+                           {"node": 0, "resource": 1, "region": 0,
+                            "slices": 100, "capacity": 200})
+            )
+
+    def test_over_capacity_rejected(self):
+        checker = TraceInvariantChecker()
+        checker.emit(
+            TraceEvent(0.0, "slice-alloc", (0, 0),
+                       {"node": 0, "resource": 1, "region": 0,
+                        "slices": 150, "capacity": 200})
+        )
+        with pytest.raises(InvariantViolation, match="exceeds capacity"):
+            checker.emit(
+                TraceEvent(0.0, "slice-alloc", (0, 1),
+                           {"node": 0, "resource": 1, "region": 1,
+                            "slices": 100, "capacity": 200})
+            )
+
+    def test_truncated_run_not_quiescent(self):
+        events = traced_run(SPEC)[1]
+        checker = TraceInvariantChecker()
+        # Cut the stream right after the first dispatch.
+        for e in events:
+            checker.emit(e)
+            if e.kind == "dispatch":
+                break
+        with pytest.raises(InvariantViolation):
+            checker.assert_quiescent()
+
+
+class TestCanonicalization:
+    def test_job_ids_remapped_densely(self):
+        events = [
+            TraceEvent(0.0, "submit", (1234, 0)),
+            TraceEvent(0.1, "submit", (1235, 1)),
+            TraceEvent(0.2, "dispatch", (1234, 0)),
+        ]
+        canon = canonical_events(events)
+        assert [e.key for e in canon] == [(0, 0), (1, 1), (0, 0)]
+
+    def test_two_runs_identical_after_canonicalization(self):
+        first = canonical_events(traced_run(SPEC)[1])
+        second = canonical_events(traced_run(SPEC)[1])
+        assert [e.to_json() for e in first] == [e.to_json() for e in second]
