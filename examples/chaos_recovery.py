@@ -1,0 +1,78 @@
+"""Fault injection: FCFS vs hybrid-cost under a chaos schedule.
+
+The paper calls its framework "adaptive in adding/removing resources"
+(Section IV-A); this example stresses that claim with the full fault
+model from :mod:`repro.sim.faults` -- node crashes with rejoin,
+configuration-port failures, SEUs during fabric execution, and link
+degradation -- and compares how the two headline scheduling strategies
+recover.  The recovery metrics reported:
+
+* **availability** -- fraction of node-seconds the grid was up;
+* **MTTR** -- mean time from a task's first fault to its completion;
+* **wasted work** -- dispatched seconds (and slice-seconds of fabric
+  occupancy) destroyed by faults;
+* **goodput** -- completed tasks per second of simulated horizon.
+
+Both runs share one seed: the fault streams are split off the workload
+stream (see ``repro.sim.workload.independent_rng``), so both
+strategies face the *same* arrivals and the *same* fault schedule.
+
+Run with::
+
+    python examples/chaos_recovery.py
+"""
+
+from repro.report import ascii_table
+from repro.sim.experiment import ExperimentSpec, NodeSpec, run_experiment
+from repro.sim.faults import FAULT_PRESETS
+
+BASE = ExperimentSpec(
+    tasks=250,
+    nodes=(
+        NodeSpec(gpps=1, gpp_mips=2_000, rpe_models=("XC5VLX330",), regions_per_rpe=3),
+        NodeSpec(gpps=1, gpp_mips=1_500, rpe_models=("XC5VLX155",), regions_per_rpe=2),
+    ),
+    arrival_rate_per_s=3.0,
+    area_range=(2_000, 12_000),
+    gpp_fraction=0.3,
+    seed=11,
+    faults=FAULT_PRESETS["chaos"],
+)
+
+
+def main() -> None:
+    rows = []
+    for strategy in ("fcfs", "hybrid-cost"):
+        report = run_experiment(BASE.with_(strategy=strategy)).report
+        rows.append(
+            (
+                strategy,
+                f"{report.completed}/{report.failed}/{report.discarded}",
+                str(report.fault_events),
+                f"{report.retries}/{report.gpp_fallbacks}",
+                f"{report.availability:.1%}",
+                f"{report.mttr_s:.3f}",
+                f"{report.wasted_work_s:.2f}",
+                f"{report.goodput_tasks_per_s:.3f}",
+                f"{report.mean_turnaround_s:.3f}",
+            )
+        )
+    print(
+        ascii_table(
+            ["strategy", "done/fail/disc", "faults", "retry/fallbk",
+             "avail", "MTTR s", "wasted s", "goodput/s", "turnd s"],
+            rows,
+            title=(
+                f"Chaos recovery, {BASE.tasks} tasks, seed {BASE.seed} "
+                "(same arrivals, same fault schedule)"
+            ),
+        )
+    )
+    print(
+        "\nBoth strategies see identical fault schedules; the spread in\n"
+        "MTTR and wasted work is pure scheduling policy."
+    )
+
+
+if __name__ == "__main__":
+    main()

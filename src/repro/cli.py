@@ -9,10 +9,14 @@ Commands map to the paper's artifacts and the library's experiments:
   -> Table II -> simulation).
 * ``simulate``   -- run a synthetic DReAMSim experiment
   (``--strategy``, ``--tasks``, ``--seed``, ``--gpp-fraction``...;
-  ``--trace`` writes a validated JSONL event trace, ``--jobs`` /
-  ``--cache-dir`` parallelize and cache ``--replications``).
+  ``--trace`` writes a validated JSONL event trace, ``--faults`` injects
+  a named fault scenario, ``--jobs`` / ``--cache-dir`` parallelize and
+  cache ``--replications``).
 * ``sweep``      -- sweep one ExperimentSpec knob across values
   through the parallel runner (``--field``, ``--values``, ``--jobs``).
+* ``chaos``      -- compare scheduling strategies under a fault preset
+  and report the recovery metrics (availability, MTTR, wasted work,
+  goodput).
 * ``clustalw``   -- align a FASTA file (or a generated family) and
   print the MSA; optionally profile it (Figure 10).
 """
@@ -94,18 +98,25 @@ def _cmd_casestudy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_grid_nodes():
+    from repro.sim.experiment import NodeSpec
+
+    return (
+        NodeSpec(gpps=1, gpp_mips=2_000, rpe_models=("XC5VLX330",), regions_per_rpe=3),
+        NodeSpec(gpps=1, gpp_mips=1_500, rpe_models=("XC5VLX155",), regions_per_rpe=2),
+    )
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.sim.experiment import ExperimentSpec, NodeSpec, run_experiment
+    from repro.sim.experiment import ExperimentSpec, run_experiment
+    from repro.sim.faults import FAULT_PRESETS
     from repro.sim.runner import ExperimentRunner
     from repro.sim.tracing import JsonlSink, TraceInvariantChecker, Tracer
 
     spec = ExperimentSpec(
         strategy=args.strategy,
         tasks=args.tasks,
-        nodes=(
-            NodeSpec(gpps=1, gpp_mips=2_000, rpe_models=("XC5VLX330",), regions_per_rpe=3),
-            NodeSpec(gpps=1, gpp_mips=1_500, rpe_models=("XC5VLX155",), regions_per_rpe=2),
-        ),
+        nodes=_default_grid_nodes(),
         configurations=args.configurations,
         arrival_rate_per_s=args.rate,
         gpp_fraction=args.gpp_fraction,
@@ -113,6 +124,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         # (XC5VLX155 / 2 regions = 12,160 slices): no unplaceable tasks.
         area_range=(2_000, 12_000),
         seed=args.seed,
+        faults=FAULT_PRESETS[args.faults] if args.faults else None,
     )
     tracer = None
     if args.trace:
@@ -156,7 +168,7 @@ SWEEPABLE_FIELDS = {
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.scheduling import ALL_STRATEGIES
-    from repro.sim.experiment import ExperimentSpec, NodeSpec
+    from repro.sim.experiment import ExperimentSpec
     from repro.sim.runner import ExperimentRunner
 
     parse = SWEEPABLE_FIELDS[args.field]
@@ -187,10 +199,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     base = ExperimentSpec(
         strategy=args.strategy,
         tasks=args.tasks,
-        nodes=(
-            NodeSpec(gpps=1, gpp_mips=2_000, rpe_models=("XC5VLX330",), regions_per_rpe=3),
-            NodeSpec(gpps=1, gpp_mips=1_500, rpe_models=("XC5VLX155",), regions_per_rpe=2),
-        ),
+        nodes=_default_grid_nodes(),
         arrival_rate_per_s=args.rate,
         area_range=(2_000, 12_000),
         seed=args.seed,
@@ -220,6 +229,58 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.scheduling import ALL_STRATEGIES
+    from repro.sim.experiment import ExperimentSpec
+    from repro.sim.faults import FAULT_PRESETS
+    from repro.sim.runner import ExperimentRunner
+
+    strategies = (
+        args.strategies.split(",") if args.strategies else ["fcfs", "hybrid-cost"]
+    )
+    bad = [s for s in strategies if s not in ALL_STRATEGIES]
+    if bad:
+        print(
+            f"repro chaos: error: unknown strategy values {bad}; choose from "
+            + ", ".join(sorted(ALL_STRATEGIES)),
+            file=sys.stderr,
+        )
+        return 2
+    base = ExperimentSpec(
+        tasks=args.tasks,
+        nodes=_default_grid_nodes(),
+        arrival_rate_per_s=args.rate,
+        area_range=(2_000, 12_000),
+        seed=args.seed,
+        faults=FAULT_PRESETS[args.faults],
+    )
+    runner = ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+    results = runner.run([base.with_(strategy=s) for s in strategies])
+    rows = [
+        (
+            r.spec.strategy,
+            f"{r.report.completed}/{r.report.failed}/{r.report.discarded}",
+            str(r.report.fault_events),
+            f"{r.report.retries}/{r.report.gpp_fallbacks}",
+            f"{r.report.availability:.1%}",
+            f"{r.report.mttr_s:.3f}",
+            f"{r.report.wasted_work_s:.2f}",
+            f"{r.report.goodput_tasks_per_s:.3f}",
+        )
+        for r in results
+    ]
+    print(
+        ascii_table(
+            ["strategy", "done/fail/disc", "faults", "retry/fallbk",
+             "avail", "MTTR s", "wasted s", "goodput/s"],
+            rows,
+            title=f"Chaos '{args.faults}' ({args.tasks} tasks, seed {args.seed})",
+        )
+    )
+    print(runner.last_stats.summary_line())
+    return 0
+
+
 def _cmd_clustalw(args: argparse.Namespace) -> int:
     from repro.bioinfo.clustalw import clustalw
     from repro.bioinfo.sequences import read_fasta, synthetic_family, write_fasta
@@ -243,6 +304,9 @@ def _cmd_clustalw(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with one sub-command per artifact."""
+    from repro.sim.faults import FAULT_PRESETS
+
+    fault_presets = sorted(FAULT_PRESETS)
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Virtualization of reconfigurable hardware in distributed systems "
@@ -277,6 +341,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replications", type=int, default=1, help="run N seeds and report mean +/- std")
     p.add_argument("--trace", metavar="PATH",
                    help="write a JSONL event trace and validate invariants online")
+    p.add_argument("--faults", choices=fault_presets, default=None,
+                   help="inject a named fault scenario (see repro.sim.faults)")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes for --replications (default: CPU count)")
     p.add_argument("--cache-dir", metavar="DIR",
@@ -296,6 +362,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", metavar="DIR",
                    help="cache results keyed by spec hash")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("chaos", help="compare strategies under a fault preset")
+    p.add_argument("--faults", choices=fault_presets, default="chaos",
+                   help="fault preset to inject (default: chaos)")
+    p.add_argument("--strategies",
+                   help="comma-separated strategy names (default: fcfs,hybrid-cost)")
+    p.add_argument("--tasks", type=int, default=200)
+    p.add_argument("--rate", type=float, default=2.0, help="Poisson arrivals/s")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: CPU count; 1 forces serial)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="cache results keyed by spec hash")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("clustalw", help="align sequences (FASTA in/out)")
     p.add_argument("--fasta", help="input FASTA (default: synthetic family)")

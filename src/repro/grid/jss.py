@@ -48,6 +48,12 @@ class TaskRecord:
     start_time: float | None = None
     finish_time: float | None = None
     node_id: int | None = None
+    #: Why the task failed (fault description / SchedulingError text);
+    #: ``None`` while it has not failed.
+    failure_reason: str | None = None
+    #: Placement attempts consumed (faulted dispatches count; a task
+    #: that completes first try has attempts == 1).
+    attempts: int = 0
 
     @property
     def turnaround_s(self) -> float | None:
@@ -193,13 +199,29 @@ class JobSubmissionSystem:
         record.status = JobStatus.RUNNING
         record.start_time = time
         record.node_id = node_id
+        record.attempts += 1
 
     def mark_completed(self, job_id: int, task_id: int, *, time: float) -> None:
         record = self.job(job_id).record(task_id)
         record.status = JobStatus.COMPLETED
         record.finish_time = time
 
-    def mark_failed(self, job_id: int, task_id: int, *, time: float) -> None:
+    def mark_failed(
+        self,
+        job_id: int,
+        task_id: int,
+        *,
+        time: float,
+        reason: str | None = None,
+        attempts: int | None = None,
+    ) -> None:
+        """Record a terminal failure, carrying the originating fault or
+        :class:`~repro.grid.rms.SchedulingError` message and how many
+        placement attempts were consumed before giving up."""
         record = self.job(job_id).record(task_id)
         record.status = JobStatus.FAILED
         record.finish_time = time
+        if reason is not None:
+            record.failure_reason = reason
+        if attempts is not None:
+            record.attempts = attempts

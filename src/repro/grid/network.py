@@ -107,6 +107,33 @@ class Network:
         return net
 
     # ------------------------------------------------------------------
+    # Fault injection (degraded links, partitions)
+    # ------------------------------------------------------------------
+    def link_between(self, a: int, b: int) -> Link:
+        if not self.graph.has_edge(a, b):
+            raise NetworkError(f"no link between {a} and {b}")
+        return self.graph.edges[a, b]["link"]
+
+    def degrade(self, a: int, b: int, *, factor: float) -> Link:
+        """Scale the a-b link's bandwidth down by *factor* (in (0, 1]);
+        returns the healthy link so the caller can restore it later."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("degrade factor must be in (0, 1]")
+        healthy = self.link_between(a, b)
+        self.connect(a, b, Link(healthy.bandwidth_mbps * factor, healthy.latency_s))
+        return healthy
+
+    def sever(self, a: int, b: int) -> Link:
+        """Cut the a-b link (partition faults); returns it for restore."""
+        healthy = self.link_between(a, b)
+        self.disconnect(a, b)
+        return healthy
+
+    def restore(self, a: int, b: int, link: Link) -> None:
+        """Re-install a previously degraded or severed link."""
+        self.connect(a, b, link)
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def has_route(self, src: int, dst: int) -> bool:

@@ -29,9 +29,10 @@ from repro.core.matching import Candidate, find_candidates
 from repro.core.node import Node
 from repro.core.state import NodeStateSnapshot
 from repro.core.task import Task
-from repro.grid.network import Network, USER_SITE
+from repro.grid.network import Network, NetworkError, USER_SITE
 from repro.grid.virtualizer import ConfigurationPlan, VirtualizationError, VirtualizationLayer
 from repro.hardware.bitstream import Bitstream
+from repro.hardware.fabric import RegionState
 from repro.hardware.softcore import SoftcoreSpec
 from repro.hardware.taxonomy import PEClass
 
@@ -160,7 +161,14 @@ class ResourceManagementSystem:
         if self.network is None or size_bytes == 0:
             return 0.0
         src = USER_SITE if from_node is None else self.site_of(from_node)
-        return self.network.transfer_time(size_bytes, src, self.site_of(node_id))
+        try:
+            return self.network.transfer_time(size_bytes, src, self.site_of(node_id))
+        except NetworkError:
+            # Partitioned: the placement is currently unreachable, not
+            # an error.  An infinite price keeps the task pending until
+            # the link heals (cost strategies never pick inf over a
+            # finite candidate; the simulator defers inf-cost choices).
+            return float("inf")
 
     def _input_transfer_time(self, task: Task, node_id: int) -> float:
         """Time to stage *task*'s inputs on *node_id*.
@@ -279,7 +287,11 @@ class ResourceManagementSystem:
     # Scheduling
     # ------------------------------------------------------------------
     def plan_placement(
-        self, task: Task, *, data_sites: dict[int, int] | None = None
+        self,
+        task: Task,
+        *,
+        data_sites: dict[int, int] | None = None,
+        exclude_nodes: set[int] | frozenset[int] | None = None,
     ) -> Placement | None:
         """Ask the strategy to place *task*; ``None`` defers it.
 
@@ -287,10 +299,17 @@ class ResourceManagementSystem:
         outputs reside; when given, input staging is priced producer ->
         candidate instead of user -> candidate, so every cost-driven
         strategy becomes data-locality aware for free.
+
+        ``exclude_nodes`` removes nodes from consideration before the
+        strategy chooses -- the retry policy's fault-aware re-placement.
         """
+        from repro.scheduling.base import filter_excluded
+
         self._data_sites = data_sites
         try:
-            candidates = self.find_candidates(task, require_available=True)
+            candidates = filter_excluded(
+                self.find_candidates(task, require_available=True), exclude_nodes
+            )
             choice = self.scheduler.choose(task, candidates, self)
             if choice is None:
                 return None
@@ -372,6 +391,43 @@ class ResourceManagementSystem:
             rpe = node.rpe(placement.candidate.resource_id)
             region = rpe.fabric.regions[self._region_index(rpe, placement.region_id)]
             rpe.finish_task(region)
+        placement._executing = False
+        placement._committed = False
+
+    def abort_placement(
+        self, placement: Placement, *, clear_configuration: bool = False
+    ) -> None:
+        """Release a fault-hit placement at any point of its lifecycle.
+
+        Unlike :meth:`finish_execution`, this works both before
+        execution starts (e.g. a configuration-port failure while the
+        region is CONFIGURING -- the half-loaded bitstream is scrapped
+        and the region returns to FREE) and mid-execution (e.g. an SEU
+        or a node crash).  ``clear_configuration`` evicts the resident
+        configuration too, modelling corrupted fabric state that must
+        not be reused.
+        """
+        if not placement._committed:
+            raise SchedulingError("placement is not committed")
+        node = self.node(placement.candidate.node_id)
+        kind = placement.candidate.kind
+        if kind is PEClass.GPP:
+            node.gpp(placement.candidate.resource_id).release()
+        elif kind is PEClass.GPU:
+            node.gpu(placement.candidate.resource_id).release()
+        else:
+            rpe = node.rpe(placement.candidate.resource_id)
+            region = rpe.fabric.regions[self._region_index(rpe, placement.region_id)]
+            if region.state is RegionState.CONFIGURING:
+                # Aborted mid-load: a partial configuration is unusable.
+                rpe.fabric.finish_reconfiguration(region)
+                rpe.fabric.clear(region)
+                rpe.hosted_softcores.pop(region.region_id, None)
+            else:
+                rpe.finish_task(region)
+                if clear_configuration:
+                    rpe.fabric.clear(region)
+                    rpe.hosted_softcores.pop(region.region_id, None)
         placement._executing = False
         placement._committed = False
 

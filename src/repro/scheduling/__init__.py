@@ -29,7 +29,7 @@ queued.  Strategies provided:
   minimizes joules per task (the paper's power-efficiency objective).
 """
 
-from repro.scheduling.base import Scheduler
+from repro.scheduling.base import Scheduler, filter_excluded
 from repro.scheduling.fcfs import FCFSScheduler
 from repro.scheduling.first_fit import FirstFitScheduler
 from repro.scheduling.best_fit import BestFitAreaScheduler
@@ -50,6 +50,7 @@ ALL_STRATEGIES = {
 
 __all__ = [
     "Scheduler",
+    "filter_excluded",
     "FCFSScheduler",
     "FirstFitScheduler",
     "BestFitAreaScheduler",

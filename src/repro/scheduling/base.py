@@ -12,6 +12,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.grid.rms import ResourceManagementSystem
 
 
+def filter_excluded(
+    candidates: list[Candidate], exclude_nodes: "set[int] | frozenset[int] | None"
+) -> list[Candidate]:
+    """Drop candidates on excluded nodes (fault-aware re-placement).
+
+    The retry policy excludes the node a task just faulted on, so the
+    next attempt lands elsewhere when the grid has anywhere else to go.
+    With no exclusions this is the identity, so fault-free scheduling
+    is byte-for-byte unchanged.
+    """
+    if not exclude_nodes:
+        return candidates
+    return [c for c in candidates if c.node_id not in exclude_nodes]
+
+
 class Scheduler(ABC):
     """Strategy object plugged into the RMS.
 

@@ -37,9 +37,11 @@ from repro.sim.workload import (
     ConfigurationPool,
     SyntheticWorkload,
     WorkloadSpec,
+    independent_rng,
 )
 from repro.sim.metrics import MetricsCollector, SimulationReport, TaskMetrics
 from repro.sim.energy import EnergyAuditor, EnergyReport
+from repro.sim.faults import FAULT_PRESETS, FaultInjector, FaultSpec, RetryPolicy
 from repro.sim.trace import (
     export_report_json,
     export_task_records,
@@ -91,11 +93,16 @@ __all__ = [
     "ConfigurationPool",
     "SyntheticWorkload",
     "WorkloadSpec",
+    "independent_rng",
     "MetricsCollector",
     "SimulationReport",
     "TaskMetrics",
     "EnergyAuditor",
     "EnergyReport",
+    "FAULT_PRESETS",
+    "FaultInjector",
+    "FaultSpec",
+    "RetryPolicy",
     "export_report_json",
     "export_task_records",
     "export_trace",

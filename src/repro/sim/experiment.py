@@ -24,6 +24,7 @@ from repro.hardware.catalog import device_by_model
 from repro.hardware.gpp import GPPSpec
 from repro.scheduling import ALL_STRATEGIES, RandomScheduler
 from repro.sim.energy import EnergyAuditor, EnergyReport
+from repro.sim.faults import FaultInjector, FaultSpec, RetryPolicy
 from repro.sim.metrics import SimulationReport
 from repro.sim.simulator import DReAMSim
 from repro.sim.tracing import Tracer
@@ -85,6 +86,13 @@ class ExperimentSpec:
     latency_s: float = 0.005
     discard_after_s: float | None = None
     seed: int = 0
+    #: Fault scenario injected alongside the workload (None = fault-free).
+    #: The fault streams split off the experiment seed (see
+    #: :func:`repro.sim.workload.independent_rng`), so adding faults
+    #: never changes the arrival sequence.
+    faults: FaultSpec | None = None
+    #: Recovery policy; None uses :class:`RetryPolicy`'s defaults.
+    retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.strategy not in ALL_STRATEGIES:
@@ -169,7 +177,16 @@ def run_experiment(
         arrivals or PoissonArrivals(rate_per_s=spec.arrival_rate_per_s),
         seed=spec.seed,
     )
-    sim = DReAMSim(rms, discard_after_s=spec.discard_after_s, tracer=tracer)
+    injector = (
+        FaultInjector(spec.faults, seed=spec.seed) if spec.faults is not None else None
+    )
+    sim = DReAMSim(
+        rms,
+        discard_after_s=spec.discard_after_s,
+        tracer=tracer,
+        faults=injector,
+        retry=spec.retry,
+    )
     sim.submit_workload(workload.generate())
     report = sim.run()
     energy = EnergyAuditor(rms).audit(sim) if audit_energy else None

@@ -1,0 +1,288 @@
+"""Fault injection: seeded fault schedules and recovery policy.
+
+The paper claims the framework is "adaptive in adding/removing
+resources" (Section IV-A), but shared reconfigurable infrastructure
+fails in richer ways than clean node churn: nodes crash and later
+rejoin, configuration-port loads fail, single-event upsets corrupt a
+circuit mid-execution, and WAN links degrade or partition.  This module
+gives DReAMSim a first-class fault model:
+
+* :class:`FaultSpec` -- a declarative, fully seeded description of a
+  chaos scenario (crash/rejoin process, per-configuration failure
+  probability, SEU hazard rate, link degradation, one optional
+  partition window).  A spec is plain data, so it rides inside
+  :class:`~repro.sim.experiment.ExperimentSpec` and the runner's cache
+  key.
+* :class:`RetryPolicy` -- how the RMS/JSS stack responds: bounded
+  attempts, exponential backoff, exclusion of the faulted node on
+  re-placement, and graceful degradation to GPP execution when RPE
+  placement keeps failing.
+* :class:`FaultInjector` -- the runtime object the simulator consults.
+  It pre-draws the crash and link schedules over a horizon and answers
+  the online questions ("does this configuration attempt fail?", "when
+  does an SEU hit this execution?") from **independent seeded RNG
+  streams**, so enabling faults never perturbs the workload's arrival
+  sequence (see :func:`repro.sim.workload.independent_rng`).
+
+Every draw is deterministic given ``(seed, FaultSpec)``: two runs of
+the same spec produce byte-identical canonical traces, serial or
+parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.sim.workload import independent_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.simulator import DReAMSim
+
+#: Stream-splitting domains (see EXPERIMENTS.md "Fault-injection RNG").
+#: The workload generator owns the root stream; each fault category
+#: draws from its own ``SeedSequence(seed, spawn_key=(domain,))`` child,
+#: so fault draws and arrival draws can never interleave.
+CRASH_STREAM = 1
+CONFIG_STREAM = 2
+SEU_STREAM = 3
+LINK_STREAM = 4
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry recovery policy applied to fault-hit tasks.
+
+    A task that loses its placement to a fault is retried up to
+    ``max_attempts`` times with exponential backoff
+    (``backoff_base_s * backoff_factor**(attempt-1)``), excluding the
+    faulted node from re-placement.  When the budget is exhausted and
+    ``gpp_fallback`` is set, a hardware task degrades gracefully to
+    GPP-class execution (Section III-A's software path) with a fresh
+    attempt budget; a second exhaustion -- or exhaustion with fallback
+    disabled -- terminates the task as *failed*.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.5
+    backoff_factor: float = 2.0
+    gpp_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff base must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Delay before re-queueing after fault number *attempt* (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A seeded chaos scenario, as data (the fault-model analogue of
+    :class:`~repro.sim.experiment.ExperimentSpec`).
+
+    ==========================  =========================================
+    Fault class                 Knobs
+    ==========================  =========================================
+    node crash / rejoin         ``crash_rate_per_s`` (Poisson over
+                                ``horizon_s``), ``downtime_range_s``,
+                                ``rejoin``
+    RPE configuration failure   ``config_fault_prob`` per load attempt
+    transient bitstream/SEU     ``seu_rate_per_s`` exponential hazard
+                                while a task executes
+    link degradation            ``link_fault_rate_per_s``,
+                                ``degrade_factor``,
+                                ``degrade_duration_range_s``
+    network partition           ``partition_window`` (grid split in two
+                                halves for the window)
+    ==========================  =========================================
+
+    ``seed=None`` derives the fault streams from the experiment seed,
+    keeping one seed per experiment; an explicit seed decouples them.
+    """
+
+    crash_rate_per_s: float = 0.0
+    downtime_range_s: tuple[float, float] = (5.0, 20.0)
+    rejoin: bool = True
+    config_fault_prob: float = 0.0
+    seu_rate_per_s: float = 0.0
+    link_fault_rate_per_s: float = 0.0
+    degrade_factor: float = 0.1
+    degrade_duration_range_s: tuple[float, float] = (5.0, 15.0)
+    partition_window: tuple[float, float] | None = None
+    horizon_s: float = 120.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.crash_rate_per_s < 0 or self.seu_rate_per_s < 0 or self.link_fault_rate_per_s < 0:
+            raise ValueError("fault rates must be non-negative")
+        if not 0.0 <= self.config_fault_prob <= 1.0:
+            raise ValueError("config_fault_prob must be in [0, 1]")
+        lo, hi = self.downtime_range_s
+        if lo < 0 or hi < lo:
+            raise ValueError("need 0 <= downtime_lo <= downtime_hi")
+        if not 0.0 < self.degrade_factor <= 1.0:
+            raise ValueError("degrade_factor must be in (0, 1]")
+        dlo, dhi = self.degrade_duration_range_s
+        if dlo < 0 or dhi < dlo:
+            raise ValueError("need 0 <= degrade_lo <= degrade_hi")
+        if self.partition_window is not None:
+            start, end = self.partition_window
+            if start < 0 or end <= start:
+                raise ValueError("partition window must satisfy 0 <= start < end")
+        if self.horizon_s <= 0:
+            raise ValueError("fault horizon must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.crash_rate_per_s > 0
+            or self.config_fault_prob > 0
+            or self.seu_rate_per_s > 0
+            or self.link_fault_rate_per_s > 0
+            or self.partition_window is not None
+        )
+
+
+#: Named scenarios for the CLI (``--faults PRESET`` / ``repro chaos``).
+FAULT_PRESETS: dict[str, FaultSpec] = {
+    "light": FaultSpec(config_fault_prob=0.05, seu_rate_per_s=0.002),
+    "node-churn": FaultSpec(crash_rate_per_s=0.05, downtime_range_s=(4.0, 12.0)),
+    "links": FaultSpec(
+        link_fault_rate_per_s=0.05,
+        degrade_factor=0.05,
+        partition_window=(20.0, 35.0),
+    ),
+    "chaos": FaultSpec(
+        crash_rate_per_s=0.04,
+        downtime_range_s=(4.0, 12.0),
+        config_fault_prob=0.10,
+        seu_rate_per_s=0.01,
+        link_fault_rate_per_s=0.02,
+        degrade_factor=0.1,
+    ),
+}
+
+
+def _poisson_times(rng: np.random.Generator, rate_per_s: float, horizon_s: float) -> list[float]:
+    """Event times of a Poisson process over ``[0, horizon_s)``."""
+    if rate_per_s <= 0:
+        return []
+    times: list[float] = []
+    t = float(rng.exponential(1.0 / rate_per_s))
+    while t < horizon_s:
+        times.append(t)
+        t += float(rng.exponential(1.0 / rate_per_s))
+    return times
+
+
+class FaultInjector:
+    """Runtime fault source for one :class:`~repro.sim.simulator.DReAMSim`.
+
+    ``install`` pre-draws the crash and link schedules and plants them
+    on the simulator's event engine; the simulator then consults
+    :meth:`config_should_fail` at each RPE configuration attempt and
+    :meth:`seu_delay_s` at each execution start.  All draws come from
+    four independent seeded streams, one per fault category, so adding
+    a category never re-phases another.
+    """
+
+    def __init__(self, spec: FaultSpec, *, seed: int = 0):
+        self.spec = spec
+        root = spec.seed if spec.seed is not None else seed
+        self._crash_rng = independent_rng(root, domain=CRASH_STREAM)
+        self._config_rng = independent_rng(root, domain=CONFIG_STREAM)
+        self._seu_rng = independent_rng(root, domain=SEU_STREAM)
+        self._link_rng = independent_rng(root, domain=LINK_STREAM)
+        #: Populated by install(): the concrete, pre-drawn schedule.
+        self.crash_schedule: list[tuple[float, int, float | None]] = []
+        self.link_schedule: list[tuple[float, float]] = []
+        self.injected_crashes = 0
+        self.injected_config_faults = 0
+        self.injected_seus = 0
+        self.injected_link_faults = 0
+
+    # ------------------------------------------------------------------
+    # Schedule installation (crash / link processes)
+    # ------------------------------------------------------------------
+    def install(self, sim: "DReAMSim") -> None:
+        """Pre-draw and plant the scheduled faults on *sim*'s engine."""
+        node_ids = sorted(node.node_id for node in sim.rms.nodes)
+        if node_ids and self.spec.crash_rate_per_s > 0:
+            for t in _poisson_times(self._crash_rng, self.spec.crash_rate_per_s,
+                                    self.spec.horizon_s):
+                victim = int(node_ids[int(self._crash_rng.integers(len(node_ids)))])
+                downtime = (
+                    float(self._crash_rng.uniform(*self.spec.downtime_range_s))
+                    if self.spec.rejoin
+                    else None
+                )
+                self.crash_schedule.append((t, victim, downtime))
+                self.injected_crashes += 1
+                sim.schedule_node_crash(t, victim, rejoin_after_s=downtime)
+        network = sim.rms.network
+        if network is not None and len(node_ids) >= 2:
+            if self.spec.link_fault_rate_per_s > 0:
+                for t in _poisson_times(self._link_rng, self.spec.link_fault_rate_per_s,
+                                        self.spec.horizon_s):
+                    i = int(self._link_rng.integers(len(node_ids)))
+                    j = int(self._link_rng.integers(len(node_ids) - 1))
+                    if j >= i:
+                        j += 1
+                    duration = float(
+                        self._link_rng.uniform(*self.spec.degrade_duration_range_s)
+                    )
+                    self.link_schedule.append((t, duration))
+                    sim.schedule_link_degrade(
+                        t,
+                        node_ids[i],
+                        node_ids[j],
+                        factor=self.spec.degrade_factor,
+                        duration_s=duration,
+                    )
+            if self.spec.partition_window is not None:
+                start, end = self.spec.partition_window
+                half = len(node_ids) // 2
+                sim.schedule_partition(
+                    start,
+                    node_ids[:half] or node_ids[:1],
+                    node_ids[half:] or node_ids[-1:],
+                    heal_at_s=end,
+                )
+
+    # ------------------------------------------------------------------
+    # Online draws (configuration faults, SEUs)
+    # ------------------------------------------------------------------
+    def config_should_fail(self) -> bool:
+        """Does the next RPE configuration attempt fail?"""
+        if self.spec.config_fault_prob <= 0:
+            return False
+        hit = bool(self._config_rng.random() < self.spec.config_fault_prob)
+        if hit:
+            self.injected_config_faults += 1
+        return hit
+
+    def seu_delay_s(self, exec_time_s: float) -> float | None:
+        """Time until an SEU corrupts an execution of *exec_time_s*,
+        or ``None`` if the execution completes unscathed.
+
+        The hazard is exponential with rate ``seu_rate_per_s``; one draw
+        is consumed per execution start, so the decision sequence is a
+        deterministic function of the (deterministic) start order.
+        """
+        if self.spec.seu_rate_per_s <= 0 or exec_time_s <= 0:
+            return None
+        t = float(self._seu_rng.exponential(1.0 / self.spec.seu_rate_per_s))
+        if t >= exec_time_s:
+            return None
+        self.injected_seus += 1
+        return t

@@ -33,6 +33,18 @@ class TaskMetrics:
     reconfig_time: float = 0.0
     reused_configuration: bool = False
     discarded: bool = False
+    # --- fault-injection observables (all zero in fault-free runs) ---
+    failed: bool = False
+    failure_reason: str | None = None
+    faults: int = 0
+    retries: int = 0
+    fell_back_to_gpp: bool = False
+    first_fault: float | None = None
+    #: Setup/execution seconds thrown away by faults (work that had to
+    #: be redone or was abandoned).
+    wasted_time_s: float = 0.0
+    #: The same waste weighted by the fabric slices it occupied.
+    wasted_slice_seconds: float = 0.0
 
     @property
     def wait_time(self) -> float | None:
@@ -81,10 +93,28 @@ class SimulationReport:
     mean_utilization: float
     per_resource_utilization: dict[str, float]
     tasks_by_pe_kind: dict[str, int]
+    # --- fault-injection / recovery aggregates (defaults keep stored
+    # reports from fault-free runs loadable) ---
+    failed: int = 0
+    fault_events: int = 0
+    retries: int = 0
+    gpp_fallbacks: int = 0
+    #: Fraction of node-seconds the grid's nodes were up over the run.
+    availability: float = 1.0
+    #: Mean time to repair: first fault to eventual completion, over
+    #: tasks that recovered.
+    mttr_s: float = 0.0
+    #: Setup/execution seconds lost to faults (redone or abandoned).
+    wasted_work_s: float = 0.0
+    #: The same waste weighted by occupied fabric slices.
+    wasted_slice_seconds: float = 0.0
+    #: Completed tasks per second of horizon -- throughput that *only*
+    #: counts work that survived the faults.
+    goodput_tasks_per_s: float = 0.0
 
     def summary_lines(self) -> list[str]:
         """Human-readable report (printed by benches and examples)."""
-        return [
+        lines = [
             f"horizon              {self.horizon_s:10.2f} s",
             f"completed / discarded / pending   {self.completed} / {self.discarded} / {self.pending}",
             f"mean wait            {self.mean_wait_s:10.4f} s   (p95 {self.p95_wait_s:.4f})",
@@ -96,6 +126,16 @@ class SimulationReport:
             "tasks by PE kind     "
             + ", ".join(f"{k}: {v}" for k, v in sorted(self.tasks_by_pe_kind.items())),
         ]
+        if self.fault_events or self.failed:
+            lines += [
+                f"faults / retries / fallbacks   {self.fault_events} / {self.retries} / {self.gpp_fallbacks}",
+                f"failed tasks         {self.failed:6d}",
+                f"availability         {self.availability:10.2%}",
+                f"MTTR                 {self.mttr_s:10.4f} s",
+                f"wasted work          {self.wasted_work_s:10.4f} s   ({self.wasted_slice_seconds:.1f} slice-s)",
+                f"goodput              {self.goodput_tasks_per_s:10.4f} tasks/s",
+            ]
+        return lines
 
 
 class MetricsCollector:
@@ -105,6 +145,15 @@ class MetricsCollector:
         self.tasks: dict[object, TaskMetrics] = {}
         self.resources: dict[str, ResourceUsage] = {}
         self.trace: list[tuple[float, str, object]] = []
+        #: Node ids ever part of the grid (denominator of availability).
+        self.known_nodes: set[int] = set()
+        #: node_id -> time it went down (open downtime window).
+        self._down_since: dict[int, float] = {}
+        #: node_id -> accumulated downtime of closed windows.
+        self._downtime: dict[int, float] = {}
+        self.fault_events = 0
+        self.retry_events = 0
+        self.fallback_events = 0
 
     # ------------------------------------------------------------------
     # Recording (called by the simulator)
@@ -161,13 +210,71 @@ class MetricsCollector:
         self.trace.append((time, "discard", key))
 
     # ------------------------------------------------------------------
+    # Fault-injection recording
+    # ------------------------------------------------------------------
+    def record_fault(
+        self,
+        key: object,
+        time: float,
+        *,
+        reason: str,
+        wasted_time_s: float = 0.0,
+        wasted_slice_seconds: float = 0.0,
+    ) -> None:
+        tm = self.tasks[key]
+        tm.faults += 1
+        if tm.first_fault is None:
+            tm.first_fault = time
+        tm.failure_reason = reason
+        tm.wasted_time_s += wasted_time_s
+        tm.wasted_slice_seconds += wasted_slice_seconds
+        self.fault_events += 1
+        self.trace.append((time, "fault", key))
+
+    def record_retry(self, key: object, time: float) -> None:
+        self.tasks[key].retries += 1
+        self.retry_events += 1
+        self.trace.append((time, "retry", key))
+
+    def record_fallback(self, key: object, time: float) -> None:
+        tm = self.tasks[key]
+        tm.retries += 1
+        tm.fell_back_to_gpp = True
+        self.fallback_events += 1
+        self.trace.append((time, "fallback", key))
+
+    def record_failed(self, key: object, time: float, *, reason: str) -> None:
+        tm = self.tasks[key]
+        tm.failed = True
+        tm.failure_reason = reason
+        self.trace.append((time, "task-failed", key))
+
+    # ------------------------------------------------------------------
+    # Node availability windows
+    # ------------------------------------------------------------------
+    def register_node(self, node_id: int) -> None:
+        self.known_nodes.add(node_id)
+
+    def record_node_down(self, node_id: int, time: float) -> None:
+        self.known_nodes.add(node_id)
+        self._down_since.setdefault(node_id, time)
+
+    def record_node_up(self, node_id: int, time: float) -> None:
+        since = self._down_since.pop(node_id, None)
+        if since is not None:
+            self._downtime[node_id] = self._downtime.get(node_id, 0.0) + (time - since)
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def report(self, horizon_s: float) -> SimulationReport:
         finished = [t for t in self.tasks.values() if t.finish is not None]
         discarded = [t for t in self.tasks.values() if t.discarded]
+        failed = [t for t in self.tasks.values() if t.failed]
         pending = [
-            t for t in self.tasks.values() if t.finish is None and not t.discarded
+            t
+            for t in self.tasks.values()
+            if t.finish is None and not t.discarded and not t.failed
         ]
         waits = np.array([t.wait_time for t in finished if t.wait_time is not None])
         turnarounds = np.array([t.turnaround for t in finished])
@@ -180,6 +287,26 @@ class MetricsCollector:
         by_kind: dict[str, int] = {}
         for t in finished:
             by_kind[t.pe_kind] = by_kind.get(t.pe_kind, 0) + 1
+        # Recovery aggregates.  Downtime windows still open at the
+        # horizon (a node that never rejoined) are closed against it.
+        downtime = dict(self._downtime)
+        for node_id, since in self._down_since.items():
+            downtime[node_id] = downtime.get(node_id, 0.0) + max(
+                0.0, horizon_s - since
+            )
+        node_seconds = len(self.known_nodes) * horizon_s
+        availability = (
+            max(0.0, 1.0 - sum(downtime.values()) / node_seconds)
+            if node_seconds > 0
+            else 1.0
+        )
+        repairs = np.array(
+            [
+                t.finish - t.first_fault
+                for t in finished
+                if t.first_fault is not None
+            ]
+        )
         return SimulationReport(
             horizon_s=horizon_s,
             completed=len(finished),
@@ -198,4 +325,15 @@ class MetricsCollector:
             ),
             per_resource_utilization=utilizations,
             tasks_by_pe_kind=by_kind,
+            failed=len(failed),
+            fault_events=self.fault_events,
+            retries=self.retry_events,
+            gpp_fallbacks=self.fallback_events,
+            availability=availability,
+            mttr_s=float(repairs.mean()) if repairs.size else 0.0,
+            wasted_work_s=sum(t.wasted_time_s for t in self.tasks.values()),
+            wasted_slice_seconds=sum(
+                t.wasted_slice_seconds for t in self.tasks.values()
+            ),
+            goodput_tasks_per_s=len(finished) / horizon_s if horizon_s > 0 else 0.0,
         )

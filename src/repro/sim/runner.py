@@ -50,7 +50,8 @@ from repro.sim.experiment import (
 from repro.sim.metrics import SimulationReport
 
 #: Bump when the cached JSON layout changes; stale entries then miss.
-_CACHE_FORMAT = 1
+#: 2: fault-injection fields on ExperimentSpec and SimulationReport.
+_CACHE_FORMAT = 2
 
 
 def default_jobs() -> int:

@@ -14,21 +14,31 @@ the simulator of refs [20][21]:
   model;
 * dynamic node join/leave with re-queueing of in-flight tasks (the
   Section IV-A adaptivity claim under faults);
-* optional task discard after a maximum pending age.
+* optional task discard after a maximum pending age;
+* fault injection (:mod:`repro.sim.faults`): node crash/rejoin,
+  configuration-port failures, SEUs corrupting running tasks, link
+  degradation and partitions -- answered with a bounded-retry /
+  exponential-backoff / GPP-fallback recovery policy
+  (:class:`~repro.sim.faults.RetryPolicy`).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from collections.abc import Callable
 
 from repro.core.application import Application, ClauseKind
+from repro.core.execreq import ExecReq
 from repro.core.matching import task_required_slices
 from repro.core.node import Node
 from repro.core.task import DataIn, DataOut, Task
 from repro.grid.jss import JobSubmissionSystem
+from repro.grid.network import NetworkError
 from repro.grid.rms import Placement, ResourceManagementSystem, SchedulingError
+from repro.hardware.taxonomy import PEClass
 from repro.sim.engine import EventHandle, SimulationEngine
+from repro.sim.faults import FaultInjector, RetryPolicy
 from repro.sim.metrics import MetricsCollector, SimulationReport
 from repro.sim.tracing import Tracer
 
@@ -47,6 +57,19 @@ class _Entry:
     events: list[EventHandle] = field(default_factory=list)
     #: Suppress JSS completion marking (stream chunks mark once).
     silent: bool = False
+    # --- fault-recovery state (untouched in fault-free runs) ---
+    #: Placement attempts lost to faults since the last fresh budget.
+    attempts: int = 0
+    #: Nodes this task faulted on; excluded from re-placement.
+    excluded_nodes: set[int] = field(default_factory=set)
+    #: Last fault / SchedulingError message seen for this task.
+    failure_reason: str | None = None
+    #: Terminal failure (retry budget exhausted).
+    failed: bool = False
+    #: Already degraded to GPP execution once.
+    fell_back: bool = False
+    #: Waiting out a retry backoff (not in the pending queue).
+    in_backoff: bool = False
 
 
 class DReAMSim:
@@ -59,6 +82,8 @@ class DReAMSim:
         jss: JobSubmissionSystem | None = None,
         discard_after_s: float | None = None,
         tracer: Tracer | None = None,
+        faults: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
     ):
         if discard_after_s is not None and discard_after_s <= 0:
             raise ValueError("discard_after_s must be positive")
@@ -74,6 +99,15 @@ class DReAMSim:
         #: (job_id, task_id) -> node where the task's outputs landed;
         #: feeds the RMS's locality-aware input-staging prices.
         self._output_sites: dict[tuple[object, int], int] = {}
+        #: Fault injection (None = the exact fault-free behavior).
+        self.faults = faults
+        self.retry = retry or RetryPolicy()
+        #: Link pairs currently degraded (overlapping draws collapse).
+        self._degraded_pairs: set[frozenset[int]] = set()
+        for node in rms.nodes:
+            self.metrics.register_node(node.node_id)
+        if faults is not None:
+            faults.install(self)
 
     # ------------------------------------------------------------------
     # Structured tracing (no-ops without a tracer)
@@ -277,6 +311,7 @@ class DReAMSim:
     def schedule_node_join(self, time: float, node: Node, *, site: int | None = None) -> None:
         def join() -> None:
             self.rms.register_node(node, site=site)
+            self.metrics.register_node(node.node_id)
             self.metrics.trace.append((self.engine.now, "node-join", node.node_id))
             self._emit(
                 "node-join",
@@ -315,6 +350,247 @@ class DReAMSim:
         self.engine.schedule_at(time, leave)
 
     # ------------------------------------------------------------------
+    # Fault injection (sim/faults.py schedules these; they can also be
+    # called directly for scripted chaos scenarios)
+    # ------------------------------------------------------------------
+    def schedule_node_crash(
+        self, time: float, node_id: int, *, rejoin_after_s: float | None = None
+    ) -> None:
+        """An *unplanned* node loss: unlike the graceful
+        :meth:`schedule_node_leave`, in-flight tasks on the node are
+        treated as fault victims (retry policy, node exclusion, wasted
+        work) and the node's fabric state is wiped -- a rejoin brings
+        back cold hardware with no resident configurations."""
+
+        def crash() -> None:
+            if node_id not in {n.node_id for n in self.rms.nodes}:
+                return  # already down or departed; the draw is a no-op
+            site = self.rms.site_of(node_id)
+            victims = [
+                e
+                for e in self.active.values()
+                if e.placement is not None and e.placement.candidate.node_id == node_id
+            ]
+            for entry in victims:
+                self._fault(
+                    entry,
+                    reason=f"node {node_id} crashed",
+                    clear_configuration=True,
+                )
+            node = self.rms.unregister_node(node_id)
+            for rpe in node.rpes:  # power-cycle: resident configs are gone
+                for region in rpe.fabric.regions:
+                    if region.configuration is not None:
+                        rpe.fabric.clear(region)
+                rpe.hosted_softcores.clear()
+            self.metrics.record_node_down(node_id, self.engine.now)
+            self.metrics.trace.append((self.engine.now, "node-leave", node_id))
+            self._emit("node-leave", node=node_id, crash=True)
+            if rejoin_after_s is not None:
+                def rejoin() -> None:
+                    if node_id in {n.node_id for n in self.rms.nodes}:
+                        return  # pragma: no cover - defensive
+                    self.rms.register_node(node, site=site)
+                    self.metrics.record_node_up(node_id, self.engine.now)
+                    self.metrics.trace.append((self.engine.now, "node-join", node_id))
+                    self._emit(
+                        "node-join",
+                        node=node_id,
+                        gpps=len(node.gpps),
+                        rpes=len(node.rpes),
+                        rejoin=True,
+                    )
+                    self._dispatch_pending()
+
+                self.engine.schedule(rejoin_after_s, rejoin)
+            self._dispatch_pending()
+
+        self.engine.schedule_at(time, crash)
+
+    def schedule_link_degrade(
+        self, time: float, a: int, b: int, *, factor: float, duration_s: float
+    ) -> None:
+        """Degrade the a-b link's bandwidth by *factor* for
+        *duration_s*, then restore it.  Already-planned placements keep
+        their prices (transfers were priced at dispatch); only new
+        placements see the degraded link."""
+        network = self.rms.network
+        if network is None:
+            return
+
+        pair = frozenset((a, b))
+
+        def degrade() -> None:
+            if pair in self._degraded_pairs:
+                return  # already degraded; overlapping draws collapse
+            try:
+                healthy = network.degrade(a, b, factor=factor)
+            except NetworkError:
+                return  # link currently absent (severed / site removed)
+            self._degraded_pairs.add(pair)
+            if self.faults is not None:
+                self.faults.injected_link_faults += 1
+            self._emit("link-fault", a=a, b=b, factor=factor)
+
+            def heal() -> None:
+                self._degraded_pairs.discard(pair)
+                if network.graph.has_edge(a, b):
+                    network.restore(a, b, healthy)
+                self._emit("link-restore", a=a, b=b)
+                self._dispatch_pending()
+
+            self.engine.schedule(duration_s, heal)
+
+        self.engine.schedule_at(time, degrade)
+
+    def schedule_partition(
+        self,
+        time: float,
+        group_a: list[int],
+        group_b: list[int],
+        *,
+        heal_at_s: float,
+    ) -> None:
+        """Sever every direct link between the two node groups for the
+        window [time, heal_at_s).  Placements whose input staging has no
+        finite route are deferred (not errored) until the heal."""
+        network = self.rms.network
+        if network is None:
+            return
+        if heal_at_s <= time:
+            raise ValueError("partition must heal after it starts")
+        saved: list[tuple[int, int, object]] = []
+
+        def split() -> None:
+            for a in group_a:
+                for b in group_b:
+                    if network.graph.has_edge(a, b):
+                        saved.append((a, b, network.sever(a, b)))
+            self._emit("link-fault", a=-1, b=-1, partition=True, cut=len(saved))
+
+            def heal() -> None:
+                for a, b, link in saved:
+                    network.restore(a, b, link)
+                self._emit("link-restore", a=-1, b=-1)
+                self._dispatch_pending()
+
+            self.engine.schedule_at(heal_at_s, heal)
+
+        self.engine.schedule_at(time, split)
+
+    # ------------------------------------------------------------------
+    # Fault handling: retry / backoff / fallback / terminal failure
+    # ------------------------------------------------------------------
+    def _fault(
+        self, entry: _Entry, *, reason: str, clear_configuration: bool
+    ) -> None:
+        """A fault destroyed *entry*'s placement: release the resources,
+        account the wasted work, and route the task into the retry
+        policy."""
+        placement = entry.placement
+        assert placement is not None
+        tm = self.metrics.tasks[entry.key]
+        dispatched_at = tm.dispatch if tm.dispatch is not None else self.engine.now
+        elapsed = self.engine.now - dispatched_at
+        slice_seconds = 0.0
+        if placement.region_id is not None:
+            slices, _ = self._region_slices(placement)
+            slice_seconds = elapsed * slices
+        for handle in entry.events:
+            handle.cancel()
+        entry.events.clear()
+        self._emit_slice_free(entry)
+        self.rms.abort_placement(placement, clear_configuration=clear_configuration)
+        self.metrics.record_fault(
+            entry.key,
+            self.engine.now,
+            reason=reason,
+            wasted_time_s=elapsed,
+            wasted_slice_seconds=slice_seconds,
+        )
+        self._emit(
+            "fault",
+            entry.key,
+            node=placement.candidate.node_id,
+            reason=reason,
+        )
+        entry.attempts += 1
+        entry.excluded_nodes.add(placement.candidate.node_id)
+        entry.failure_reason = reason
+        entry.dispatched = False
+        entry.placement = None
+        self.active.pop(entry.key, None)
+        self._after_fault(entry)
+
+    def _after_fault(self, entry: _Entry) -> None:
+        """Apply the retry policy to a freshly faulted task."""
+        policy = self.retry
+        if entry.attempts < policy.max_attempts:
+            self._schedule_requeue(entry, kind="retry")
+            return
+        task = entry.task
+        can_fall_back = (
+            policy.gpp_fallback
+            and not entry.fell_back
+            and task.exec_req.node_type is not PEClass.GPP
+            and task.effective_workload_mi > 0
+        )
+        if can_fall_back:
+            # Graceful degradation (Section III-A software path): same
+            # workload, GPP-class requirements, a fresh retry budget.
+            entry.task = replace(
+                task,
+                exec_req=ExecReq(
+                    node_type=PEClass.GPP,
+                    constraints=(),
+                    artifacts=task.exec_req.artifacts,
+                ),
+            )
+            entry.fell_back = True
+            entry.attempts = 0
+            entry.excluded_nodes.clear()
+            self._schedule_requeue(entry, kind="fallback")
+            return
+        self._fail_terminally(entry)
+
+    def _schedule_requeue(self, entry: _Entry, *, kind: str) -> None:
+        """Return *entry* to the queue after its exponential backoff."""
+        delay = self.retry.backoff_s(max(1, entry.attempts))
+        entry.in_backoff = True
+
+        def requeue() -> None:
+            entry.in_backoff = False
+            if entry.discarded or entry.failed:
+                return  # abandoned while waiting out the backoff
+            if kind == "retry":
+                self.metrics.record_retry(entry.key, self.engine.now)
+                self._emit("retry", entry.key, attempt=entry.attempts + 1)
+            else:
+                self.metrics.record_fallback(entry.key, self.engine.now)
+                self._emit("fallback", entry.key)
+            self.pending.append(entry)
+            self.requeues += 1
+            self._dispatch_pending()
+
+        self.engine.schedule(delay, requeue)
+
+    def _fail_terminally(self, entry: _Entry) -> None:
+        """Retry budget exhausted and no fallback left: the task fails,
+        terminally and exactly once."""
+        entry.failed = True
+        reason = entry.failure_reason or "fault retry budget exhausted"
+        self.metrics.record_failed(entry.key, self.engine.now, reason=reason)
+        self._emit("task-failed", entry.key, reason=reason, attempts=entry.attempts)
+        if entry.job_id is not None:
+            self.jss.mark_failed(
+                entry.job_id,
+                entry.task.task_id,
+                time=self.engine.now,
+                reason=reason,
+                attempts=entry.attempts,
+            )
+
+    # ------------------------------------------------------------------
     # Core event handlers
     # ------------------------------------------------------------------
     def _arrive(
@@ -345,14 +621,20 @@ class DReAMSim:
             deadline = self.discard_after_s
 
             def maybe_discard() -> None:
-                if not entry.dispatched and not entry.discarded:
+                if not entry.dispatched and not entry.discarded and not entry.failed:
                     entry.discarded = True
-                    self.pending.remove(entry)
+                    if entry in self.pending:  # may be waiting out a backoff
+                        self.pending.remove(entry)
                     self.metrics.record_discard(entry.key, self.engine.now)
                     self._emit("discard", entry.key)
                     if entry.job_id is not None and not entry.silent:
                         self.jss.mark_failed(
-                            entry.job_id, entry.task.task_id, time=self.engine.now
+                            entry.job_id,
+                            entry.task.task_id,
+                            time=self.engine.now,
+                            reason=entry.failure_reason
+                            or f"discarded after {deadline:g}s pending",
+                            attempts=entry.attempts if entry.attempts else None,
                         )
 
             self.engine.schedule(deadline, maybe_discard)
@@ -376,11 +658,25 @@ class DReAMSim:
         }
         try:
             placement = self.rms.plan_placement(
-                entry.task, data_sites=data_sites or None
+                entry.task,
+                data_sites=data_sites or None,
+                exclude_nodes=entry.excluded_nodes or None,
             )
-        except SchedulingError:
+            if placement is None and entry.excluded_nodes:
+                # Starvation guard: when exclusions leave nowhere to go,
+                # forgive them rather than strand the task forever.
+                placement = self.rms.plan_placement(
+                    entry.task, data_sites=data_sites or None
+                )
+        except SchedulingError as exc:
+            entry.failure_reason = str(exc)
             return False
         if placement is None:
+            return False
+        if not math.isfinite(placement.total_time_s):
+            # Partitioned network: no finite route for the inputs.
+            # Defer; the link-restore handler re-runs the queue.
+            entry.failure_reason = "no finite-cost route (network partition)"
             return False
         self.rms.commit(placement)
         entry.dispatched = True
@@ -437,10 +733,52 @@ class DReAMSim:
                     function=entry.task.function,
                     duration=placement.reconfig_time_s,
                 )
+        # A configuration-port load (fresh bitstream or soft-core
+        # provisioning) may fail: the fault surfaces when the load
+        # would have completed, scrapping the setup work.
+        if (
+            self.faults is not None
+            and placement.reconfig_time_s > 0
+            and placement.candidate.kind is not PEClass.GPP
+            and placement.candidate.kind is not PEClass.GPU
+            and self.faults.config_should_fail()
+        ):
+            entry.events.append(
+                self.engine.schedule(
+                    placement.setup_time_s,
+                    lambda: self._configuration_failed(entry),
+                )
+            )
+            return True
         entry.events.append(
             self.engine.schedule(placement.setup_time_s, lambda: self._start(entry))
         )
         return True
+
+    def _configuration_failed(self, entry: _Entry) -> None:
+        placement = entry.placement
+        assert placement is not None
+        self._fault(
+            entry,
+            reason=(
+                f"configuration of {entry.task.function or 'soft core'} failed on "
+                f"node {placement.candidate.node_id} "
+                f"(region {placement.region_id})"
+            ),
+            clear_configuration=True,
+        )
+
+    def _execution_fault(self, entry: _Entry) -> None:
+        placement = entry.placement
+        assert placement is not None
+        self._fault(
+            entry,
+            reason=(
+                f"SEU corrupted {entry.task.function or 'task'} on node "
+                f"{placement.candidate.node_id} (region {placement.region_id})"
+            ),
+            clear_configuration=True,
+        )
 
     def _start(self, entry: _Entry) -> None:
         placement = entry.placement
@@ -455,6 +793,16 @@ class DReAMSim:
                 time=self.engine.now,
                 node_id=placement.candidate.node_id,
             )
+        # Transient SEU hazard while a fabric-hosted task executes: one
+        # draw per start decides whether (and when) the circuit is
+        # corrupted before it can finish.
+        if self.faults is not None and placement.region_id is not None:
+            seu_at = self.faults.seu_delay_s(placement.exec_time_s)
+            if seu_at is not None:
+                entry.events.append(
+                    self.engine.schedule(seu_at, lambda: self._execution_fault(entry))
+                )
+                return
         entry.events.append(
             self.engine.schedule(placement.exec_time_s, lambda: self._finish(entry))
         )

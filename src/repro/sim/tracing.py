@@ -55,6 +55,13 @@ EVENT_KINDS = frozenset(
         "node-leave",
         "slice-alloc",
         "slice-free",
+        # Fault-injection subsystem (sim/faults.py):
+        "fault",        # a fault hit this task's placement
+        "retry",        # post-backoff re-queue of a faulted task
+        "fallback",     # re-queue degraded to GPP execution
+        "task-failed",  # terminal failure (retry budget exhausted)
+        "link-fault",   # a network link degraded or was severed
+        "link-restore", # that link healed
     }
 )
 
@@ -227,6 +234,11 @@ _DISPATCHED = "dispatched"
 _STARTED = "started"
 _COMPLETED = "completed"
 _DISCARDED = "discarded"
+_FAULTED = "faulted"   # placement lost to a fault; awaiting retry/failure
+_FAILED = "failed"     # terminal: retry budget exhausted
+
+#: States in which a task has terminated (exactly-once, never revisited).
+_TERMINAL = frozenset({_COMPLETED, _DISCARDED, _FAILED})
 
 
 class TraceInvariantChecker(TraceSink):
@@ -246,6 +258,12 @@ class TraceInvariantChecker(TraceSink):
     * **Reuse accounting** -- a dispatch flagged ``reused`` pays zero
       reconfiguration time and names a function previously placed (and
       not since evicted) in that exact region.
+    * **Fault lifecycle** -- ``fault`` only hits a dispatched/started
+      task; ``retry`` / ``fallback`` / ``task-failed`` only follow a
+      fault; terminal states (completed / discarded / failed) are never
+      left, which is what makes :meth:`assert_no_lost_tasks`'s
+      exactly-once guarantee meaningful.  ``link-restore`` must pair
+      with a live ``link-fault``.
     """
 
     def __init__(self) -> None:
@@ -258,6 +276,8 @@ class TraceInvariantChecker(TraceSink):
         self._capacity: dict[tuple[int, int], int] = {}
         #: (node, resource, region) -> resident hardware function
         self._resident: dict[tuple[int, int, int], str] = {}
+        #: (site a, site b) pairs with a live, un-restored link fault
+        self._degraded_links: set[tuple[int, int]] = set()
 
     # ------------------------------------------------------------------
     def _fail(self, event: TraceEvent, message: str) -> None:
@@ -324,12 +344,44 @@ class TraceInvariantChecker(TraceSink):
         self._task_state[event.key] = _COMPLETED
 
     def _on_discard(self, event: TraceEvent) -> None:
-        self._expect_state(event, _SUBMITTED)
+        # FAULTED is allowed: a task abandoned while awaiting retry.
+        self._expect_state(event, _SUBMITTED, _FAULTED)
         self._task_state[event.key] = _DISCARDED
 
     def _on_requeue(self, event: TraceEvent) -> None:
         self._expect_state(event, _DISPATCHED, _STARTED)
         self._task_state[event.key] = _SUBMITTED
+
+    # ------------------------------------------------------------------
+    # Fault / recovery lifecycle
+    # ------------------------------------------------------------------
+    def _on_fault(self, event: TraceEvent) -> None:
+        self._expect_state(event, _DISPATCHED, _STARTED)
+        self._task_state[event.key] = _FAULTED
+
+    def _on_retry(self, event: TraceEvent) -> None:
+        self._expect_state(event, _FAULTED)
+        self._task_state[event.key] = _SUBMITTED
+
+    def _on_fallback(self, event: TraceEvent) -> None:
+        self._expect_state(event, _FAULTED)
+        self._task_state[event.key] = _SUBMITTED
+
+    def _on_task_failed(self, event: TraceEvent) -> None:
+        self._expect_state(event, _FAULTED)
+        self._task_state[event.key] = _FAILED
+
+    def _on_link_fault(self, event: TraceEvent) -> None:
+        pair = (event.payload.get("a"), event.payload.get("b"))
+        if pair in self._degraded_links:
+            self._fail(event, f"link {pair} already has an unresolved fault")
+        self._degraded_links.add(pair)
+
+    def _on_link_restore(self, event: TraceEvent) -> None:
+        pair = (event.payload.get("a"), event.payload.get("b"))
+        if pair not in self._degraded_links:
+            self._fail(event, f"restoring link {pair} that has no live fault")
+        self._degraded_links.remove(pair)
 
     # ------------------------------------------------------------------
     # Slice conservation
@@ -398,7 +450,8 @@ class TraceInvariantChecker(TraceSink):
 
     def assert_quiescent(self) -> None:
         """After a fully drained run: no region is still allocated and
-        no task is stuck between dispatch and completion."""
+        no task is stuck between dispatch and completion (or mid-fault
+        recovery)."""
         if self.live_allocations:
             raise InvariantViolation(
                 f"{self.live_allocations} fabric region(s) still allocated"
@@ -406,10 +459,25 @@ class TraceInvariantChecker(TraceSink):
         stuck = [
             key
             for key, state in self._task_state.items()
-            if state in (_DISPATCHED, _STARTED)
+            if state in (_DISPATCHED, _STARTED, _FAULTED)
         ]
         if stuck:
             raise InvariantViolation(f"tasks stuck mid-flight: {stuck!r}")
+
+    def assert_no_lost_tasks(self) -> None:
+        """The fault-tolerance contract: every submitted task terminated
+        exactly once -- as completed, failed, or discarded -- no matter
+        what faults hit it.  (Exactly-once is enforced online: the
+        state machine rejects any transition out of a terminal state.)
+        Call after a fully drained run.
+        """
+        lost = sorted(
+            (key for key, state in self._task_state.items() if state not in _TERMINAL),
+            key=repr,
+        )
+        if lost:
+            states = {key: self._task_state[key] for key in lost}
+            raise InvariantViolation(f"tasks lost (non-terminal at end): {states!r}")
 
 
 def verify_trace(events: list[TraceEvent]) -> int:

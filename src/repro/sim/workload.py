@@ -35,6 +35,20 @@ from repro.hardware.taxonomy import PEClass
 _bitstream_ids = itertools.count(10_000)
 
 
+def independent_rng(seed: int, *, domain: int) -> np.random.Generator:
+    """A generator statistically independent of ``default_rng(seed)``.
+
+    Stream splitting: the workload generator consumes the *root* stream
+    (``np.random.default_rng(seed)``); every other stochastic subsystem
+    (fault injection, future noise models) must draw from a spawned
+    child -- ``SeedSequence(seed, spawn_key=(domain,))`` -- so that
+    enabling it never perturbs the arrival/task sequence.  Each distinct
+    ``domain`` yields an independent stream; the assignments live in
+    :mod:`repro.sim.faults` and are documented in EXPERIMENTS.md.
+    """
+    return np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(domain,)))
+
+
 class ArrivalProcess(ABC):
     """A stochastic (or deterministic) task inter-arrival process."""
 

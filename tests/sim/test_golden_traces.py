@@ -21,6 +21,7 @@ from pathlib import Path
 import pytest
 
 from repro.sim.experiment import ExperimentSpec, run_experiment
+from repro.sim.faults import FaultSpec
 from repro.sim.tracing import (
     InMemorySink,
     TraceInvariantChecker,
@@ -30,12 +31,6 @@ from repro.sim.tracing import (
 )
 
 DATA_DIR = Path(__file__).resolve().parent.parent / "data"
-
-#: The two locked scenarios: strategy -> golden file.
-GOLDEN = {
-    "fcfs": "golden_trace_fcfs.jsonl",
-    "hybrid-cost": "golden_trace_hybrid.jsonl",
-}
 
 #: One small, contended scenario (both strategies share it).  The high
 #: arrival rate forces queueing so fcfs and hybrid-cost actually make
@@ -49,33 +44,55 @@ SPEC = ExperimentSpec(
     seed=0,
 )
 
+#: The same scenario under an aggressive seeded fault schedule: a node
+#: crash with rejoin, certain-to-fire configuration faults, and a hot
+#: SEU hazard.  Locks the crash-recovery path -- fault, backoff, retry,
+#: re-placement with node exclusion, and GPP fallback -- byte for byte.
+CHAOS_SPEC = SPEC.with_(
+    faults=FaultSpec(
+        crash_rate_per_s=0.25,
+        downtime_range_s=(1.0, 3.0),
+        config_fault_prob=0.35,
+        seu_rate_per_s=0.2,
+        horizon_s=8.0,
+    ),
+)
 
-def generate_trace_lines(strategy: str) -> list[str]:
+#: The locked scenarios: name -> (spec, golden file).
+GOLDEN = {
+    "fcfs": (SPEC.with_(strategy="fcfs"), "golden_trace_fcfs.jsonl"),
+    "hybrid-cost": (SPEC, "golden_trace_hybrid.jsonl"),
+    "chaos": (CHAOS_SPEC, "golden_trace_chaos.jsonl"),
+}
+
+
+def generate_trace_lines(name: str) -> list[str]:
     """Run the locked scenario and return canonical JSONL lines."""
+    spec, _ = GOLDEN[name]
     sink = InMemorySink()
     tracer = Tracer(TraceInvariantChecker(), sink)
-    run_experiment(SPEC.with_(strategy=strategy), tracer=tracer)
+    run_experiment(spec, tracer=tracer)
     events = canonical_events(list(sink.events))
     return [event.to_json() for event in events]
 
 
-@pytest.mark.parametrize("strategy", sorted(GOLDEN))
-def test_seeded_rerun_reproduces_golden_trace(strategy):
-    golden_path = DATA_DIR / GOLDEN[strategy]
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_seeded_rerun_reproduces_golden_trace(name):
+    golden_path = DATA_DIR / GOLDEN[name][1]
     golden = golden_path.read_text(encoding="ascii").splitlines()
-    fresh = generate_trace_lines(strategy)
+    fresh = generate_trace_lines(name)
     assert fresh == golden, (
-        f"{strategy} trace diverged from {golden_path.name}; if the "
+        f"{name} trace diverged from {golden_path.name}; if the "
         "behaviour change is intentional, regenerate with "
         "`python tests/sim/test_golden_traces.py --write`"
     )
 
 
-@pytest.mark.parametrize("strategy", sorted(GOLDEN))
-def test_golden_traces_satisfy_invariants(strategy):
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_traces_satisfy_invariants(name):
     from repro.sim.tracing import TraceEvent
 
-    lines = (DATA_DIR / GOLDEN[strategy]).read_text(encoding="ascii").splitlines()
+    lines = (DATA_DIR / GOLDEN[name][1]).read_text(encoding="ascii").splitlines()
     events = [TraceEvent.from_json(line) for line in lines]
     assert verify_trace(events) == len(events) > 0
 
@@ -86,12 +103,24 @@ def test_generation_is_stable_within_process():
     assert first == second
 
 
+def test_chaos_golden_contains_recovery_sequence():
+    """The committed chaos golden must actually exercise recovery:
+    faults, retries, and a crash/rejoin pair."""
+    from repro.sim.tracing import TraceEvent
+
+    lines = (DATA_DIR / GOLDEN["chaos"][1]).read_text(encoding="ascii").splitlines()
+    kinds = [TraceEvent.from_json(line).kind for line in lines]
+    assert "fault" in kinds
+    assert "retry" in kinds
+    assert "node-leave" in kinds and "node-join" in kinds
+
+
 def write_goldens() -> None:
     DATA_DIR.mkdir(parents=True, exist_ok=True)
-    for strategy, name in GOLDEN.items():
-        lines = generate_trace_lines(strategy)
-        (DATA_DIR / name).write_text("\n".join(lines) + "\n", encoding="ascii")
-        print(f"wrote {DATA_DIR / name} ({len(lines)} events)")
+    for name, (_, filename) in GOLDEN.items():
+        lines = generate_trace_lines(name)
+        (DATA_DIR / filename).write_text("\n".join(lines) + "\n", encoding="ascii")
+        print(f"wrote {DATA_DIR / filename} ({len(lines)} events)")
 
 
 if __name__ == "__main__":
