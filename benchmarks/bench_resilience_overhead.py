@@ -1,0 +1,141 @@
+"""Resilience layer: overhead when idle, payoff under chaos.
+
+The adaptive resilience layer (PR 3) must be close to free when
+nothing goes wrong and must visibly pay for itself when things do.
+This bench pins both ends:
+
+* **Idle overhead.**  With no faults injected, arming the health
+  tracker and circuit breakers must leave the simulated behaviour
+  *identical* (same makespan, same completions -- the layer draws no
+  randomness and a healthy grid never trips a breaker) and must cost
+  less than 5% extra wall-clock time over the plain PR 2 simulator.
+
+* **Checkpoint-interval sensitivity.**  Under the chaos fault preset,
+  sweeping the checkpoint interval trades snapshot overhead against
+  rescued progress: denser checkpoints take more snapshots and rescue
+  at least as much work as they do at the densest setting, and every
+  interval strictly cuts wasted slice-seconds versus running with no
+  checkpoints at the identical seed.
+"""
+
+import time
+
+from repro.sim.experiment import ExperimentSpec, NodeSpec, run_experiment
+from repro.sim.faults import FAULT_PRESETS
+from repro.sim.resilience import CheckpointSpec, HealthPolicy, ResilienceSpec
+
+#: Long fabric tasks on a 2-node hybrid grid -- the same shape as the
+#: acceptance scenario in tests/sim/test_resilience.py, so chaos-preset
+#: crashes and SEUs land mid-execution where checkpoints matter.
+SPEC = ExperimentSpec(
+    tasks=80,
+    nodes=(
+        NodeSpec(gpps=1, gpp_mips=2_000, rpe_models=("XC5VLX330",), regions_per_rpe=3),
+        NodeSpec(gpps=1, gpp_mips=1_500, rpe_models=("XC5VLX155",), regions_per_rpe=2),
+    ),
+    arrival_rate_per_s=2.0,
+    area_range=(2_000, 12_000),
+    gpp_fraction=0.2,
+    required_time_range_s=(4.0, 10.0),
+    speedup_range=(2.0, 5.0),
+    seed=0,
+)
+
+#: Health scoring armed on a healthy grid: every completion updates the
+#: EWMA, but no breaker ever trips -- pure bookkeeping.  A longer run
+#: (400 tasks) so the wall-clock ratio is measured over ~100 ms, not
+#: scheduler-noise territory.
+IDLE_SPEC = SPEC.with_(tasks=400)
+IDLE_ARMED = ResilienceSpec(breaker=HealthPolicy())
+
+CHAOS_SPEC = SPEC.with_(faults=FAULT_PRESETS["chaos"])
+
+INTERVALS = (0.1, 0.25, 0.5, 1.0)
+
+
+def timed(spec: ExperimentSpec, repeats: int = 7):
+    """(best wall-clock seconds, report) over *repeats* fresh runs."""
+    best = float("inf")
+    report = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        report = run_experiment(spec).report
+        best = min(best, time.perf_counter() - start)
+    return best, report
+
+
+def bench_idle_overhead(benchmark):
+    plain_s, plain = timed(IDLE_SPEC)
+    armed_s, armed = timed(IDLE_SPEC.with_(resilience=IDLE_ARMED))
+
+    overhead = armed_s / plain_s - 1.0
+    print("\nhealth-tracker idle overhead (no faults, 400 tasks, best of 7)")
+    print(f"  plain PR 2 simulator  {plain_s * 1e3:8.2f} ms")
+    print(f"  health scoring armed  {armed_s * 1e3:8.2f} ms  ({overhead:+.1%})")
+
+    # Armed-but-idle is behaviourally invisible...
+    assert armed.completed == plain.completed == IDLE_SPEC.tasks
+    assert armed.makespan_s == plain.makespan_s
+    assert armed.mean_wait_s == plain.mean_wait_s
+    assert armed.quarantines == 0
+    # ...and close to free: <5% extra wall time over the plain run.
+    assert overhead < 0.05, f"idle health overhead {overhead:.1%} >= 5%"
+
+    report = benchmark(lambda: run_experiment(
+        IDLE_SPEC.with_(resilience=IDLE_ARMED)
+    ).report)
+    assert report.completed == IDLE_SPEC.tasks
+
+
+def bench_checkpoint_interval_sensitivity(benchmark):
+    baseline = run_experiment(CHAOS_SPEC).report
+    assert baseline.fault_events > 0, "chaos preset must actually bite"
+
+    sweep = {}
+    for interval in INTERVALS:
+        spec = CHAOS_SPEC.with_(
+            resilience=ResilienceSpec(checkpoint=CheckpointSpec(interval_s=interval))
+        )
+        sweep[interval] = run_experiment(spec).report
+
+    print("\ncheckpoint-interval sensitivity (chaos preset, seed 0)")
+    print(f"{'interval s':>10s} {'ckpts':>6s} {'overhead s':>11s} "
+          f"{'saved s':>8s} {'wasted slice-s':>15s}")
+    print(f"{'(none)':>10s} {0:6d} {0.0:11.3f} {0.0:8.3f} "
+          f"{baseline.wasted_slice_seconds:15.1f}")
+    for interval, r in sweep.items():
+        print(f"{interval:10.2f} {r.checkpoints:6d} {r.checkpoint_overhead_s:11.3f} "
+              f"{r.wasted_work_saved_s:8.3f} {r.wasted_slice_seconds:15.1f}")
+
+    for interval, r in sweep.items():
+        # Every interval strictly beats no-checkpointing on wasted work.
+        assert r.wasted_slice_seconds < baseline.wasted_slice_seconds, interval
+        assert r.checkpoints > 0 and r.wasted_work_saved_s > 0, interval
+    # Denser checkpoints take at least as many snapshots and rescue at
+    # least as much progress as any sparser setting.
+    densest = sweep[min(INTERVALS)]
+    for interval, r in sweep.items():
+        assert densest.checkpoints >= r.checkpoints, interval
+        assert densest.wasted_work_saved_s >= r.wasted_work_saved_s, interval
+
+    report = benchmark(lambda: run_experiment(
+        CHAOS_SPEC.with_(
+            resilience=ResilienceSpec(checkpoint=CheckpointSpec(interval_s=0.25))
+        )
+    ).report)
+    assert report.wasted_work_saved_s > 0
+
+
+if __name__ == "__main__":
+    plain_s, _ = timed(IDLE_SPEC)
+    armed_s, _ = timed(IDLE_SPEC.with_(resilience=IDLE_ARMED))
+    print(f"idle overhead: {armed_s / plain_s - 1.0:+.1%}")
+    baseline = run_experiment(CHAOS_SPEC).report
+    for interval in INTERVALS:
+        r = run_experiment(
+            CHAOS_SPEC.with_(
+                resilience=ResilienceSpec(checkpoint=CheckpointSpec(interval_s=interval))
+            )
+        ).report
+        print(interval, r.checkpoints, r.checkpoint_overhead_s,
+              r.wasted_work_saved_s, r.wasted_slice_seconds)

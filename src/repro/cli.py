@@ -16,7 +16,9 @@ Commands map to the paper's artifacts and the library's experiments:
   through the parallel runner (``--field``, ``--values``, ``--jobs``).
 * ``chaos``      -- compare scheduling strategies under a fault preset
   and report the recovery metrics (availability, MTTR, wasted work,
-  goodput).
+  goodput).  Both ``simulate`` and ``chaos`` accept the resilience
+  flags ``--breaker``, ``--deadlines``, ``--checkpoint-interval`` and
+  ``--speculative`` (see :mod:`repro.sim.resilience`).
 * ``clustalw``   -- align a FASTA file (or a generated family) and
   print the MSA; optionally profile it (Figure 10).
 """
@@ -107,6 +109,69 @@ def _default_grid_nodes():
     )
 
 
+def _resilience_from_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+):
+    """Build a ResilienceSpec from ``--breaker``/``--deadlines``/
+    ``--checkpoint-interval``/``--speculative``; None when all are off.
+
+    Malformed values become ``parser.error`` (usage + exit code 2)
+    rather than tracebacks.
+    """
+    from repro.grid.health import HealthPolicy
+    from repro.sim.resilience import (
+        CheckpointSpec,
+        DeadlineSpec,
+        ResilienceSpec,
+        SpeculationSpec,
+    )
+
+    deadlines = None
+    if args.deadlines is not None:
+        soft_text, _, hard_text = args.deadlines.partition(":")
+        try:
+            deadlines = DeadlineSpec(
+                soft_factor=float(soft_text),
+                hard_factor=float(hard_text or soft_text),
+            )
+        except ValueError as exc:
+            parser.error(
+                f"--deadlines must be SOFT:HARD positive factors "
+                f"(hard >= soft), got {args.deadlines!r}: {exc}"
+            )
+    checkpoint = None
+    if args.checkpoint_interval is not None:
+        if args.checkpoint_interval <= 0:
+            parser.error("--checkpoint-interval must be positive")
+        checkpoint = CheckpointSpec(interval_s=args.checkpoint_interval)
+    speculation = None
+    if args.speculative is not None:
+        if args.speculative <= 1.0:
+            parser.error("--speculative factor must be > 1")
+        speculation = SpeculationSpec(slowdown_factor=args.speculative)
+    spec = ResilienceSpec(
+        breaker=HealthPolicy() if args.breaker else None,
+        deadlines=deadlines,
+        checkpoint=checkpoint,
+        speculation=speculation,
+    )
+    return spec if spec.enabled else None
+
+
+def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--breaker", action="store_true",
+                   help="enable node health scoring + circuit breakers")
+    p.add_argument("--deadlines", nargs="?", const="4:12", metavar="SOFT:HARD",
+                   help="enable task deadlines at SOFT:HARD multiples of "
+                        "t_estimated (default 4:12)")
+    p.add_argument("--checkpoint-interval", type=float, default=None, metavar="S",
+                   help="checkpoint fabric tasks every S simulated seconds")
+    p.add_argument("--speculative", nargs="?", const=2.0, type=float,
+                   metavar="FACTOR",
+                   help="replicate a task once it runs FACTOR x its expected "
+                        "time (default 2.0)")
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim.experiment import ExperimentSpec, run_experiment
     from repro.sim.faults import FAULT_PRESETS
@@ -125,6 +190,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         area_range=(2_000, 12_000),
         seed=args.seed,
         faults=FAULT_PRESETS[args.faults] if args.faults else None,
+        resilience=args.resilience,
     )
     tracer = None
     if args.trace:
@@ -230,6 +296,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.report import recovery_json, recovery_table
     from repro.scheduling import ALL_STRATEGIES
     from repro.sim.experiment import ExperimentSpec
     from repro.sim.faults import FAULT_PRESETS
@@ -253,30 +320,25 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         area_range=(2_000, 12_000),
         seed=args.seed,
         faults=FAULT_PRESETS[args.faults],
+        resilience=args.resilience,
     )
     runner = ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir)
     results = runner.run([base.with_(strategy=s) for s in strategies])
-    rows = [
-        (
-            r.spec.strategy,
-            f"{r.report.completed}/{r.report.failed}/{r.report.discarded}",
-            str(r.report.fault_events),
-            f"{r.report.retries}/{r.report.gpp_fallbacks}",
-            f"{r.report.availability:.1%}",
-            f"{r.report.mttr_s:.3f}",
-            f"{r.report.wasted_work_s:.2f}",
-            f"{r.report.goodput_tasks_per_s:.3f}",
-        )
-        for r in results
-    ]
+    entries = [(r.spec.strategy, r.report) for r in results]
     print(
-        ascii_table(
-            ["strategy", "done/fail/disc", "faults", "retry/fallbk",
-             "avail", "MTTR s", "wasted s", "goodput/s"],
-            rows,
+        recovery_table(
+            entries,
             title=f"Chaos '{args.faults}' ({args.tasks} tasks, seed {args.seed})",
         )
     )
+    if args.json:
+        import json
+
+        Path(args.json).write_text(
+            json.dumps(recovery_json(entries), indent=2, sort_keys=True) + "\n",
+            encoding="ascii",
+        )
+        print(f"wrote {args.json}")
     print(runner.last_stats.summary_line())
     return 0
 
@@ -347,6 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for --replications (default: CPU count)")
     p.add_argument("--cache-dir", metavar="DIR",
                    help="cache replication results keyed by spec hash")
+    _add_resilience_flags(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("sweep", help="sweep one experiment knob through the parallel runner")
@@ -375,6 +438,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes (default: CPU count; 1 forces serial)")
     p.add_argument("--cache-dir", metavar="DIR",
                    help="cache results keyed by spec hash")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the recovery metrics as JSON")
+    _add_resilience_flags(p)
     p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("clustalw", help="align sequences (FASTA in/out)")
@@ -404,6 +470,12 @@ def main(argv: list[str] | None = None) -> int:
             )
     if getattr(args, "jobs", None) is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    # numpy's Generator rejects negative seeds with a raw ValueError
+    # deep inside the run; fail at the parser instead.
+    if getattr(args, "seed", None) is not None and args.seed < 0:
+        parser.error("--seed must be non-negative")
+    if hasattr(args, "breaker"):
+        args.resilience = _resilience_from_args(parser, args)
     if getattr(args, "trace", None):
         parent = Path(args.trace).resolve().parent
         if not parent.is_dir():

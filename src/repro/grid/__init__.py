@@ -21,6 +21,8 @@ services of Figure 9.  This package implements all of them:
   provisioning, bitstream repository.
 * :mod:`repro.grid.services` -- Figure 9 user services: QoS, cost,
   monitoring, and queries.
+* :mod:`repro.grid.health` -- per-node EWMA failure scores and circuit
+  breakers that quarantine flaky nodes from matchmaking.
 """
 
 from repro.grid.network import Link, Network, USER_SITE
@@ -35,6 +37,7 @@ from repro.grid.virtualizer import (
 from repro.grid.rms import Placement, ResourceManagementSystem, SchedulingError
 from repro.grid.jss import Job, JobStatus, JobSubmissionSystem
 from repro.grid.services import CostModel, Monitor, QoSRequirement, UserServices
+from repro.grid.health import BreakerState, HealthPolicy, HealthTracker, NodeHealth
 
 __all__ = [
     "Link",
@@ -61,4 +64,8 @@ __all__ = [
     "Monitor",
     "QoSRequirement",
     "UserServices",
+    "BreakerState",
+    "HealthPolicy",
+    "HealthTracker",
+    "NodeHealth",
 ]

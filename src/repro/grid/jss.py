@@ -48,8 +48,10 @@ class TaskRecord:
     start_time: float | None = None
     finish_time: float | None = None
     node_id: int | None = None
-    #: Why the task failed (fault description / SchedulingError text);
-    #: ``None`` while it has not failed.
+    #: Why the task failed (fault description / SchedulingError text,
+    #: or ``deadline_exceeded: ...`` when the resilience layer's hard
+    #: deadline watchdog gave up on it); ``None`` while it has not
+    #: failed.
     failure_reason: str | None = None
     #: Placement attempts consumed (faulted dispatches count; a task
     #: that completes first try has attempts == 1).

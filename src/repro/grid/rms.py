@@ -108,6 +108,11 @@ class ResourceManagementSystem:
         #: bitstream time even for small circuits (the ref-[21]
         #: partial-reconfiguration ablation in bench_dreamsim_reconfig).
         self.partial_reconfiguration = partial_reconfiguration
+        #: Optional :class:`repro.grid.health.HealthTracker` installed
+        #: by the simulator's resilience layer; when present (and a
+        #: ``now`` is passed to :meth:`plan_placement`), quarantined
+        #: nodes are filtered out of matchmaking.
+        self.health = None
         self._nodes: dict[int, Node] = {}
         self._sites: dict[int, int] = {}
         #: TaskID -> node_id of the producer's output location, valid
@@ -292,6 +297,7 @@ class ResourceManagementSystem:
         *,
         data_sites: dict[int, int] | None = None,
         exclude_nodes: set[int] | frozenset[int] | None = None,
+        now: float | None = None,
     ) -> Placement | None:
         """Ask the strategy to place *task*; ``None`` defers it.
 
@@ -302,14 +308,22 @@ class ResourceManagementSystem:
 
         ``exclude_nodes`` removes nodes from consideration before the
         strategy chooses -- the retry policy's fault-aware re-placement.
+
+        ``now`` (simulated seconds) activates the health-aware filter:
+        when a :attr:`health` tracker is installed, nodes with an open
+        circuit breaker are quarantined out of the candidate list
+        *before* the strategy sees them.  The simulator always forwards
+        its clock here; quarantine is never forgiven by the starvation
+        guard, unlike fault exclusions.
         """
-        from repro.scheduling.base import filter_excluded
+        from repro.scheduling.base import filter_excluded, filter_quarantined
 
         self._data_sites = data_sites
         try:
             candidates = filter_excluded(
                 self.find_candidates(task, require_available=True), exclude_nodes
             )
+            candidates = filter_quarantined(candidates, self.health, now)
             choice = self.scheduler.choose(task, candidates, self)
             if choice is None:
                 return None

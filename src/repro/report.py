@@ -9,6 +9,10 @@ and the CLI share one presentation layer (no plotting dependencies).
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.metrics import SimulationReport
 
 
 def ascii_table(
@@ -53,6 +57,87 @@ def ascii_table(
     for raw, row in zip(rows, cells):
         lines.append("  ".join(align(c, w, v) for c, w, v in zip(row, widths, raw)))
     return "\n".join(lines)
+
+
+#: (row label, SimulationReport attribute, format spec) for the fault
+#: -recovery metrics introduced by the fault-injection layer.
+RECOVERY_METRICS: tuple[tuple[str, str, str], ...] = (
+    ("fault events", "fault_events", "d"),
+    ("retries", "retries", "d"),
+    ("GPP fallbacks", "gpp_fallbacks", "d"),
+    ("availability", "availability", ".1%"),
+    ("MTTR s", "mttr_s", ".3f"),
+    ("wasted work s", "wasted_work_s", ".2f"),
+    ("wasted slice-s", "wasted_slice_seconds", ".1f"),
+    ("goodput tasks/s", "goodput_tasks_per_s", ".3f"),
+)
+
+#: Same, for the adaptive resilience layer (breakers, deadlines,
+#: checkpoints, speculation).  All-zero across every report = the layer
+#: was disabled, and :func:`recovery_table` omits the block.
+RESILIENCE_METRICS: tuple[tuple[str, str, str], ...] = (
+    ("soft deadline misses", "deadline_soft_misses", "d"),
+    ("hard deadline misses", "deadline_hard_misses", "d"),
+    ("deadline miss rate", "deadline_miss_rate", ".1%"),
+    ("quarantines", "quarantines", "d"),
+    ("quarantine time s", "quarantine_time_s", ".2f"),
+    ("checkpoints", "checkpoints", "d"),
+    ("checkpoint overhead s", "checkpoint_overhead_s", ".3f"),
+    ("wasted work saved s", "wasted_work_saved_s", ".2f"),
+    ("migrations", "migrations", "d"),
+    ("speculative launches", "speculative_launches", "d"),
+    ("speculative wins", "speculative_wins", "d"),
+    ("speculative wasted s", "speculative_wasted_s", ".2f"),
+)
+
+
+def recovery_table(
+    entries: Sequence[tuple[str, "SimulationReport"]],
+    *,
+    title: str = "Recovery & resilience",
+) -> str:
+    """Recovery + resilience metrics of several runs, side by side.
+
+    ``entries`` pairs a column label (strategy name, scenario...) with
+    its :class:`~repro.sim.metrics.SimulationReport`.  Metrics are rows
+    so runs line up for comparison; the resilience block only appears
+    when at least one run actually exercised the resilience layer.
+    """
+    if not entries:
+        raise ValueError("recovery_table needs at least one report")
+    metrics = list(RECOVERY_METRICS)
+    reports = [report for _, report in entries]
+    if any(getattr(r, attr) for _, attr, _ in RESILIENCE_METRICS for r in reports):
+        metrics += RESILIENCE_METRICS
+    rows = [
+        (label, *(format(getattr(r, attr), spec) for r in reports))
+        for label, attr, spec in metrics
+    ]
+    rows.insert(
+        0, ("done/fail/disc", *(f"{r.completed}/{r.failed}/{r.discarded}" for r in reports))
+    )
+    return ascii_table(["metric", *(label for label, _ in entries)], rows, title=title)
+
+
+def recovery_json(
+    entries: Sequence[tuple[str, "SimulationReport"]],
+) -> dict[str, dict[str, object]]:
+    """The :func:`recovery_table` numbers as a JSON-ready mapping.
+
+    Keys are the entry labels; values map metric attribute names to raw
+    (unformatted) numbers, resilience metrics always included.
+    """
+    out: dict[str, dict[str, object]] = {}
+    for label, report in entries:
+        record: dict[str, object] = {
+            "completed": report.completed,
+            "failed": report.failed,
+            "discarded": report.discarded,
+        }
+        for _, attr, _ in (*RECOVERY_METRICS, *RESILIENCE_METRICS):
+            record[attr] = getattr(report, attr)
+        out[label] = record
+    return out
 
 
 def ascii_bar_chart(

@@ -27,6 +27,27 @@ def filter_excluded(
     return [c for c in candidates if c.node_id not in exclude_nodes]
 
 
+def filter_quarantined(
+    candidates: list[Candidate], health, now: float | None
+) -> list[Candidate]:
+    """Drop candidates on quarantined nodes (open circuit breakers).
+
+    *health* is a :class:`repro.grid.health.HealthTracker` (or ``None``
+    when the resilience layer is off) and *now* the simulated time the
+    placement is planned at.  Nodes whose breaker is OPEN -- or
+    HALF_OPEN with its probe quota exhausted -- never reach the
+    strategy, which is the quarantine guarantee the property suite
+    pins: an open breaker receives zero placements.  Without a tracker
+    this is the identity, so pre-resilience scheduling is unchanged.
+    """
+    if health is None or now is None:
+        return candidates
+    blocked = health.blocked_nodes(now)
+    if not blocked:
+        return candidates
+    return [c for c in candidates if c.node_id not in blocked]
+
+
 class Scheduler(ABC):
     """Strategy object plugged into the RMS.
 

@@ -42,6 +42,13 @@ from repro.sim.workload import (
 from repro.sim.metrics import MetricsCollector, SimulationReport, TaskMetrics
 from repro.sim.energy import EnergyAuditor, EnergyReport
 from repro.sim.faults import FAULT_PRESETS, FaultInjector, FaultSpec, RetryPolicy
+from repro.sim.resilience import (
+    RESILIENCE_PRESETS,
+    CheckpointSpec,
+    DeadlineSpec,
+    ResilienceSpec,
+    SpeculationSpec,
+)
 from repro.sim.trace import (
     export_report_json,
     export_task_records,
@@ -103,6 +110,11 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "RetryPolicy",
+    "RESILIENCE_PRESETS",
+    "ResilienceSpec",
+    "DeadlineSpec",
+    "CheckpointSpec",
+    "SpeculationSpec",
     "export_report_json",
     "export_task_records",
     "export_trace",

@@ -26,6 +26,7 @@ from repro.scheduling import ALL_STRATEGIES, RandomScheduler
 from repro.sim.energy import EnergyAuditor, EnergyReport
 from repro.sim.faults import FaultInjector, FaultSpec, RetryPolicy
 from repro.sim.metrics import SimulationReport
+from repro.sim.resilience import ResilienceSpec
 from repro.sim.simulator import DReAMSim
 from repro.sim.tracing import Tracer
 from repro.sim.workload import (
@@ -93,6 +94,11 @@ class ExperimentSpec:
     faults: FaultSpec | None = None
     #: Recovery policy; None uses :class:`RetryPolicy`'s defaults.
     retry: RetryPolicy | None = None
+    #: Adaptive resilience layer (circuit breakers, deadlines,
+    #: checkpointing, speculation); None = the exact PR 2 behavior.
+    #: None of its mechanisms draws randomness, so enabling it never
+    #: perturbs the seeded workload or fault streams.
+    resilience: ResilienceSpec | None = None
 
     def __post_init__(self) -> None:
         if self.strategy not in ALL_STRATEGIES:
@@ -186,6 +192,7 @@ def run_experiment(
         tracer=tracer,
         faults=injector,
         retry=spec.retry,
+        resilience=spec.resilience,
     )
     sim.submit_workload(workload.generate())
     report = sim.run()

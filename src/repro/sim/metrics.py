@@ -45,6 +45,22 @@ class TaskMetrics:
     wasted_time_s: float = 0.0
     #: The same waste weighted by the fabric slices it occupied.
     wasted_slice_seconds: float = 0.0
+    # --- resilience observables (all zero/None when the layer is off) ---
+    #: Worst deadline this task missed: None, "soft", or "hard".
+    deadline_missed: str | None = None
+    #: Progress checkpoints taken across all placements of this task.
+    checkpoints: int = 0
+    #: Execution seconds spent writing those checkpoints.
+    checkpoint_overhead_s: float = 0.0
+    #: Seconds of progress a checkpoint preserved across faults (work
+    #: the pre-resilience simulator would have counted as wasted).
+    wasted_work_saved_s: float = 0.0
+    #: Checkpoint resumes re-placed on a (possibly different) node.
+    migrations: int = 0
+    #: A speculative replica was launched for this task.
+    speculated: bool = False
+    #: ... and the replica finished first.
+    speculative_win: bool = False
 
     @property
     def wait_time(self) -> float | None:
@@ -111,6 +127,29 @@ class SimulationReport:
     #: Completed tasks per second of horizon -- throughput that *only*
     #: counts work that survived the faults.
     goodput_tasks_per_s: float = 0.0
+    # --- adaptive-resilience aggregates (defaults keep stored reports
+    # from pre-resilience runs loadable) ---
+    #: Soft / hard deadline misses counted by the watchdog.
+    deadline_soft_misses: int = 0
+    deadline_hard_misses: int = 0
+    #: Fraction of submitted tasks that missed any deadline.
+    deadline_miss_rate: float = 0.0
+    #: Circuit-breaker trips (CLOSED -> OPEN episodes) across nodes.
+    quarantines: int = 0
+    #: Node-seconds spent quarantined (OPEN or HALF_OPEN).
+    quarantine_time_s: float = 0.0
+    #: Progress checkpoints taken and the execution time they cost.
+    checkpoints: int = 0
+    checkpoint_overhead_s: float = 0.0
+    #: Fault-hit progress preserved by checkpoints instead of redone.
+    wasted_work_saved_s: float = 0.0
+    #: Checkpoint resumes re-placed after a fault or timeout.
+    migrations: int = 0
+    #: Speculative replicas: launched, won, and the loser-side waste.
+    speculative_launches: int = 0
+    speculative_wins: int = 0
+    speculative_win_rate: float = 0.0
+    speculative_wasted_s: float = 0.0
 
     def summary_lines(self) -> list[str]:
         """Human-readable report (printed by benches and examples)."""
@@ -135,6 +174,24 @@ class SimulationReport:
                 f"wasted work          {self.wasted_work_s:10.4f} s   ({self.wasted_slice_seconds:.1f} slice-s)",
                 f"goodput              {self.goodput_tasks_per_s:10.4f} tasks/s",
             ]
+        if (
+            self.deadline_soft_misses
+            or self.deadline_hard_misses
+            or self.quarantines
+            or self.checkpoints
+            or self.speculative_launches
+        ):
+            lines += [
+                f"deadline misses      soft {self.deadline_soft_misses} / "
+                f"hard {self.deadline_hard_misses}   (miss rate {self.deadline_miss_rate:.2%})",
+                f"quarantines          {self.quarantines:6d}  ({self.quarantine_time_s:.2f} node-s)",
+                f"checkpoints          {self.checkpoints:6d}  "
+                f"(overhead {self.checkpoint_overhead_s:.3f} s, saved {self.wasted_work_saved_s:.3f} s)",
+                f"migrations           {self.migrations:6d}",
+                f"speculation          {self.speculative_launches} launched / "
+                f"{self.speculative_wins} won  (win rate {self.speculative_win_rate:.2%}, "
+                f"wasted {self.speculative_wasted_s:.3f} s)",
+            ]
         return lines
 
 
@@ -154,6 +211,19 @@ class MetricsCollector:
         self.fault_events = 0
         self.retry_events = 0
         self.fallback_events = 0
+        # --- adaptive-resilience counters ---
+        self.deadline_soft_misses = 0
+        self.deadline_hard_misses = 0
+        self.checkpoint_events = 0
+        self.checkpoint_overhead_s = 0.0
+        self.wasted_work_saved_s = 0.0
+        self.migration_events = 0
+        self.speculative_launches = 0
+        self.speculative_wins = 0
+        self.speculative_wasted_s = 0.0
+        #: Pushed by the simulator from its HealthTracker at report time.
+        self.quarantines = 0
+        self.quarantine_time_s = 0.0
 
     # ------------------------------------------------------------------
     # Recording (called by the simulator)
@@ -250,6 +320,82 @@ class MetricsCollector:
         self.trace.append((time, "task-failed", key))
 
     # ------------------------------------------------------------------
+    # Adaptive-resilience recording
+    # ------------------------------------------------------------------
+    def record_deadline_miss(self, key: object, time: float, *, hard: bool) -> None:
+        tm = self.tasks[key]
+        if hard:
+            tm.deadline_missed = "hard"
+            self.deadline_hard_misses += 1
+        else:
+            if tm.deadline_missed is None:
+                tm.deadline_missed = "soft"
+            self.deadline_soft_misses += 1
+        self.trace.append((time, "timeout", key))
+
+    def record_wasted(
+        self, key: object, time: float, *, wasted_time_s: float,
+        wasted_slice_seconds: float,
+    ) -> None:
+        """Waste from a non-fault teardown (a watchdog cancellation)."""
+        tm = self.tasks[key]
+        tm.wasted_time_s += wasted_time_s
+        tm.wasted_slice_seconds += wasted_slice_seconds
+
+    def record_checkpoint(self, key: object, time: float, *, overhead_s: float) -> None:
+        tm = self.tasks[key]
+        tm.checkpoints += 1
+        tm.checkpoint_overhead_s += overhead_s
+        self.checkpoint_events += 1
+        self.checkpoint_overhead_s += overhead_s
+        self.trace.append((time, "checkpoint", key))
+
+    def record_checkpoint_restore(self, key: object, saved_s: float) -> None:
+        """A fault/timeout destroyed a placement but *saved_s* seconds
+        of its progress survived in the last checkpoint."""
+        self.tasks[key].wasted_work_saved_s += saved_s
+        self.wasted_work_saved_s += saved_s
+
+    def record_migration(self, key: object, time: float) -> None:
+        self.tasks[key].migrations += 1
+        self.migration_events += 1
+        self.trace.append((time, "migrate", key))
+
+    def record_speculation(self, key: object, time: float) -> None:
+        self.tasks[key].speculated = True
+        self.speculative_launches += 1
+        self.trace.append((time, "speculate", key))
+
+    def record_speculation_result(
+        self,
+        key: object,
+        time: float,
+        *,
+        win: bool,
+        wasted_s: float,
+        node_id: int | None = None,
+        resource_index: int | None = None,
+    ) -> None:
+        """First finisher decided: *win* means the replica beat the
+        primary; *wasted_s* is the loser's burned placement time.  On a
+        win the task's placement attribution moves to the replica's
+        node/resource (where it actually completed)."""
+        if win:
+            tm = self.tasks[key]
+            tm.speculative_win = True
+            if node_id is not None:
+                tm.node_id = node_id
+                tm.resource_index = resource_index
+            self.speculative_wins += 1
+        self.speculative_wasted_s += max(0.0, wasted_s)
+
+    def record_quarantine_stats(self, *, episodes: int, total_s: float) -> None:
+        """Pushed once by the simulator (from its HealthTracker) just
+        before the report is built."""
+        self.quarantines = episodes
+        self.quarantine_time_s = total_s
+
+    # ------------------------------------------------------------------
     # Node availability windows
     # ------------------------------------------------------------------
     def register_node(self, node_id: int) -> None:
@@ -336,4 +482,26 @@ class MetricsCollector:
                 t.wasted_slice_seconds for t in self.tasks.values()
             ),
             goodput_tasks_per_s=len(finished) / horizon_s if horizon_s > 0 else 0.0,
+            deadline_soft_misses=self.deadline_soft_misses,
+            deadline_hard_misses=self.deadline_hard_misses,
+            deadline_miss_rate=(
+                sum(1 for t in self.tasks.values() if t.deadline_missed is not None)
+                / len(self.tasks)
+                if self.tasks
+                else 0.0
+            ),
+            quarantines=self.quarantines,
+            quarantine_time_s=self.quarantine_time_s,
+            checkpoints=self.checkpoint_events,
+            checkpoint_overhead_s=self.checkpoint_overhead_s,
+            wasted_work_saved_s=self.wasted_work_saved_s,
+            migrations=self.migration_events,
+            speculative_launches=self.speculative_launches,
+            speculative_wins=self.speculative_wins,
+            speculative_win_rate=(
+                self.speculative_wins / self.speculative_launches
+                if self.speculative_launches
+                else 0.0
+            ),
+            speculative_wasted_s=self.speculative_wasted_s,
         )

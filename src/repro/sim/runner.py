@@ -51,7 +51,8 @@ from repro.sim.metrics import SimulationReport
 
 #: Bump when the cached JSON layout changes; stale entries then miss.
 #: 2: fault-injection fields on ExperimentSpec and SimulationReport.
-_CACHE_FORMAT = 2
+#: 3: resilience fields (breakers/deadlines/checkpoints/speculation).
+_CACHE_FORMAT = 3
 
 
 def default_jobs() -> int:

@@ -19,7 +19,14 @@ the simulator of refs [20][21]:
   configuration-port failures, SEUs corrupting running tasks, link
   degradation and partitions -- answered with a bounded-retry /
   exponential-backoff / GPP-fallback recovery policy
-  (:class:`~repro.sim.faults.RetryPolicy`).
+  (:class:`~repro.sim.faults.RetryPolicy`);
+* an adaptive resilience layer (:mod:`repro.sim.resilience` +
+  :mod:`repro.grid.health`): per-node EWMA health scores with
+  circuit-breaker quarantine, a soft/hard deadline watchdog,
+  checkpoint/restart with migration for fabric tasks, and speculative
+  replicas for stragglers.  ``resilience=None`` (the default) keeps
+  every one of these paths byte-for-byte identical to the
+  pre-resilience simulator.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from repro.core.execreq import ExecReq
 from repro.core.matching import task_required_slices
 from repro.core.node import Node
 from repro.core.task import DataIn, DataOut, Task
+from repro.grid.health import HealthTracker
 from repro.grid.jss import JobSubmissionSystem
 from repro.grid.network import NetworkError
 from repro.grid.rms import Placement, ResourceManagementSystem, SchedulingError
@@ -40,6 +48,7 @@ from repro.hardware.taxonomy import PEClass
 from repro.sim.engine import EventHandle, SimulationEngine
 from repro.sim.faults import FaultInjector, RetryPolicy
 from repro.sim.metrics import MetricsCollector, SimulationReport
+from repro.sim.resilience import ResilienceSpec
 from repro.sim.tracing import Tracer
 
 
@@ -70,6 +79,24 @@ class _Entry:
     fell_back: bool = False
     #: Waiting out a retry backoff (not in the pending queue).
     in_backoff: bool = False
+    # --- resilience state (inert while resilience is None) ---
+    #: Terminal success; watchdog / speculation timers check this.
+    completed: bool = False
+    #: This placement is a probationary probe on a half-open breaker.
+    is_probe: bool = False
+    #: This entry is a speculative replica shadowing ``primary``.
+    is_replica: bool = False
+    primary: "_Entry | None" = None
+    #: When a replica's placement was committed (waste accounting).
+    launched_at: float = 0.0
+    #: Watchdog timers; unlike ``events`` they survive placement loss.
+    deadline_events: list[EventHandle] = field(default_factory=list)
+    #: Progress fraction preserved by the newest checkpoint of the
+    #: *current* placement (reset on every resume).
+    checkpoint_frac: float = 0.0
+    #: Node the task last checkpointed on; set while a resume is
+    #: pending so the next dispatch emits a ``migrate`` event.
+    resumed_from: int | None = None
 
 
 class DReAMSim:
@@ -84,6 +111,7 @@ class DReAMSim:
         tracer: Tracer | None = None,
         faults: FaultInjector | None = None,
         retry: RetryPolicy | None = None,
+        resilience: ResilienceSpec | None = None,
     ):
         if discard_after_s is not None and discard_after_s <= 0:
             raise ValueError("discard_after_s must be positive")
@@ -104,6 +132,19 @@ class DReAMSim:
         self.retry = retry or RetryPolicy()
         #: Link pairs currently degraded (overlapping draws collapse).
         self._degraded_pairs: set[frozenset[int]] = set()
+        #: Adaptive resilience layer (None = the exact pre-resilience
+        #: behavior; an all-None spec normalizes to None too).
+        self.resilience = (
+            resilience if resilience is not None and resilience.enabled else None
+        )
+        self.health: HealthTracker | None = None
+        if self.resilience is not None and self.resilience.breaker is not None:
+            self.health = HealthTracker(self.resilience.breaker)
+            for node in rms.nodes:
+                self.health.register_node(node.node_id)
+        rms.health = self.health
+        #: key -> live speculative replica shadowing the active entry.
+        self._replicas: dict[object, _Entry] = {}
         for node in rms.nodes:
             self.metrics.register_node(node.node_id)
         if faults is not None:
@@ -312,6 +353,8 @@ class DReAMSim:
         def join() -> None:
             self.rms.register_node(node, site=site)
             self.metrics.register_node(node.node_id)
+            if self.health is not None:
+                self.health.register_node(node.node_id)
             self.metrics.trace.append((self.engine.now, "node-join", node.node_id))
             self._emit(
                 "node-join",
@@ -325,6 +368,8 @@ class DReAMSim:
 
     def schedule_node_leave(self, time: float, node_id: int) -> None:
         def leave() -> None:
+            for replica in self._replicas_on(node_id):
+                self._abort_replica(replica, action="abort")
             victims = [
                 e
                 for e in self.active.values()
@@ -336,6 +381,11 @@ class DReAMSim:
                 entry.events.clear()
                 self._emit_slice_free(entry)
                 self._emit("requeue", entry.key, node=node_id)
+                if entry.is_probe and self.health is not None:
+                    # A graceful departure is not evidence against the
+                    # node; just return the unconsumed probe slot.
+                    self.health.abort_probe(node_id)
+                entry.is_probe = False
                 entry.dispatched = False
                 entry.placement = None
                 del self.active[entry.key]
@@ -366,6 +416,8 @@ class DReAMSim:
             if node_id not in {n.node_id for n in self.rms.nodes}:
                 return  # already down or departed; the draw is a no-op
             site = self.rms.site_of(node_id)
+            for replica in self._replicas_on(node_id):
+                self._abort_replica(replica, action="abort", clear_configuration=True)
             victims = [
                 e
                 for e in self.active.values()
@@ -489,13 +541,22 @@ class DReAMSim:
         policy."""
         placement = entry.placement
         assert placement is not None
+        replica = self._replicas.get(entry.key)
+        if replica is not None:
+            # Speculation targets stragglers, not crashes: a faulted
+            # primary recovers through the retry machinery and its
+            # replica is scrapped (the replica's node is fine, so its
+            # fabric state stays).
+            self._abort_replica(replica, action="abort")
         tm = self.metrics.tasks[entry.key]
         dispatched_at = tm.dispatch if tm.dispatch is not None else self.engine.now
         elapsed = self.engine.now - dispatched_at
+        preserved = self._checkpoint_credit(entry, placement)
+        wasted = max(0.0, elapsed - preserved)
         slice_seconds = 0.0
         if placement.region_id is not None:
             slices, _ = self._region_slices(placement)
-            slice_seconds = elapsed * slices
+            slice_seconds = wasted * slices
         for handle in entry.events:
             handle.cancel()
         entry.events.clear()
@@ -505,7 +566,7 @@ class DReAMSim:
             entry.key,
             self.engine.now,
             reason=reason,
-            wasted_time_s=elapsed,
+            wasted_time_s=wasted,
             wasted_slice_seconds=slice_seconds,
         )
         self._emit(
@@ -514,12 +575,14 @@ class DReAMSim:
             node=placement.candidate.node_id,
             reason=reason,
         )
+        self._health_failure(entry, placement.candidate.node_id)
         entry.attempts += 1
         entry.excluded_nodes.add(placement.candidate.node_id)
         entry.failure_reason = reason
         entry.dispatched = False
         entry.placement = None
         self.active.pop(entry.key, None)
+        self._apply_checkpoint_resume(entry, placement, preserved)
         self._after_fault(entry)
 
     def _after_fault(self, entry: _Entry) -> None:
@@ -578,6 +641,9 @@ class DReAMSim:
         """Retry budget exhausted and no fallback left: the task fails,
         terminally and exactly once."""
         entry.failed = True
+        for handle in entry.deadline_events:
+            handle.cancel()
+        entry.deadline_events.clear()
         reason = entry.failure_reason or "fault retry budget exhausted"
         self.metrics.record_failed(entry.key, self.engine.now, reason=reason)
         self._emit("task-failed", entry.key, reason=reason, attempts=entry.attempts)
@@ -589,6 +655,422 @@ class DReAMSim:
                 reason=reason,
                 attempts=entry.attempts,
             )
+
+    # ------------------------------------------------------------------
+    # Adaptive resilience: health feedback and circuit breakers
+    # ------------------------------------------------------------------
+    def _health_failure(self, entry: _Entry, node_id: int) -> None:
+        """Feed a placement loss into the node's health score; emits
+        ``quarantine`` and schedules a queue wake-up when the breaker
+        trips (nothing else re-runs tasks deferred by a quarantine)."""
+        if self.health is None:
+            return
+        transition = self.health.record_failure(
+            node_id, self.engine.now, probe=entry.is_probe
+        )
+        entry.is_probe = False
+        if transition == "open":
+            health = self.health.node(node_id)
+            self.metrics.trace.append((self.engine.now, "quarantine", node_id))
+            self._emit(
+                "quarantine",
+                node=node_id,
+                phase="open",
+                score=round(health.score, 9),
+                episode=health.quarantine_episodes,
+            )
+            self.engine.schedule(
+                self.health.policy.open_duration_s, self._dispatch_pending
+            )
+
+    def _health_success(self, entry: _Entry, node_id: int) -> None:
+        if self.health is None:
+            return
+        transition = self.health.record_success(
+            node_id, self.engine.now, probe=entry.is_probe
+        )
+        entry.is_probe = False
+        if transition == "close":
+            self.metrics.trace.append((self.engine.now, "quarantine-close", node_id))
+            self._emit("quarantine", node=node_id, phase="close")
+
+    # ------------------------------------------------------------------
+    # Adaptive resilience: deadline watchdog
+    # ------------------------------------------------------------------
+    def _arm_watchdog(self, entry: _Entry) -> None:
+        """Schedule the soft/hard deadline timers at arrival.  Explicit
+        per-task budgets win; otherwise they derive from the estimate."""
+        spec = self.resilience.deadlines if self.resilience is not None else None
+        if spec is None:
+            return
+        task = entry.task
+        soft = (
+            task.soft_deadline_s
+            if task.soft_deadline_s is not None
+            else spec.soft_deadline_s(task.t_estimated)
+        )
+        hard = (
+            task.hard_deadline_s
+            if task.hard_deadline_s is not None
+            else spec.hard_deadline_s(task.t_estimated)
+        )
+        hard = max(hard, soft)
+        entry.deadline_events.append(
+            self.engine.schedule(soft, lambda: self._soft_deadline(entry, soft))
+        )
+        entry.deadline_events.append(
+            self.engine.schedule(hard, lambda: self._hard_deadline(entry, hard))
+        )
+
+    def _soft_deadline(self, entry: _Entry, budget_s: float) -> None:
+        if entry.completed or entry.discarded or entry.failed:
+            return
+        self.metrics.record_deadline_miss(entry.key, self.engine.now, hard=False)
+        spec = self.resilience.deadlines
+        assert spec is not None
+        if (
+            spec.reschedule
+            and self.active.get(entry.key) is entry
+            and entry.placement is not None
+        ):
+            self._emit(
+                "timeout",
+                entry.key,
+                deadline="soft",
+                action="requeue",
+                node=entry.placement.candidate.node_id,
+                budget=budget_s,
+            )
+            self._cancel_placement(
+                entry, reason=f"soft deadline of {budget_s:.3f}s exceeded"
+            )
+            # Soft cancels do not consume a retry attempt: they are a
+            # policy choice, not a fault.  The slow node is excluded,
+            # so the requeue lands elsewhere when anywhere else exists.
+            self._schedule_requeue(entry, kind="retry")
+        else:
+            self._emit("timeout", entry.key, deadline="soft", action="warn",
+                       budget=budget_s)
+
+    def _hard_deadline(self, entry: _Entry, budget_s: float) -> None:
+        if entry.completed or entry.discarded or entry.failed:
+            return
+        self.metrics.record_deadline_miss(entry.key, self.engine.now, hard=True)
+        reason = f"deadline_exceeded: hard deadline of {budget_s:.3f}s missed"
+        if self.active.get(entry.key) is entry and entry.placement is not None:
+            self._emit(
+                "timeout",
+                entry.key,
+                deadline="hard",
+                action="fail",
+                node=entry.placement.candidate.node_id,
+                budget=budget_s,
+            )
+            self._cancel_placement(entry, reason=reason)
+        else:
+            self._emit("timeout", entry.key, deadline="hard", action="fail",
+                       budget=budget_s)
+            if entry in self.pending:
+                self.pending.remove(entry)
+            replica = self._replicas.get(entry.key)
+            if replica is not None:
+                self._abort_replica(replica, action="abort")
+        entry.failure_reason = reason
+        self._fail_terminally(entry)
+
+    def _cancel_placement(self, entry: _Entry, *, reason: str) -> None:
+        """Watchdog teardown of a live placement: like :meth:`_fault`
+        but accounted as a deadline miss, not a fault event.  The
+        caller emits the ``timeout`` event first (it performs the
+        checker's state transition) and decides what happens next
+        (requeue or terminal failure)."""
+        placement = entry.placement
+        assert placement is not None
+        replica = self._replicas.get(entry.key)
+        if replica is not None:
+            self._abort_replica(replica, action="abort")
+        tm = self.metrics.tasks[entry.key]
+        dispatched_at = tm.dispatch if tm.dispatch is not None else self.engine.now
+        elapsed = self.engine.now - dispatched_at
+        preserved = self._checkpoint_credit(entry, placement)
+        wasted = max(0.0, elapsed - preserved)
+        slice_seconds = 0.0
+        if placement.region_id is not None:
+            slices, _ = self._region_slices(placement)
+            slice_seconds = wasted * slices
+        for handle in entry.events:
+            handle.cancel()
+        entry.events.clear()
+        self._emit_slice_free(entry)
+        self.rms.abort_placement(placement, clear_configuration=False)
+        self.metrics.record_wasted(
+            entry.key,
+            self.engine.now,
+            wasted_time_s=wasted,
+            wasted_slice_seconds=slice_seconds,
+        )
+        self._health_failure(entry, placement.candidate.node_id)
+        entry.excluded_nodes.add(placement.candidate.node_id)
+        entry.failure_reason = reason
+        entry.dispatched = False
+        entry.placement = None
+        self.active.pop(entry.key, None)
+        self._apply_checkpoint_resume(entry, placement, preserved)
+
+    # ------------------------------------------------------------------
+    # Adaptive resilience: checkpoint/restart + migration
+    # ------------------------------------------------------------------
+    def _checkpoint_credit(self, entry: _Entry, placement: Placement) -> float:
+        """Execution seconds (on *placement*) preserved by the newest
+        checkpoint; zero without checkpointing."""
+        if entry.checkpoint_frac <= 0.0:
+            return 0.0
+        return entry.checkpoint_frac * placement.exec_time_s
+
+    def _apply_checkpoint_resume(
+        self, entry: _Entry, placement: Placement, preserved_s: float
+    ) -> None:
+        """Shrink a fault/timeout-hit task to its un-checkpointed
+        remainder so the next placement only redoes the lost tail.
+        Fractions (not seconds) transplant across PEs with different
+        speeds -- the same scaling idiom as stream chunking and the
+        GPP fallback."""
+        if entry.checkpoint_frac <= 0.0:
+            return
+        remaining = 1.0 - entry.checkpoint_frac
+        task = entry.task
+        entry.task = replace(
+            task,
+            t_estimated=task.t_estimated * remaining,
+            workload_mi=task.effective_workload_mi * remaining,
+        )
+        entry.resumed_from = placement.candidate.node_id
+        entry.checkpoint_frac = 0.0
+        self.metrics.record_checkpoint_restore(entry.key, preserved_s)
+
+    def _schedule_checkpoints(self, entry: _Entry, placement: Placement) -> float:
+        """Schedule progress snapshots for a fabric-hosted execution;
+        returns the total checkpoint overhead added to the execution
+        time.  Handles live in ``entry.events`` so a fault cancels any
+        snapshots it outran."""
+        spec = self.resilience.checkpoint if self.resilience is not None else None
+        if (
+            spec is None
+            or placement.region_id is None
+            or placement.exec_time_s <= spec.interval_s
+        ):
+            return 0.0
+        # Snapshots at k * interval of *progress*, strictly before the
+        # end of execution (a checkpoint at completion is useless).
+        count = int((placement.exec_time_s - 1e-12) // spec.interval_s)
+        for k in range(1, count + 1):
+            frac = (k * spec.interval_s) / placement.exec_time_s
+            # The snapshot becomes durable after its own overhead.
+            at = k * spec.interval_s + k * spec.overhead_s
+            entry.events.append(
+                self.engine.schedule(at, self._make_checkpoint(entry, frac))
+            )
+        return count * spec.overhead_s
+
+    def _make_checkpoint(self, entry: _Entry, frac: float) -> Callable[[], None]:
+        def take() -> None:
+            placement = entry.placement
+            if placement is None:  # pragma: no cover - defensive
+                return
+            entry.checkpoint_frac = frac
+            spec = self.resilience.checkpoint
+            assert spec is not None
+            self.metrics.record_checkpoint(
+                entry.key, self.engine.now, overhead_s=spec.overhead_s
+            )
+            self._emit(
+                "checkpoint",
+                entry.key,
+                node=placement.candidate.node_id,
+                region=placement.region_id,
+                frac=frac,
+            )
+
+        return take
+
+    # ------------------------------------------------------------------
+    # Adaptive resilience: speculative replicas
+    # ------------------------------------------------------------------
+    def _replicas_on(self, node_id: int) -> list[_Entry]:
+        return [
+            r
+            for r in list(self._replicas.values())
+            if r.placement is not None and r.placement.candidate.node_id == node_id
+        ]
+
+    def _data_sites_for(self, entry: _Entry) -> dict[int, int] | None:
+        sites = {
+            data.source_task_id: self._output_sites[(entry.job_id, data.source_task_id)]
+            for data in entry.task.data_in
+            if (entry.job_id, data.source_task_id) in self._output_sites
+        }
+        return sites or None
+
+    def _maybe_speculate(self, entry: _Entry) -> None:
+        """The straggler timer fired: the primary has exceeded its
+        expected cost by the configured factor and still runs.  Launch
+        a shadow replica on a different, healthy node -- first finisher
+        wins.  Replicas draw no fault-model randomness (no config-fault
+        or SEU draws), so speculation never perturbs the seeded
+        streams."""
+        if (
+            entry.completed
+            or entry.failed
+            or entry.discarded
+            or self.active.get(entry.key) is not entry
+            or entry.placement is None
+            or entry.key in self._replicas
+        ):
+            return
+        primary_node = entry.placement.candidate.node_id
+        exclude = {primary_node} | entry.excluded_nodes
+        try:
+            placement = self.rms.plan_placement(
+                entry.task,
+                data_sites=self._data_sites_for(entry),
+                exclude_nodes=exclude,
+                now=self.engine.now,
+            )
+        except SchedulingError:
+            return
+        if placement is None or not math.isfinite(placement.total_time_s):
+            return
+        self.rms.commit(placement)
+        replica = _Entry(
+            key=entry.key,
+            task=entry.task,
+            job_id=entry.job_id,
+            silent=True,
+            is_replica=True,
+            primary=entry,
+            launched_at=self.engine.now,
+        )
+        replica.dispatched = True
+        replica.placement = placement
+        self._replicas[entry.key] = replica
+        self.metrics.record_speculation(entry.key, self.engine.now)
+        self._emit(
+            "speculate",
+            entry.key,
+            action="launch",
+            node=placement.candidate.node_id,
+            primary_node=primary_node,
+        )
+        if self.tracer is not None and placement.region_id is not None:
+            slices, capacity = self._region_slices(placement)
+            self._emit(
+                "slice-alloc",
+                entry.key,
+                node=placement.candidate.node_id,
+                resource=placement.candidate.resource_id,
+                region=placement.region_id,
+                slices=slices,
+                capacity=capacity,
+            )
+        replica.events.append(
+            self.engine.schedule(
+                placement.setup_time_s, lambda: self._replica_start(replica)
+            )
+        )
+
+    def _replica_start(self, replica: _Entry) -> None:
+        placement = replica.placement
+        assert placement is not None
+        self.rms.begin_execution(placement)
+        replica.events.append(
+            self.engine.schedule(
+                placement.exec_time_s, lambda: self._replica_finish(replica)
+            )
+        )
+
+    def _replica_finish(self, replica: _Entry) -> None:
+        """The replica beat the primary: tear the straggler down and
+        complete the task on the replica's placement."""
+        entry = replica.primary
+        assert entry is not None
+        self._replicas.pop(entry.key, None)
+        if self.active.get(entry.key) is not entry or entry.placement is None:
+            # The primary vanished between scheduling and firing
+            # (faults kill replicas, so this cannot normally happen).
+            self._abort_replica(replica, action="abort")  # pragma: no cover
+            return
+        primary_placement = entry.placement
+        tm = self.metrics.tasks[entry.key]
+        dispatched_at = tm.dispatch if tm.dispatch is not None else self.engine.now
+        for handle in entry.events:
+            handle.cancel()
+        entry.events.clear()
+        self._emit_slice_free(entry)
+        self.rms.abort_placement(primary_placement, clear_configuration=False)
+        if entry.is_probe and self.health is not None:
+            # Slow, not faulty: return the probe slot without judgment.
+            self.health.abort_probe(primary_placement.candidate.node_id)
+        entry.is_probe = False
+        self.metrics.record_speculation_result(
+            entry.key,
+            self.engine.now,
+            win=True,
+            wasted_s=max(0.0, self.engine.now - dispatched_at),
+            node_id=replica.placement.candidate.node_id,
+            resource_index=replica.placement.candidate.resource_id,
+        )
+        self._emit(
+            "speculate",
+            entry.key,
+            action="win",
+            node=replica.placement.candidate.node_id,
+            loser=primary_placement.candidate.node_id,
+        )
+        if tm.start is None:
+            # The primary never reached execution (long setup): the
+            # task-level lifecycle still needs its start transition.
+            self.metrics.record_start(entry.key, self.engine.now)
+            self._emit("start", entry.key,
+                       node=replica.placement.candidate.node_id)
+            if entry.job_id is not None:
+                self.jss.mark_started(
+                    entry.job_id,
+                    entry.task.task_id,
+                    time=self.engine.now,
+                    node_id=replica.placement.candidate.node_id,
+                )
+        # Complete on the replica's placement through the normal path.
+        entry.placement = replica.placement
+        self._finish(entry)
+
+    def _abort_replica(
+        self, replica: _Entry, *, action: str, clear_configuration: bool = False
+    ) -> None:
+        """Destroy a replica (lost the race, primary faulted, or its
+        node died).  Replicas never retry; the primary's lifecycle is
+        untouched."""
+        self._replicas.pop(replica.key, None)
+        for handle in replica.events:
+            handle.cancel()
+        replica.events.clear()
+        placement = replica.placement
+        if placement is None:  # pragma: no cover - defensive
+            return
+        self._emit_slice_free(replica)
+        self.rms.abort_placement(placement, clear_configuration=clear_configuration)
+        self.metrics.record_speculation_result(
+            replica.key,
+            self.engine.now,
+            win=False,
+            wasted_s=max(0.0, self.engine.now - replica.launched_at),
+        )
+        self._emit(
+            "speculate",
+            replica.key,
+            action=action,
+            node=placement.candidate.node_id,
+        )
+        replica.placement = None
 
     # ------------------------------------------------------------------
     # Core event handlers
@@ -617,6 +1099,7 @@ class DReAMSim:
             pe_class=task.exec_req.node_type.value,
         )
         self.pending.append(entry)
+        self._arm_watchdog(entry)
         if self.discard_after_s is not None:
             deadline = self.discard_after_s
 
@@ -625,6 +1108,9 @@ class DReAMSim:
                     entry.discarded = True
                     if entry in self.pending:  # may be waiting out a backoff
                         self.pending.remove(entry)
+                    for handle in entry.deadline_events:
+                        handle.cancel()
+                    entry.deadline_events.clear()
                     self.metrics.record_discard(entry.key, self.engine.now)
                     self._emit("discard", entry.key)
                     if entry.job_id is not None and not entry.silent:
@@ -651,22 +1137,21 @@ class DReAMSim:
                 self.pending.remove(entry)
 
     def _try_dispatch(self, entry: _Entry) -> bool:
-        data_sites = {
-            data.source_task_id: self._output_sites[(entry.job_id, data.source_task_id)]
-            for data in entry.task.data_in
-            if (entry.job_id, data.source_task_id) in self._output_sites
-        }
+        data_sites = self._data_sites_for(entry)
         try:
             placement = self.rms.plan_placement(
                 entry.task,
-                data_sites=data_sites or None,
+                data_sites=data_sites,
                 exclude_nodes=entry.excluded_nodes or None,
+                now=self.engine.now,
             )
             if placement is None and entry.excluded_nodes:
                 # Starvation guard: when exclusions leave nowhere to go,
                 # forgive them rather than strand the task forever.
+                # Quarantine is enforced *inside* plan_placement and is
+                # never forgiven: an open breaker gets zero placements.
                 placement = self.rms.plan_placement(
-                    entry.task, data_sites=data_sites or None
+                    entry.task, data_sites=data_sites, now=self.engine.now
                 )
         except SchedulingError as exc:
             entry.failure_reason = str(exc)
@@ -678,6 +1163,15 @@ class DReAMSim:
             # Defer; the link-restore handler re-runs the queue.
             entry.failure_reason = "no finite-cost route (network partition)"
             return False
+        if self.health is not None and self.health.is_probation(
+            placement.candidate.node_id, self.engine.now
+        ):
+            # Probationary trickle through a half-open breaker: the
+            # probe event precedes the dispatch, telling the checker
+            # this placement is sanctioned.
+            entry.is_probe = True
+            self.health.note_probe(placement.candidate.node_id)
+            self._emit("probe", entry.key, node=placement.candidate.node_id)
         self.rms.commit(placement)
         entry.dispatched = True
         entry.placement = placement
@@ -733,6 +1227,31 @@ class DReAMSim:
                     function=entry.task.function,
                     duration=placement.reconfig_time_s,
                 )
+        if entry.resumed_from is not None:
+            # This dispatch resumes checkpointed work lost to a fault
+            # or timeout: the task migrated (possibly back, under the
+            # starvation guard) carrying its preserved progress.
+            self.metrics.record_migration(entry.key, self.engine.now)
+            self._emit(
+                "migrate",
+                entry.key,
+                node=placement.candidate.node_id,
+                from_node=entry.resumed_from,
+            )
+            entry.resumed_from = None
+        if (
+            self.resilience is not None
+            and self.resilience.speculation is not None
+            and placement.total_time_s > 0
+        ):
+            straggler_at = (
+                self.resilience.speculation.slowdown_factor * placement.total_time_s
+            )
+            entry.events.append(
+                self.engine.schedule(
+                    straggler_at, lambda: self._maybe_speculate(entry)
+                )
+            )
         # A configuration-port load (fresh bitstream or soft-core
         # provisioning) may fail: the fault surfaces when the load
         # would have completed, scrapping the setup work.
@@ -793,6 +1312,11 @@ class DReAMSim:
                 time=self.engine.now,
                 node_id=placement.candidate.node_id,
             )
+        # Progress snapshots for fabric tasks; overhead stretches the
+        # execution.  Scheduled before the SEU branch so snapshots
+        # taken ahead of the strike survive it (the fault cancels any
+        # that were still pending).
+        overhead_s = self._schedule_checkpoints(entry, placement)
         # Transient SEU hazard while a fabric-hosted task executes: one
         # draw per start decides whether (and when) the circuit is
         # corrupted before it can finish.
@@ -804,18 +1328,29 @@ class DReAMSim:
                 )
                 return
         entry.events.append(
-            self.engine.schedule(placement.exec_time_s, lambda: self._finish(entry))
+            self.engine.schedule(
+                placement.exec_time_s + overhead_s, lambda: self._finish(entry)
+            )
         )
 
     def _finish(self, entry: _Entry) -> None:
         placement = entry.placement
         assert placement is not None
+        replica = self._replicas.get(entry.key)
+        if replica is not None:
+            # The primary finished first: the speculative copy lost.
+            self._abort_replica(replica, action="lose")
         self.rms.finish_execution(placement)
         label = (
             f"node{placement.candidate.node_id}:"
             f"{placement.candidate.kind.value}{placement.candidate.resource_index}"
         )
         self.metrics.record_finish(entry.key, self.engine.now, label)
+        self._health_success(entry, placement.candidate.node_id)
+        entry.completed = True
+        for handle in entry.deadline_events:
+            handle.cancel()
+        entry.deadline_events.clear()
         self._emit("complete", entry.key, node=placement.candidate.node_id)
         self._emit_slice_free(entry)
         self.active.pop(entry.key, None)
@@ -833,4 +1368,9 @@ class DReAMSim:
     # ------------------------------------------------------------------
     def run(self, until: float | None = None, max_events: int | None = None) -> SimulationReport:
         self.engine.run(until=until, max_events=max_events)
+        if self.health is not None:
+            self.metrics.record_quarantine_stats(
+                episodes=self.health.total_quarantine_episodes(),
+                total_s=self.health.total_quarantine_s(self.engine.now),
+            )
         return self.metrics.report(self.engine.now)

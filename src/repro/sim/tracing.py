@@ -62,6 +62,13 @@ EVENT_KINDS = frozenset(
         "task-failed",  # terminal failure (retry budget exhausted)
         "link-fault",   # a network link degraded or was severed
         "link-restore", # that link healed
+        # Adaptive resilience layer (grid/health.py + sim/resilience.py):
+        "quarantine",   # a node's circuit breaker opened/closed
+        "probe",        # a probationary placement on a half-open node
+        "timeout",      # the deadline watchdog fired for this task
+        "checkpoint",   # a fabric task snapshotted its progress
+        "migrate",      # a checkpointed task resumed on another node
+        "speculate",    # replica lifecycle: launch / win / lose / abort
     }
 )
 
@@ -264,6 +271,15 @@ class TraceInvariantChecker(TraceSink):
       left, which is what makes :meth:`assert_no_lost_tasks`'s
       exactly-once guarantee meaningful.  ``link-restore`` must pair
       with a live ``link-fault``.
+    * **Quarantine** -- after a ``quarantine`` (phase ``open``) for a
+      node, no ``dispatch`` may target that node until a ``probe``
+      (the sanctioned half-open trickle) or a ``quarantine`` phase
+      ``close`` lifts it: an open circuit breaker receives zero
+      placements.
+    * **Resilience lifecycle** -- ``checkpoint`` only while started;
+      ``migrate`` only right after a dispatch; ``timeout`` transitions
+      follow its ``action`` (``warn`` observes, ``requeue`` /``fail``
+      tear the placement down like a fault does).
     """
 
     def __init__(self) -> None:
@@ -278,6 +294,9 @@ class TraceInvariantChecker(TraceSink):
         self._resident: dict[tuple[int, int, int], str] = {}
         #: (site a, site b) pairs with a live, un-restored link fault
         self._degraded_links: set[tuple[int, int]] = set()
+        #: Nodes whose circuit breaker is open (no dispatch allowed
+        #: until a probe or a quarantine-close lifts the embargo).
+        self._open_breakers: set[int] = set()
 
     # ------------------------------------------------------------------
     def _fail(self, event: TraceEvent, message: str) -> None:
@@ -319,6 +338,12 @@ class TraceInvariantChecker(TraceSink):
         self._expect_state(event, _SUBMITTED)
         self._task_state[event.key] = _DISPATCHED
         payload = event.payload
+        if payload.get("node") in self._open_breakers:
+            self._fail(
+                event,
+                f"dispatch to node {payload.get('node')} whose circuit "
+                "breaker is open (quarantined)",
+            )
         reused = payload.get("reused", False)
         if reused and payload.get("reconfig_time", 0.0) > 0.0:
             self._fail(event, "configuration reuse must pay zero reconfiguration")
@@ -370,6 +395,65 @@ class TraceInvariantChecker(TraceSink):
     def _on_task_failed(self, event: TraceEvent) -> None:
         self._expect_state(event, _FAULTED)
         self._task_state[event.key] = _FAILED
+
+    # ------------------------------------------------------------------
+    # Adaptive resilience lifecycle
+    # ------------------------------------------------------------------
+    def _on_quarantine(self, event: TraceEvent) -> None:
+        node = event.payload.get("node")
+        phase = event.payload.get("phase")
+        if phase == "open":
+            # Re-adding is legal: a failed probe re-opens the breaker.
+            self._open_breakers.add(node)
+        elif phase == "close":
+            # The node may already have been lifted by a probe.
+            self._open_breakers.discard(node)
+        else:
+            self._fail(event, f"unknown quarantine phase {phase!r}")
+
+    def _on_probe(self, event: TraceEvent) -> None:
+        # A probe is the sanctioned half-open trickle: it lifts the
+        # dispatch embargo for the placement that follows it.
+        self._open_breakers.discard(event.payload.get("node"))
+
+    def _on_timeout(self, event: TraceEvent) -> None:
+        action = event.payload.get("action")
+        if action == "warn":
+            self._expect_state(event, _SUBMITTED, _DISPATCHED, _STARTED, _FAULTED)
+        elif action == "requeue":
+            # The watchdog tore down a live placement; the task re-enters
+            # the retry machinery exactly like a faulted one.
+            self._expect_state(event, _DISPATCHED, _STARTED)
+            self._task_state[event.key] = _FAULTED
+        elif action == "fail":
+            # Hard deadline: placement (if any) torn down, terminal
+            # failure (``task-failed``) follows.
+            self._expect_state(event, _SUBMITTED, _DISPATCHED, _STARTED, _FAULTED)
+            self._task_state[event.key] = _FAULTED
+        else:
+            self._fail(event, f"unknown timeout action {action!r}")
+
+    def _on_checkpoint(self, event: TraceEvent) -> None:
+        self._expect_state(event, _STARTED)
+        frac = event.payload.get("frac", 0.0)
+        if not 0.0 < frac < 1.0:
+            self._fail(event, f"checkpoint fraction {frac!r} outside (0, 1)")
+
+    def _on_migrate(self, event: TraceEvent) -> None:
+        # Emitted immediately after the resumed task's dispatch.
+        self._expect_state(event, _DISPATCHED)
+
+    def _on_speculate(self, event: TraceEvent) -> None:
+        action = event.payload.get("action")
+        if action == "launch":
+            self._expect_state(event, _DISPATCHED, _STARTED)
+        elif action == "win":
+            self._expect_state(event, _DISPATCHED, _STARTED)
+        elif action in ("lose", "abort"):
+            if event.key not in self._task_state:
+                self._fail(event, "replica event for an unknown task")
+        else:
+            self._fail(event, f"unknown speculate action {action!r}")
 
     def _on_link_fault(self, event: TraceEvent) -> None:
         pair = (event.payload.get("a"), event.payload.get("b"))
@@ -467,9 +551,12 @@ class TraceInvariantChecker(TraceSink):
     def assert_no_lost_tasks(self) -> None:
         """The fault-tolerance contract: every submitted task terminated
         exactly once -- as completed, failed, or discarded -- no matter
-        what faults hit it.  (Exactly-once is enforced online: the
-        state machine rejects any transition out of a terminal state.)
-        Call after a fully drained run.
+        what faults hit it, and no matter how the resilience layer moved
+        it around (quarantine deferrals, watchdog timeouts, checkpoint
+        migrations, speculative replicas).  (Exactly-once is enforced
+        online: the state machine rejects any transition out of a
+        terminal state, and replica events never create a second
+        lifecycle for a task.)  Call after a fully drained run.
         """
         lost = sorted(
             (key for key, state in self._task_state.items() if state not in _TERMINAL),

@@ -64,6 +64,78 @@ class TestSimulate:
         second = capsys.readouterr().out
         assert first == second
 
+    def test_negative_seed_rejected(self, capsys):
+        """A negative seed must die at the parser (exit 2), not as a
+        numpy traceback from deep inside the run."""
+        with pytest.raises(SystemExit) as exc:
+            main(["simulate", "--seed", "-1", "--tasks", "5"])
+        assert exc.value.code == 2
+        assert "--seed must be non-negative" in capsys.readouterr().err
+
+    def test_unknown_fault_preset_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["simulate", "--faults", "bogus", "--tasks", "5"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_resilience_flags_smoke(self, capsys):
+        assert main([
+            "simulate", "--tasks", "20", "--seed", "3", "--faults", "chaos",
+            "--breaker", "--deadlines", "--checkpoint-interval", "0.25",
+            "--speculative", "1.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "completed / discarded / pending" in out
+
+    def test_resilience_flags_do_not_change_clean_run(self, capsys):
+        """Breakers/deadlines that never fire leave the headline
+        metrics untouched (zero-cost-when-armed-but-idle)."""
+        main(["simulate", "--tasks", "20", "--seed", "9"])
+        baseline = capsys.readouterr().out
+        main(["simulate", "--tasks", "20", "--seed", "9",
+              "--breaker", "--deadlines"])
+        armed = capsys.readouterr().out
+        assert baseline == armed
+
+    @pytest.mark.parametrize(
+        "argv, message",
+        [
+            (["simulate", "--checkpoint-interval", "0"], "must be positive"),
+            (["simulate", "--speculative", "1.0"], "must be > 1"),
+            (["simulate", "--deadlines", "9:3"], "SOFT:HARD"),
+            (["simulate", "--deadlines", "abc"], "SOFT:HARD"),
+        ],
+    )
+    def test_bad_resilience_values_rejected(self, capsys, argv, message):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        assert message in capsys.readouterr().err
+
+
+class TestChaos:
+    def test_recovery_table(self, capsys):
+        assert main(["chaos", "--tasks", "20", "--seed", "3",
+                     "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "availability" in out
+        assert "fcfs" in out and "hybrid-cost" in out
+
+    def test_resilience_metrics_and_json(self, tmp_path, capsys):
+        dst = tmp_path / "chaos.json"
+        assert main(["chaos", "--tasks", "30", "--seed", "3", "--jobs", "1",
+                     "--breaker", "--deadlines", "--checkpoint-interval",
+                     "0.25", "--json", str(dst)]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoints" in out
+        import json
+
+        data = json.loads(dst.read_text())
+        assert set(data) == {"fcfs", "hybrid-cost"}
+        for record in data.values():
+            assert "wasted_work_saved_s" in record
+            assert "deadline_miss_rate" in record
+
 
 class TestClustalw:
     def test_synthetic_alignment(self, capsys):

@@ -20,8 +20,10 @@ from pathlib import Path
 
 import pytest
 
+from repro.grid.health import HealthPolicy
 from repro.sim.experiment import ExperimentSpec, run_experiment
 from repro.sim.faults import FaultSpec
+from repro.sim.resilience import CheckpointSpec, DeadlineSpec, ResilienceSpec, SpeculationSpec
 from repro.sim.tracing import (
     InMemorySink,
     TraceInvariantChecker,
@@ -58,11 +60,28 @@ CHAOS_SPEC = SPEC.with_(
     ),
 )
 
+#: The chaos scenario with the full adaptive resilience layer armed:
+#: tight deadlines (so the watchdog requeues and fails tasks), dense
+#: checkpoints (so a fault resumes from a snapshot and migrates), and a
+#: twitchy breaker (so the crashing node gets quarantined and probed).
+#: Seed 11 is chosen so the committed trace exercises quarantine,
+#: probe, timeout, checkpoint, and migrate events in one file.
+RESILIENCE_SPEC = CHAOS_SPEC.with_(
+    seed=11,
+    resilience=ResilienceSpec(
+        breaker=HealthPolicy(min_events=2, open_threshold=0.4, open_duration_s=4.0),
+        deadlines=DeadlineSpec(soft_factor=2.0, hard_factor=6.0, slack_s=0.25),
+        checkpoint=CheckpointSpec(interval_s=0.1),
+        speculation=SpeculationSpec(slowdown_factor=1.5),
+    ),
+)
+
 #: The locked scenarios: name -> (spec, golden file).
 GOLDEN = {
     "fcfs": (SPEC.with_(strategy="fcfs"), "golden_trace_fcfs.jsonl"),
     "hybrid-cost": (SPEC, "golden_trace_hybrid.jsonl"),
     "chaos": (CHAOS_SPEC, "golden_trace_chaos.jsonl"),
+    "resilience": (RESILIENCE_SPEC, "golden_trace_resilience.jsonl"),
 }
 
 
@@ -113,6 +132,20 @@ def test_chaos_golden_contains_recovery_sequence():
     assert "fault" in kinds
     assert "retry" in kinds
     assert "node-leave" in kinds and "node-join" in kinds
+
+
+def test_resilience_golden_contains_adaptive_sequence():
+    """The committed resilience golden must exercise the adaptive
+    layer: quarantine + sanctioned probe, deadline timeouts, and
+    checkpoint + post-fault migration."""
+    from repro.sim.tracing import TraceEvent
+
+    lines = (
+        DATA_DIR / GOLDEN["resilience"][1]
+    ).read_text(encoding="ascii").splitlines()
+    kinds = [TraceEvent.from_json(line).kind for line in lines]
+    for kind in ("quarantine", "probe", "timeout", "checkpoint", "migrate"):
+        assert kind in kinds, f"resilience golden lacks {kind!r} events"
 
 
 def write_goldens() -> None:
