@@ -176,6 +176,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim.experiment import ExperimentSpec, run_experiment
     from repro.sim.faults import FAULT_PRESETS
     from repro.sim.runner import ExperimentRunner
+    from repro.sim.telemetry import TelemetryRegistry
     from repro.sim.tracing import JsonlSink, TraceInvariantChecker, Tracer
 
     spec = ExperimentSpec(
@@ -195,7 +196,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     tracer = None
     if args.trace:
         tracer = Tracer(TraceInvariantChecker(), JsonlSink(args.trace))
-    result = run_experiment(spec, audit_energy=args.energy, tracer=tracer)
+    telemetry = TelemetryRegistry() if args.telemetry else None
+    result = run_experiment(
+        spec, audit_energy=args.energy, tracer=tracer, telemetry=telemetry
+    )
     print(f"strategy: {args.strategy}   seed: {args.seed}")
     print("\n".join(result.report.summary_lines()))
     if tracer is not None:
@@ -206,16 +210,65 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"trace                {tracer.events_emitted} events -> {args.trace} "
             f"(invariants OK: {checker.events_checked} checked)"
         )
+    if telemetry is not None:
+        telemetry.write_json(args.telemetry)
+        print(
+            f"telemetry            {len(telemetry.instruments)} instruments "
+            f"-> {args.telemetry}"
+        )
     if args.energy and result.energy is not None:
         print("\n".join(result.energy.summary_lines()))
     if args.replications > 1:
-        runner = ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+        runner = ExperimentRunner(
+            jobs=args.jobs, cache_dir=args.cache_dir, progress=args.progress
+        )
         summary = runner.replicate(
             spec, seeds=[args.seed + i for i in range(args.replications)]
         )
         print()
         print("\n".join(summary.summary_lines()))
         print(f"runner              {runner.last_stats.summary_line()}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report_html import render_dashboard
+    from repro.sim.telemetry import load_telemetry, write_chrome_trace
+    from repro.sim.tracing import read_jsonl
+
+    try:
+        registry = load_telemetry(args.telemetry)
+    except (OSError, ValueError) as exc:
+        print(f"repro report: error: {exc}", file=sys.stderr)
+        return 2
+    events = None
+    if args.trace:
+        try:
+            events = read_jsonl(args.trace)
+        except OSError as exc:
+            print(f"repro report: error: {exc}", file=sys.stderr)
+            return 2
+    html_text = render_dashboard(registry, events)
+    Path(args.output).write_text(html_text, encoding="utf-8")
+    print(f"dashboard            {len(html_text)} bytes -> {args.output}")
+    if args.perfetto:
+        if events is None:
+            print(
+                "repro report: error: --perfetto needs a trace file "
+                "(pass TRACE as the second positional argument)",
+                file=sys.stderr,
+            )
+            return 2
+        count = write_chrome_trace(args.perfetto, events)
+        print(
+            f"perfetto             {count} trace events -> {args.perfetto} "
+            "(open in chrome://tracing or ui.perfetto.dev)"
+        )
+    if args.openmetrics:
+        Path(args.openmetrics).write_text(
+            registry.open_metrics(), encoding="ascii"
+        )
+        print(f"openmetrics          -> {args.openmetrics}")
     return 0
 
 
@@ -270,7 +323,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         area_range=(2_000, 12_000),
         seed=args.seed,
     )
-    runner = ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+    runner = ExperimentRunner(
+        jobs=args.jobs, cache_dir=args.cache_dir, progress=args.progress
+    )
     results = runner.sweep(base, args.field, values)
     rows = [
         (
@@ -403,14 +458,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replications", type=int, default=1, help="run N seeds and report mean +/- std")
     p.add_argument("--trace", metavar="PATH",
                    help="write a JSONL event trace and validate invariants online")
+    p.add_argument("--telemetry", metavar="PATH",
+                   help="record sim-time telemetry series to a JSON file "
+                        "(render with `repro report`)")
     p.add_argument("--faults", choices=fault_presets, default=None,
                    help="inject a named fault scenario (see repro.sim.faults)")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes for --replications (default: CPU count)")
     p.add_argument("--cache-dir", metavar="DIR",
                    help="cache replication results keyed by spec hash")
+    p.add_argument("--progress", action="store_true",
+                   help="print live per-spec progress lines to stderr "
+                        "(auto-enabled on a TTY)")
     _add_resilience_flags(p)
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "report",
+        help="render an HTML dashboard from telemetry (+ optional trace) files",
+    )
+    p.add_argument("telemetry", metavar="TELEMETRY",
+                   help="telemetry JSON written by `repro simulate --telemetry`")
+    p.add_argument("trace", nargs="?", metavar="TRACE",
+                   help="JSONL event trace written by `--trace` (enables the "
+                        "task timeline and --perfetto)")
+    p.add_argument("-o", "--output", default="report.html", metavar="PATH",
+                   help="output HTML file (default: report.html)")
+    p.add_argument("--perfetto", metavar="PATH",
+                   help="also export Chrome trace-event JSON for "
+                        "chrome://tracing / ui.perfetto.dev")
+    p.add_argument("--openmetrics", metavar="PATH",
+                   help="also dump instrument end-states in OpenMetrics text")
+    p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("sweep", help="sweep one experiment knob through the parallel runner")
     p.add_argument("--field", choices=sorted(SWEEPABLE_FIELDS), default="strategy",
@@ -424,6 +503,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes (default: CPU count; 1 forces serial)")
     p.add_argument("--cache-dir", metavar="DIR",
                    help="cache results keyed by spec hash")
+    p.add_argument("--progress", action="store_true",
+                   help="print live per-spec progress lines to stderr "
+                        "(auto-enabled on a TTY)")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("chaos", help="compare strategies under a fault preset")
@@ -476,10 +558,14 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--seed must be non-negative")
     if hasattr(args, "breaker"):
         args.resilience = _resilience_from_args(parser, args)
-    if getattr(args, "trace", None):
+    if getattr(args, "trace", None) and args.command != "report":
         parent = Path(args.trace).resolve().parent
         if not parent.is_dir():
             parser.error(f"--trace directory does not exist: {parent}")
+    if getattr(args, "telemetry", None) and args.command != "report":
+        parent = Path(args.telemetry).resolve().parent
+        if not parent.is_dir():
+            parser.error(f"--telemetry directory does not exist: {parent}")
     if getattr(args, "cache_dir", None) is not None:
         cache_dir = Path(args.cache_dir)
         if cache_dir.exists() and not cache_dir.is_dir():

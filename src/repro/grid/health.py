@@ -123,9 +123,29 @@ class HealthTracker:
     inspection, so the tracker needs no event-engine hooks.
     """
 
+    #: Numeric gauge encoding of breaker states for telemetry.
+    STATE_VALUES = {
+        BreakerState.CLOSED: 0.0,
+        BreakerState.HALF_OPEN: 1.0,
+        BreakerState.OPEN: 2.0,
+    }
+
     def __init__(self, policy: HealthPolicy | None = None):
         self.policy = policy or HealthPolicy()
         self._nodes: dict[int, NodeHealth] = {}
+        #: Optional :class:`repro.sim.telemetry.TelemetryRegistry`
+        #: installed by the simulator; breaker transitions sample a
+        #: per-node ``node_breaker_state`` gauge (0=closed, 1=half-open,
+        #: 2=open).  ``None`` keeps every path a single attribute check.
+        self.telemetry = None
+
+    def _sample_state(self, node_id: int, state: BreakerState) -> None:
+        if self.telemetry is not None:
+            self.telemetry.gauge(
+                "node_breaker_state",
+                "circuit breaker state (0=closed, 1=half-open, 2=open)",
+                node=node_id,
+            ).set(self.STATE_VALUES[state])
 
     # ------------------------------------------------------------------
     # Registry
@@ -155,6 +175,7 @@ class HealthTracker:
             health.state = BreakerState.HALF_OPEN
             health.probes_in_flight = 0
             health.probe_successes = 0
+            self._sample_state(node_id, BreakerState.HALF_OPEN)
         return health.state
 
     def is_blocked(self, node_id: int, now: float) -> bool:
@@ -194,6 +215,7 @@ class HealthTracker:
         health.opened_at = now
         health.probes_in_flight = 0
         health.probe_successes = 0
+        self._sample_state(health.node_id, BreakerState.OPEN)
 
     def _close(self, health: NodeHealth, now: float) -> None:
         if health.quarantined_since is not None:
@@ -204,6 +226,7 @@ class HealthTracker:
         health.probes_in_flight = 0
         health.probe_successes = 0
         health.score = 0.0
+        self._sample_state(health.node_id, BreakerState.CLOSED)
 
     def record_failure(
         self, node_id: int, now: float, *, probe: bool = False

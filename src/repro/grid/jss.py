@@ -103,6 +103,15 @@ class JobSubmissionSystem:
         self.virtualization = virtualization or VirtualizationLayer()
         self.jobs: dict[int, Job] = {}
         self.rejected = 0
+        #: Optional :class:`repro.sim.telemetry.TelemetryRegistry`
+        #: installed by the simulator; submission and terminal status
+        #: transitions then count into ``jss_tasks_*_total`` series.
+        #: ``None`` keeps every path a single attribute check.
+        self.telemetry = None
+
+    def _count(self, name: str, help: str, amount: float = 1.0) -> None:
+        if self.telemetry is not None:
+            self.telemetry.counter(name, help).inc(amount)
 
     # ------------------------------------------------------------------
     # Validation
@@ -121,7 +130,9 @@ class JobSubmissionSystem:
             validate_artifacts(level, task.exec_req.artifacts)
         except SubmissionError:
             self.rejected += 1
+            self._count("jss_tasks_rejected_total", "tasks failing validation")
             raise
+        self._count("jss_tasks_submitted_total", "tasks accepted by the JSS")
         return level
 
     # ------------------------------------------------------------------
@@ -207,6 +218,7 @@ class JobSubmissionSystem:
         record = self.job(job_id).record(task_id)
         record.status = JobStatus.COMPLETED
         record.finish_time = time
+        self._count("jss_tasks_completed_total", "tasks reaching COMPLETED")
 
     def mark_failed(
         self,
@@ -227,3 +239,4 @@ class JobSubmissionSystem:
             record.failure_reason = reason
         if attempts is not None:
             record.attempts = attempts
+        self._count("jss_tasks_failed_total", "tasks reaching FAILED")

@@ -113,6 +113,11 @@ class ResourceManagementSystem:
         #: ``now`` is passed to :meth:`plan_placement`), quarantined
         #: nodes are filtered out of matchmaking.
         self.health = None
+        #: Optional :class:`repro.sim.telemetry.TelemetryRegistry`
+        #: installed by the simulator; placement-lifecycle methods then
+        #: sample per-RPE configured-slice gauges and matchmaking
+        #: counters.  ``None`` keeps every path a single attribute check.
+        self.telemetry = None
         self._nodes: dict[int, Node] = {}
         self._sites: dict[int, int] = {}
         #: TaskID -> node_id of the producer's output location, valid
@@ -326,8 +331,18 @@ class ResourceManagementSystem:
             candidates = filter_quarantined(candidates, self.health, now)
             choice = self.scheduler.choose(task, candidates, self)
             if choice is None:
+                if self.telemetry is not None:
+                    self.telemetry.counter(
+                        "rms_placements_deferred_total",
+                        "placement requests the strategy declined",
+                    ).inc()
                 return None
             try:
+                if self.telemetry is not None:
+                    self.telemetry.counter(
+                        "rms_placements_planned_total",
+                        "placements the strategy produced",
+                    ).inc()
                 return self._price(task, choice)
             except (SchedulingError, VirtualizationError) as exc:
                 raise SchedulingError(
@@ -339,6 +354,27 @@ class ResourceManagementSystem:
     # ------------------------------------------------------------------
     # Placement lifecycle (driven by the simulator through time)
     # ------------------------------------------------------------------
+    def _sample_fabric(self, placement: Placement) -> None:
+        """Telemetry hook: re-sample the affected RPE's configured-slice
+        gauge after a fabric-state transition (no-op for GPP/GPU
+        placements and whenever no registry is installed)."""
+        if self.telemetry is None or placement.candidate.kind in (
+            PEClass.GPP,
+            PEClass.GPU,
+        ):
+            return
+        node_id = placement.candidate.node_id
+        if node_id not in self._nodes:
+            return  # node departed mid-teardown
+        rpe = self._nodes[node_id].rpe(placement.candidate.resource_id)
+        fabric = rpe.fabric
+        self.telemetry.gauge(
+            "rpe_configured_slices",
+            "fabric slices currently allocated to configurations",
+            node=node_id,
+            rpe=placement.candidate.resource_id,
+        ).set(fabric.total_slices - fabric.available_slices)
+
     def commit(self, placement: Placement) -> None:
         """Reserve the chosen resources at dispatch time."""
         if placement._committed:
@@ -373,6 +409,7 @@ class ResourceManagementSystem:
                 region = rpe.fabric.regions[self._region_index(rpe, placement.region_id)]
                 rpe.begin_task(region, placement.task.task_id)
         placement._committed = True
+        self._sample_fabric(placement)
 
     def begin_execution(self, placement: Placement) -> None:
         """Transfer/synthesis/reconfiguration done; start executing."""
@@ -407,6 +444,7 @@ class ResourceManagementSystem:
             rpe.finish_task(region)
         placement._executing = False
         placement._committed = False
+        self._sample_fabric(placement)
 
     def abort_placement(
         self, placement: Placement, *, clear_configuration: bool = False
@@ -444,6 +482,7 @@ class ResourceManagementSystem:
                     rpe.hosted_softcores.pop(region.region_id, None)
         placement._executing = False
         placement._committed = False
+        self._sample_fabric(placement)
 
     def run_placement(self, placement: Placement) -> float:
         """Run the full lifecycle instantly; returns total_time_s.

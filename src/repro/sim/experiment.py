@@ -28,6 +28,7 @@ from repro.sim.faults import FaultInjector, FaultSpec, RetryPolicy
 from repro.sim.metrics import SimulationReport
 from repro.sim.resilience import ResilienceSpec
 from repro.sim.simulator import DReAMSim
+from repro.sim.telemetry import TelemetryRegistry
 from repro.sim.tracing import Tracer
 from repro.sim.workload import (
     ArrivalProcess,
@@ -153,6 +154,7 @@ def run_experiment(
     arrivals: ArrivalProcess | None = None,
     audit_energy: bool = False,
     tracer: Tracer | None = None,
+    telemetry: TelemetryRegistry | None = None,
 ) -> ExperimentResult:
     """Build, run, and report one experiment.
 
@@ -160,7 +162,9 @@ def run_experiment(
     :class:`~repro.sim.workload.TraceArrivals` for trace-driven runs).
     ``tracer`` receives the structured event stream (and, when it
     carries a :class:`~repro.sim.tracing.TraceInvariantChecker`,
-    validates the run online).
+    validates the run online).  ``telemetry`` receives sim-time series
+    (:class:`~repro.sim.telemetry.TelemetryRegistry`); after the run
+    its ``meta`` carries the spec's headline knobs for the dashboard.
     """
     rms = build_grid(spec)
     pool = ConfigurationPool(
@@ -193,9 +197,24 @@ def run_experiment(
         faults=injector,
         retry=spec.retry,
         resilience=spec.resilience,
+        telemetry=telemetry,
     )
     sim.submit_workload(workload.generate())
     report = sim.run()
+    if telemetry is not None:
+        telemetry.meta.update(
+            strategy=spec.strategy,
+            tasks=spec.tasks,
+            seed=spec.seed,
+            arrival_rate_per_s=spec.arrival_rate_per_s,
+            nodes=len(rms.nodes),
+            faults=spec.faults is not None,
+            resilience=(
+                spec.resilience.describe() if spec.resilience is not None else {}
+            ),
+            horizon_s=report.horizon_s,
+            summary=report.summary_lines(),
+        )
     energy = EnergyAuditor(rms).audit(sim) if audit_energy else None
     return ExperimentResult(spec=spec, report=report, energy=energy)
 

@@ -150,14 +150,24 @@ class SimulationReport:
     speculative_wins: int = 0
     speculative_win_rate: float = 0.0
     speculative_wasted_s: float = 0.0
+    # --- latency percentiles (defaults keep stored reports from
+    # earlier runs loadable; ``p95_wait_s`` above predates these) ---
+    p50_wait_s: float = 0.0
+    p99_wait_s: float = 0.0
+    p50_turnaround_s: float = 0.0
+    p95_turnaround_s: float = 0.0
+    p99_turnaround_s: float = 0.0
 
     def summary_lines(self) -> list[str]:
         """Human-readable report (printed by benches and examples)."""
         lines = [
             f"horizon              {self.horizon_s:10.2f} s",
             f"completed / discarded / pending   {self.completed} / {self.discarded} / {self.pending}",
-            f"mean wait            {self.mean_wait_s:10.4f} s   (p95 {self.p95_wait_s:.4f})",
-            f"mean turnaround      {self.mean_turnaround_s:10.4f} s",
+            f"mean wait            {self.mean_wait_s:10.4f} s   "
+            f"(p50 {self.p50_wait_s:.4f}  p95 {self.p95_wait_s:.4f}  p99 {self.p99_wait_s:.4f})",
+            f"mean turnaround      {self.mean_turnaround_s:10.4f} s   "
+            f"(p50 {self.p50_turnaround_s:.4f}  p95 {self.p95_turnaround_s:.4f}  "
+            f"p99 {self.p99_turnaround_s:.4f})",
             f"makespan             {self.makespan_s:10.2f} s",
             f"reconfigurations     {self.reconfigurations:6d}  ({self.total_reconfig_time_s:.3f} s total)",
             f"configuration reuse  {self.reuse_hits:6d}  (rate {self.reuse_rate:.2%})",
@@ -460,7 +470,18 @@ class MetricsCollector:
             pending=len(pending),
             mean_wait_s=float(waits.mean()) if waits.size else 0.0,
             p95_wait_s=float(np.percentile(waits, 95)) if waits.size else 0.0,
+            p50_wait_s=float(np.percentile(waits, 50)) if waits.size else 0.0,
+            p99_wait_s=float(np.percentile(waits, 99)) if waits.size else 0.0,
             mean_turnaround_s=float(turnarounds.mean()) if turnarounds.size else 0.0,
+            p50_turnaround_s=(
+                float(np.percentile(turnarounds, 50)) if turnarounds.size else 0.0
+            ),
+            p95_turnaround_s=(
+                float(np.percentile(turnarounds, 95)) if turnarounds.size else 0.0
+            ),
+            p99_turnaround_s=(
+                float(np.percentile(turnarounds, 99)) if turnarounds.size else 0.0
+            ),
             makespan_s=max((t.finish for t in finished), default=0.0),
             reconfigurations=len(reconfigs),
             total_reconfig_time_s=sum(t.reconfig_time for t in reconfigs),

@@ -124,6 +124,37 @@ class ResilienceSpec:
             for v in (self.breaker, self.deadlines, self.checkpoint, self.speculation)
         )
 
+    def describe(self) -> dict[str, object]:
+        """Armed mechanisms as a flat JSON-safe dict -- the telemetry
+        file's ``meta.resilience`` entry and the dashboard's header."""
+        out: dict[str, object] = {}
+        if self.breaker is not None:
+            out["breaker"] = {
+                "ewma_alpha": self.breaker.ewma_alpha,
+                "open_threshold": self.breaker.open_threshold,
+                "min_events": self.breaker.min_events,
+                "open_duration_s": self.breaker.open_duration_s,
+                "half_open_probes": self.breaker.half_open_probes,
+                "close_after": self.breaker.close_after,
+            }
+        if self.deadlines is not None:
+            out["deadlines"] = {
+                "soft_factor": self.deadlines.soft_factor,
+                "hard_factor": self.deadlines.hard_factor,
+                "slack_s": self.deadlines.slack_s,
+                "reschedule": self.deadlines.reschedule,
+            }
+        if self.checkpoint is not None:
+            out["checkpoint"] = {
+                "interval_s": self.checkpoint.interval_s,
+                "overhead_s": self.checkpoint.overhead_s,
+            }
+        if self.speculation is not None:
+            out["speculation"] = {
+                "slowdown_factor": self.speculation.slowdown_factor,
+            }
+        return out
+
 
 #: Ready-made bundles for the CLI / examples, mirroring FAULT_PRESETS.
 RESILIENCE_PRESETS: dict[str, ResilienceSpec] = {

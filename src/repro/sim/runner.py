@@ -33,9 +33,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import time
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -52,7 +53,8 @@ from repro.sim.metrics import SimulationReport
 #: Bump when the cached JSON layout changes; stale entries then miss.
 #: 2: fault-injection fields on ExperimentSpec and SimulationReport.
 #: 3: resilience fields (breakers/deadlines/checkpoints/speculation).
-_CACHE_FORMAT = 3
+#: 4: wait/turnaround percentile fields (p50/p99 wait, p50/p95/p99 turnaround).
+_CACHE_FORMAT = 4
 
 
 def default_jobs() -> int:
@@ -170,13 +172,39 @@ class ExperimentRunner:
         jobs: int | None = None,
         cache_dir: str | Path | None = None,
         audit_energy: bool = False,
+        progress: bool | None = None,
     ):
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = default_jobs() if jobs is None else jobs
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.audit_energy = audit_energy
+        #: Live per-spec progress lines on stderr.  ``None`` = auto:
+        #: on only when stderr is a TTY, so pipelines, tests and CI logs
+        #: stay byte-identical unless explicitly asked (``--progress``).
+        self.progress = sys.stderr.isatty() if progress is None else progress
         self.last_stats = RunnerStats()
+
+    @staticmethod
+    def _spec_label(spec: ExperimentSpec) -> str:
+        return (
+            f"strategy={spec.strategy} tasks={spec.tasks} seed={spec.seed}"
+        )
+
+    def _progress_line(
+        self, done: int, total: int, spec: ExperimentSpec,
+        result: ExperimentResult, source: str,
+    ) -> None:
+        if not self.progress:
+            return
+        report = result.report
+        print(
+            f"[{done}/{total}] {self._spec_label(spec)}: "
+            f"wait={report.mean_wait_s:.4f}s makespan={report.makespan_s:.2f}s "
+            f"done={report.completed} ({source})",
+            file=sys.stderr,
+            flush=True,
+        )
 
     def run(self, specs: Sequence[ExperimentSpec]) -> list[ExperimentResult]:
         """Run every spec; results are returned in input order."""
@@ -186,6 +214,7 @@ class ExperimentRunner:
         keys: list[str | None] = [None] * len(specs)
         misses: list[int] = []
 
+        done = 0
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
             for i, spec in enumerate(specs):
@@ -193,20 +222,20 @@ class ExperimentRunner:
                 results[i] = _cache_load(self.cache_dir, spec, keys[i])
                 if results[i] is None:
                     misses.append(i)
+                else:
+                    done += 1
+                    self._progress_line(done, len(specs), spec, results[i], "cached")
         else:
             misses = list(range(len(specs)))
 
         jobs = min(self.jobs, len(misses)) if misses else 1
         mode = "parallel" if jobs > 1 else "serial"
-        fresh = parallel_map(
-            _execute_spec,
-            [(specs[i], self.audit_energy) for i in misses],
-            jobs=jobs,
-        )
-        for i, result in zip(misses, fresh):
+        for i, result in self._execute_misses(specs, misses, jobs):
             results[i] = result
             if self.cache_dir is not None:
                 _cache_store(self.cache_dir, keys[i], result)
+            done += 1
+            self._progress_line(done, len(specs), specs[i], result, "run")
 
         self.last_stats = RunnerStats(
             requested=len(specs),
@@ -217,6 +246,34 @@ class ExperimentRunner:
             wall_time_s=time.perf_counter() - started,
         )
         return results  # type: ignore[return-value]
+
+    def _execute_misses(self, specs, misses, jobs):
+        """Yield ``(index, result)`` for every cache miss.
+
+        Without progress, the batch goes through :func:`parallel_map`
+        (completion order = submission order, the historical behavior).
+        With progress and multiple workers, futures are drained
+        as-completed so the live lines reflect real completion -- the
+        caller indexes results by position, so order stays immaterial.
+        """
+        payloads = [(specs[i], self.audit_energy) for i in misses]
+        if jobs <= 1 or not self.progress:
+            yield from zip(misses, parallel_map(_execute_spec, payloads, jobs=jobs))
+            return
+        try:
+            pool = ProcessPoolExecutor(max_workers=jobs)
+        except (ImportError, NotImplementedError, OSError, PermissionError,
+                ValueError):
+            for i, payload in zip(misses, payloads):
+                yield i, _execute_spec(payload)
+            return
+        with pool:
+            futures = {
+                pool.submit(_execute_spec, payload): i
+                for i, payload in zip(misses, payloads)
+            }
+            for future in as_completed(futures):
+                yield futures[future], future.result()
 
     def sweep(
         self, base: ExperimentSpec, field_name: str, values: Sequence

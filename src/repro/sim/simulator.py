@@ -49,6 +49,7 @@ from repro.sim.engine import EventHandle, SimulationEngine
 from repro.sim.faults import FaultInjector, RetryPolicy
 from repro.sim.metrics import MetricsCollector, SimulationReport
 from repro.sim.resilience import ResilienceSpec
+from repro.sim.telemetry import TelemetryRegistry
 from repro.sim.tracing import Tracer
 
 
@@ -112,6 +113,7 @@ class DReAMSim:
         faults: FaultInjector | None = None,
         retry: RetryPolicy | None = None,
         resilience: ResilienceSpec | None = None,
+        telemetry: TelemetryRegistry | None = None,
     ):
         if discard_after_s is not None and discard_after_s <= 0:
             raise ValueError("discard_after_s must be positive")
@@ -149,6 +151,98 @@ class DReAMSim:
             self.metrics.register_node(node.node_id)
         if faults is not None:
             faults.install(self)
+        #: Sim-time telemetry (None = the exact un-instrumented paths:
+        #: every hook below is a single attribute check).  Telemetry is
+        #: purely observational -- it schedules no events and draws no
+        #: randomness -- so enabling it never perturbs traces either.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.set_clock(lambda: self.engine.now)
+            self.rms.telemetry = telemetry
+            self.jss.telemetry = telemetry
+            if self.health is not None:
+                self.health.telemetry = telemetry
+            self._telemetry_init()
+
+    # ------------------------------------------------------------------
+    # Sim-time telemetry (no-ops without a registry)
+    # ------------------------------------------------------------------
+    def _telemetry_init(self) -> None:
+        """Seed every always-present series with a t=0 sample so the
+        dashboard renders each chart even when nothing ever changes.
+        The hot-path gauges are cached here: :meth:`_telemetry_sample`
+        runs after every dispatch round, so it must not pay the
+        registry's label-keyed lookup each time."""
+        registry = self.telemetry
+        assert registry is not None
+        self._t_queue_gauge = registry.gauge(
+            "sim_queue_depth", "tasks awaiting placement"
+        )
+        self._t_active_gauge = registry.gauge(
+            "sim_active_tasks", "tasks holding a placement"
+        )
+        self._t_util_gauges: dict[int, object] = {}
+        self._t_queue_gauge.set(0)
+        self._t_active_gauge.set(0)
+        registry.gauge(
+            "sim_tasks_in_backoff", "tasks waiting out a retry backoff"
+        ).set(0)
+        for node in self.rms.nodes:
+            self._t_util_gauge(node.node_id).set(0)
+            if self.health is not None:
+                registry.gauge(
+                    "node_breaker_state",
+                    "circuit breaker state (0=closed, 1=half-open, 2=open)",
+                    node=node.node_id,
+                ).set(0)
+            for rpe in node.rpes:
+                registry.gauge(
+                    "rpe_configured_slices",
+                    "fabric slices currently allocated to configurations",
+                    node=node.node_id,
+                    rpe=rpe.resource_id,
+                ).set(0)
+
+    def _t_util_gauge(self, node_id: int):
+        gauge = self._t_util_gauges.get(node_id)
+        if gauge is None:
+            gauge = self.telemetry.gauge(
+                "node_utilization",
+                "busy fraction of the node's processing elements",
+                node=node_id,
+            )
+            self._t_util_gauges[node_id] = gauge
+        return gauge
+
+    def _telemetry_sample(self) -> None:
+        """Re-sample the grid-level gauges after a state transition.
+        Gauges only record *changes*, so frequent calls stay cheap.
+        Utilization reads the live resources directly (no snapshot
+        dataclasses) -- this runs once per dispatch round."""
+        if self.telemetry is None:
+            return
+        self._t_queue_gauge.set(len(self.pending))
+        self._t_active_gauge.set(len(self.active))
+        for node in self.rms.nodes:
+            parts = 0.0
+            count = 0
+            for g in node.gpps:
+                parts += 0.0 if g.state.can_accept_work else 1.0
+                count += 1
+            for g in node.gpus:
+                parts += 0.0 if g.state.can_accept_work else 1.0
+                count += 1
+            for r in node.rpes:
+                total = r.fabric.total_slices
+                if total:
+                    parts += 1.0 - r.fabric.available_slices / total
+                count += 1
+            self._t_util_gauge(node.node_id).set(parts / count if count else 0.0)
+
+    def _telemetry_count(self, name: str, help: str, amount: float = 1.0,
+                         **labels) -> None:
+        if self.telemetry is not None:
+            self.telemetry.counter(name, help, **labels).inc(amount)
 
     # ------------------------------------------------------------------
     # Structured tracing (no-ops without a tracer)
@@ -575,6 +669,9 @@ class DReAMSim:
             node=placement.candidate.node_id,
             reason=reason,
         )
+        self._telemetry_count(
+            "sim_faults_total", "placements destroyed by injected faults"
+        )
         self._health_failure(entry, placement.candidate.node_id)
         entry.attempts += 1
         entry.excluded_nodes.add(placement.candidate.node_id)
@@ -583,6 +680,7 @@ class DReAMSim:
         entry.placement = None
         self.active.pop(entry.key, None)
         self._apply_checkpoint_resume(entry, placement, preserved)
+        self._telemetry_sample()
         self._after_fault(entry)
 
     def _after_fault(self, entry: _Entry) -> None:
@@ -620,16 +718,28 @@ class DReAMSim:
         """Return *entry* to the queue after its exponential backoff."""
         delay = self.retry.backoff_s(max(1, entry.attempts))
         entry.in_backoff = True
+        if self.telemetry is not None:
+            self.telemetry.gauge(
+                "sim_tasks_in_backoff", "tasks waiting out a retry backoff"
+            ).inc()
 
         def requeue() -> None:
             entry.in_backoff = False
+            if self.telemetry is not None:
+                self.telemetry.gauge(
+                    "sim_tasks_in_backoff", "tasks waiting out a retry backoff"
+                ).dec()
             if entry.discarded or entry.failed:
                 return  # abandoned while waiting out the backoff
             if kind == "retry":
                 self.metrics.record_retry(entry.key, self.engine.now)
+                self._telemetry_count("sim_retries_total", "retry requeues")
                 self._emit("retry", entry.key, attempt=entry.attempts + 1)
             else:
                 self.metrics.record_fallback(entry.key, self.engine.now)
+                self._telemetry_count(
+                    "sim_fallbacks_total", "GPP graceful-degradation fallbacks"
+                )
                 self._emit("fallback", entry.key)
             self.pending.append(entry)
             self.requeues += 1
@@ -726,6 +836,10 @@ class DReAMSim:
         if entry.completed or entry.discarded or entry.failed:
             return
         self.metrics.record_deadline_miss(entry.key, self.engine.now, hard=False)
+        self._telemetry_count(
+            "sim_deadline_misses_total", "deadline watchdog firings",
+            deadline="soft",
+        )
         spec = self.resilience.deadlines
         assert spec is not None
         if (
@@ -756,6 +870,10 @@ class DReAMSim:
         if entry.completed or entry.discarded or entry.failed:
             return
         self.metrics.record_deadline_miss(entry.key, self.engine.now, hard=True)
+        self._telemetry_count(
+            "sim_deadline_misses_total", "deadline watchdog firings",
+            deadline="hard",
+        )
         reason = f"deadline_exceeded: hard deadline of {budget_s:.3f}s missed"
         if self.active.get(entry.key) is entry and entry.placement is not None:
             self._emit(
@@ -816,6 +934,7 @@ class DReAMSim:
         entry.placement = None
         self.active.pop(entry.key, None)
         self._apply_checkpoint_resume(entry, placement, preserved)
+        self._telemetry_sample()
 
     # ------------------------------------------------------------------
     # Adaptive resilience: checkpoint/restart + migration
@@ -882,6 +1001,14 @@ class DReAMSim:
             assert spec is not None
             self.metrics.record_checkpoint(
                 entry.key, self.engine.now, overhead_s=spec.overhead_s
+            )
+            self._telemetry_count(
+                "sim_checkpoints_total", "progress snapshots taken"
+            )
+            self._telemetry_count(
+                "sim_checkpoint_overhead_seconds_total",
+                "execution seconds spent writing snapshots",
+                spec.overhead_s,
             )
             self._emit(
                 "checkpoint",
@@ -954,6 +1081,9 @@ class DReAMSim:
         replica.placement = placement
         self._replicas[entry.key] = replica
         self.metrics.record_speculation(entry.key, self.engine.now)
+        self._telemetry_count(
+            "sim_speculations_total", "speculative replicas launched"
+        )
         self._emit(
             "speculate",
             entry.key,
@@ -1122,6 +1252,7 @@ class DReAMSim:
                             or f"discarded after {deadline:g}s pending",
                             attempts=entry.attempts if entry.attempts else None,
                         )
+                    self._telemetry_sample()
 
             self.engine.schedule(deadline, maybe_discard)
         self._dispatch_pending()
@@ -1135,6 +1266,7 @@ class DReAMSim:
                 continue
             if self._try_dispatch(entry):
                 self.pending.remove(entry)
+        self._telemetry_sample()
 
     def _try_dispatch(self, entry: _Entry) -> bool:
         data_sites = self._data_sites_for(entry)
@@ -1192,6 +1324,10 @@ class DReAMSim:
                 else task_required_slices(entry.task)
             ),
         )
+        if self.telemetry is not None:
+            self.telemetry.histogram(
+                "task_wait_seconds", "arrival -> dispatch latency"
+            ).observe(self.engine.now - self.metrics.tasks[entry.key].arrival)
         if self.tracer is not None:
             self._emit(
                 "dispatch",
@@ -1232,6 +1368,9 @@ class DReAMSim:
             # or timeout: the task migrated (possibly back, under the
             # starvation guard) carrying its preserved progress.
             self.metrics.record_migration(entry.key, self.engine.now)
+            self._telemetry_count(
+                "sim_migrations_total", "checkpoint-resume migrations"
+            )
             self._emit(
                 "migrate",
                 entry.key,
@@ -1346,6 +1485,10 @@ class DReAMSim:
             f"{placement.candidate.kind.value}{placement.candidate.resource_index}"
         )
         self.metrics.record_finish(entry.key, self.engine.now, label)
+        if self.telemetry is not None:
+            self.telemetry.histogram(
+                "task_turnaround_seconds", "arrival -> completion latency"
+            ).observe(self.engine.now - self.metrics.tasks[entry.key].arrival)
         self._health_success(entry, placement.candidate.node_id)
         entry.completed = True
         for handle in entry.deadline_events:

@@ -136,16 +136,31 @@ class InMemorySink(TraceSink):
 
 
 class JsonlSink(TraceSink):
-    """Streams events to a JSONL file, one object per line."""
+    """Streams events to a JSONL file, one object per line.
 
-    def __init__(self, path: str | Path):
+    Flushes every ``flush_every`` events (default 64) so a crashed or
+    killed run still leaves a readable partial trace on disk; pass
+    ``flush_every=None`` to defer entirely to the OS buffer.
+    """
+
+    def __init__(self, path: str | Path, *, flush_every: int | None = 64):
+        if flush_every is not None and flush_every < 1:
+            raise ValueError("flush_every must be >= 1 (or None)")
         self.path = Path(path)
+        self.flush_every = flush_every
         self._fh = self.path.open("w", encoding="ascii")
         self.lines_written = 0
 
     def emit(self, event: TraceEvent) -> None:
         self._fh.write(event.to_json() + "\n")
         self.lines_written += 1
+        if self.flush_every is not None and self.lines_written % self.flush_every == 0:
+            self.flush()
+
+    def flush(self) -> None:
+        """Push buffered lines to disk (no-op once closed)."""
+        if not self._fh.closed:
+            self._fh.flush()
 
     def close(self) -> None:
         if not self._fh.closed:

@@ -1,0 +1,117 @@
+"""Tests for the self-contained HTML dashboard renderer."""
+
+import xml.etree.ElementTree as ET
+
+from repro.sim.experiment import ExperimentSpec, run_experiment
+from repro.sim.faults import FaultSpec
+from repro.sim.telemetry import TelemetryRegistry, build_task_spans
+from repro.sim.tracing import (
+    InMemorySink,
+    TraceInvariantChecker,
+    Tracer,
+    canonical_events,
+)
+from repro.report_html import (
+    render_dashboard,
+    svg_span_timeline,
+    svg_step_chart,
+)
+
+SPEC = ExperimentSpec(
+    tasks=20,
+    configurations=4,
+    arrival_rate_per_s=6.0,
+    gpp_fraction=0.3,
+    seed=7,
+    faults=FaultSpec(
+        crash_rate_per_s=0.15,
+        downtime_range_s=(1.0, 2.0),
+        config_fault_prob=0.2,
+        horizon_s=6.0,
+    ),
+)
+
+
+def instrumented_run():
+    telemetry = TelemetryRegistry()
+    sink = InMemorySink()
+    tracer = Tracer(TraceInvariantChecker(), sink)
+    run_experiment(SPEC, tracer=tracer, telemetry=telemetry)
+    return telemetry, canonical_events(list(sink.events))
+
+
+def svgs_of(html_text: str) -> list[str]:
+    out, pos = [], 0
+    while True:
+        start = html_text.find("<svg", pos)
+        if start < 0:
+            return out
+        end = html_text.index("</svg>", start) + len("</svg>")
+        out.append(html_text[start:end])
+        pos = end
+
+
+class TestStepChart:
+    def test_renders_series_and_legend(self):
+        svg = svg_step_chart(
+            [("a", [(0.0, 1.0), (2.0, 3.0)]), ("b", [(0.0, 0.0), (1.0, 2.0)])],
+            title="Test chart", unit="tasks", t_max=4.0,
+        )
+        ET.fromstring(svgs_of(svg)[0])  # well-formed
+        assert "Test chart" in svg
+        # Two series: the legend is mandatory and names both.
+        assert 'class="legend"' in svg
+        assert ">a</span>" in svg and ">b</span>" in svg
+
+    def test_single_series_has_no_legend(self):
+        svg = svg_step_chart(
+            [("only", [(0.0, 1.0)])], title="Solo", unit="x", t_max=1.0,
+        )
+        assert 'class="legend"' not in svg
+
+    def test_empty_series_yields_placeholder(self):
+        html_text = svg_step_chart([], title="Nothing", unit="x", t_max=None)
+        assert "no samples" in html_text
+        assert "<svg" not in html_text
+
+    def test_palette_never_cycles(self):
+        many = [(f"s{i}", [(0.0, float(i))]) for i in range(12)]
+        svg = svg_step_chart(many, title="Crowd", unit="x", t_max=1.0)
+        assert "not drawn" in svg  # dropped series are disclosed
+
+
+class TestSpanTimeline:
+    def test_renders_rows_with_tooltips(self):
+        _, events = instrumented_run()
+        spans, instants = build_task_spans(events)
+        svg = svg_span_timeline(spans, instants, title="Tasks")
+        ET.fromstring(svgs_of(svg)[0])
+        assert svg.count("<title>") >= len(spans[:40])
+
+    def test_empty_spans_yield_placeholder(self):
+        assert "no spans" in svg_span_timeline([], [], title="Empty")
+
+
+class TestDashboard:
+    def test_full_document(self):
+        telemetry, events = instrumented_run()
+        html_text = render_dashboard(telemetry, events)
+        assert html_text.startswith("<!DOCTYPE html>")
+        # Self-contained: no external scripts, stylesheets, or images.
+        assert "<script" not in html_text
+        assert "http://" not in html_text and "https://" not in html_text
+        # The acceptance trio of time-series plus the span timeline.
+        assert "Node utilization" in html_text
+        assert "Scheduler queue" in html_text
+        assert "Task lifecycle spans" in html_text
+        # Run header and summary surface the spec's knobs.
+        assert "hybrid-cost" in html_text
+        assert "mean wait" in html_text
+        for svg in svgs_of(html_text):
+            ET.fromstring(svg)
+
+    def test_without_events_still_renders(self):
+        telemetry, _ = instrumented_run()
+        html_text = render_dashboard(telemetry)
+        assert "Task lifecycle spans" not in html_text
+        assert "Node utilization" in html_text

@@ -282,6 +282,145 @@ class TestInvariantChecker:
             checker.assert_quiescent()
 
 
+class TestJsonlFlush:
+    def test_flushes_every_n_events(self, tmp_path):
+        """A crashed run (sink never closed) still leaves the flushed
+        prefix readable on disk."""
+        path = tmp_path / "partial.jsonl"
+        sink = JsonlSink(path, flush_every=4)
+        for i in range(10):
+            sink.emit(TraceEvent(time=float(i), kind="submit", key=(i, 0)))
+        # Two full flush windows (8 events) are durable before close.
+        on_disk = read_jsonl(path)
+        assert len(on_disk) == 8
+        assert [e.key for e in on_disk] == [(i, 0) for i in range(8)]
+        sink.close()
+        assert len(read_jsonl(path)) == 10
+
+    def test_explicit_flush(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path, flush_every=None)
+        sink.emit(TraceEvent(time=0.0, kind="submit", key=(0, 0)))
+        sink.flush()
+        assert len(read_jsonl(path)) == 1
+        sink.close()
+        sink.flush()  # no-op after close, never raises
+
+    def test_bad_flush_interval_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "t.jsonl", flush_every=0)
+
+
+class TestResilienceRoundTrip:
+    """PR 3's resilience event kinds must survive the full disk
+    round-trip: emit -> JSONL -> read_jsonl -> canonical_events."""
+
+    RESILIENCE_KINDS = ("quarantine", "probe", "timeout", "checkpoint",
+                        "migrate", "speculate")
+
+    def _resilient_spec(self):
+        from repro.grid.health import HealthPolicy
+        from repro.sim.faults import FaultSpec
+        from repro.sim.resilience import (
+            CheckpointSpec,
+            DeadlineSpec,
+            ResilienceSpec,
+            SpeculationSpec,
+        )
+
+        return ExperimentSpec(
+            tasks=14,
+            configurations=4,
+            arrival_rate_per_s=8.0,
+            area_range=(2_000, 14_000),
+            gpp_fraction=0.2,
+            seed=11,
+            faults=FaultSpec(
+                crash_rate_per_s=0.25,
+                downtime_range_s=(1.0, 3.0),
+                config_fault_prob=0.35,
+                seu_rate_per_s=0.2,
+                horizon_s=8.0,
+            ),
+            resilience=ResilienceSpec(
+                breaker=HealthPolicy(
+                    min_events=2, open_threshold=0.4, open_duration_s=4.0
+                ),
+                deadlines=DeadlineSpec(
+                    soft_factor=2.0, hard_factor=6.0, slack_s=0.25
+                ),
+                checkpoint=CheckpointSpec(interval_s=0.1),
+                speculation=SpeculationSpec(slowdown_factor=1.5),
+            ),
+        )
+
+    def test_kinds_survive_disk_roundtrip(self, tmp_path):
+        path = tmp_path / "resilient.jsonl"
+        memory = InMemorySink()
+        tracer = Tracer(TraceInvariantChecker(), JsonlSink(path))
+        tracer.add_sink(memory)
+        run_experiment(self._resilient_spec(), tracer=tracer)
+        tracer.close()
+
+        loaded = canonical_events(read_jsonl(path))
+        direct = canonical_events(list(memory.events))
+        assert loaded == direct
+        kinds = {e.kind for e in loaded}
+        # Speculation needs a deterministic straggler this workload
+        # lacks; its round-trip is locked synthetically below.
+        for kind in ("quarantine", "probe", "timeout", "checkpoint", "migrate"):
+            assert kind in kinds, f"run never emitted {kind!r}"
+
+    def test_every_kind_roundtrips_synthetically(self, tmp_path):
+        """Each resilience kind, with its real payload shape, survives
+        JSONL -> read_jsonl -> canonical_events losslessly."""
+        events = [
+            TraceEvent(0.5, "quarantine", None,
+                       {"node": 1, "phase": "open", "score": 0.25,
+                        "episode": 1}),
+            TraceEvent(1.0, "probe", (907, 3), {"node": 1}),
+            TraceEvent(1.5, "timeout", (907, 3),
+                       {"deadline": "soft", "action": "warn",
+                        "budget_s": 2.0}),
+            TraceEvent(2.0, "checkpoint", (907, 3),
+                       {"node": 1, "region": 0, "frac": 0.5}),
+            TraceEvent(2.5, "migrate", (908, 4),
+                       {"node": 0, "from_node": 1}),
+            TraceEvent(3.0, "speculate", (908, 4),
+                       {"action": "win", "node": 0, "loser": 1}),
+        ]
+        path = tmp_path / "synthetic.jsonl"
+        sink = JsonlSink(path)
+        for event in events:
+            sink.emit(event)
+        sink.close()
+        loaded = read_jsonl(path)
+        assert loaded == events
+        canon = canonical_events(loaded)
+        assert [e.kind for e in canon] == [e.kind for e in events]
+        assert [e.payload for e in canon] == [e.payload for e in events]
+        # Job ids remapped densely (907 -> 0, 908 -> 1), subkeys kept.
+        assert [e.key for e in canon] == [
+            None, (0, 3), (0, 3), (0, 3), (1, 4), (1, 4),
+        ]
+
+    def test_payloads_preserved_exactly(self, tmp_path):
+        path = tmp_path / "resilient.jsonl"
+        tracer = Tracer(JsonlSink(path))
+        run_experiment(self._resilient_spec(), tracer=tracer)
+        tracer.close()
+        loaded = read_jsonl(path)
+        # Serialization is lossless line-by-line.
+        for event in loaded:
+            assert TraceEvent.from_json(event.to_json()) == event
+        # Canonicalized resilience events keep tuple keys and payloads.
+        for event in canonical_events(loaded):
+            if event.kind in self.RESILIENCE_KINDS:
+                assert event.payload
+        # And the re-read stream still satisfies every invariant.
+        assert verify_trace(loaded) == len(loaded)
+
+
 class TestCanonicalization:
     def test_job_ids_remapped_densely(self):
         events = [
