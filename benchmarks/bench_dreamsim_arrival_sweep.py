@@ -7,63 +7,16 @@ the grid is under-subscribed, then grow sharply as the arrival rate
 approaches the grid's service capacity -- and the hybrid GPP+RPE grid
 sustains a higher rate than the GPP-only grid before the knee, because
 accelerated tasks release resources ~10x sooner.
+
+The kernel lives in :mod:`repro.bench.cases` (case ``arrival-sweep``).
 """
 
-import numpy as np
-
-from repro.core.node import Node
-from repro.grid.rms import ResourceManagementSystem
-from repro.hardware.catalog import device_by_model
-from repro.hardware.gpp import GPPSpec
-from repro.scheduling import HybridCostScheduler
+from repro.bench import standalone_main
+from repro.bench.cases import ARRIVAL_TASKS as TASKS
+from repro.bench.cases import run_arrival_point as run_point
 from repro.sim.runner import parallel_map
-from repro.sim.simulator import DReAMSim
-from repro.sim.workload import (
-    ConfigurationPool,
-    PoissonArrivals,
-    SyntheticWorkload,
-    WorkloadSpec,
-)
 
-TASKS = 150
-SEED = 13
 RATES = (0.5, 1.0, 2.0, 4.0)
-
-
-def build_rms(with_fabric: bool) -> ResourceManagementSystem:
-    node = Node(node_id=0)
-    node.add_gpp(GPPSpec(cpu_model="XeonA", mips=1_000))
-    node.add_gpp(GPPSpec(cpu_model="XeonB", mips=1_000))
-    if with_fabric:
-        node.add_rpe(device_by_model("XC5VLX330"), regions=3)
-    rms = ResourceManagementSystem(scheduler=HybridCostScheduler())
-    rms.register_node(node)
-    return rms
-
-
-def run_point(rate: float, with_fabric: bool):
-    """One (rate, grid) sample.  Without fabric, hardware tasks are
-    resubmitted as plain software tasks so both grids face the same
-    logical workload."""
-    rms = build_rms(with_fabric)
-    pool = ConfigurationPool(5, area_range=(4_000, 15_000), speedup_range=(8.0, 15.0), seed=3)
-    if with_fabric:
-        pool.populate_repository(
-            rms.virtualization.repository, [device_by_model("XC5VLX330")]
-        )
-    workload = SyntheticWorkload(
-        WorkloadSpec(
-            task_count=TASKS,
-            gpp_fraction=1.0 if not with_fabric else 0.5,
-            required_time_range_s=(0.5, 2.0),
-        ),
-        pool,
-        PoissonArrivals(rate_per_s=rate),
-        seed=SEED,
-    )
-    sim = DReAMSim(rms)
-    sim.submit_workload(workload.generate())
-    return sim.run()
 
 
 def _run_point_star(args: tuple[float, bool]):
@@ -107,5 +60,4 @@ def bench_arrival_rate_sweep(benchmark):
 
 
 if __name__ == "__main__":
-    for rate, h, g in regenerate():
-        print(rate, round(h.mean_wait_s, 3), round(g.mean_wait_s, 3))
+    raise SystemExit(standalone_main("arrival-sweep"))

@@ -12,42 +12,13 @@ Two knobs the paper highlights for reconfigurable nodes (refs [20][21]):
 
 The sweep tabulates total reconfiguration time and reuse rate across
 both knobs; assertions pin the expected monotonicity.
+
+The kernel lives in :mod:`repro.bench.cases` (case ``reconfig-sweep``).
 """
 
-from repro.core.node import Node
-from repro.grid.rms import ResourceManagementSystem
-from repro.hardware.catalog import device_by_model
-from repro.scheduling import HybridCostScheduler
-from repro.sim.simulator import DReAMSim
-from repro.sim.workload import (
-    ConfigurationPool,
-    PoissonArrivals,
-    SyntheticWorkload,
-    WorkloadSpec,
-)
-
-TASKS = 150
-SEED = 23
-
-
-def run_config(*, partial: bool, pool_size: int):
-    node = Node(node_id=0)
-    node.add_rpe(device_by_model("XC5VLX330"), regions=4)
-    rms = ResourceManagementSystem(
-        scheduler=HybridCostScheduler(), partial_reconfiguration=partial
-    )
-    rms.register_node(node)
-    pool = ConfigurationPool(pool_size, area_range=(3_000, 12_000), seed=7)
-    pool.populate_repository(rms.virtualization.repository, [node.rpes[0].device])
-    workload = SyntheticWorkload(
-        WorkloadSpec(task_count=TASKS, gpp_fraction=0.0),
-        pool,
-        PoissonArrivals(rate_per_s=1.5),
-        seed=SEED,
-    )
-    sim = DReAMSim(rms)
-    sim.submit_workload(workload.generate())
-    return sim.run()
+from repro.bench import standalone_main
+from repro.bench.cases import RECONFIG_TASKS as TASKS
+from repro.bench.cases import run_reconfig as run_config
 
 
 def regenerate():
@@ -90,5 +61,4 @@ def bench_dreamsim_reconfiguration_sweep(benchmark):
 
 
 if __name__ == "__main__":
-    for partial, pool, r in regenerate():
-        print(partial, pool, r.reconfigurations, round(r.total_reconfig_time_s, 3), r.reuse_rate)
+    raise SystemExit(standalone_main("reconfig-sweep"))

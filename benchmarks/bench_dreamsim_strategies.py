@@ -11,58 +11,16 @@ strategy and tabulates mean wait, turnaround, makespan, reconfiguration
 count and configuration-reuse rate.  The expected shape: the hybrid
 cost model (which weighs all the Section V parameters) never loses to
 FCFS on waiting time, and reuse-aware strategies reconfigure less.
+
+The kernel lives in :mod:`repro.bench.cases` (case
+``dreamsim-strategies``).
 """
 
-from repro.core.node import Node
-from repro.grid.network import Network
-from repro.grid.rms import ResourceManagementSystem
-from repro.hardware.catalog import device_by_model
-from repro.hardware.gpp import GPPSpec
-from repro.scheduling import ALL_STRATEGIES, RandomScheduler
+from repro.bench import standalone_main
+from repro.bench.cases import STRATEGY_TASKS as TASKS
+from repro.bench.cases import run_strategy
+from repro.scheduling import ALL_STRATEGIES
 from repro.sim.runner import parallel_map
-from repro.sim.simulator import DReAMSim
-from repro.sim.workload import (
-    ConfigurationPool,
-    PoissonArrivals,
-    SyntheticWorkload,
-    WorkloadSpec,
-)
-
-TASKS = 250
-SEED = 11
-
-
-def build_rms(scheduler) -> ResourceManagementSystem:
-    n0 = Node(node_id=0, name="Node_0")
-    n0.add_gpp(GPPSpec(cpu_model="XeonA", mips=1_500))
-    n0.add_rpe(device_by_model("XC5VLX330"), regions=3)
-    n1 = Node(node_id=1, name="Node_1")
-    n1.add_gpp(GPPSpec(cpu_model="XeonB", mips=1_500))
-    n1.add_rpe(device_by_model("XC5VLX155"), regions=2)
-    n1.add_rpe(device_by_model("XC5VLX110"), regions=2)
-    net = Network.fully_connected([0, 1], bandwidth_mbps=100.0, latency_s=0.005)
-    rms = ResourceManagementSystem(network=net, scheduler=scheduler)
-    rms.register_node(n0)
-    rms.register_node(n1)
-    return rms
-
-
-def run_strategy(name: str):
-    cls = ALL_STRATEGIES[name]
-    scheduler = cls(seed=SEED) if cls is RandomScheduler else cls()
-    rms = build_rms(scheduler)
-    pool = ConfigurationPool(8, area_range=(3_000, 16_000), seed=5)
-    devices = [rpe.device for node in rms.nodes for rpe in node.rpes]
-    pool.populate_repository(rms.virtualization.repository, devices)
-    workload = SyntheticWorkload(
-        WorkloadSpec(task_count=TASKS, gpp_fraction=0.35),
-        pool,
-        PoissonArrivals(rate_per_s=2.5),
-        seed=SEED,
-    )
-    sim = DReAMSim(rms)
-    sim.submit_workload(workload.generate())
-    return sim.run()
 
 
 def regenerate() -> dict[str, object]:
@@ -101,5 +59,4 @@ def bench_dreamsim_strategy_sweep(benchmark):
 
 
 if __name__ == "__main__":
-    for name, r in regenerate().items():
-        print(name, r.mean_wait_s, r.reconfigurations, r.reuse_rate)
+    raise SystemExit(standalone_main("dreamsim-strategies"))

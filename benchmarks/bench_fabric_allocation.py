@@ -15,80 +15,14 @@ workload than fixed equal regions (no internal fragmentation), but
 accumulates external fragmentation that periodic compaction must pay
 to clear; fixed regions never fragment but reject every request larger
 than one region.
+
+The kernels live in :mod:`repro.bench.cases` (case
+``fabric-allocation``).
 """
 
-import numpy as np
-
-from repro.hardware.catalog import device_by_model
-from repro.hardware.fabric import Fabric, RegionState
-from repro.hardware.flexfabric import AllocationError, FlexibleFabric
-
-DEVICE = device_by_model("XC5VLX330")  # 51,840 slices
-REQUESTS = 400
-SEED = 17
-
-
-def traffic(seed=SEED):
-    """Random (size, hold_steps) allocation requests."""
-    rng = np.random.default_rng(seed)
-    sizes = rng.integers(1_000, 20_000, size=REQUESTS)
-    holds = rng.integers(1, 12, size=REQUESTS)
-    return list(zip(sizes.tolist(), holds.tolist()))
-
-
-def run_fixed(regions: int):
-    fabric = Fabric.for_device(DEVICE, regions=regions)
-    admitted = rejected = 0
-    live: list[tuple] = []  # (region, remaining_steps)
-    from repro.hardware.bitstream import Bitstream
-
-    for i, (size, hold) in enumerate(traffic()):
-        live = [(r, left - 1) for r, left in live if left - 1 > 0] or []
-        held = {r.region_id for r, _ in live}
-        for region in fabric.regions:
-            if region.state is RegionState.BUSY and region.region_id not in held:
-                fabric.vacate(region)
-                fabric.clear(region)
-        region = fabric.find_placeable(size)
-        if region is None:
-            rejected += 1
-            continue
-        if region.state is RegionState.CONFIGURED:
-            fabric.clear(region)
-        bs = Bitstream(10_000 + i, DEVICE.model, DEVICE.bitstream_size_bytes(size), size, implements=f"f{i}")
-        fabric.begin_reconfiguration(region, bs)
-        fabric.finish_reconfiguration(region)
-        fabric.occupy(region)
-        live.append((region, hold))
-        admitted += 1
-    return admitted, rejected
-
-
-def run_flexible(*, compact_every: int | None):
-    fabric = FlexibleFabric(DEVICE)
-    admitted = rejected = 0
-    frag_samples = []
-    compaction_s = 0.0
-    live: list[tuple] = []  # (span, remaining)
-    for i, (size, hold) in enumerate(traffic()):
-        next_live = []
-        for span, left in live:
-            if left - 1 > 0:
-                next_live.append((span, left - 1))
-            else:
-                fabric.release(span)
-        live = next_live
-        if compact_every and i % compact_every == 0 and i:
-            compaction_s += fabric.compaction_time_s()
-            fabric.compact()
-        try:
-            span = fabric.allocate(size, implements=f"f{i}")
-            live.append((span, hold))
-            admitted += 1
-        except AllocationError:
-            rejected += 1
-        frag_samples.append(fabric.external_fragmentation())
-    return admitted, rejected, float(np.mean(frag_samples)), fabric.relocations, compaction_s
+from repro.bench import standalone_main
+from repro.bench.cases import run_fixed_fabric as run_fixed
+from repro.bench.cases import run_flexible_fabric as run_flexible
 
 
 def bench_fabric_allocation(benchmark):
@@ -126,5 +60,4 @@ def bench_fabric_allocation(benchmark):
 
 
 if __name__ == "__main__":
-    print(run_fixed(3), run_fixed(6))
-    print(run_flexible(compact_every=None), run_flexible(compact_every=50))
+    raise SystemExit(standalone_main("fabric-allocation"))

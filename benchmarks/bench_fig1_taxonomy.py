@@ -3,12 +3,14 @@
 Regenerates the taxonomy tree and classifies one instance of every
 hardware model into it.  The timed kernel is classification over the
 whole device catalog plus the soft-core/GPP/GPU representatives.
+
+The specimen pool lives in :mod:`repro.bench.cases` (case
+``taxonomy-classify``).
 """
 
+from repro.bench import standalone_main
+from repro.bench.cases import taxonomy_specimens as specimens
 from repro.hardware.catalog import DEVICE_CATALOG
-from repro.hardware.gpp import GPPSpec
-from repro.hardware.gpu import GPUSpec
-from repro.hardware.softcore import RHO_VEX_2ISSUE, RHO_VEX_4ISSUE, RHO_VEX_8ISSUE
 from repro.hardware.taxonomy import PEClass, classify, taxonomy_tree
 
 
@@ -18,15 +20,6 @@ def render_tree() -> list[str]:
         section = f"  [{node.section}]" if node.section else ""
         lines.append("  " * depth + f"- {node.label}{section}")
     return lines
-
-
-def specimens():
-    return (
-        [GPPSpec(cpu_model="Xeon", mips=10_000), GPPSpec(cpu_model="Opteron", mips=8_000)]
-        + [GPUSpec(model="Tesla", shader_cores=240)]
-        + [RHO_VEX_2ISSUE, RHO_VEX_4ISSUE, RHO_VEX_8ISSUE]
-        + list(DEVICE_CATALOG.values())
-    )
 
 
 def bench_fig1_classification(benchmark):
@@ -53,4 +46,4 @@ def bench_fig1_classification(benchmark):
 
 
 if __name__ == "__main__":
-    print("\n".join(render_tree()))
+    raise SystemExit(standalone_main("taxonomy-classify"))

@@ -10,54 +10,17 @@ Expected shape: makespan falls roughly hyperbolically until the
 arrival process (not capacity) limits progress, and mean utilization
 falls as capacity outgrows the workload -- the standard weak-scaling
 picture.
+
+The kernel lives in :mod:`repro.bench.cases` (case ``grid-scaling``),
+so this bench, ``repro bench``, and the standalone script all time the
+same code.
 """
 
-from repro.core.node import Node
-from repro.grid.network import Network
-from repro.grid.rms import ResourceManagementSystem
-from repro.hardware.catalog import device_by_model
-from repro.hardware.gpp import GPPSpec
-from repro.scheduling import HybridCostScheduler
-from repro.sim.simulator import DReAMSim
-from repro.sim.workload import (
-    ConfigurationPool,
-    PoissonArrivals,
-    SyntheticWorkload,
-    WorkloadSpec,
-)
+from repro.bench import standalone_main
+from repro.bench.cases import GRID_SCALING_TASKS as TASKS
+from repro.bench.cases import run_grid_scaling as run_grid
 
-TASKS = 240
-SEED = 29
 NODE_COUNTS = (1, 2, 4, 6)
-
-
-def run_grid(nodes: int):
-    rms = ResourceManagementSystem(
-        network=Network.fully_connected(
-            list(range(nodes)), bandwidth_mbps=100.0, latency_s=0.005
-        ),
-        scheduler=HybridCostScheduler(),
-    )
-    for node_id in range(nodes):
-        node = Node(node_id=node_id, name=f"Node_{node_id}")
-        node.add_gpp(GPPSpec(cpu_model="Xeon", mips=1_500))
-        node.add_rpe(device_by_model("XC5VLX220"), regions=2)
-        rms.register_node(node)
-    pool = ConfigurationPool(6, area_range=(3_000, 12_000), seed=5)
-    pool.populate_repository(
-        rms.virtualization.repository,
-        [rpe.device for node in rms.nodes for rpe in node.rpes],
-    )
-    workload = SyntheticWorkload(
-        WorkloadSpec(task_count=TASKS, gpp_fraction=0.4,
-                     required_time_range_s=(1.0, 4.0)),
-        pool,
-        PoissonArrivals(rate_per_s=4.0),
-        seed=SEED,
-    )
-    sim = DReAMSim(rms)
-    sim.submit_workload(workload.generate())
-    return sim.run()
 
 
 def regenerate():
@@ -89,5 +52,4 @@ def bench_grid_scaling(benchmark):
 
 
 if __name__ == "__main__":
-    for n, r in regenerate().items():
-        print(n, round(r.makespan_s, 2), round(r.mean_wait_s, 3), round(r.mean_utilization, 3))
+    raise SystemExit(standalone_main("grid-scaling"))

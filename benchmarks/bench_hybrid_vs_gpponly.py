@@ -15,52 +15,21 @@ Three comparisons on one grid:
 3. the Section III-A soft-core fallback: GPP-class tasks flooding a
    grid whose GPPs are saturated, with and without RPEs allowed to
    host soft cores.
+
+The mixed-workload kernel lives in :mod:`repro.bench.cases` (case
+``hybrid-vs-gpponly``).
 """
 
+from repro.bench import standalone_main
+from repro.bench.cases import HYBRID_TASKS as TASKS
+from repro.bench.cases import build_hybrid_rms as build_rms
+from repro.bench.cases import run_mixed
 from repro.core.execreq import Artifacts, ExecReq
-from repro.core.node import Node
 from repro.core.task import simple_task
-from repro.grid.rms import ResourceManagementSystem
-from repro.hardware.catalog import device_by_model
-from repro.hardware.gpp import GPPSpec
 from repro.hardware.softcore import RHO_VEX_8ISSUE
 from repro.hardware.taxonomy import PEClass
 from repro.scheduling import GPPOnlyScheduler, HybridCostScheduler
 from repro.sim.simulator import DReAMSim
-from repro.sim.workload import (
-    ConfigurationPool,
-    PoissonArrivals,
-    SyntheticWorkload,
-    WorkloadSpec,
-)
-
-TASKS = 200
-SEED = 31
-
-
-def build_rms(scheduler):
-    node = Node(node_id=0)
-    node.add_gpp(GPPSpec(cpu_model="XeonA", mips=1_000))
-    node.add_gpp(GPPSpec(cpu_model="XeonB", mips=1_000))
-    node.add_rpe(device_by_model("XC5VLX330"), regions=3)
-    rms = ResourceManagementSystem(scheduler=scheduler)
-    rms.register_node(node)
-    return rms
-
-
-def run_mixed(scheduler, gpp_fraction):
-    rms = build_rms(scheduler)
-    pool = ConfigurationPool(6, area_range=(4_000, 15_000), speedup_range=(8.0, 25.0), seed=9)
-    pool.populate_repository(rms.virtualization.repository, [device_by_model("XC5VLX330")])
-    workload = SyntheticWorkload(
-        WorkloadSpec(task_count=TASKS, gpp_fraction=gpp_fraction),
-        pool,
-        PoissonArrivals(rate_per_s=1.2),
-        seed=SEED,
-    )
-    sim = DReAMSim(rms)
-    sim.submit_workload(workload.generate())
-    return sim.run()
 
 
 def run_softcore_fallback(allow_softcores: bool):
@@ -89,9 +58,9 @@ def run_softcore_fallback(allow_softcores: bool):
 
 
 def bench_hybrid_vs_gpponly(benchmark):
-    hybrid = run_mixed(HybridCostScheduler(), gpp_fraction=0.5)
-    gpp_only = run_mixed(GPPOnlyScheduler(), gpp_fraction=0.5)
-    sw_world = run_mixed(HybridCostScheduler(), gpp_fraction=1.0)
+    hybrid = run_mixed(HybridCostScheduler(), 0.5)
+    gpp_only = run_mixed(GPPOnlyScheduler(), 0.5)
+    sw_world = run_mixed(HybridCostScheduler(), 1.0)
 
     print("\nHybrid GPP+RPE grid vs traditional GPP-only grid (200 tasks)")
     print(f"{'configuration':28s} {'completed':>9s} {'pending':>8s} {'turnd s':>8s} {'makespan':>9s}")
@@ -127,4 +96,4 @@ def bench_hybrid_vs_gpponly(benchmark):
 
 
 if __name__ == "__main__":
-    print(run_mixed(HybridCostScheduler(), 0.5).summary_lines())
+    raise SystemExit(standalone_main("hybrid-vs-gpponly"))

@@ -57,7 +57,6 @@ def bench_parallel_runner(benchmark, tmp_path):
 
 
 if __name__ == "__main__":
-    runner, results = run_wide()
-    print(runner.last_stats.summary_line())
-    for r in results:
-        print(f"{r.spec.strategy:15s} wait {r.report.mean_wait_s:.4f} s")
+    from repro.bench import standalone_main
+
+    raise SystemExit(standalone_main("parallel-runner"))

@@ -10,11 +10,14 @@ placement consequences (which catalog devices each kernel fits).
 The timed kernel is a full prediction -- metric extraction plus the
 linear model -- since Quipu's selling point is making estimates "in a
 relatively short time, as required in a hardware/software partitioning
-context".
+context".  It lives in :mod:`repro.bench.cases` (case
+``quipu-predict``).
 """
 
 import importlib
 
+from repro.bench import standalone_main
+from repro.bench.cases import quipu_predict
 from repro.hardware.catalog import devices_by_family
 from repro.profiling.metrics import measure_closure
 from repro.profiling.quipu import (
@@ -55,14 +58,9 @@ def bench_quipu_predictions(benchmark):
     assert est_pair.slices > by_model["XC5VLX155"].slices
     assert est_pair.slices <= by_model["XC5VLX220"].slices
 
-    def full_prediction():
-        return model.predict(measure_closure(_pa.pairalign))
-
-    estimate = benchmark(full_prediction)
+    estimate = benchmark(quipu_predict)
     assert estimate.slices == PAPER_PAIRALIGN_SLICES
 
 
 if __name__ == "__main__":
-    model = calibrated_model()
-    print(model.predict(measure_closure(_pa.pairalign)))
-    print(model.predict(measure_closure(_ma.malign)))
+    raise SystemExit(standalone_main("quipu-predict"))

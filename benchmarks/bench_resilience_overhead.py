@@ -127,15 +127,6 @@ def bench_checkpoint_interval_sensitivity(benchmark):
 
 
 if __name__ == "__main__":
-    plain_s, _ = timed(IDLE_SPEC)
-    armed_s, _ = timed(IDLE_SPEC.with_(resilience=IDLE_ARMED))
-    print(f"idle overhead: {armed_s / plain_s - 1.0:+.1%}")
-    baseline = run_experiment(CHAOS_SPEC).report
-    for interval in INTERVALS:
-        r = run_experiment(
-            CHAOS_SPEC.with_(
-                resilience=ResilienceSpec(checkpoint=CheckpointSpec(interval_s=interval))
-            )
-        ).report
-        print(interval, r.checkpoints, r.checkpoint_overhead_s,
-              r.wasted_work_saved_s, r.wasted_slice_seconds)
+    from repro.bench import standalone_main
+
+    raise SystemExit(standalone_main("resilience-chaos"))

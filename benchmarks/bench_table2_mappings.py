@@ -31,5 +31,6 @@ def bench_table2_enumeration(benchmark):
 
 
 if __name__ == "__main__":
-    for row in table2(build_case_study_tasks(), build_case_study_nodes()):
-        print(row.format())
+    from repro.bench import standalone_main
+
+    raise SystemExit(standalone_main("table2-mappings"))

@@ -111,7 +111,6 @@ def bench_disabled_guard_cost(benchmark):
 
 
 if __name__ == "__main__":
-    plain_s, _ = timed()
-    on_s, _ = timed(instrument=True)
-    print(f"telemetry disabled: {plain_s * 1e3:.2f} ms")
-    print(f"telemetry enabled:  {on_s * 1e3:.2f} ms ({on_s / plain_s - 1.0:+.1%})")
+    from repro.bench import standalone_main
+
+    raise SystemExit(standalone_main("telemetry-instrumented"))

@@ -1,0 +1,77 @@
+"""Cross-run performance observability: the unified bench harness.
+
+The ``benchmarks/bench_*.py`` scripts regenerate the paper's artifacts
+and pin claims with asserts, but each one timed itself ad hoc.  This
+package puts every benchmark kernel behind one harness so performance
+is *comparable across runs and commits*:
+
+* :class:`~repro.bench.core.BenchCase` + a global registry
+  (:func:`~repro.bench.core.register`) -- one named, grouped, timed
+  kernel per benchmark, returning its headline simulator metrics
+  (makespan, utilization, goodput...) alongside wall-clock stats
+  (median / p10 / p90 over N repetitions after warmup).
+* :mod:`repro.bench.cases` -- the registered cases; the
+  ``benchmarks/bench_*.py`` scripts import their kernels from here, so
+  the pytest benches, the standalone scripts and ``repro bench`` all
+  time exactly the same code.
+* :mod:`repro.bench.diff` -- the run-diff engine behind ``repro
+  diff``: compares two ``BENCH_*.json`` suites (or two report /
+  telemetry dumps) with per-metric relative tolerances, renders a
+  human table plus a machine verdict, and exits 1 on regression.
+
+``repro bench --quick --json`` writes a schema-versioned
+``BENCH_<timestamp>.json`` at the repository root -- the longitudinal
+trajectory -- and CI diffs the quick suite against the committed
+``benchmarks/baseline.json`` on every push.
+"""
+
+from repro.bench.core import (
+    BENCH_FORMAT,
+    BenchCase,
+    BenchResult,
+    all_cases,
+    get_case,
+    load_bench_json,
+    match_cases,
+    register,
+    run_case,
+    run_suite,
+    standalone_main,
+    suite_to_json,
+    summary_table,
+    write_bench_json,
+)
+from repro.bench.diff import (
+    DEFAULT_METRIC_TOLERANCE,
+    DEFAULT_WALL_TOLERANCE,
+    DiffReport,
+    DiffRow,
+    diff_artifacts,
+    load_artifact,
+)
+
+# Importing the case catalog populates the registry as a side effect.
+import repro.bench.cases  # noqa: E402,F401  (registration side effect)
+
+__all__ = [
+    "BENCH_FORMAT",
+    "BenchCase",
+    "BenchResult",
+    "DEFAULT_METRIC_TOLERANCE",
+    "DEFAULT_WALL_TOLERANCE",
+    "DiffReport",
+    "DiffRow",
+    "all_cases",
+    "diff_artifacts",
+    "get_case",
+    "load_artifact",
+    "load_bench_json",
+    "match_cases",
+    "register",
+    "run_case",
+    "run_suite",
+    "standalone_main",
+    "suite_to_json",
+    "summary_table",
+    "write_bench_json",
+]

@@ -1,0 +1,369 @@
+"""The run-diff engine behind ``repro diff``.
+
+Compares two persisted observability artifacts -- bench suites
+(``BENCH_*.json``), report dumps (``repro simulate --report-json``),
+or telemetry dumps (``repro simulate --telemetry``) -- metric by
+metric, with relative tolerances, and renders both a human table and a
+machine JSON verdict.
+
+Two tolerance regimes, because the repo's determinism contract splits
+the numbers in two:
+
+* **metrics** (makespan, utilization, goodput...) are seeded and
+  byte-stable across repetitions *and machines*; any drift beyond a
+  tight tolerance is a behavior change, and the comparison is
+  two-sided.
+* **wall times** are machine noise around a trend; only a *slowdown*
+  beyond a loose tolerance fails (one-sided) -- getting faster is
+  never a regression.
+
+Provenance stamps gate the whole comparison: artifacts from different
+specs/seeds/cache-formats are refused with a clear message (exit 2)
+rather than diffed into a misleading table; ``--force`` overrides.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.provenance import comparability_error
+
+#: Two-sided relative tolerance for simulator metrics.  Seeded runs
+#: reproduce metrics exactly, so this only needs to absorb float
+#: round-off, not sampling noise.
+DEFAULT_METRIC_TOLERANCE = 1e-9
+
+#: One-sided relative tolerance for wall-time medians: the current run
+#: may be up to this much slower than baseline before it counts as a
+#: regression.  CI passes a far more generous value because runner
+#: hardware varies.
+DEFAULT_WALL_TOLERANCE = 0.25
+
+#: Differences below this absolute size are equal, whatever the
+#: relative tolerance says -- guards metrics that sit at/near zero.
+_ABS_EPSILON = 1e-12
+
+
+# ----------------------------------------------------------------------
+# Artifact loading (flavor sniffing)
+# ----------------------------------------------------------------------
+
+@dataclass
+class Artifact:
+    """One loaded artifact, normalized for comparison.
+
+    ``wall`` holds one-sided wall-clock entries (seconds), ``metrics``
+    two-sided behavior metrics; keys are namespaced (``case/metric``)
+    so bench suites, report dumps and telemetry dumps all reduce to
+    the same flat comparison.
+    """
+
+    path: str
+    flavor: str  # "bench" | "report" | "telemetry"
+    provenance: dict | None
+    wall: dict[str, float] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
+    mode: str | None = None  # bench suites: "quick" | "full"
+
+
+def load_artifact(path: str | Path) -> Artifact:
+    """Load and flavor-sniff *path*; raises ``ValueError`` on files
+    that are none of the three supported artifact kinds."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"{path}: cannot read artifact ({exc})") from exc
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: not a JSON object")
+    if data.get("kind") == "bench-suite":
+        return _load_bench(path, data)
+    if data.get("kind") == "report-dump" or "report" in data:
+        return _load_report(path, data)
+    if "series" in data and "format" in data:
+        return _load_telemetry(path, data)
+    raise ValueError(
+        f"{path}: unrecognized artifact (expected a BENCH_*.json suite, "
+        f"a --report-json dump, or a --telemetry dump)"
+    )
+
+
+def _load_bench(path: Path, data: dict) -> Artifact:
+    from repro.bench.core import BENCH_FORMAT
+
+    if data.get("format") != BENCH_FORMAT:
+        raise ValueError(
+            f"{path}: unsupported bench format {data.get('format')!r} "
+            f"(expected {BENCH_FORMAT})"
+        )
+    artifact = Artifact(
+        path=str(path), flavor="bench", provenance=data.get("env"),
+        mode=data.get("mode"),
+    )
+    for case in data.get("cases", []):
+        name = case["name"]
+        wall = case.get("wall_s", {})
+        if "median" in wall:
+            artifact.wall[f"{name}/wall_median_s"] = float(wall["median"])
+        for key, value in (case.get("metrics") or {}).items():
+            artifact.metrics[f"{name}/{key}"] = float(value)
+    return artifact
+
+
+def _load_report(path: Path, data: dict) -> Artifact:
+    report = data.get("report")
+    if not isinstance(report, dict):
+        raise ValueError(f"{path}: report dump has no 'report' object")
+    artifact = Artifact(
+        path=str(path), flavor="report", provenance=data.get("provenance"),
+    )
+    for key, value in report.items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)) and math.isfinite(value):
+            artifact.metrics[key] = float(value)
+    return artifact
+
+
+def _load_telemetry(path: Path, data: dict) -> Artifact:
+    from repro.sim.telemetry import TELEMETRY_FORMAT
+
+    if data.get("format") != TELEMETRY_FORMAT:
+        raise ValueError(
+            f"{path}: unsupported telemetry format {data.get('format')!r} "
+            f"(expected {TELEMETRY_FORMAT})"
+        )
+    meta = data.get("meta") or {}
+    artifact = Artifact(
+        path=str(path), flavor="telemetry",
+        provenance=meta.get("provenance") if isinstance(meta, dict) else None,
+    )
+    for record in data.get("series") or []:
+        points = record.get("points") or []
+        if not points:
+            continue
+        labels = record.get("labels") or {}
+        key = record["name"]
+        if labels:
+            inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            key = f"{key}{{{inner}}}"
+        artifact.metrics[key] = float(points[-1][1])
+    return artifact
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+
+@dataclass
+class DiffRow:
+    """One compared key.
+
+    ``status`` is one of ``ok`` / ``regression`` / ``drift`` /
+    ``improved`` / ``added`` / ``removed``; only ``regression`` and
+    ``drift`` fail the diff.
+    """
+
+    key: str
+    kind: str  # "wall" | "metric"
+    baseline: float | None
+    current: float | None
+    rel_change: float | None
+    tolerance: float
+    status: str
+
+    @property
+    def failing(self) -> bool:
+        return self.status in ("regression", "drift")
+
+    def to_json(self) -> dict:
+        return {
+            "key": self.key,
+            "kind": self.kind,
+            "baseline": self.baseline,
+            "current": self.current,
+            "rel_change": self.rel_change,
+            "tolerance": self.tolerance,
+            "status": self.status,
+        }
+
+
+@dataclass
+class DiffReport:
+    """The full verdict of one artifact comparison."""
+
+    baseline_path: str
+    current_path: str
+    flavor: str
+    metric_tolerance: float
+    wall_tolerance: float
+    rows: list[DiffRow] = field(default_factory=list)
+    refusal: str | None = None
+    forced: bool = False
+
+    @property
+    def failures(self) -> list[DiffRow]:
+        return [row for row in self.rows if row.failing]
+
+    @property
+    def verdict(self) -> str:
+        if self.refusal is not None:
+            return "incomparable"
+        return "regression" if self.failures else "ok"
+
+    @property
+    def exit_code(self) -> int:
+        return {"ok": 0, "regression": 1, "incomparable": 2}[self.verdict]
+
+    def to_json(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "exit_code": self.exit_code,
+            "flavor": self.flavor,
+            "baseline": self.baseline_path,
+            "current": self.current_path,
+            "metric_tolerance": self.metric_tolerance,
+            "wall_tolerance": self.wall_tolerance,
+            "forced": self.forced,
+            "refusal": self.refusal,
+            "compared": len(self.rows),
+            "failures": len(self.failures),
+            "rows": [row.to_json() for row in self.rows],
+        }
+
+    def render(self, *, verbose: bool = False) -> str:
+        """The human table: failures and changes always; unchanged rows
+        only under ``verbose``."""
+        from repro.report import ascii_table
+
+        lines = []
+        if self.refusal is not None:
+            lines.append(f"REFUSED: {self.refusal}")
+            return "\n".join(lines)
+        shown = [
+            row for row in self.rows if verbose or row.status != "ok"
+        ]
+        if shown:
+            table_rows = []
+            for row in sorted(
+                shown, key=lambda r: (not r.failing, r.key)
+            ):
+                table_rows.append((
+                    row.key,
+                    row.kind,
+                    "-" if row.baseline is None else f"{row.baseline:g}",
+                    "-" if row.current is None else f"{row.current:g}",
+                    ("-" if row.rel_change is None
+                     else f"{row.rel_change * 100:+.2f}%"),
+                    row.status.upper() if row.failing else row.status,
+                ))
+            lines.append(ascii_table(
+                ["key", "kind", "baseline", "current", "change", "status"],
+                table_rows,
+                title=f"diff ({self.flavor}): "
+                      f"{self.baseline_path} -> {self.current_path}",
+            ))
+        lines.append(
+            f"verdict: {self.verdict} -- {len(self.rows)} key(s) compared, "
+            f"{len(self.failures)} failing"
+            + (" (forced)" if self.forced else "")
+        )
+        return "\n".join(lines)
+
+
+def _relative_change(baseline: float, current: float) -> float:
+    if abs(current - baseline) <= _ABS_EPSILON:
+        return 0.0
+    if baseline == 0.0:
+        return math.inf if current > 0 else -math.inf
+    return (current - baseline) / abs(baseline)
+
+
+def _compare(
+    kind: str,
+    baseline: dict[str, float],
+    current: dict[str, float],
+    tolerance: float,
+) -> list[DiffRow]:
+    rows = []
+    for key in sorted(set(baseline) | set(current)):
+        if key not in current:
+            rows.append(DiffRow(key, kind, baseline[key], None, None,
+                                tolerance, "removed"))
+            continue
+        if key not in baseline:
+            rows.append(DiffRow(key, kind, None, current[key], None,
+                                tolerance, "added"))
+            continue
+        rel = _relative_change(baseline[key], current[key])
+        if kind == "wall":
+            # One-sided: only slower-than-tolerance fails.
+            if rel > tolerance:
+                status = "regression"
+            elif rel < -tolerance:
+                status = "improved"
+            else:
+                status = "ok"
+        else:
+            status = "drift" if abs(rel) > tolerance else "ok"
+        rows.append(DiffRow(key, kind, baseline[key], current[key], rel,
+                            tolerance, status))
+    return rows
+
+
+def diff_artifacts(
+    baseline: str | Path | Artifact,
+    current: str | Path | Artifact,
+    *,
+    metric_tolerance: float = DEFAULT_METRIC_TOLERANCE,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    force: bool = False,
+) -> DiffReport:
+    """Compare two artifacts (paths or preloaded :class:`Artifact`).
+
+    Raises ``ValueError`` for unreadable/unrecognized files; returns a
+    :class:`DiffReport` (possibly with a ``refusal``) otherwise.
+    """
+    if not isinstance(baseline, Artifact):
+        baseline = load_artifact(baseline)
+    if not isinstance(current, Artifact):
+        current = load_artifact(current)
+    report = DiffReport(
+        baseline_path=baseline.path, current_path=current.path,
+        flavor=baseline.flavor, metric_tolerance=metric_tolerance,
+        wall_tolerance=wall_tolerance, forced=force,
+    )
+    refusal = _refusal(baseline, current)
+    if refusal is not None and not force:
+        report.refusal = refusal
+        return report
+    report.rows = (
+        _compare("wall", baseline.wall, current.wall, wall_tolerance)
+        + _compare("metric", baseline.metrics, current.metrics,
+                   metric_tolerance)
+    )
+    return report
+
+
+def _refusal(baseline: Artifact, current: Artifact) -> str | None:
+    if baseline.flavor != current.flavor:
+        return (
+            f"artifacts have different flavors ({baseline.flavor} vs "
+            f"{current.flavor}); compare like with like or pass --force"
+        )
+    if (
+        baseline.flavor == "bench"
+        and baseline.mode and current.mode
+        and baseline.mode != current.mode
+    ):
+        return (
+            f"bench suites ran different modes ({baseline.mode} vs "
+            f"{current.mode}); quick and full workloads are not "
+            f"comparable -- re-run one side or pass --force"
+        )
+    return comparability_error(
+        baseline.provenance, current.provenance, what="runs"
+    )

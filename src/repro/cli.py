@@ -21,6 +21,12 @@ Commands map to the paper's artifacts and the library's experiments:
   ``--speculative`` (see :mod:`repro.sim.resilience`).
 * ``clustalw``   -- align a FASTA file (or a generated family) and
   print the MSA; optionally profile it (Figure 10).
+* ``bench``      -- run the registered benchmark cases through the
+  unified harness (``--filter``, ``--repeat``, ``--quick``) and write
+  a schema-versioned ``BENCH_<timestamp>.json`` (``--json``).
+* ``diff``       -- compare two bench suites / report dumps /
+  telemetry dumps metric-by-metric with relative tolerances; exits 1
+  on regression, 2 when the runs are not comparable.
 """
 
 from __future__ import annotations
@@ -218,6 +224,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
     if args.energy and result.energy is not None:
         print("\n".join(result.energy.summary_lines()))
+    if args.report_json:
+        from repro.sim.metrics import write_report_dump
+
+        write_report_dump(
+            args.report_json, spec, result.report, energy=result.energy
+        )
+        print(f"report dump          -> {args.report_json}")
     if args.replications > 1:
         runner = ExperimentRunner(
             jobs=args.jobs, cache_dir=args.cache_dir, progress=args.progress
@@ -419,6 +432,94 @@ def _cmd_clustalw(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        all_cases,
+        match_cases,
+        run_suite,
+        suite_to_json,
+        summary_table,
+        write_bench_json,
+    )
+    from repro.bench.core import default_bench_filename
+
+    if args.list:
+        rows = [
+            (c.name, c.group, "yes" if c.quick_eligible else "no", c.description)
+            for c in all_cases()
+        ]
+        print(ascii_table(
+            ["case", "group", "quick", "description"], rows,
+            title=f"registered bench cases ({len(rows)})",
+        ))
+        return 0
+    cases = match_cases(args.filter, quick=args.quick)
+    if not cases:
+        print(
+            f"repro bench: error: no case matches filter {args.filter!r}"
+            + (" in the quick suite" if args.quick else "")
+            + "; `repro bench --list` shows all cases",
+            file=sys.stderr,
+        )
+        return 2
+    results = run_suite(
+        cases, repeat=args.repeat, warmup=args.warmup, quick=args.quick,
+        progress=(lambda line: print(line, file=sys.stderr)),
+    )
+    print(summary_table(results))
+    if args.json is not None:
+        import time
+
+        path = args.json or default_bench_filename()
+        document = suite_to_json(
+            results, quick=args.quick,
+            created_utc=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        )
+        write_bench_json(path, document)
+        print(
+            f"bench suite          {len(results)} case(s) -> {path} "
+            f"(format {document['format']}, mode {document['mode']})"
+        )
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.diff import (
+        DEFAULT_METRIC_TOLERANCE,
+        DEFAULT_WALL_TOLERANCE,
+        diff_artifacts,
+    )
+
+    metric_tol = (
+        DEFAULT_METRIC_TOLERANCE if args.metric_tolerance is None
+        else args.metric_tolerance
+    )
+    wall_tol = (
+        DEFAULT_WALL_TOLERANCE if args.wall_tolerance is None
+        else args.wall_tolerance
+    )
+    try:
+        report = diff_artifacts(
+            args.baseline, args.current,
+            metric_tolerance=metric_tol,
+            wall_tolerance=wall_tol,
+            force=args.force,
+        )
+    except ValueError as exc:
+        print(f"repro diff: error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render(verbose=args.verbose))
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="ascii",
+        )
+        print(f"verdict json         -> {args.json}")
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with one sub-command per artifact."""
     from repro.sim.faults import FAULT_PRESETS
@@ -461,6 +562,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--telemetry", metavar="PATH",
                    help="record sim-time telemetry series to a JSON file "
                         "(render with `repro report`)")
+    p.add_argument("--report-json", metavar="PATH",
+                   help="write the spec + report + provenance as a JSON "
+                        "dump (compare runs with `repro diff`)")
     p.add_argument("--faults", choices=fault_presets, default=None,
                    help="inject a named fault scenario (see repro.sim.faults)")
     p.add_argument("--jobs", type=int, default=None,
@@ -525,6 +629,48 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_flags(p)
     p.set_defaults(func=_cmd_chaos)
 
+    p = sub.add_parser(
+        "bench",
+        help="run registered benchmark cases through the unified harness",
+    )
+    p.add_argument("--filter", metavar="REGEX",
+                   help="only cases whose name or group matches")
+    p.add_argument("--repeat", type=int, default=5,
+                   help="timed repetitions per case (default: 5)")
+    p.add_argument("--warmup", type=int, default=1,
+                   help="untimed warmup runs per case (default: 1)")
+    p.add_argument("--quick", action="store_true",
+                   help="reduced workloads, quick-eligible cases only "
+                        "(the CI regression suite)")
+    p.add_argument("--json", nargs="?", const="", metavar="PATH",
+                   help="write the suite as schema-versioned JSON "
+                        "(default path: BENCH_<timestamp>.json)")
+    p.add_argument("--list", action="store_true",
+                   help="list registered cases and exit")
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "diff",
+        help="compare two bench/report/telemetry JSON artifacts",
+    )
+    p.add_argument("baseline", help="baseline artifact (the reference run)")
+    p.add_argument("current", help="current artifact (the run under test)")
+    p.add_argument("--metric-tolerance", type=float,
+                   default=None, metavar="REL",
+                   help="two-sided relative tolerance for simulator metrics "
+                        "(default: 1e-9; seeded metrics are exact)")
+    p.add_argument("--wall-tolerance", type=float, default=None, metavar="REL",
+                   help="one-sided relative slowdown tolerance for wall "
+                        "times (default: 0.25)")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the machine-readable verdict")
+    p.add_argument("--force", action="store_true",
+                   help="compare even when provenance says the runs are "
+                        "not comparable")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="show unchanged keys too, not just changes")
+    p.set_defaults(func=_cmd_diff)
+
     p = sub.add_parser("clustalw", help="align sequences (FASTA in/out)")
     p.add_argument("--fasta", help="input FASTA (default: synthetic family)")
     p.add_argument("--family-size", type=int, default=8)
@@ -552,6 +698,14 @@ def main(argv: list[str] | None = None) -> int:
             )
     if getattr(args, "jobs", None) is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if getattr(args, "repeat", None) is not None and args.repeat < 1:
+        parser.error("--repeat must be >= 1")
+    if getattr(args, "warmup", None) is not None and args.warmup < 0:
+        parser.error("--warmup must be >= 0")
+    for tol_name in ("metric_tolerance", "wall_tolerance"):
+        tol = getattr(args, tol_name, None)
+        if tol is not None and tol < 0:
+            parser.error(f"--{tol_name.replace('_', '-')} must be >= 0")
     # numpy's Generator rejects negative seeds with a raw ValueError
     # deep inside the run; fail at the parser instead.
     if getattr(args, "seed", None) is not None and args.seed < 0:

@@ -343,7 +343,10 @@ def _series_charts(registry: TelemetryRegistry) -> list[str]:
     t_max = float(horizon) if isinstance(horizon, (int, float)) else None
 
     def chart(name: str, title: str, unit: str, label_of=None):
-        group = registry.series(name)
+        # Instruments that exist but never sampled draw no chart: a
+        # dump full of point-less series must fall through to the
+        # dashboard's empty-state banner, not a wall of placeholders.
+        group = [s for s in registry.series(name) if s.points]
         if not group:
             return None
         if label_of is None:
@@ -355,23 +358,21 @@ def _series_charts(registry: TelemetryRegistry) -> list[str]:
             title=title, unit=unit, t_max=t_max,
         )
 
+    queue_series = [
+        (title, registry.series(name)[0].points)
+        for name, title in (
+            ("sim_queue_depth", "queued"),
+            ("sim_active_tasks", "active"),
+            ("sim_tasks_in_backoff", "in backoff"),
+        )
+        if registry.series(name) and registry.series(name)[0].points
+    ]
     charts = [
         chart("node_utilization", "Node utilization", "busy fraction",
               lambda s: f"node {s.labels.get('node', '?')}"),
         svg_step_chart(
-            [
-                (title, registry.series(name)[0].points)
-                for name, title in (
-                    ("sim_queue_depth", "queued"),
-                    ("sim_active_tasks", "active"),
-                    ("sim_tasks_in_backoff", "in backoff"),
-                )
-                if registry.series(name)
-            ],
-            title="Scheduler queue",
-            unit="tasks",
-            t_max=t_max,
-        ),
+            queue_series, title="Scheduler queue", unit="tasks", t_max=t_max,
+        ) if queue_series else None,
         chart("node_breaker_state", "Circuit breaker state",
               "0=closed 1=half-open 2=open",
               lambda s: f"node {s.labels.get('node', '?')}"),
@@ -391,8 +392,14 @@ def render_dashboard(
     *,
     title: str = "repro simulation report",
 ) -> str:
-    """The complete self-contained dashboard HTML document."""
-    meta = registry.meta
+    """The complete self-contained dashboard HTML document.
+
+    A registry with no samples (and no trace events) renders a
+    friendly empty-state page, not an exception: runs that finish
+    before the first sample, hand-trimmed dumps, and dumps with
+    explicit ``null`` sections all land here.
+    """
+    meta = registry.meta or {}
     meta_bits = []
     for key in ("strategy", "tasks", "seed", "nodes", "arrival_rate_per_s",
                 "horizon_s"):
@@ -408,6 +415,18 @@ def render_dashboard(
 
     sections = [f"<h1>{_esc(title)}</h1>", header]
     charts = _series_charts(registry)
+    histograms = [i for i in registry.instruments if isinstance(i, Histogram)]
+    has_samples = any(
+        getattr(i, "points", None) for i in registry.instruments
+    ) or any(h.count for h in histograms)
+    if not charts and not has_samples and not events:
+        sections.append(
+            '<div class="empty-state"><p><strong>Nothing to plot.</strong> '
+            "This telemetry file contains no samples and no trace was "
+            "supplied.</p><p>Record one with <code>repro simulate "
+            "--telemetry out.json --trace out.jsonl</code>, then re-run "
+            "<code>repro report</code>.</p></div>"
+        )
     if charts:
         sections.append("<h2>Time series</h2>")
         sections.extend(charts)
@@ -425,7 +444,6 @@ def render_dashboard(
                 svg_span_timeline(node_spans, [], title="Region occupancy spans")
             )
 
-    histograms = [i for i in registry.instruments if isinstance(i, Histogram)]
     sections.append(_histogram_table(histograms))
 
     summary = meta.get("summary")
@@ -472,6 +490,12 @@ def render_dashboard(
     margin-right: 4px; vertical-align: -1px;
   }}
   .chart-empty {{ color: {INK_MUTED}; font-size: 12px; margin: 8px 0; }}
+  .empty-state {{
+    background: {SURFACE}; border: 1px solid rgba(11,11,11,0.10);
+    border-radius: 6px; padding: 16px; font-size: 13px;
+    color: {INK_SECONDARY};
+  }}
+  .empty-state code {{ font-size: 12px; }}
   table.stats {{
     border-collapse: collapse; font-size: 12px; background: {SURFACE};
   }}

@@ -202,7 +202,10 @@ def run_experiment(
     sim.submit_workload(workload.generate())
     report = sim.run()
     if telemetry is not None:
+        from repro.provenance import run_provenance
+
         telemetry.meta.update(
+            provenance=run_provenance(spec),
             strategy=spec.strategy,
             tasks=spec.tasks,
             seed=spec.seed,

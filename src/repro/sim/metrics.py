@@ -205,6 +205,43 @@ class SimulationReport:
         return lines
 
 
+#: Layout version of ``repro simulate --report-json`` dumps.
+REPORT_DUMP_FORMAT = 1
+
+
+def report_dump(spec, report: SimulationReport, *, energy=None) -> dict:
+    """A self-describing JSON document for one finished run.
+
+    Carries the full spec, the report, and a provenance stamp so
+    ``repro diff`` can compare two dumps -- or refuse, when the stamps
+    show the runs are not comparable.
+    """
+    from dataclasses import asdict
+
+    from repro.provenance import run_provenance
+
+    return {
+        "format": REPORT_DUMP_FORMAT,
+        "kind": "report-dump",
+        "provenance": run_provenance(spec),
+        "spec": asdict(spec),
+        "report": asdict(report),
+        "energy": asdict(energy) if energy is not None else None,
+    }
+
+
+def write_report_dump(path, spec, report: SimulationReport, *, energy=None) -> None:
+    """Persist a :func:`report_dump` document (``repro diff`` input)."""
+    import json
+    from pathlib import Path
+
+    Path(path).write_text(
+        json.dumps(report_dump(spec, report, energy=energy),
+                   indent=2, sort_keys=True) + "\n",
+        encoding="ascii",
+    )
+
+
 class MetricsCollector:
     """Accumulates task and resource records during a run."""
 

@@ -98,11 +98,15 @@ def _cache_load(cache_dir: Path, spec: ExperimentSpec, key: str) -> ExperimentRe
 
 
 def _cache_store(cache_dir: Path, key: str, result: ExperimentResult) -> None:
+    from repro.provenance import run_provenance
+
     payload = {
         "format": _CACHE_FORMAT,
         "spec": asdict(result.spec),
         "report": asdict(result.report),
         "energy": asdict(result.energy) if result.energy is not None else None,
+        # Additive: _cache_load ignores it, so no _CACHE_FORMAT bump.
+        "provenance": run_provenance(result.spec),
     }
     tmp = _cache_path(cache_dir, key).with_suffix(".tmp")
     tmp.write_text(json.dumps(payload, sort_keys=True), encoding="ascii")

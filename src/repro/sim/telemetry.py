@@ -303,14 +303,19 @@ def load_telemetry(path: str | Path) -> TelemetryRegistry:
             f"(expected {TELEMETRY_FORMAT})"
         )
     registry = TelemetryRegistry()
-    registry.meta = data.get("meta", {})
-    for record in data.get("series", []):
+    # `or {}` / `or []`: a dump may carry explicit nulls for these keys
+    # (hand-edited or produced by another tool); an empty registry must
+    # load cleanly so `repro report` can render its empty state.
+    registry.meta = data.get("meta") or {}
+    for record in data.get("series") or []:
         cls = Counter if record.get("type") == "counter" else Gauge
         instrument = registry._get(
             cls, record["name"], record.get("help", ""), record.get("labels", {})
         )
-        instrument.points = [(float(t), float(v)) for t, v in record.get("points", [])]
-    for record in data.get("histograms", []):
+        instrument.points = [
+            (float(t), float(v)) for t, v in record.get("points") or []
+        ]
+    for record in data.get("histograms") or []:
         histogram = registry.histogram(
             record["name"],
             record.get("help", ""),

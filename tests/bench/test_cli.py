@@ -1,0 +1,151 @@
+"""End-to-end CLI tests: `repro bench` and `repro diff` exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def make_bench_doc(*, median=0.010, makespan=100.0, mode="quick"):
+    return {
+        "format": 1,
+        "kind": "bench-suite",
+        "mode": mode,
+        "created_utc": None,
+        "env": {"git_sha": "deadbeef"},
+        "cases": [
+            {
+                "name": "sim-baseline",
+                "group": "sim",
+                "repeat": 3,
+                "warmup": 0,
+                "quick": mode == "quick",
+                "wall_s": {"median": median, "p10": median, "p90": median,
+                           "best": median, "all": [median] * 3},
+                "metrics": {"makespan_s": makespan},
+            }
+        ],
+    }
+
+
+def write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+class TestBenchCommand:
+    def test_list_shows_every_case(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "taxonomy-classify" in out
+        assert "sim-baseline" in out
+        assert "registered bench cases" in out
+
+    def test_run_one_case_and_write_json(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_test.json"
+        code = main([
+            "bench", "--filter", "taxonomy", "--quick",
+            "--repeat", "2", "--warmup", "0", "--json", str(out_path),
+        ])
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["kind"] == "bench-suite"
+        assert doc["mode"] == "quick"
+        assert doc["created_utc"]  # stamped at write time
+        assert {"git_sha", "python", "cpu_count", "cache_format"} <= set(doc["env"])
+        assert [c["name"] for c in doc["cases"]] == ["taxonomy-classify"]
+        out = capsys.readouterr().out
+        assert "taxonomy-classify" in out
+
+    def test_unmatched_filter_exits_2(self, capsys):
+        assert main(["bench", "--filter", "zzz-no-such-case"]) == 2
+        err = capsys.readouterr().err
+        assert "no case matches" in err
+        assert "--list" in err
+
+    def test_bad_repeat_rejected_at_parser(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["bench", "--repeat", "0"])
+        assert exc.value.code == 2
+
+
+class TestDiffCommand:
+    def test_identical_exits_0(self, tmp_path, capsys):
+        a = write(tmp_path, "a.json", make_bench_doc())
+        b = write(tmp_path, "b.json", make_bench_doc())
+        assert main(["diff", a, b]) == 0
+        assert "verdict: ok" in capsys.readouterr().out
+
+    def test_slowdown_exits_1(self, tmp_path, capsys):
+        a = write(tmp_path, "a.json", make_bench_doc(median=0.010))
+        b = write(tmp_path, "b.json", make_bench_doc(median=0.020))
+        verdict_path = tmp_path / "verdict.json"
+        code = main(["diff", a, b, "--json", str(verdict_path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        verdict = json.loads(verdict_path.read_text())
+        assert verdict["verdict"] == "regression"
+
+    def test_loose_wall_tolerance_passes(self, tmp_path):
+        a = write(tmp_path, "a.json", make_bench_doc(median=0.010))
+        b = write(tmp_path, "b.json", make_bench_doc(median=0.020))
+        assert main(["diff", a, b, "--wall-tolerance", "1.5"]) == 0
+
+    def test_metric_drift_exits_1(self, tmp_path, capsys):
+        a = write(tmp_path, "a.json", make_bench_doc(makespan=100.0))
+        b = write(tmp_path, "b.json", make_bench_doc(makespan=100.1))
+        assert main(["diff", a, b]) == 1
+        assert "DRIFT" in capsys.readouterr().out
+
+    def test_mode_mismatch_exits_2(self, tmp_path, capsys):
+        a = write(tmp_path, "a.json", make_bench_doc(mode="quick"))
+        b = write(tmp_path, "b.json", make_bench_doc(mode="full"))
+        assert main(["diff", a, b]) == 2
+        assert "REFUSED" in capsys.readouterr().out
+
+    def test_unreadable_artifact_exits_2(self, tmp_path, capsys):
+        a = write(tmp_path, "a.json", make_bench_doc())
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        assert main(["diff", a, str(bad)]) == 2
+        assert "repro diff: error" in capsys.readouterr().err
+
+    def test_negative_tolerance_rejected(self, tmp_path):
+        a = write(tmp_path, "a.json", make_bench_doc())
+        with pytest.raises(SystemExit) as exc:
+            main(["diff", a, a, "--wall-tolerance", "-1"])
+        assert exc.value.code == 2
+
+
+class TestSimulateReportDumpDiff:
+    """The satellite workflow: simulate --report-json twice, then diff."""
+
+    ARGS = ["simulate", "--tasks", "30", "--rate", "4.0"]
+
+    def run_dump(self, tmp_path, name, seed, capsys):
+        path = tmp_path / name
+        assert main(self.ARGS + ["--seed", str(seed),
+                                 "--report-json", str(path)]) == 0
+        capsys.readouterr()  # drop the simulate output
+        return str(path)
+
+    def test_same_seed_runs_diff_clean(self, tmp_path, capsys):
+        a = self.run_dump(tmp_path, "a.json", 0, capsys)
+        b = self.run_dump(tmp_path, "b.json", 0, capsys)
+        doc = json.loads(open(a).read())
+        assert doc["kind"] == "report-dump"
+        assert {"spec_hash", "seed", "cache_format"} <= set(doc["provenance"])
+        assert main(["diff", a, b]) == 0
+        assert "verdict: ok" in capsys.readouterr().out
+
+    def test_different_seed_refused_then_forced(self, tmp_path, capsys):
+        a = self.run_dump(tmp_path, "a.json", 0, capsys)
+        b = self.run_dump(tmp_path, "b.json", 1, capsys)
+        assert main(["diff", a, b]) == 2
+        out = capsys.readouterr().out
+        assert "REFUSED" in out and "differs" in out
+        # --force compares anyway; different seeds drift in metrics.
+        assert main(["diff", a, b, "--force"]) == 1

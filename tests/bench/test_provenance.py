@@ -1,0 +1,84 @@
+"""Tests for the provenance stamp and its comparability rules."""
+
+from repro.provenance import (
+    COMPARABILITY_KEYS,
+    comparability_error,
+    environment_fingerprint,
+    run_provenance,
+)
+from repro.sim.experiment import ExperimentSpec
+
+
+class TestStamp:
+    def test_fingerprint_carries_run_identity(self):
+        env = environment_fingerprint()
+        assert {"git_sha", "git_dirty", "repro_version", "python",
+                "cpu_count", "numpy", "cache_format"} <= set(env)
+        assert isinstance(env["cache_format"], int)
+
+    def test_stamp_is_deterministic(self):
+        # No wall-clock timestamps or hostnames: two stamps from the
+        # same tree are byte-identical (golden traces depend on this).
+        assert run_provenance() == run_provenance()
+
+    def test_spec_stamp_adds_seed_and_hash(self):
+        spec = ExperimentSpec(tasks=10, seed=42)
+        stamp = run_provenance(spec)
+        assert stamp["seed"] == 42
+        assert stamp["spec_hash"]
+        # Same spec, same hash; different seed, different hash.
+        assert run_provenance(spec)["spec_hash"] == stamp["spec_hash"]
+        other = run_provenance(spec.with_(seed=43))
+        assert other["spec_hash"] != stamp["spec_hash"]
+
+    def test_report_dump_and_telemetry_carry_the_stamp(self, tmp_path):
+        import json
+
+        from repro.sim.experiment import run_experiment
+        from repro.sim.metrics import write_report_dump
+        from repro.sim.telemetry import TelemetryRegistry
+
+        spec = ExperimentSpec(tasks=10, arrival_rate_per_s=6.0, seed=3)
+        telemetry = TelemetryRegistry()
+        result = run_experiment(spec, telemetry=telemetry)
+
+        dump_path = tmp_path / "report.json"
+        write_report_dump(dump_path, spec, result.report)
+        dump = json.loads(dump_path.read_text())
+        assert dump["kind"] == "report-dump"
+        prov = dump["provenance"]
+        assert prov["seed"] == 3 and prov["spec_hash"]
+
+        telem_path = tmp_path / "telemetry.json"
+        telemetry.write_json(telem_path)
+        telem = json.loads(telem_path.read_text())
+        telem_prov = telem["meta"]["provenance"]
+        assert telem_prov["spec_hash"] == prov["spec_hash"]
+        assert telem_prov["seed"] == 3
+
+
+class TestComparability:
+    BASE = {"spec_hash": "h", "seed": 0, "cache_format": 4}
+
+    def test_equal_stamps_compare(self):
+        assert comparability_error(dict(self.BASE), dict(self.BASE),
+                                   what="runs") is None
+
+    def test_each_identity_key_gates(self):
+        for key in COMPARABILITY_KEYS:
+            other = dict(self.BASE, **{key: "different"})
+            message = comparability_error(self.BASE, other, what="runs")
+            assert message is not None and key in message
+
+    def test_environment_keys_never_refuse(self):
+        # Differing SHAs/pythons are what a cross-run diff measures.
+        a = dict(self.BASE, git_sha="aaa", python="3.11.1")
+        b = dict(self.BASE, git_sha="bbb", python="3.12.0")
+        assert comparability_error(a, b, what="runs") is None
+
+    def test_missing_stamp_is_not_evidence(self):
+        assert comparability_error(None, self.BASE, what="runs") is None
+        assert comparability_error({}, self.BASE, what="runs") is None
+        # A key present on only one side does not refuse either.
+        partial = {"seed": 0}
+        assert comparability_error(partial, self.BASE, what="runs") is None

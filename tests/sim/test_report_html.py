@@ -115,3 +115,49 @@ class TestDashboard:
         html_text = render_dashboard(telemetry)
         assert "Task lifecycle spans" not in html_text
         assert "Node utilization" in html_text
+
+
+class TestEmptyState:
+    """Dumps with nothing to plot render a banner, not a traceback."""
+
+    def test_fresh_registry_renders_banner(self):
+        html_text = render_dashboard(TelemetryRegistry())
+        assert "Nothing to plot" in html_text
+        assert "Time series" not in html_text
+        assert html_text.startswith("<!DOCTYPE html>")
+
+    def test_dump_with_explicit_nulls(self, tmp_path):
+        import json
+
+        from repro.sim.telemetry import TELEMETRY_FORMAT, load_telemetry
+
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({
+            "format": TELEMETRY_FORMAT,
+            "meta": None,
+            "series": None,
+            "histograms": None,
+        }))
+        registry = load_telemetry(path)
+        html_text = render_dashboard(registry)
+        assert "Nothing to plot" in html_text
+
+    def test_dump_with_sampleless_series(self, tmp_path):
+        import json
+
+        from repro.sim.telemetry import TELEMETRY_FORMAT, load_telemetry
+
+        path = tmp_path / "sampleless.json"
+        path.write_text(json.dumps({
+            "format": TELEMETRY_FORMAT,
+            "meta": {},
+            "series": [{"name": "sim_queue_depth", "type": "gauge",
+                        "labels": {}, "points": []}],
+            "histograms": [],
+        }))
+        html_text = render_dashboard(load_telemetry(path))
+        assert "Nothing to plot" in html_text
+
+    def test_real_run_has_no_banner(self):
+        telemetry, _ = instrumented_run()
+        assert "Nothing to plot" not in render_dashboard(telemetry)
