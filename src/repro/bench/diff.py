@@ -4,7 +4,10 @@ Compares two persisted observability artifacts -- bench suites
 (``BENCH_*.json``), report dumps (``repro simulate --report-json``),
 or telemetry dumps (``repro simulate --telemetry``) -- metric by
 metric, with relative tolerances, and renders both a human table and a
-machine JSON verdict.
+machine JSON verdict.  A telemetry series contributes three keys: its
+final value, its sample count, and a CRC-32 of the full point
+trajectory -- so runs that diverge mid-run are caught even when they
+converge to the same final values.
 
 Two tolerance regimes, because the repo's determinism contract splits
 the numbers in two:
@@ -26,6 +29,7 @@ from __future__ import annotations
 
 import json
 import math
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -150,7 +154,14 @@ def _load_telemetry(path: Path, data: dict) -> Artifact:
         if labels:
             inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
             key = f"{key}{{{inner}}}"
+        # Final value alone would call two runs that diverge mid-run
+        # but converge identical, so each series also contributes its
+        # sample count and a checksum over the full point trajectory.
         artifact.metrics[key] = float(points[-1][1])
+        artifact.metrics[f"{key}/samples"] = float(len(points))
+        artifact.metrics[f"{key}/points_crc32"] = float(
+            zlib.crc32(json.dumps(points).encode("utf-8"))
+        )
     return artifact
 
 

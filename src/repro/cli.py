@@ -453,7 +453,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             title=f"registered bench cases ({len(rows)})",
         ))
         return 0
-    cases = match_cases(args.filter, quick=args.quick)
+    import re
+
+    try:
+        cases = match_cases(args.filter, quick=args.quick)
+    except re.error as exc:
+        print(
+            f"repro bench: error: invalid --filter regex: {exc}",
+            file=sys.stderr,
+        )
+        return 2
     if not cases:
         print(
             f"repro bench: error: no case matches filter {args.filter!r}"

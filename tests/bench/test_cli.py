@@ -65,6 +65,11 @@ class TestBenchCommand:
         assert "no case matches" in err
         assert "--list" in err
 
+    def test_invalid_filter_regex_exits_2(self, capsys):
+        assert main(["bench", "--filter", "("]) == 2
+        err = capsys.readouterr().err
+        assert "invalid --filter regex" in err
+
     def test_bad_repeat_rejected_at_parser(self, capsys):
         with pytest.raises(SystemExit) as exc:
             main(["bench", "--repeat", "0"])

@@ -62,7 +62,7 @@ class TestLoadArtifact:
         # booleans and non-scalars are skipped
         assert art.metrics == {"completed": 80.0, "makespan_s": 41.5}
 
-    def test_telemetry_last_point_per_series(self, tmp_path):
+    def test_telemetry_series_value_count_and_checksum(self, tmp_path):
         from repro.sim.telemetry import TELEMETRY_FORMAT
 
         doc = {
@@ -76,7 +76,36 @@ class TestLoadArtifact:
         }
         art = load_artifact(write(tmp_path, "t.json", doc))
         assert art.flavor == "telemetry"
-        assert art.metrics == {"queue": 7.0, "util{node=n0}": 0.5}
+        assert art.metrics["queue"] == 7.0
+        assert art.metrics["queue/samples"] == 2.0
+        assert art.metrics["util{node=n0}"] == 0.5
+        assert art.metrics["util{node=n0}/samples"] == 1.0
+        assert set(art.metrics) == {
+            "queue", "queue/samples", "queue/points_crc32",
+            "util{node=n0}", "util{node=n0}/samples",
+            "util{node=n0}/points_crc32",
+        }
+
+    def test_telemetry_mid_run_divergence_is_caught(self, tmp_path):
+        # Same sample count, same final value -- only the trajectory
+        # checksum distinguishes the runs.
+        from repro.sim.telemetry import TELEMETRY_FORMAT
+
+        def doc(points):
+            return {
+                "format": TELEMETRY_FORMAT,
+                "meta": {"provenance": dict(PROV)},
+                "series": [{"name": "queue", "labels": {}, "points": points}],
+            }
+
+        a = write(tmp_path, "a.json", doc([[0, 1], [1, 5], [2, 7]]))
+        b = write(tmp_path, "b.json", doc([[0, 1], [1, 6], [2, 7]]))
+        report = diff_artifacts(a, b)
+        assert report.exit_code == 1
+        assert [row.key for row in report.failures] == ["queue/points_crc32"]
+        # Identical trajectories still diff clean.
+        c = write(tmp_path, "c.json", doc([[0, 1], [1, 5], [2, 7]]))
+        assert diff_artifacts(a, c).exit_code == 0
 
     def test_rejects_garbage(self, tmp_path):
         path = tmp_path / "x.json"
