@@ -1,0 +1,79 @@
+"""Engine scaling: heap vs calendar queue on the simulator hot path.
+
+ROADMAP item 1 asks for millions of tasks per run; the discrete-event
+queue is the floor every other cost sits on.  This bench runs the two
+engine kernels from :mod:`repro.bench.cases` --
+
+* ``run_engine_drain``: bulk-schedule N random-time events, drain.
+  Pure queue throughput, the widest heap/calendar gap.
+* ``run_engine_micro``: the simulator-shaped kernel -- N bulk arrivals
+  whose callbacks each schedule one dynamic completion event, exactly
+  the ``submit_workload_columns`` + ``_finish`` pattern.
+
+-- and asserts the calendar queue's headline claim: at least **5x**
+events/sec over the heap baseline on the drain kernel, and ahead of
+the heap on the simulator-shaped kernel too.  Both engines must also
+agree exactly on processed-event counts and final clocks (the cheap
+end of the differential battery; the full lock lives in
+``tests/properties/test_prop_engine.py`` and the golden traces).
+
+The registered cases (``engine-micro-heap`` / ``engine-micro-calendar``)
+put both engines in the ``BENCH_*.json`` trajectory, so events/sec is
+trackable release over release via ``repro diff``.
+"""
+
+import time
+
+from repro.bench import standalone_main
+from repro.bench.cases import (
+    ENGINE_MICRO_EVENTS,
+    run_engine_drain,
+    run_engine_micro,
+)
+
+#: The acceptance bar: calendar-queue events/sec over heap events/sec
+#: on the drain kernel (measured 10-20x on the reference container).
+MIN_DRAIN_SPEEDUP = 5.0
+
+
+def _time_best(fn, *args, repeat: int = 3):
+    """(best wall seconds, last result) over ``repeat`` runs."""
+    best, result = float("inf"), None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def measure_speedup(n: int = ENGINE_MICRO_EVENTS, *, repeat: int = 3):
+    """{kernel: (heap_s, calendar_s, speedup)} for both kernels."""
+    out = {}
+    for label, kernel in (("drain", run_engine_drain), ("mixed", run_engine_micro)):
+        heap_s, heap_res = _time_best(kernel, "heap", repeat=repeat)
+        cal_s, cal_res = _time_best(kernel, "calendar", repeat=repeat)
+        assert heap_res == cal_res, (
+            f"{label}: engines disagree: heap {heap_res} vs calendar {cal_res}"
+        )
+        out[label] = (heap_s, cal_s, heap_s / cal_s)
+    return out
+
+
+def bench_engine_scaling(benchmark):
+    results = measure_speedup()
+    print("\nEngine scaling: heap vs calendar queue "
+          f"({ENGINE_MICRO_EVENTS} scheduled events)")
+    print(f"{'kernel':>8s} {'heap s':>9s} {'calendar s':>11s} {'speedup':>8s}")
+    for label, (heap_s, cal_s, speedup) in results.items():
+        print(f"{label:>8s} {heap_s:9.3f} {cal_s:11.3f} {speedup:7.2f}x")
+    # The headline claim: >= 5x queue throughput, and the simulator-
+    # shaped kernel ahead too.
+    assert results["drain"][2] >= MIN_DRAIN_SPEEDUP, results["drain"]
+    assert results["mixed"][2] > 1.5, results["mixed"]
+
+    events, _ = benchmark(run_engine_micro, "calendar")
+    assert events == 2 * ENGINE_MICRO_EVENTS
+
+
+if __name__ == "__main__":
+    raise SystemExit(standalone_main("engine-micro-calendar"))

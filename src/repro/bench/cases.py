@@ -686,6 +686,112 @@ def _case_energy(quick: bool) -> dict[str, float]:
     return metrics
 
 
+# ----------------------------------------------------------------------
+# Engine microbench + million-task scale cases
+# (kernels shared with benchmarks/bench_engine_scaling.py)
+# ----------------------------------------------------------------------
+
+ENGINE_MICRO_EVENTS = 200_000
+ENGINE_MICRO_SEED = 37
+
+
+def run_engine_micro(engine: str, *, n: int = ENGINE_MICRO_EVENTS):
+    """The simulator-shaped event kernel on one engine.
+
+    ``n`` Poisson-like arrivals are bulk-scheduled up front (the
+    ``submit_workload_columns`` shape); every arrival callback then
+    schedules one dynamic completion event (the ``_finish`` shape).
+    Returns ``(processed_events, final_clock)`` -- both deterministic,
+    so the harness's repetition check holds and only wall time varies.
+    """
+    import numpy as np
+
+    from repro.sim.engine import make_engine
+
+    rng = np.random.default_rng(ENGINE_MICRO_SEED)
+    arrivals = np.cumsum(rng.exponential(0.5, n))
+    service = rng.uniform(0.1, 2.0, n)
+    eng = make_engine(engine)
+    done = [0]
+    cursor = [0]
+    service_list = service.tolist()
+
+    def finish() -> None:
+        done[0] += 1
+
+    def arrive() -> None:
+        eng.schedule(service_list[cursor[0]], finish)
+        cursor[0] += 1
+    eng.schedule_batch(arrivals, [arrive] * n, handles=False)
+    eng.run()
+    return eng.processed_events, eng.now
+
+
+def run_engine_drain(engine: str, *, n: int = ENGINE_MICRO_EVENTS):
+    """Pure queue throughput: bulk-schedule ``n`` random times, drain.
+
+    The widest heap-vs-calendar gap (no callback work at all); used by
+    ``benchmarks/bench_engine_scaling.py`` for the speedup assertion.
+    """
+    import numpy as np
+
+    from repro.sim.engine import make_engine
+
+    rng = np.random.default_rng(ENGINE_MICRO_SEED)
+    times = rng.uniform(0.0, 1_000.0, n)
+    eng = make_engine(engine)
+    eng.schedule_batch(times, [lambda: None] * n, handles=False)
+    eng.run()
+    return eng.processed_events, eng.now
+
+
+@register("engine-micro-heap", "engine",
+          description="simulator-shaped event kernel on the heap engine")
+def _case_engine_heap(quick: bool) -> dict[str, float]:
+    n = 20_000 if quick else ENGINE_MICRO_EVENTS
+    events, now = run_engine_micro("heap", n=n)
+    return {"events": events, "final_clock_s": now}
+
+
+@register("engine-micro-calendar", "engine",
+          description="simulator-shaped event kernel on the calendar queue")
+def _case_engine_calendar(quick: bool) -> dict[str, float]:
+    n = 20_000 if quick else ENGINE_MICRO_EVENTS
+    events, now = run_engine_micro("calendar", n=n)
+    return {"events": events, "final_clock_s": now}
+
+
+def scale_spec(*, tasks: int):
+    """The million-task scale scenario: the canonical two-node grid,
+    calendar engine, columnar workload, bulk metrics."""
+    return baseline_spec(tasks=tasks).with_(engine="calendar")
+
+
+def run_scale(tasks: int):
+    """One end-to-end scale run through the streaming hot path."""
+    from repro.sim.experiment import run_scale_experiment
+
+    return run_scale_experiment(scale_spec(tasks=tasks)).report
+
+
+@register("sim-scale-1e5", "scale", quick_eligible=False,
+          description="100k-task end-to-end run through the scale path")
+def _case_scale_1e5(quick: bool) -> dict[str, float]:
+    report = run_scale(10_000 if quick else 100_000)
+    metrics = report_metrics(report)
+    metrics["tasks"] = report.completed + report.discarded + report.pending
+    return metrics
+
+
+@register("sim-scale-1e6", "scale", quick_eligible=False,
+          description="1e6-task end-to-end run through the scale path")
+def _case_scale_1e6(quick: bool) -> dict[str, float]:
+    report = run_scale(50_000 if quick else 1_000_000)
+    metrics = report_metrics(report)
+    metrics["tasks"] = report.completed + report.discarded + report.pending
+    return metrics
+
+
 @register("parallel-runner", "harness", quick_eligible=False,
           description="strategy sweep through the ProcessPool runner")
 def _case_parallel_runner(quick: bool) -> dict[str, float]:

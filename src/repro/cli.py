@@ -198,6 +198,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         faults=FAULT_PRESETS[args.faults] if args.faults else None,
         resilience=args.resilience,
+        engine=args.engine,
     )
     tracer = None
     if args.trace:
@@ -564,6 +565,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=2.0, help="Poisson arrivals/s")
     p.add_argument("--configurations", type=int, default=8)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", choices=("heap", "calendar"), default="heap",
+                   help="event-queue implementation (identical behavior; "
+                        "calendar is faster at scale)")
     p.add_argument("--energy", action="store_true", help="print the energy audit")
     p.add_argument("--replications", type=int, default=1, help="run N seeds and report mean +/- std")
     p.add_argument("--trace", metavar="PATH",

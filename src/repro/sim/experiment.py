@@ -100,6 +100,12 @@ class ExperimentSpec:
     #: None of its mechanisms draws randomness, so enabling it never
     #: perturbs the seeded workload or fault streams.
     resilience: ResilienceSpec | None = None
+    #: Discrete-event scheduler: ``"heap"`` (the default binary heap)
+    #: or ``"calendar"`` (the O(1) calendar queue for scale runs).
+    #: Both produce identical event orders -- locked by differential
+    #: property tests and the golden byte-identity suite -- so this is
+    #: purely a performance knob.
+    engine: str = "heap"
 
     def __post_init__(self) -> None:
         if self.strategy not in ALL_STRATEGIES:
@@ -113,6 +119,13 @@ class ExperimentSpec:
             raise ValueError("an experiment needs at least one node")
         if self.arrival_rate_per_s <= 0:
             raise ValueError("arrival rate must be positive")
+        from repro.sim.engine import ENGINES
+
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose from "
+                + ", ".join(sorted(ENGINES))
+            )
 
     def with_(self, **overrides) -> "ExperimentSpec":
         """A modified copy -- the sweep primitive."""
@@ -155,6 +168,7 @@ def run_experiment(
     audit_energy: bool = False,
     tracer: Tracer | None = None,
     telemetry: TelemetryRegistry | None = None,
+    metrics=None,
 ) -> ExperimentResult:
     """Build, run, and report one experiment.
 
@@ -165,6 +179,8 @@ def run_experiment(
     validates the run online).  ``telemetry`` receives sim-time series
     (:class:`~repro.sim.telemetry.TelemetryRegistry`); after the run
     its ``meta`` carries the spec's headline knobs for the dashboard.
+    ``metrics`` swaps in a custom collector (e.g.
+    :class:`~repro.sim.metrics.BulkMetricsCollector`).
     """
     rms = build_grid(spec)
     pool = ConfigurationPool(
@@ -198,6 +214,8 @@ def run_experiment(
         retry=spec.retry,
         resilience=spec.resilience,
         telemetry=telemetry,
+        engine=spec.engine,
+        metrics=metrics,
     )
     sim.submit_workload(workload.generate())
     report = sim.run()
@@ -220,6 +238,68 @@ def run_experiment(
         )
     energy = EnergyAuditor(rms).audit(sim) if audit_energy else None
     return ExperimentResult(spec=spec, report=report, energy=energy)
+
+
+def run_scale_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Run one experiment through the million-task hot path.
+
+    Same grid and seed handling as :func:`run_experiment`, but every
+    per-task allocation is stripped out of the steady state:
+
+    * the workload is drawn as numpy columns
+      (:meth:`~repro.sim.workload.SyntheticWorkload.generate_columns`)
+      and each :class:`~repro.core.task.Task` is materialized lazily at
+      its arrival instant;
+    * arrivals are bulk-scheduled (``engine.schedule_batch``) with one
+      shared callback -- no per-task closure, handle, or JSS job;
+    * metrics accumulate into numpy columns
+      (:class:`~repro.sim.metrics.BulkMetricsCollector`).
+
+    The column draw order differs from ``generate()``'s per-task order,
+    so a scale run is a *different* (equally valid) seeded workload
+    than ``run_experiment`` with the same spec; scale runs are only
+    compared against scale runs.  Tracers, telemetry, and the energy
+    auditor need per-task records and are deliberately unsupported
+    here -- use :func:`run_experiment` for those.
+    """
+    from repro.sim.metrics import BulkMetricsCollector
+
+    rms = build_grid(spec)
+    pool = ConfigurationPool(
+        spec.configurations,
+        area_range=spec.area_range,
+        speedup_range=spec.speedup_range,
+        seed=spec.seed,
+    )
+    pool.populate_repository(
+        rms.virtualization.repository,
+        [rpe.device for node in rms.nodes for rpe in node.rpes],
+    )
+    workload = SyntheticWorkload(
+        WorkloadSpec(
+            task_count=spec.tasks,
+            gpp_fraction=spec.gpp_fraction,
+            required_time_range_s=spec.required_time_range_s,
+        ),
+        pool,
+        PoissonArrivals(rate_per_s=spec.arrival_rate_per_s),
+        seed=spec.seed,
+    )
+    injector = (
+        FaultInjector(spec.faults, seed=spec.seed) if spec.faults is not None else None
+    )
+    sim = DReAMSim(
+        rms,
+        discard_after_s=spec.discard_after_s,
+        faults=injector,
+        retry=spec.retry,
+        resilience=spec.resilience,
+        engine=spec.engine,
+        metrics=BulkMetricsCollector(capacity=spec.tasks),
+    )
+    sim.submit_workload_columns(workload.generate_columns())
+    report = sim.run()
+    return ExperimentResult(spec=spec, report=report, energy=None)
 
 
 def sweep(base: ExperimentSpec, field_name: str, values) -> list[ExperimentResult]:

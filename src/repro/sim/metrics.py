@@ -563,3 +563,346 @@ class MetricsCollector:
             ),
             speculative_wasted_s=self.speculative_wasted_s,
         )
+
+
+class _TaskRow:
+    """Flyweight read view of one task's columns (bulk collector).
+
+    Exposes the two fields the simulator reads back mid-run
+    (``arrival`` and ``dispatch``) with the same None-for-missing
+    convention as :class:`TaskMetrics`.
+    """
+
+    __slots__ = ("_c", "_i")
+
+    def __init__(self, collector: "BulkMetricsCollector", index: int):
+        self._c = collector
+        self._i = index
+
+    @property
+    def arrival(self) -> float:
+        return float(self._c._arrival[self._i])
+
+    @property
+    def dispatch(self) -> float | None:
+        v = self._c._dispatch[self._i]
+        return None if np.isnan(v) else float(v)
+
+
+class _TaskRowMap:
+    """Mapping facade over the bulk collector's columns."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, collector: "BulkMetricsCollector"):
+        self._c = collector
+
+    def __getitem__(self, key: object) -> _TaskRow:
+        return _TaskRow(self._c, self._c._index[key])
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._c._index
+
+    def __len__(self) -> int:
+        return self._c._n
+
+
+class BulkMetricsCollector(MetricsCollector):
+    """Array-backed :class:`MetricsCollector` for million-task runs.
+
+    The standard collector allocates one :class:`TaskMetrics` dataclass
+    per task and appends one trace tuple per record call -- hundreds of
+    bytes and several dict operations per event, which dominates memory
+    at 1e6 tasks.  This collector stores the per-task timeline in
+    preallocated numpy columns (8-80 bytes per task) and skips the
+    per-event trace (``self.trace`` stays available for the rare
+    node-level events the simulator appends directly).
+
+    ``report()`` replicates the base-class arithmetic *exactly* -- same
+    value multisets, same accumulation order (insertion order == column
+    order), numpy mean/percentile for latencies and Python left-fold
+    ``sum`` for the waste/reconfig totals -- so for identical record
+    streams the two collectors produce identical reports (locked by a
+    differential test).
+
+    Limitations, by design: per-task drill-down fields that no report
+    aggregate reads (node ids, transfer/synthesis splits, failure
+    reasons, per-task retry counts) are not stored, so the energy
+    auditor and trace tooling need the standard collector.
+    """
+
+    _INITIAL_CAPACITY = 1024
+
+    def __init__(self, capacity: int | None = None) -> None:
+        super().__init__()
+        cap = max(1, int(capacity) if capacity is not None else self._INITIAL_CAPACITY)
+        self._n = 0
+        self._index: dict[object, int] = {}
+        self._arrival = np.empty(cap)
+        self._dispatch = np.full(cap, np.nan)
+        self._start = np.full(cap, np.nan)
+        self._finish = np.full(cap, np.nan)
+        self._reconfig = np.zeros(cap)
+        self._wasted_t = np.zeros(cap)
+        self._wasted_sl = np.zeros(cap)
+        self._first_fault = np.full(cap, np.nan)
+        self._reused = np.zeros(cap, dtype=bool)
+        self._discarded = np.zeros(cap, dtype=bool)
+        self._failed = np.zeros(cap, dtype=bool)
+        #: pe_kind interned to a small int; -1 = never dispatched.
+        self._kind_code = np.full(cap, -1, dtype=np.int16)
+        #: 0 = met, 1 = soft miss, 2 = hard miss.
+        self._deadline_code = np.zeros(cap, dtype=np.int8)
+        self._kind_codes: dict[str, int] = {}
+        self._kind_names: list[str] = []
+        self.tasks = _TaskRowMap(self)  # type: ignore[assignment]
+
+    def _grow(self) -> None:
+        cap = len(self._arrival) * 2
+        for name in (
+            "_arrival", "_dispatch", "_start", "_finish", "_reconfig",
+            "_wasted_t", "_wasted_sl", "_first_fault", "_reused",
+            "_discarded", "_failed", "_kind_code", "_deadline_code",
+        ):
+            old = getattr(self, name)
+            if old.dtype == np.float64 and name in ("_dispatch", "_start", "_finish", "_first_fault"):
+                new = np.full(cap, np.nan)
+            elif old.dtype == np.int16:
+                new = np.full(cap, -1, dtype=np.int16)
+            else:
+                new = np.zeros(cap, dtype=old.dtype)
+            new[: self._n] = old[: self._n]
+            setattr(self, name, new)
+
+    def _kind(self, pe_kind: str) -> int:
+        code = self._kind_codes.get(pe_kind)
+        if code is None:
+            code = len(self._kind_names)
+            self._kind_codes[pe_kind] = code
+            self._kind_names.append(pe_kind)
+        return code
+
+    # -- recording ------------------------------------------------------
+    def record_arrival(self, key: object, time: float, function: str = "") -> None:  # type: ignore[override]
+        if key in self._index:
+            raise ValueError(f"duplicate task key {key!r}")
+        i = self._n
+        if i == len(self._arrival):
+            self._grow()
+        self._index[key] = i
+        self._arrival[i] = time
+        self._n = i + 1
+
+    def record_dispatch(
+        self,
+        key: object,
+        time: float,
+        *,
+        pe_kind: str,
+        node_id: int,
+        transfer_time: float,
+        synthesis_time: float,
+        reconfig_time: float,
+        reused: bool,
+        resource_index: int | None = None,
+        slices: int = 0,
+    ) -> None:
+        i = self._index[key]
+        self._dispatch[i] = time
+        self._kind_code[i] = self._kind(pe_kind)
+        self._reconfig[i] = reconfig_time
+        self._reused[i] = reused
+
+    def record_start(self, key: object, time: float) -> None:
+        self._start[self._index[key]] = time
+
+    def record_finish(self, key: object, time: float, resource_label: str) -> None:
+        i = self._index[key]
+        self._finish[i] = time
+        usage = self.resources.setdefault(resource_label, ResourceUsage(resource_label))
+        start = self._start[i]
+        if not np.isnan(start):
+            usage.busy_s += time - start
+        usage.tasks_executed += 1
+
+    def record_discard(self, key: object, time: float) -> None:
+        self._discarded[self._index[key]] = True
+
+    def record_fault(
+        self,
+        key: object,
+        time: float,
+        *,
+        reason: str,
+        wasted_time_s: float = 0.0,
+        wasted_slice_seconds: float = 0.0,
+    ) -> None:
+        i = self._index[key]
+        if np.isnan(self._first_fault[i]):
+            self._first_fault[i] = time
+        self._wasted_t[i] += wasted_time_s
+        self._wasted_sl[i] += wasted_slice_seconds
+        self.fault_events += 1
+
+    def record_retry(self, key: object, time: float) -> None:
+        self.retry_events += 1
+
+    def record_fallback(self, key: object, time: float) -> None:
+        self.fallback_events += 1
+
+    def record_failed(self, key: object, time: float, *, reason: str) -> None:
+        self._failed[self._index[key]] = True
+
+    def record_deadline_miss(self, key: object, time: float, *, hard: bool) -> None:
+        i = self._index[key]
+        if hard:
+            self._deadline_code[i] = 2
+            self.deadline_hard_misses += 1
+        else:
+            if self._deadline_code[i] == 0:
+                self._deadline_code[i] = 1
+            self.deadline_soft_misses += 1
+
+    def record_wasted(
+        self, key: object, time: float, *, wasted_time_s: float,
+        wasted_slice_seconds: float,
+    ) -> None:
+        i = self._index[key]
+        self._wasted_t[i] += wasted_time_s
+        self._wasted_sl[i] += wasted_slice_seconds
+
+    def record_checkpoint(self, key: object, time: float, *, overhead_s: float) -> None:
+        self.checkpoint_events += 1
+        self.checkpoint_overhead_s += overhead_s
+
+    def record_checkpoint_restore(self, key: object, saved_s: float) -> None:
+        self.wasted_work_saved_s += saved_s
+
+    def record_migration(self, key: object, time: float) -> None:
+        self.migration_events += 1
+
+    def record_speculation(self, key: object, time: float) -> None:
+        self.speculative_launches += 1
+
+    def record_speculation_result(
+        self,
+        key: object,
+        time: float,
+        *,
+        win: bool,
+        wasted_s: float,
+        node_id: int | None = None,
+        resource_index: int | None = None,
+    ) -> None:
+        if win:
+            self.speculative_wins += 1
+        self.speculative_wasted_s += max(0.0, wasted_s)
+
+    # -- reporting ------------------------------------------------------
+    def report(self, horizon_s: float) -> SimulationReport:
+        n = self._n
+        arrival = self._arrival[:n]
+        dispatch = self._dispatch[:n]
+        finish = self._finish[:n]
+        discarded = self._discarded[:n]
+        failed = self._failed[:n]
+        finished = ~np.isnan(finish)
+        pending = np.isnan(finish) & ~discarded & ~failed
+        # Same multisets in the same (insertion) order as the base
+        # collector's list comprehensions.
+        waits = (dispatch - arrival)[finished & ~np.isnan(dispatch)]
+        turnarounds = (finish - arrival)[finished]
+        reconfig_mask = finished & (self._reconfig[:n] > 0)
+        reuse_hits = int((finished & self._reused[:n]).sum())
+        rpe_code = self._kind_codes.get("RPE")
+        kinds = self._kind_code[:n]
+        hw_tasks = int((finished & (kinds == rpe_code)).sum()) if rpe_code is not None else 0
+        utilizations = {
+            label: usage.utilization(horizon_s) for label, usage in self.resources.items()
+        }
+        # by-kind counts in order of first finished appearance, exactly
+        # like the base collector's insertion-ordered dict.
+        by_kind: dict[str, int] = {}
+        finished_kinds = kinds[finished]
+        if finished_kinds.size:
+            codes, firsts, counts = np.unique(
+                finished_kinds, return_index=True, return_counts=True
+            )
+            for pos in np.argsort(firsts):
+                code = int(codes[pos])
+                name = self._kind_names[code] if code >= 0 else ""
+                by_kind[name] = int(counts[pos])
+        downtime = dict(self._downtime)
+        for node_id, since in self._down_since.items():
+            downtime[node_id] = downtime.get(node_id, 0.0) + max(
+                0.0, horizon_s - since
+            )
+        node_seconds = len(self.known_nodes) * horizon_s
+        availability = (
+            max(0.0, 1.0 - sum(downtime.values()) / node_seconds)
+            if node_seconds > 0
+            else 1.0
+        )
+        first_fault = self._first_fault[:n]
+        repairs = (finish - first_fault)[finished & ~np.isnan(first_fault)]
+        completed = int(finished.sum())
+        return SimulationReport(
+            horizon_s=horizon_s,
+            completed=completed,
+            discarded=int(discarded.sum()),
+            pending=int(pending.sum()),
+            mean_wait_s=float(waits.mean()) if waits.size else 0.0,
+            p95_wait_s=float(np.percentile(waits, 95)) if waits.size else 0.0,
+            p50_wait_s=float(np.percentile(waits, 50)) if waits.size else 0.0,
+            p99_wait_s=float(np.percentile(waits, 99)) if waits.size else 0.0,
+            mean_turnaround_s=float(turnarounds.mean()) if turnarounds.size else 0.0,
+            p50_turnaround_s=(
+                float(np.percentile(turnarounds, 50)) if turnarounds.size else 0.0
+            ),
+            p95_turnaround_s=(
+                float(np.percentile(turnarounds, 95)) if turnarounds.size else 0.0
+            ),
+            p99_turnaround_s=(
+                float(np.percentile(turnarounds, 99)) if turnarounds.size else 0.0
+            ),
+            makespan_s=float(finish[finished].max()) if completed else 0.0,
+            reconfigurations=int(reconfig_mask.sum()),
+            # Python left-fold sum, like the base collector (numpy's
+            # pairwise summation rounds differently).
+            total_reconfig_time_s=sum(self._reconfig[:n][reconfig_mask].tolist()),
+            reuse_hits=reuse_hits,
+            reuse_rate=reuse_hits / hw_tasks if hw_tasks else 0.0,
+            mean_utilization=(
+                float(np.mean(list(utilizations.values()))) if utilizations else 0.0
+            ),
+            per_resource_utilization=utilizations,
+            tasks_by_pe_kind=by_kind,
+            failed=int(failed.sum()),
+            fault_events=self.fault_events,
+            retries=self.retry_events,
+            gpp_fallbacks=self.fallback_events,
+            availability=availability,
+            mttr_s=float(repairs.mean()) if repairs.size else 0.0,
+            wasted_work_s=sum(self._wasted_t[:n].tolist()),
+            wasted_slice_seconds=sum(self._wasted_sl[:n].tolist()),
+            goodput_tasks_per_s=completed / horizon_s if horizon_s > 0 else 0.0,
+            deadline_soft_misses=self.deadline_soft_misses,
+            deadline_hard_misses=self.deadline_hard_misses,
+            deadline_miss_rate=(
+                int((self._deadline_code[:n] != 0).sum()) / n if n else 0.0
+            ),
+            quarantines=self.quarantines,
+            quarantine_time_s=self.quarantine_time_s,
+            checkpoints=self.checkpoint_events,
+            checkpoint_overhead_s=self.checkpoint_overhead_s,
+            wasted_work_saved_s=self.wasted_work_saved_s,
+            migrations=self.migration_events,
+            speculative_launches=self.speculative_launches,
+            speculative_wins=self.speculative_wins,
+            speculative_win_rate=(
+                self.speculative_wins / self.speculative_launches
+                if self.speculative_launches
+                else 0.0
+            ),
+            speculative_wasted_s=self.speculative_wasted_s,
+        )

@@ -54,7 +54,8 @@ from repro.sim.metrics import SimulationReport
 #: 2: fault-injection fields on ExperimentSpec and SimulationReport.
 #: 3: resilience fields (breakers/deadlines/checkpoints/speculation).
 #: 4: wait/turnaround percentile fields (p50/p99 wait, p50/p95/p99 turnaround).
-_CACHE_FORMAT = 4
+#: 5: ``engine`` field on ExperimentSpec (heap vs calendar queue).
+_CACHE_FORMAT = 5
 
 
 def default_jobs() -> int:

@@ -45,7 +45,7 @@ from repro.grid.jss import JobSubmissionSystem
 from repro.grid.network import NetworkError
 from repro.grid.rms import Placement, ResourceManagementSystem, SchedulingError
 from repro.hardware.taxonomy import PEClass
-from repro.sim.engine import EventHandle, SimulationEngine
+from repro.sim.engine import EventHandle, make_engine
 from repro.sim.faults import FaultInjector, RetryPolicy
 from repro.sim.metrics import MetricsCollector, SimulationReport
 from repro.sim.resilience import ResilienceSpec
@@ -53,9 +53,15 @@ from repro.sim.telemetry import TelemetryRegistry
 from repro.sim.tracing import Tracer
 
 
-@dataclass
+@dataclass(eq=False)
 class _Entry:
-    """One schedulable unit inside the simulator."""
+    """One schedulable unit inside the simulator.
+
+    ``eq=False`` keeps identity comparison semantics: entries are
+    unique mutable objects, and the pending-queue membership tests in
+    the hot path must not fall into field-by-field dataclass equality
+    (which would compare whole Task trees once per queue scan).
+    """
 
     key: object
     task: Task
@@ -114,17 +120,23 @@ class DReAMSim:
         retry: RetryPolicy | None = None,
         resilience: ResilienceSpec | None = None,
         telemetry: TelemetryRegistry | None = None,
+        engine: str = "heap",
+        metrics: MetricsCollector | None = None,
     ):
         if discard_after_s is not None and discard_after_s <= 0:
             raise ValueError("discard_after_s must be positive")
-        self.engine = SimulationEngine()
+        self.engine = make_engine(engine)
         self.rms = rms
         self.jss = jss or JobSubmissionSystem(virtualization=rms.virtualization)
-        self.metrics = MetricsCollector()
+        self.metrics = metrics if metrics is not None else MetricsCollector()
         self.tracer = tracer
         self.discard_after_s = discard_after_s
         self.pending: list[_Entry] = []
         self.active: dict[object, _Entry] = {}
+        #: Columnar arrival stream (scale runs); cursor-driven lazy
+        #: task materialization, see submit_workload_columns.
+        self._stream = None
+        self._stream_i = 0
         self.requeues = 0
         #: (job_id, task_id) -> node where the task's outputs landed;
         #: feeds the RMS's locality-aware input-staging prices.
@@ -291,6 +303,32 @@ class DReAMSim:
                 return lambda: self._arrive(t, job_id=j, key=(j, t.task_id))
 
             self.engine.schedule_at(time, make())
+
+    def submit_workload_columns(self, columns) -> None:
+        """Schedule a columnar arrival stream for scale runs.
+
+        ``columns`` is a :class:`repro.sim.workload.WorkloadColumns`
+        (or anything with ``.times`` and ``.task(i)``).  Arrivals are
+        bulk-scheduled through ``engine.schedule_batch`` with a single
+        shared bound-method callback -- no per-task closure, handle, or
+        JSS job is allocated -- and each :class:`Task` is materialized
+        lazily at its arrival instant.  Both engines fire equal-time
+        events in scheduling order, so the cursor walks the columns in
+        submission order exactly as the per-task path would.
+        """
+        times = columns.times
+        n = len(times)
+        if n == 0:
+            return
+        self._stream = columns
+        self._stream_i = 0
+        self.engine.schedule_batch(times, [self._stream_arrive] * n, handles=False)
+
+    def _stream_arrive(self) -> None:
+        i = self._stream_i
+        self._stream_i = i + 1
+        task = self._stream.task(i)
+        self._arrive(task, key=task.task_id)
 
     def submit_graph(self, tasks: list[Task], *, at: float = 0.0) -> int:
         """Submit a Figure 7 style data-dependent task set; returns the
@@ -1222,12 +1260,13 @@ class DReAMSim:
             silent=silent,
         )
         self.metrics.record_arrival(entry.key, self.engine.now, task.function)
-        self._emit(
-            "submit",
-            entry.key,
-            function=task.function,
-            pe_class=task.exec_req.node_type.value,
-        )
+        if self.tracer is not None:
+            self._emit(
+                "submit",
+                entry.key,
+                function=task.function,
+                pe_class=task.exec_req.node_type.value,
+            )
         self.pending.append(entry)
         self._arm_watchdog(entry)
         if self.discard_after_s is not None:
@@ -1260,12 +1299,21 @@ class DReAMSim:
     def _dispatch_pending(self) -> None:
         """One FIFO pass over the queue; each successful dispatch
         immediately reserves resources, so later entries see the
-        updated state."""
-        for entry in list(self.pending):
+        updated state.
+
+        The queue is rebuilt in one pass instead of ``list.remove``-ing
+        each dispatched entry, which was quadratic in queue depth.
+        ``_try_dispatch`` never mutates ``self.pending`` synchronously
+        (faults and completions arrive via engine events), so swapping
+        in the kept list afterwards is safe.
+        """
+        kept: list[_Entry] = []
+        for entry in self.pending:
             if entry.discarded or entry.dispatched:
                 continue
-            if self._try_dispatch(entry):
-                self.pending.remove(entry)
+            if not self._try_dispatch(entry):
+                kept.append(entry)
+        self.pending = kept
         self._telemetry_sample()
 
     def _try_dispatch(self, entry: _Entry) -> bool:
@@ -1443,7 +1491,8 @@ class DReAMSim:
         assert placement is not None
         self.rms.begin_execution(placement)
         self.metrics.record_start(entry.key, self.engine.now)
-        self._emit("start", entry.key, node=placement.candidate.node_id)
+        if self.tracer is not None:
+            self._emit("start", entry.key, node=placement.candidate.node_id)
         if entry.job_id is not None:
             self.jss.mark_started(
                 entry.job_id,
@@ -1494,8 +1543,9 @@ class DReAMSim:
         for handle in entry.deadline_events:
             handle.cancel()
         entry.deadline_events.clear()
-        self._emit("complete", entry.key, node=placement.candidate.node_id)
-        self._emit_slice_free(entry)
+        if self.tracer is not None:
+            self._emit("complete", entry.key, node=placement.candidate.node_id)
+            self._emit_slice_free(entry)
         self.active.pop(entry.key, None)
         self._output_sites[(entry.job_id, entry.task.task_id)] = (
             placement.candidate.node_id

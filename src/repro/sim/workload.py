@@ -77,6 +77,14 @@ class PoissonArrivals(ArrivalProcess):
     def interarrival(self, rng: np.random.Generator) -> float:
         return float(rng.exponential(1.0 / self.rate_per_s))
 
+    def arrival_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        # Vectorized: numpy's batched exponential consumes the bit
+        # stream element-for-element like n scalar draws, so this is
+        # bit-identical to the base-class loop (locked by tests).
+        if n < 0:
+            raise ValueError("task count must be non-negative")
+        return np.cumsum(rng.exponential(1.0 / self.rate_per_s, n))
+
 
 @dataclass(frozen=True)
 class UniformArrivals(ArrivalProcess):
@@ -92,6 +100,12 @@ class UniformArrivals(ArrivalProcess):
     def interarrival(self, rng: np.random.Generator) -> float:
         return float(rng.uniform(self.low_s, self.high_s))
 
+    def arrival_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        # Vectorized; bit-identical to the scalar loop (see tests).
+        if n < 0:
+            raise ValueError("task count must be non-negative")
+        return np.cumsum(rng.uniform(self.low_s, self.high_s, n))
+
 
 @dataclass(frozen=True)
 class DeterministicArrivals(ArrivalProcess):
@@ -105,6 +119,12 @@ class DeterministicArrivals(ArrivalProcess):
 
     def interarrival(self, rng: np.random.Generator) -> float:
         return self.interval_s
+
+    def arrival_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        # No randomness: the cumulative grid directly.
+        if n < 0:
+            raise ValueError("task count must be non-negative")
+        return np.cumsum(np.full(n, float(self.interval_s)))
 
 
 class TraceArrivals(ArrivalProcess):
@@ -256,6 +276,67 @@ class WorkloadSpec:
             raise ValueError("need 0 <= data_lo <= data_hi")
 
 
+@dataclass
+class WorkloadColumns:
+    """A columnar workload: parallel arrays plus a lazy materializer.
+
+    Produced by :meth:`SyntheticWorkload.generate_columns`.  The scale
+    path (``DReAMSim.submit_workload_columns``) bulk-schedules
+    ``times`` and calls :meth:`task` once per arrival instant, so at no
+    point do a million :class:`Task` trees exist simultaneously.
+    """
+
+    spec: WorkloadSpec
+    pool: ConfigurationPool
+    first_task_id: int
+    times: np.ndarray       #: arrival times, non-decreasing (float64)
+    ref_times: np.ndarray   #: reference-GPP required times (float64)
+    data_bytes: np.ndarray  #: input sizes (int64)
+    is_gpp: np.ndarray      #: software-only mask (bool)
+    pool_idx: np.ndarray    #: pool entry per hardware task, -1 for GPP
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def task(self, i: int) -> Task:
+        """Materialize task *i* exactly as ``generate()`` would."""
+        task_id = self.first_task_id + i
+        ref_time = float(self.ref_times[i])
+        data_bytes = int(self.data_bytes[i])
+        workload_mi = ref_time * self.spec.reference_mips
+        if self.is_gpp[i]:
+            return Task(
+                task_id=task_id,
+                data_in=(DataIn(EXTERNAL_SOURCE, 0, data_bytes),),
+                data_out=(DataOut(0, data_bytes // 2),),
+                exec_req=ExecReq(
+                    node_type=PEClass.GPP,
+                    artifacts=Artifacts(application_code="synthetic", input_data_bytes=data_bytes),
+                ),
+                t_estimated=ref_time,
+                workload_mi=workload_mi,
+                function="",
+            )
+        entry = self.pool.entries[int(self.pool_idx[i])]
+        return Task(
+            task_id=task_id,
+            data_in=(DataIn(EXTERNAL_SOURCE, 0, data_bytes),),
+            data_out=(DataOut(0, data_bytes // 2),),
+            exec_req=ExecReq(
+                node_type=PEClass.RPE,
+                constraints=(MinValue("slices", entry.required_slices),),
+                artifacts=Artifacts(application_code="synthetic", input_data_bytes=data_bytes),
+            ),
+            t_estimated=ref_time / entry.speedup_vs_gpp,
+            workload_mi=workload_mi,
+            function=entry.function,
+        )
+
+    def materialize(self) -> list[tuple[float, Task]]:
+        """Expand to the eager (time, Task) stream (tests, small runs)."""
+        return [(float(self.times[i]), self.task(i)) for i in range(len(self))]
+
+
 class SyntheticWorkload:
     """Seeded generator of (arrival_time, Task) streams."""
 
@@ -314,3 +395,71 @@ class SyntheticWorkload:
                 )
             out.append((float(times[i]), task))
         return out
+
+    def generate_columns(self) -> WorkloadColumns:
+        """Vectorized columnar generation for scale runs.
+
+        Draws whole columns (arrivals, required times, data sizes,
+        class mix, pool picks) in one numpy call each instead of one
+        task at a time.  Column order differs from ``generate()``'s
+        interleaved per-task order, so the two paths consume the seed
+        stream differently and yield *different* (equally valid)
+        workloads; ``generate_columns_scalar()`` is the scalar
+        reference for THIS draw order, and the stream-identity tests
+        lock the two together element-for-element.
+        """
+        rng = np.random.default_rng(self.seed)
+        n = self.spec.task_count
+        times = self.arrivals.arrival_times(n, rng)
+        lo, hi = self.spec.required_time_range_s
+        dlo, dhi = self.spec.data_size_range_bytes
+        ref_times = rng.uniform(lo, hi, n)
+        data_bytes = rng.integers(dlo, dhi, n)
+        is_gpp = rng.random(n) < self.spec.gpp_fraction
+        pool_idx = np.full(n, -1, dtype=np.int64)
+        hw = ~is_gpp
+        hw_count = int(hw.sum())
+        if hw_count:
+            pool_idx[hw] = rng.integers(len(self.pool.entries), size=hw_count)
+        return WorkloadColumns(
+            spec=self.spec,
+            pool=self.pool,
+            first_task_id=self.first_task_id,
+            times=times,
+            ref_times=ref_times,
+            data_bytes=np.asarray(data_bytes, dtype=np.int64),
+            is_gpp=is_gpp,
+            pool_idx=pool_idx,
+        )
+
+    def generate_columns_scalar(self) -> WorkloadColumns:
+        """Scalar reference for ``generate_columns``: identical draw
+        order, one value at a time.  Exists so tests can assert the
+        vectorized path is stream-identical; never use it at scale."""
+        rng = np.random.default_rng(self.seed)
+        n = self.spec.task_count
+        times = ArrivalProcess.arrival_times(self.arrivals, n, rng)
+        lo, hi = self.spec.required_time_range_s
+        dlo, dhi = self.spec.data_size_range_bytes
+        ref_times = np.array([float(rng.uniform(lo, hi)) for _ in range(n)])
+        data_bytes = np.array(
+            [int(rng.integers(dlo, dhi)) for _ in range(n)], dtype=np.int64
+        )
+        is_gpp = np.array(
+            [float(rng.random()) < self.spec.gpp_fraction for _ in range(n)],
+            dtype=bool,
+        )
+        pool_idx = np.full(n, -1, dtype=np.int64)
+        for i in range(n):
+            if not is_gpp[i]:
+                pool_idx[i] = int(rng.integers(len(self.pool.entries)))
+        return WorkloadColumns(
+            spec=self.spec,
+            pool=self.pool,
+            first_task_id=self.first_task_id,
+            times=times,
+            ref_times=ref_times,
+            data_bytes=data_bytes,
+            is_gpp=is_gpp,
+            pool_idx=pool_idx,
+        )

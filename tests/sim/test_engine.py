@@ -1,13 +1,24 @@
-"""Unit tests for the discrete-event engine."""
+"""Unit tests for the discrete-event engines.
+
+Every behavioral test runs against both registered engines (heap and
+calendar queue) -- the calendar queue is a drop-in replacement, so any
+observable difference is a bug.
+"""
+
+import math
 
 import pytest
 
-from repro.sim.engine import SimulationEngine, SimulationError
+from repro.sim.engine import ENGINES, SimulationError, make_engine
+
+
+@pytest.fixture(params=sorted(ENGINES))
+def engine(request):
+    return make_engine(request.param)
 
 
 class TestScheduling:
-    def test_events_fire_in_time_order(self):
-        engine = SimulationEngine()
+    def test_events_fire_in_time_order(self, engine):
         fired = []
         engine.schedule(3.0, lambda: fired.append("c"))
         engine.schedule(1.0, lambda: fired.append("a"))
@@ -15,16 +26,14 @@ class TestScheduling:
         engine.run()
         assert fired == ["a", "b", "c"]
 
-    def test_simultaneous_events_fire_in_scheduling_order(self):
-        engine = SimulationEngine()
+    def test_simultaneous_events_fire_in_scheduling_order(self, engine):
         fired = []
         for tag in "abc":
             engine.schedule(1.0, lambda t=tag: fired.append(t))
         engine.run()
         assert fired == ["a", "b", "c"]
 
-    def test_clock_advances_to_event_times(self):
-        engine = SimulationEngine()
+    def test_clock_advances_to_event_times(self, engine):
         times = []
         engine.schedule(2.5, lambda: times.append(engine.now))
         engine.schedule(5.0, lambda: times.append(engine.now))
@@ -32,19 +41,17 @@ class TestScheduling:
         assert times == [2.5, 5.0]
         assert engine.now == 5.0
 
-    def test_negative_delay_rejected(self):
+    def test_negative_delay_rejected(self, engine):
         with pytest.raises(SimulationError):
-            SimulationEngine().schedule(-1.0, lambda: None)
+            engine.schedule(-1.0, lambda: None)
 
-    def test_schedule_in_the_past_rejected(self):
-        engine = SimulationEngine()
+    def test_schedule_in_the_past_rejected(self, engine):
         engine.schedule(5.0, lambda: None)
         engine.run()
         with pytest.raises(SimulationError):
             engine.schedule_at(1.0, lambda: None)
 
-    def test_callbacks_can_schedule_more(self):
-        engine = SimulationEngine()
+    def test_callbacks_can_schedule_more(self, engine):
         fired = []
 
         def chain(n):
@@ -58,24 +65,112 @@ class TestScheduling:
         assert engine.now == 3.0
 
 
+class TestNonFiniteRejection:
+    """Regression lock: non-finite times used to slip into the heap
+    and silently corrupt its ordering (NaN compares false against
+    everything, so heap invariants break downstream).  Both engines
+    must reject them loudly at the boundary."""
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_schedule_at_rejects_non_finite(self, engine, bad):
+        with pytest.raises(SimulationError):
+            engine.schedule_at(bad, lambda: None)
+        assert engine.pending_events == 0
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_schedule_rejects_non_finite_delay(self, engine, bad):
+        with pytest.raises(SimulationError):
+            engine.schedule(bad, lambda: None)
+        assert engine.pending_events == 0
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_schedule_batch_rejects_non_finite(self, engine, bad):
+        with pytest.raises(SimulationError):
+            engine.schedule_batch([1.0, bad], [lambda: None, lambda: None])
+        assert engine.pending_events == 0
+
+    def test_engine_still_usable_after_rejection(self, engine):
+        with pytest.raises(SimulationError):
+            engine.schedule_at(math.nan, lambda: None)
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.run()
+        assert fired == [1]
+
+
+class TestBatchScheduling:
+    def test_batch_fires_in_time_then_submission_order(self, engine):
+        fired = []
+        engine.schedule_batch(
+            [2.0, 1.0, 1.0],
+            [lambda: fired.append("late"),
+             lambda: fired.append("a"),
+             lambda: fired.append("b")],
+        )
+        engine.run()
+        assert fired == ["a", "b", "late"]
+
+    def test_batch_without_handles_fires_identically(self, engine):
+        fired = []
+        engine.schedule_batch(
+            [2.0, 1.0],
+            [lambda: fired.append("late"), lambda: fired.append("early")],
+            handles=False,
+        )
+        engine.run()
+        assert fired == ["early", "late"]
+
+    def test_batch_handles_are_cancellable(self, engine):
+        fired = []
+        handles = engine.schedule_batch(
+            [1.0, 2.0], [lambda: fired.append(1), lambda: fired.append(2)]
+        )
+        handles[0].cancel()
+        engine.run()
+        assert fired == [2]
+
+    def test_batch_length_mismatch_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.schedule_batch([1.0, 2.0], [lambda: None])
+
+    def test_batch_in_the_past_rejected(self, engine):
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_batch([1.0], [lambda: None])
+
+    def test_empty_batch_is_a_no_op(self, engine):
+        assert engine.schedule_batch([], []) == []
+        assert engine.schedule_batch([], [], handles=False) is None
+        assert engine.pending_events == 0
+
+    def test_batch_interleaves_with_singles(self, engine):
+        fired = []
+        engine.schedule(1.5, lambda: fired.append("single"))
+        engine.schedule_batch(
+            [1.0, 2.0],
+            [lambda: fired.append("b1"), lambda: fired.append("b2")],
+            handles=False,
+        )
+        engine.run()
+        assert fired == ["b1", "single", "b2"]
+
+
 class TestCancellation:
-    def test_cancelled_event_does_not_fire(self):
-        engine = SimulationEngine()
+    def test_cancelled_event_does_not_fire(self, engine):
         fired = []
         handle = engine.schedule(1.0, lambda: fired.append("x"))
         handle.cancel()
         engine.run()
         assert fired == []
 
-    def test_pending_events_excludes_cancelled(self):
-        engine = SimulationEngine()
+    def test_pending_events_excludes_cancelled(self, engine):
         h1 = engine.schedule(1.0, lambda: None)
         engine.schedule(2.0, lambda: None)
         h1.cancel()
         assert engine.pending_events == 1
 
-    def test_peek_skips_cancelled(self):
-        engine = SimulationEngine()
+    def test_peek_skips_cancelled(self, engine):
         h1 = engine.schedule(1.0, lambda: None)
         engine.schedule(2.0, lambda: None)
         h1.cancel()
@@ -83,8 +178,7 @@ class TestCancellation:
 
 
 class TestRunBounds:
-    def test_until_stops_before_later_events(self):
-        engine = SimulationEngine()
+    def test_until_stops_before_later_events(self, engine):
         fired = []
         engine.schedule(1.0, lambda: fired.append(1))
         engine.schedule(10.0, lambda: fired.append(10))
@@ -93,15 +187,12 @@ class TestRunBounds:
         assert engine.now == 5.0
         assert engine.pending_events == 1
 
-    def test_until_past_everything_advances_clock(self):
-        engine = SimulationEngine()
+    def test_until_past_everything_advances_clock(self, engine):
         engine.schedule(1.0, lambda: None)
         engine.run(until=100.0)
         assert engine.now == 100.0
 
-    def test_max_events_bounds_runaway(self):
-        engine = SimulationEngine()
-
+    def test_max_events_bounds_runaway(self, engine):
         def forever():
             engine.schedule(1.0, forever)
 
@@ -109,9 +200,13 @@ class TestRunBounds:
         engine.run(max_events=50)
         assert engine.processed_events == 50
 
-    def test_step_returns_false_when_dry(self):
-        engine = SimulationEngine()
+    def test_step_returns_false_when_dry(self, engine):
         assert engine.step() is False
         engine.schedule(1.0, lambda: None)
         assert engine.step() is True
         assert engine.step() is False
+
+
+def test_make_engine_rejects_unknown_name():
+    with pytest.raises(ValueError, match="unknown engine"):
+        make_engine("fibonacci")

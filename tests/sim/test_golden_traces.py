@@ -85,12 +85,12 @@ GOLDEN = {
 }
 
 
-def generate_trace_lines(name: str) -> list[str]:
+def generate_trace_lines(name: str, *, engine: str = "heap") -> list[str]:
     """Run the locked scenario and return canonical JSONL lines."""
     spec, _ = GOLDEN[name]
     sink = InMemorySink()
     tracer = Tracer(TraceInvariantChecker(), sink)
-    run_experiment(spec, tracer=tracer)
+    run_experiment(spec.with_(engine=engine), tracer=tracer)
     events = canonical_events(list(sink.events))
     return [event.to_json() for event in events]
 
@@ -104,6 +104,22 @@ def test_seeded_rerun_reproduces_golden_trace(name):
         f"{name} trace diverged from {golden_path.name}; if the "
         "behaviour change is intentional, regenerate with "
         "`python tests/sim/test_golden_traces.py --write`"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_calendar_engine_reproduces_golden_trace_byte_identically(name):
+    """The engine-swap lock: the calendar queue must replay every
+    committed golden byte-for-byte.  The goldens pin the full event
+    *order* (simultaneous events included), so this proves the two
+    engines are behaviorally indistinguishable on real scenarios --
+    workload, scheduling, faults, and the resilience layer."""
+    golden_path = DATA_DIR / GOLDEN[name][1]
+    golden = golden_path.read_text(encoding="ascii").splitlines()
+    fresh = generate_trace_lines(name, engine="calendar")
+    assert fresh == golden, (
+        f"{name}: calendar-queue engine diverged from {golden_path.name}; "
+        "the engines must be byte-identical"
     )
 
 
