@@ -686,6 +686,56 @@ def _case_energy(quick: bool) -> dict[str, float]:
     return metrics
 
 
+#: Extra fields exported by the overload case.
+OVERLOAD_METRIC_FIELDS = (
+    "shed",
+    "admission_deferrals",
+    "placements_gated",
+    "brownout_degraded",
+    "brownout_transitions",
+    "brownout_max_stage",
+    "brownout_time_s",
+    "overload_goodput_tasks_per_s",
+)
+
+OVERLOAD_TASKS = 250
+OVERLOAD_SEED = 41
+
+
+def run_overload(*, tasks: int = OVERLOAD_TASKS):
+    """A 6x flash crowd against the canonical grid with bounded-queue
+    admission and a staged brownout armed: the protected half of
+    ``repro overload``.  Thresholds sit below the preset's so even the
+    quick (120-task) variant sheds and transitions -- the gate must
+    cover the overload code paths, not just pass through them."""
+    from repro.sim.admission import AdmissionSpec, BrownoutSpec, QueueBoundSpec
+    from repro.sim.experiment import run_experiment
+
+    spec = baseline_spec(tasks=tasks).with_(
+        seed=OVERLOAD_SEED,
+        arrival_rate_per_s=4.0,
+        flash_crowd=(3.0, 12.0, 6.0),
+        low_priority_fraction=0.3,
+        admission=AdmissionSpec(
+            queue=QueueBoundSpec(max_pending=48),
+            brownout=BrownoutSpec(
+                enter_pending=24, exit_pending=8, dwell_s=0.5
+            ),
+        ),
+    )
+    return run_experiment(spec).report
+
+
+@register("sim-overload", "sim",
+          description="6x flash crowd under the brownout admission preset")
+def _case_sim_overload(quick: bool) -> dict[str, float]:
+    report = run_overload(tasks=120 if quick else OVERLOAD_TASKS)
+    metrics = report_metrics(report)
+    for name in OVERLOAD_METRIC_FIELDS:
+        metrics[name] = float(getattr(report, name))
+    return metrics
+
+
 # ----------------------------------------------------------------------
 # Engine microbench + million-task scale cases
 # (kernels shared with benchmarks/bench_engine_scaling.py)

@@ -178,6 +178,120 @@ def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
                         "time (default 2.0)")
 
 
+def _admission_from_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+):
+    """Build an AdmissionSpec from ``--admission``/``--max-pending``/
+    ``--rate-limit``/``--utilization-gate``/``--brownout``; None when
+    everything is off.  Explicit flags override the preset's fields.
+    Malformed values become ``parser.error`` (usage + exit code 2)."""
+    from repro.sim.admission import (
+        ADMISSION_PRESETS,
+        AdmissionSpec,
+        BrownoutSpec,
+        QueueBoundSpec,
+        TokenBucketSpec,
+        UtilizationSpec,
+    )
+
+    preset = (
+        ADMISSION_PRESETS[args.admission] if args.admission else AdmissionSpec()
+    )
+    queue = preset.queue
+    rate = preset.rate
+    utilization = preset.utilization
+    brownout = preset.brownout
+    if args.max_pending is not None:
+        base = queue if queue is not None else QueueBoundSpec()
+        try:
+            queue = QueueBoundSpec(
+                max_pending=args.max_pending,
+                defer=base.defer or args.defer_submissions,
+                defer_delay_s=base.defer_delay_s,
+                max_defers=base.max_defers,
+            )
+        except ValueError as exc:
+            parser.error(f"--max-pending: {exc}")
+    elif args.defer_submissions and queue is not None:
+        queue = QueueBoundSpec(
+            max_pending=queue.max_pending,
+            defer=True,
+            defer_delay_s=queue.defer_delay_s,
+            max_defers=queue.max_defers,
+        )
+    elif args.defer_submissions:
+        parser.error("--defer needs a bounded queue (--max-pending or a preset)")
+    if args.rate_limit is not None:
+        rate_text, _, burst_text = args.rate_limit.partition(":")
+        try:
+            rate = TokenBucketSpec(
+                rate_per_s=float(rate_text),
+                burst=float(burst_text) if burst_text else 8.0,
+            )
+        except ValueError as exc:
+            parser.error(
+                f"--rate-limit must be RATE[:BURST], got {args.rate_limit!r}: {exc}"
+            )
+    if args.utilization_gate is not None:
+        try:
+            utilization = UtilizationSpec(threshold=args.utilization_gate)
+        except ValueError as exc:
+            parser.error(f"--utilization-gate: {exc}")
+    if args.brownout is not None:
+        parts = args.brownout.split(":")
+        try:
+            if len(parts) not in (2, 3):
+                raise ValueError("expected ENTER:EXIT[:DWELL]")
+            brownout = BrownoutSpec(
+                enter_pending=int(parts[0]),
+                exit_pending=int(parts[1]),
+                dwell_s=float(parts[2]) if len(parts) == 3 else 1.0,
+            )
+        except ValueError as exc:
+            parser.error(
+                f"--brownout must be ENTER:EXIT[:DWELL] with exit < enter, "
+                f"got {args.brownout!r}: {exc}"
+            )
+    spec = AdmissionSpec(
+        queue=queue, rate=rate, utilization=utilization, brownout=brownout
+    )
+    return spec if spec.enabled else None
+
+
+def _add_admission_flags(p: argparse.ArgumentParser) -> None:
+    from repro.sim.admission import ADMISSION_PRESETS
+
+    p.add_argument("--admission", choices=sorted(ADMISSION_PRESETS), default=None,
+                   help="overload-protection preset (see repro.sim.admission)")
+    p.add_argument("--max-pending", type=int, default=None, metavar="N",
+                   help="bound the pending queue at N submissions")
+    p.add_argument("--defer", dest="defer_submissions", action="store_true",
+                   help="defer (backpressure) instead of shedding at the "
+                        "queue bound")
+    p.add_argument("--rate-limit", metavar="RATE[:BURST]",
+                   help="token-bucket admission at RATE submissions/s "
+                        "(burst default 8)")
+    p.add_argument("--utilization-gate", type=float, default=None, metavar="T",
+                   help="defer placements while grid occupancy >= T (0..1]")
+    p.add_argument("--brownout", nargs="?", const="48:16:1.0",
+                   metavar="ENTER:EXIT[:DWELL]",
+                   help="staged brownout degradation: escalate after the "
+                        "queue holds >= ENTER for DWELL s, recover at <= "
+                        "EXIT (default 48:16:1.0)")
+
+
+def _parse_flash_crowd(parser: argparse.ArgumentParser, text: str):
+    parts = text.split(":")
+    try:
+        if len(parts) != 3:
+            raise ValueError("expected START:DURATION:MULTIPLIER")
+        return (float(parts[0]), float(parts[1]), float(parts[2]))
+    except ValueError as exc:
+        parser.error(
+            f"--flash-crowd must be START:DURATION:MULTIPLIER, got {text!r}: {exc}"
+        )
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim.experiment import ExperimentSpec, run_experiment
     from repro.sim.faults import FAULT_PRESETS
@@ -199,6 +313,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         faults=FAULT_PRESETS[args.faults] if args.faults else None,
         resilience=args.resilience,
         engine=args.engine,
+        admission=args.admission,
+        low_priority_fraction=args.low_priority,
+        flash_crowd=args.flash_crowd,
     )
     tracer = None
     if args.trace:
@@ -412,6 +529,114 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_overload(args: argparse.Namespace) -> int:
+    """Flash-crowd overload study: the same surge, unprotected vs
+    protected, side by side.  ``--max-queue`` turns the protected run's
+    bounded-depth claim into an assertion (exit 1), which is what the
+    CI overload smoke job checks."""
+    from repro.sim.admission import ADMISSION_PRESETS
+    from repro.sim.experiment import ExperimentSpec, run_experiment
+    from repro.sim.telemetry import TelemetryRegistry
+    from repro.sim.tracing import InMemorySink, TraceInvariantChecker, Tracer
+
+    admission = args.admission
+    if admission is None:
+        admission = ADMISSION_PRESETS["brownout"]
+    base = ExperimentSpec(
+        strategy=args.strategy,
+        tasks=args.tasks,
+        nodes=_default_grid_nodes(),
+        arrival_rate_per_s=args.rate,
+        area_range=(2_000, 12_000),
+        seed=args.seed,
+        low_priority_fraction=args.low_priority,
+        flash_crowd=(args.surge_start, args.surge_duration, args.surge),
+    )
+
+    def one(spec):
+        telemetry = TelemetryRegistry()
+        tracer = Tracer(TraceInvariantChecker(), InMemorySink(capacity=1))
+        result = run_experiment(spec, tracer=tracer, telemetry=telemetry)
+        checker = tracer.checker
+        assert checker is not None
+        checker.assert_no_lost_tasks()
+        checker.assert_conservation()
+        depth = 0.0
+        for series in telemetry.series("sim_queue_depth"):
+            for _, value in series.points:
+                depth = max(depth, value)
+        return result.report, int(depth)
+
+    unprotected, depth0 = one(base)
+    protected, depth1 = one(base.with_(admission=admission))
+    surge_rate = args.rate * args.surge
+    print(
+        f"flash crowd: {args.rate:g}/s base, x{args.surge:g} surge "
+        f"({surge_rate:g}/s) in [{args.surge_start:g}, "
+        f"{args.surge_start + args.surge_duration:g}) s, seed {args.seed}"
+    )
+    rows = [
+        ("max queue depth", str(depth0), str(depth1)),
+        ("p95 wait (admitted) s", f"{unprotected.p95_wait_s:.3f}",
+         f"{protected.p95_wait_s:.3f}"),
+        ("completed", str(unprotected.completed), str(protected.completed)),
+        ("shed", str(unprotected.shed), str(protected.shed)),
+        ("deferred", str(unprotected.admission_deferrals),
+         str(protected.admission_deferrals)),
+        ("brownout transitions", str(unprotected.brownout_transitions),
+         str(protected.brownout_transitions)),
+        ("brownout residency s", f"{unprotected.brownout_time_s:.2f}",
+         f"{protected.brownout_time_s:.2f}"),
+        ("goodput degraded /s", f"{unprotected.overload_goodput_tasks_per_s:.3f}",
+         f"{protected.overload_goodput_tasks_per_s:.3f}"),
+        ("makespan s", f"{unprotected.makespan_s:.2f}",
+         f"{protected.makespan_s:.2f}"),
+    ]
+    print(ascii_table(
+        ["metric", "unprotected", "protected"], rows,
+        title="Overload study (conservation verified on both runs)",
+    ))
+    if args.json:
+        import json
+
+        document = {
+            "surge": {
+                "base_rate_per_s": args.rate,
+                "multiplier": args.surge,
+                "start_s": args.surge_start,
+                "duration_s": args.surge_duration,
+            },
+            "unprotected": {
+                "max_queue_depth": depth0,
+                "p95_wait_s": unprotected.p95_wait_s,
+                "completed": unprotected.completed,
+            },
+            "protected": {
+                "max_queue_depth": depth1,
+                "p95_wait_s": protected.p95_wait_s,
+                "completed": protected.completed,
+                "shed": protected.shed,
+                "deferred": protected.admission_deferrals,
+                "brownout_transitions": protected.brownout_transitions,
+                "brownout_time_s": protected.brownout_time_s,
+                "goodput_tasks_per_s": protected.overload_goodput_tasks_per_s,
+            },
+        }
+        Path(args.json).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="ascii",
+        )
+        print(f"wrote {args.json}")
+    if args.max_queue is not None and depth1 > args.max_queue:
+        print(
+            f"repro overload: FAIL: protected queue depth {depth1} exceeded "
+            f"--max-queue {args.max_queue}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_clustalw(args: argparse.Namespace) -> int:
     from repro.bioinfo.clustalw import clustalw
     from repro.bioinfo.sequences import read_fasta, synthetic_family, write_fasta
@@ -587,7 +812,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--progress", action="store_true",
                    help="print live per-spec progress lines to stderr "
                         "(auto-enabled on a TTY)")
+    p.add_argument("--flash-crowd", metavar="START:DURATION:MULT", default=None,
+                   help="multiply the arrival rate by MULT inside the window "
+                        "[START, START+DURATION) seconds")
+    p.add_argument("--low-priority", type=float, default=0.0, metavar="FRAC",
+                   help="fraction of tasks tagged low priority (brownout "
+                        "degradation / shedding candidates)")
     _add_resilience_flags(p)
+    _add_admission_flags(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser(
@@ -684,6 +916,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="show unchanged keys too, not just changes")
     p.set_defaults(func=_cmd_diff)
 
+    p = sub.add_parser(
+        "overload",
+        help="flash-crowd overload study: unprotected vs protected, side "
+             "by side (conservation verified)",
+    )
+    p.add_argument("--strategy", default="hybrid-cost")
+    p.add_argument("--tasks", type=int, default=400)
+    p.add_argument("--rate", type=float, default=8.0,
+                   help="base Poisson arrivals/s (default: 8)")
+    p.add_argument("--surge", type=float, default=6.0, metavar="MULT",
+                   help="surge rate multiplier (default: 6)")
+    p.add_argument("--surge-start", type=float, default=5.0, metavar="S",
+                   help="surge window start, seconds (default: 5)")
+    p.add_argument("--surge-duration", type=float, default=15.0, metavar="S",
+                   help="surge window length, seconds (default: 15)")
+    p.add_argument("--low-priority", type=float, default=0.3, metavar="FRAC",
+                   help="fraction of tasks tagged low priority (default: 0.3)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-queue", type=int, default=None, metavar="N",
+                   help="fail (exit 1) if the protected run's queue depth "
+                        "ever exceeds N -- the CI smoke assertion")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the comparison as JSON")
+    _add_admission_flags(p)
+    p.set_defaults(func=_cmd_overload)
+
     p = sub.add_parser("clustalw", help="align sequences (FASTA in/out)")
     p.add_argument("--fasta", help="input FASTA (default: synthetic family)")
     p.add_argument("--family-size", type=int, default=8)
@@ -725,6 +983,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--seed must be non-negative")
     if hasattr(args, "breaker"):
         args.resilience = _resilience_from_args(parser, args)
+    if hasattr(args, "admission"):
+        args.admission = _admission_from_args(parser, args)
+    if getattr(args, "flash_crowd", None) is not None:
+        args.flash_crowd = _parse_flash_crowd(parser, args.flash_crowd)
     if getattr(args, "trace", None) and args.command != "report":
         parent = Path(args.trace).resolve().parent
         if not parent.is_dir():

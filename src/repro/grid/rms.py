@@ -118,6 +118,11 @@ class ResourceManagementSystem:
         #: sample per-RPE configured-slice gauges and matchmaking
         #: counters.  ``None`` keeps every path a single attribute check.
         self.telemetry = None
+        #: Optional :class:`repro.sim.admission.AdmissionController`
+        #: installed by the simulator; when its utilization policy is
+        #: armed, :meth:`plan_placement` defers instead of matchmaking
+        #: while the grid's live occupancy sits at/above the threshold.
+        self.admission = None
         self._nodes: dict[int, Node] = {}
         self._sites: dict[int, int] = {}
         #: TaskID -> node_id of the producer's output location, valid
@@ -322,6 +327,18 @@ class ResourceManagementSystem:
         guard, unlike fault exclusions.
         """
         from repro.scheduling.base import filter_excluded, filter_quarantined
+
+        if self.admission is not None and self.admission.gates_placement(self.nodes):
+            # Utilization gate: the grid is saturated with in-flight
+            # work, so defer rather than matchmake.  Occupancy counts
+            # only in-flight placements, so a future completion event
+            # is guaranteed to re-run the queue -- no deadlock.
+            if self.telemetry is not None:
+                self.telemetry.counter(
+                    "rms_placements_gated_total",
+                    "placement requests vetoed by the utilization gate",
+                ).inc()
+            return None
 
         self._data_sites = data_sites
         try:

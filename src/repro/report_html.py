@@ -127,6 +127,8 @@ def svg_step_chart(
     width: int = 640,
     height: int = 220,
     t_max: float | None = None,
+    bands: list[tuple[float, float]] | None = None,
+    band_label: str = "",
 ) -> str:
     """One step-after line chart (inline SVG) for sim-time series.
 
@@ -134,6 +136,9 @@ def svg_step_chart(
     palette should be assigned.  Beyond :data:`MAX_SERIES_PER_CHART`
     series the remainder is dropped with a visible note (never drawn in
     generated colors).
+
+    ``bands`` shades ``[t0, t1)`` intervals behind the series (e.g.
+    brownout residency windows); ``band_label`` is their hover title.
     """
     dropped = max(0, len(series) - MAX_SERIES_PER_CHART)
     series = [s for s in series[:MAX_SERIES_PER_CHART] if s[1]]
@@ -178,6 +183,17 @@ def svg_step_chart(
         f'<line x1="{pad_l}" y1="{height - pad_b}" x2="{width - pad_r}" '
         f'y2="{height - pad_b}" stroke="{AXIS}" stroke-width="1"/>'
     )
+    for t0, t1 in bands or ():
+        x0, x1 = x(max(0.0, t0)), x(min(hi_t, t1))
+        if x1 <= x0:
+            continue
+        parts.append(
+            f'<rect x="{x0:.1f}" y="{pad_t}" width="{x1 - x0:.1f}" '
+            f'height="{height - pad_b - pad_t}" fill="{CRITICAL}" '
+            f'fill-opacity="0.08">'
+            + (f"<title>{_esc(band_label)}</title>" if band_label else "")
+            + "</rect>"
+        )
     if unit:
         parts.append(
             f'<text x="{pad_l}" y="{pad_t - 2}" fill="{INK_SECONDARY}" '
@@ -337,12 +353,36 @@ def _histogram_table(histograms: list[Histogram]) -> str:
     )
 
 
+def _brownout_bands(
+    registry: TelemetryRegistry, t_max: float | None
+) -> list[tuple[float, float]] | None:
+    """Brownout residency windows (stage > 0) from the stage gauge's
+    step series; ``None`` when the run never browned out (charts then
+    draw no bands at all)."""
+    series = registry.series("sim_brownout_stage")
+    if not series or not series[0].points:
+        return None
+    points = series[0].points
+    bands: list[tuple[float, float]] = []
+    opened: float | None = None
+    for t, v in points:
+        if v > 0 and opened is None:
+            opened = t
+        elif v == 0 and opened is not None:
+            bands.append((opened, t))
+            opened = None
+    if opened is not None:
+        end = t_max if t_max is not None else points[-1][0]
+        bands.append((opened, max(end, opened)))
+    return bands or None
+
+
 def _series_charts(registry: TelemetryRegistry) -> list[str]:
     """The dashboard's time-series section, grouped by instrument."""
     horizon = registry.meta.get("horizon_s")
     t_max = float(horizon) if isinstance(horizon, (int, float)) else None
 
-    def chart(name: str, title: str, unit: str, label_of=None):
+    def chart(name: str, title: str, unit: str, label_of=None, bands=None):
         # Instruments that exist but never sampled draw no chart: a
         # dump full of point-less series must fall through to the
         # dashboard's empty-state banner, not a wall of placeholders.
@@ -356,6 +396,7 @@ def _series_charts(registry: TelemetryRegistry) -> list[str]:
         return svg_step_chart(
             [(label_of(s), s.points) for s in group],
             title=title, unit=unit, t_max=t_max,
+            bands=bands, band_label="brownout active" if bands else "",
         )
 
     queue_series = [
@@ -367,12 +408,21 @@ def _series_charts(registry: TelemetryRegistry) -> list[str]:
         )
         if registry.series(name) and registry.series(name)[0].points
     ]
+    brownout_bands = _brownout_bands(registry, t_max)
     charts = [
         chart("node_utilization", "Node utilization", "busy fraction",
               lambda s: f"node {s.labels.get('node', '?')}"),
         svg_step_chart(
             queue_series, title="Scheduler queue", unit="tasks", t_max=t_max,
+            bands=brownout_bands, band_label="brownout active",
         ) if queue_series else None,
+        chart("sim_sheds_total", "Load shedding", "cumulative sheds",
+              lambda s: s.labels.get("reason", "shed"),
+              bands=brownout_bands),
+        chart("sim_deferrals_total", "Backpressure deferrals",
+              "cumulative deferrals"),
+        chart("sim_brownout_stage", "Brownout stage", "0=healthy .. 3=shedding",
+              bands=brownout_bands),
         chart("node_breaker_state", "Circuit breaker state",
               "0=closed 1=half-open 2=open",
               lambda s: f"node {s.labels.get('node', '?')}"),
@@ -409,6 +459,10 @@ def render_dashboard(
     if resilience:
         armed = ", ".join(sorted(resilience))
         meta_bits.append(f"<dt>resilience</dt><dd>{_esc(armed)}</dd>")
+    admission = meta.get("admission") or {}
+    if admission:
+        armed = ", ".join(sorted(admission))
+        meta_bits.append(f"<dt>admission</dt><dd>{_esc(armed)}</dd>")
     header = (
         f'<dl class="meta">{"".join(meta_bits)}</dl>' if meta_bits else ""
     )

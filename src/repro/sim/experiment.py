@@ -23,6 +23,7 @@ from repro.grid.rms import ResourceManagementSystem
 from repro.hardware.catalog import device_by_model
 from repro.hardware.gpp import GPPSpec
 from repro.scheduling import ALL_STRATEGIES, RandomScheduler
+from repro.sim.admission import AdmissionSpec
 from repro.sim.energy import EnergyAuditor, EnergyReport
 from repro.sim.faults import FaultInjector, FaultSpec, RetryPolicy
 from repro.sim.metrics import SimulationReport
@@ -33,6 +34,7 @@ from repro.sim.tracing import Tracer
 from repro.sim.workload import (
     ArrivalProcess,
     ConfigurationPool,
+    FlashCrowdArrivals,
     PoissonArrivals,
     SyntheticWorkload,
     WorkloadSpec,
@@ -106,6 +108,23 @@ class ExperimentSpec:
     #: property tests and the golden byte-identity suite -- so this is
     #: purely a performance knob.
     engine: str = "heap"
+    #: Overload protection (:mod:`repro.sim.admission`); None = the
+    #: exact unprotected simulator.  No admission policy draws
+    #: randomness, so arming one never perturbs the seeded streams.
+    admission: AdmissionSpec | None = None
+    #: Fraction of tasks tagged ``priority=-1`` (first candidates for
+    #: brownout degradation and shedding).  0 keeps the workload's RNG
+    #: consumption byte-identical to pre-overload runs.
+    low_priority_fraction: float = 0.0
+    #: Tenant tags cycled over tasks (``tenant{i % tenants}``); 1 keeps
+    #: every task untagged.
+    tenants: int = 1
+    #: ``(surge_start_s, surge_duration_s, surge_multiplier)``: replace
+    #: the Poisson arrivals with a :class:`~repro.sim.workload.
+    #: FlashCrowdArrivals` whose base rate is ``arrival_rate_per_s``
+    #: and which multiplies it by the given factor inside the window --
+    #: the overload study's forcing function.
+    flash_crowd: tuple[float, float, float] | None = None
 
     def __post_init__(self) -> None:
         if self.strategy not in ALL_STRATEGIES:
@@ -119,6 +138,19 @@ class ExperimentSpec:
             raise ValueError("an experiment needs at least one node")
         if self.arrival_rate_per_s <= 0:
             raise ValueError("arrival rate must be positive")
+        if self.flash_crowd is not None:
+            if len(self.flash_crowd) != 3:
+                raise ValueError(
+                    "flash_crowd must be (surge_start_s, surge_duration_s, "
+                    "surge_multiplier)"
+                )
+            start, duration, multiplier = self.flash_crowd
+            if start < 0:
+                raise ValueError("surge start must be non-negative")
+            if duration <= 0:
+                raise ValueError("surge duration must be positive")
+            if multiplier < 1.0:
+                raise ValueError("surge multiplier must be >= 1")
         from repro.sim.engine import ENGINES
 
         if self.engine not in ENGINES:
@@ -161,6 +193,30 @@ def build_grid(spec: ExperimentSpec) -> ResourceManagementSystem:
     return rms
 
 
+def _spec_arrivals(spec: ExperimentSpec) -> ArrivalProcess:
+    """The spec's arrival process: flash-crowd surge when configured,
+    otherwise the plain Poisson stream."""
+    if spec.flash_crowd is not None:
+        start, duration, multiplier = spec.flash_crowd
+        return FlashCrowdArrivals(
+            spec.arrival_rate_per_s,
+            surge_start_s=start,
+            surge_duration_s=duration,
+            surge_multiplier=multiplier,
+        )
+    return PoissonArrivals(rate_per_s=spec.arrival_rate_per_s)
+
+
+def _spec_workload(spec: ExperimentSpec) -> WorkloadSpec:
+    return WorkloadSpec(
+        task_count=spec.tasks,
+        gpp_fraction=spec.gpp_fraction,
+        required_time_range_s=spec.required_time_range_s,
+        low_priority_fraction=spec.low_priority_fraction,
+        tenants=spec.tenants,
+    )
+
+
 def run_experiment(
     spec: ExperimentSpec,
     *,
@@ -194,13 +250,9 @@ def run_experiment(
         [rpe.device for node in rms.nodes for rpe in node.rpes],
     )
     workload = SyntheticWorkload(
-        WorkloadSpec(
-            task_count=spec.tasks,
-            gpp_fraction=spec.gpp_fraction,
-            required_time_range_s=spec.required_time_range_s,
-        ),
+        _spec_workload(spec),
         pool,
-        arrivals or PoissonArrivals(rate_per_s=spec.arrival_rate_per_s),
+        arrivals or _spec_arrivals(spec),
         seed=spec.seed,
     )
     injector = (
@@ -213,6 +265,7 @@ def run_experiment(
         faults=injector,
         retry=spec.retry,
         resilience=spec.resilience,
+        admission=spec.admission,
         telemetry=telemetry,
         engine=spec.engine,
         metrics=metrics,
@@ -232,6 +285,9 @@ def run_experiment(
             faults=spec.faults is not None,
             resilience=(
                 spec.resilience.describe() if spec.resilience is not None else {}
+            ),
+            admission=(
+                spec.admission.describe() if spec.admission is not None else {}
             ),
             horizon_s=report.horizon_s,
             summary=report.summary_lines(),
@@ -276,13 +332,9 @@ def run_scale_experiment(spec: ExperimentSpec) -> ExperimentResult:
         [rpe.device for node in rms.nodes for rpe in node.rpes],
     )
     workload = SyntheticWorkload(
-        WorkloadSpec(
-            task_count=spec.tasks,
-            gpp_fraction=spec.gpp_fraction,
-            required_time_range_s=spec.required_time_range_s,
-        ),
+        _spec_workload(spec),
         pool,
-        PoissonArrivals(rate_per_s=spec.arrival_rate_per_s),
+        _spec_arrivals(spec),
         seed=spec.seed,
     )
     injector = (
@@ -294,6 +346,7 @@ def run_scale_experiment(spec: ExperimentSpec) -> ExperimentResult:
         faults=injector,
         retry=spec.retry,
         resilience=spec.resilience,
+        admission=spec.admission,
         engine=spec.engine,
         metrics=BulkMetricsCollector(capacity=spec.tasks),
     )

@@ -61,6 +61,14 @@ class TaskMetrics:
     speculated: bool = False
     #: ... and the replica finished first.
     speculative_win: bool = False
+    # --- overload-protection observables (zero when admission is off) ---
+    #: Terminal rejection by the admission controller / load shedder.
+    shed: bool = False
+    shed_reason: str | None = None
+    #: Backpressure deferrals this submission absorbed before admission.
+    defers: int = 0
+    #: Brownout stage 2 forced this low-priority task onto GPP.
+    degraded_to_gpp: bool = False
 
     @property
     def wait_time(self) -> float | None:
@@ -157,6 +165,25 @@ class SimulationReport:
     p50_turnaround_s: float = 0.0
     p95_turnaround_s: float = 0.0
     p99_turnaround_s: float = 0.0
+    # --- overload-protection aggregates (defaults keep stored reports
+    # from pre-admission runs loadable) ---
+    #: Submissions rejected terminally by admission / load shedding.
+    shed: int = 0
+    #: Backpressure deferral events (one submission may defer several
+    #: times before it is finally admitted or shed).
+    admission_deferrals: int = 0
+    #: Matchmaking rounds vetoed by the utilization gate.
+    placements_gated: int = 0
+    #: Low-priority tasks brownout stage 2 forced onto GPP execution.
+    brownout_degraded: int = 0
+    #: Brownout stage transitions (escalations + recoveries).
+    brownout_transitions: int = 0
+    brownout_max_stage: int = 0
+    #: Simulated seconds spent at any brownout stage > 0.
+    brownout_time_s: float = 0.0
+    #: Completions per second *while degraded* -- the throughput the
+    #: protected system still delivered under overload.
+    overload_goodput_tasks_per_s: float = 0.0
 
     def summary_lines(self) -> list[str]:
         """Human-readable report (printed by benches and examples)."""
@@ -201,6 +228,21 @@ class SimulationReport:
                 f"speculation          {self.speculative_launches} launched / "
                 f"{self.speculative_wins} won  (win rate {self.speculative_win_rate:.2%}, "
                 f"wasted {self.speculative_wasted_s:.3f} s)",
+            ]
+        if (
+            self.shed
+            or self.admission_deferrals
+            or self.placements_gated
+            or self.brownout_transitions
+        ):
+            lines += [
+                f"overload protection  shed {self.shed} / deferred "
+                f"{self.admission_deferrals} / gated {self.placements_gated}",
+                f"brownout             {self.brownout_transitions} transitions  "
+                f"(max stage {self.brownout_max_stage}, "
+                f"{self.brownout_time_s:.2f} s degraded, "
+                f"{self.brownout_degraded} forced to GPP)",
+                f"goodput (degraded)   {self.overload_goodput_tasks_per_s:10.4f} tasks/s",
             ]
         return lines
 
@@ -271,6 +313,17 @@ class MetricsCollector:
         #: Pushed by the simulator from its HealthTracker at report time.
         self.quarantines = 0
         self.quarantine_time_s = 0.0
+        # --- overload-protection counters ---
+        self.shed_events = 0
+        self.defer_events = 0
+        self.brownout_degraded = 0
+        #: Pushed by the simulator from its AdmissionController at
+        #: report time (see :meth:`record_admission_stats`).
+        self.placements_gated = 0
+        self.brownout_transitions = 0
+        self.brownout_max_stage = 0
+        self.brownout_time_s = 0.0
+        self.brownout_completions = 0
 
     # ------------------------------------------------------------------
     # Recording (called by the simulator)
@@ -443,6 +496,47 @@ class MetricsCollector:
         self.quarantine_time_s = total_s
 
     # ------------------------------------------------------------------
+    # Overload-protection recording
+    # ------------------------------------------------------------------
+    def record_shed(self, key: object, time: float, *, reason: str) -> None:
+        """Terminal rejection by admission control or load shedding.
+        Deliberately does *not* mark the task discarded: ``discarded``
+        keeps counting only age-based queue discards."""
+        tm = self.tasks[key]
+        tm.shed = True
+        tm.shed_reason = reason
+        self.shed_events += 1
+        self.trace.append((time, "shed", key))
+
+    def record_defer(self, key: object, time: float) -> None:
+        self.tasks[key].defers += 1
+        self.defer_events += 1
+        self.trace.append((time, "defer", key))
+
+    def record_degrade(self, key: object, time: float) -> None:
+        tm = self.tasks[key]
+        tm.degraded_to_gpp = True
+        self.brownout_degraded += 1
+        self.trace.append((time, "degrade", key))
+
+    def record_admission_stats(
+        self,
+        *,
+        gated: int,
+        transitions: int,
+        max_stage: int,
+        brownout_time_s: float,
+        brownout_completions: int,
+    ) -> None:
+        """Pushed once by the simulator (from its AdmissionController)
+        just before the report is built."""
+        self.placements_gated = gated
+        self.brownout_transitions = transitions
+        self.brownout_max_stage = max_stage
+        self.brownout_time_s = brownout_time_s
+        self.brownout_completions = brownout_completions
+
+    # ------------------------------------------------------------------
     # Node availability windows
     # ------------------------------------------------------------------
     def register_node(self, node_id: int) -> None:
@@ -464,10 +558,11 @@ class MetricsCollector:
         finished = [t for t in self.tasks.values() if t.finish is not None]
         discarded = [t for t in self.tasks.values() if t.discarded]
         failed = [t for t in self.tasks.values() if t.failed]
+        shed = [t for t in self.tasks.values() if t.shed]
         pending = [
             t
             for t in self.tasks.values()
-            if t.finish is None and not t.discarded and not t.failed
+            if t.finish is None and not t.discarded and not t.failed and not t.shed
         ]
         waits = np.array([t.wait_time for t in finished if t.wait_time is not None])
         turnarounds = np.array([t.turnaround for t in finished])
@@ -562,6 +657,18 @@ class MetricsCollector:
                 else 0.0
             ),
             speculative_wasted_s=self.speculative_wasted_s,
+            shed=len(shed),
+            admission_deferrals=self.defer_events,
+            placements_gated=self.placements_gated,
+            brownout_degraded=self.brownout_degraded,
+            brownout_transitions=self.brownout_transitions,
+            brownout_max_stage=self.brownout_max_stage,
+            brownout_time_s=self.brownout_time_s,
+            overload_goodput_tasks_per_s=(
+                self.brownout_completions / self.brownout_time_s
+                if self.brownout_time_s > 0
+                else 0.0
+            ),
         )
 
 
@@ -649,6 +756,7 @@ class BulkMetricsCollector(MetricsCollector):
         self._reused = np.zeros(cap, dtype=bool)
         self._discarded = np.zeros(cap, dtype=bool)
         self._failed = np.zeros(cap, dtype=bool)
+        self._shed = np.zeros(cap, dtype=bool)
         #: pe_kind interned to a small int; -1 = never dispatched.
         self._kind_code = np.full(cap, -1, dtype=np.int16)
         #: 0 = met, 1 = soft miss, 2 = hard miss.
@@ -662,7 +770,7 @@ class BulkMetricsCollector(MetricsCollector):
         for name in (
             "_arrival", "_dispatch", "_start", "_finish", "_reconfig",
             "_wasted_t", "_wasted_sl", "_first_fault", "_reused",
-            "_discarded", "_failed", "_kind_code", "_deadline_code",
+            "_discarded", "_failed", "_shed", "_kind_code", "_deadline_code",
         ):
             old = getattr(self, name)
             if old.dtype == np.float64 and name in ("_dispatch", "_start", "_finish", "_first_fault"):
@@ -798,6 +906,16 @@ class BulkMetricsCollector(MetricsCollector):
             self.speculative_wins += 1
         self.speculative_wasted_s += max(0.0, wasted_s)
 
+    def record_shed(self, key: object, time: float, *, reason: str) -> None:
+        self._shed[self._index[key]] = True
+        self.shed_events += 1
+
+    def record_defer(self, key: object, time: float) -> None:
+        self.defer_events += 1
+
+    def record_degrade(self, key: object, time: float) -> None:
+        self.brownout_degraded += 1
+
     # -- reporting ------------------------------------------------------
     def report(self, horizon_s: float) -> SimulationReport:
         n = self._n
@@ -806,8 +924,9 @@ class BulkMetricsCollector(MetricsCollector):
         finish = self._finish[:n]
         discarded = self._discarded[:n]
         failed = self._failed[:n]
+        shed = self._shed[:n]
         finished = ~np.isnan(finish)
-        pending = np.isnan(finish) & ~discarded & ~failed
+        pending = np.isnan(finish) & ~discarded & ~failed & ~shed
         # Same multisets in the same (insertion) order as the base
         # collector's list comprehensions.
         waits = (dispatch - arrival)[finished & ~np.isnan(dispatch)]
@@ -905,4 +1024,16 @@ class BulkMetricsCollector(MetricsCollector):
                 else 0.0
             ),
             speculative_wasted_s=self.speculative_wasted_s,
+            shed=int(shed.sum()),
+            admission_deferrals=self.defer_events,
+            placements_gated=self.placements_gated,
+            brownout_degraded=self.brownout_degraded,
+            brownout_transitions=self.brownout_transitions,
+            brownout_max_stage=self.brownout_max_stage,
+            brownout_time_s=self.brownout_time_s,
+            overload_goodput_tasks_per_s=(
+                self.brownout_completions / self.brownout_time_s
+                if self.brownout_time_s > 0
+                else 0.0
+            ),
         )

@@ -55,7 +55,9 @@ from repro.sim.metrics import SimulationReport
 #: 3: resilience fields (breakers/deadlines/checkpoints/speculation).
 #: 4: wait/turnaround percentile fields (p50/p99 wait, p50/p95/p99 turnaround).
 #: 5: ``engine`` field on ExperimentSpec (heap vs calendar queue).
-_CACHE_FORMAT = 5
+#: 6: overload protection (admission/brownout spec + flash-crowd knobs
+#:    on ExperimentSpec; shed/brownout fields on SimulationReport).
+_CACHE_FORMAT = 6
 
 
 def default_jobs() -> int:

@@ -27,6 +27,14 @@ the simulator of refs [20][21]:
   replicas for stragglers.  ``resilience=None`` (the default) keeps
   every one of these paths byte-for-byte identical to the
   pre-resilience simulator.
+* overload protection (:mod:`repro.sim.admission`): bounded-queue
+  admission with reject-or-defer backpressure, token-bucket rate
+  limiting, a utilization gate ahead of RMS matchmaking, and a
+  hysteretic brownout controller that degrades in stages under
+  sustained queue pressure (speculation off -> low-priority GPP
+  forcing -> shedding) and recovers when pressure drops.
+  ``admission=None`` (the default) is byte-identical to the
+  unprotected simulator, same contract as ``resilience``.
 """
 
 from __future__ import annotations
@@ -45,6 +53,7 @@ from repro.grid.jss import JobSubmissionSystem
 from repro.grid.network import NetworkError
 from repro.grid.rms import Placement, ResourceManagementSystem, SchedulingError
 from repro.hardware.taxonomy import PEClass
+from repro.sim.admission import ADMIT, DEFER, AdmissionController, AdmissionSpec
 from repro.sim.engine import EventHandle, make_engine
 from repro.sim.faults import FaultInjector, RetryPolicy
 from repro.sim.metrics import MetricsCollector, SimulationReport
@@ -104,6 +113,12 @@ class _Entry:
     #: Node the task last checkpointed on; set while a resume is
     #: pending so the next dispatch emits a ``migrate`` event.
     resumed_from: int | None = None
+    # --- overload-protection state (inert while admission is None) ---
+    #: Terminally rejected by admission control / load shedding
+    #: (``discarded`` is set too, so every timer guard already skips).
+    shed: bool = False
+    #: Backpressure deferrals this submission has absorbed so far.
+    defers: int = 0
 
 
 class DReAMSim:
@@ -119,6 +134,7 @@ class DReAMSim:
         faults: FaultInjector | None = None,
         retry: RetryPolicy | None = None,
         resilience: ResilienceSpec | None = None,
+        admission: AdmissionSpec | None = None,
         telemetry: TelemetryRegistry | None = None,
         engine: str = "heap",
         metrics: MetricsCollector | None = None,
@@ -163,6 +179,14 @@ class DReAMSim:
             self.metrics.register_node(node.node_id)
         if faults is not None:
             faults.install(self)
+        #: Overload protection (None = the exact unprotected behavior;
+        #: an all-None spec normalizes to None, same as resilience).
+        self.admission = (
+            AdmissionController(admission)
+            if admission is not None and admission.enabled
+            else None
+        )
+        rms.admission = self.admission
         #: Sim-time telemetry (None = the exact un-instrumented paths:
         #: every hook below is a single attribute check).  Telemetry is
         #: purely observational -- it schedules no events and draws no
@@ -199,6 +223,11 @@ class DReAMSim:
         registry.gauge(
             "sim_tasks_in_backoff", "tasks waiting out a retry backoff"
         ).set(0)
+        if self.admission is not None:
+            registry.gauge(
+                "sim_brownout_stage",
+                "current brownout degradation stage (0 = healthy)",
+            ).set(0)
         for node in self.rms.nodes:
             self._t_util_gauge(node.node_id).set(0)
             if self.health is not None:
@@ -1090,6 +1119,8 @@ class DReAMSim:
             or self.active.get(entry.key) is not entry
             or entry.placement is None
             or entry.key in self._replicas
+            # Brownout stage 1+: speculation is the first luxury cut.
+            or (self.admission is not None and self.admission.stage >= 1)
         ):
             return
         primary_node = entry.placement.candidate.node_id
@@ -1261,12 +1292,28 @@ class DReAMSim:
         )
         self.metrics.record_arrival(entry.key, self.engine.now, task.function)
         if self.tracer is not None:
+            # Priority/tenant ride along only when set, so traces of
+            # untagged workloads are byte-identical to pre-overload runs.
+            extra: dict[str, object] = {}
+            if task.priority:
+                extra["priority"] = task.priority
+            if task.tenant:
+                extra["tenant"] = task.tenant
             self._emit(
                 "submit",
                 entry.key,
                 function=task.function,
                 pe_class=task.exec_req.node_type.value,
+                **extra,
             )
+        if self.admission is None:
+            self._admit(entry)
+        else:
+            self._offer(entry)
+
+    def _admit(self, entry: _Entry) -> None:
+        """Accept a submission into the pending queue (the entire
+        pre-admission arrival tail lives here unchanged)."""
         self.pending.append(entry)
         self._arm_watchdog(entry)
         if self.discard_after_s is not None:
@@ -1296,6 +1343,155 @@ class DReAMSim:
             self.engine.schedule(deadline, maybe_discard)
         self._dispatch_pending()
 
+    # ------------------------------------------------------------------
+    # Overload protection (no-ops while ``admission`` is None)
+    # ------------------------------------------------------------------
+    def _offer(self, entry: _Entry) -> None:
+        """Route a fresh submission through admission control."""
+        ctl = self.admission
+        assert ctl is not None
+        decision, reason = ctl.decide_submit(self.engine.now, len(self.pending))
+        if decision == ADMIT:
+            ctl.admitted += 1
+            self._emit("admit", entry.key, depth=len(self.pending))
+            self._admit(entry)
+        elif decision == DEFER:
+            self._defer(entry, reason)
+        else:
+            self._shed(entry, reason)
+
+    def _defer(self, entry: _Entry, reason: str) -> None:
+        """Backpressure: park the submission outside the queue and
+        re-offer it after the configured delay."""
+        ctl = self.admission
+        assert ctl is not None
+        queue = ctl.spec.queue
+        assert queue is not None
+        entry.defers += 1
+        ctl.deferrals += 1
+        self.metrics.record_defer(entry.key, self.engine.now)
+        self._telemetry_count(
+            "sim_deferrals_total", "submissions deferred by backpressure"
+        )
+        self._emit(
+            "defer",
+            entry.key,
+            reason=reason,
+            attempt=entry.defers,
+            depth=len(self.pending),
+        )
+        self.engine.schedule(queue.defer_delay_s, lambda: self._reoffer(entry))
+
+    def _reoffer(self, entry: _Entry) -> None:
+        """A deferred submission retries admission."""
+        if entry.discarded or entry.failed:
+            return  # abandoned while parked
+        ctl = self.admission
+        assert ctl is not None
+        decision, reason = ctl.decide_reoffer(len(self.pending), entry.defers)
+        if decision == ADMIT:
+            ctl.admitted += 1
+            self._emit(
+                "admit", entry.key, depth=len(self.pending), deferred=entry.defers
+            )
+            self._admit(entry)
+        elif decision == DEFER:
+            self._defer(entry, reason)
+        else:
+            self._shed(entry, reason)
+
+    def _shed(self, entry: _Entry, reason: str) -> None:
+        """Terminally reject a submission (admission refusal or
+        brownout load shedding).  ``discarded`` is set too so every
+        existing timer guard (watchdog, discard, backoff requeue)
+        already skips shed entries."""
+        ctl = self.admission
+        assert ctl is not None
+        entry.discarded = True
+        entry.shed = True
+        if entry in self.pending:
+            self.pending.remove(entry)
+        for handle in entry.deadline_events:
+            handle.cancel()
+        entry.deadline_events.clear()
+        ctl.shed += 1
+        self.metrics.record_shed(entry.key, self.engine.now, reason=reason)
+        self._telemetry_count(
+            "sim_sheds_total", "submissions shed by overload protection",
+            reason=reason,
+        )
+        self._emit("shed", entry.key, reason=reason)
+        if entry.job_id is not None and not entry.silent:
+            self.jss.mark_failed(
+                entry.job_id,
+                entry.task.task_id,
+                time=self.engine.now,
+                reason=f"shed: {reason}",
+            )
+        self._telemetry_sample()
+
+    def _shed_excess(self) -> None:
+        """Brownout stage 3: shed queued work down to the recovery
+        watermark, lowest priority first, newest first within a
+        priority class (oldest submissions have waited longest and are
+        closest to service)."""
+        ctl = self.admission
+        assert ctl is not None
+        brownout = ctl.spec.brownout
+        assert brownout is not None
+        excess = len(self.pending) - brownout.exit_pending
+        if excess <= 0:
+            return
+        order = sorted(
+            range(len(self.pending)),
+            key=lambda i: (self.pending[i].task.priority, -i),
+        )
+        # Materialize victims before shedding: _shed removes from
+        # self.pending, which would shift the remaining indices.
+        victims = [self.pending[i] for i in order[:excess]]
+        for victim in victims:
+            self._shed(victim, "brownout")
+
+    def _admission_observe(self) -> None:
+        """Feed the live queue depth into the brownout controller and
+        act on any transition.  Runs after every dispatch round and on
+        scheduled dwell reviews; the review chain only persists while a
+        transition is actually pending, so a drained grid always lets
+        the engine terminate."""
+        ctl = self.admission
+        assert ctl is not None
+        if ctl.spec.brownout is None:
+            return
+        transition = ctl.observe(self.engine.now, len(self.pending))
+        if transition is not None:
+            old, new = transition
+            action = "escalate" if new > old else "recover"
+            self._emit(
+                "brownout",
+                action=action,
+                stage=new,
+                depth=len(self.pending),
+            )
+            if self.telemetry is not None:
+                self.telemetry.gauge(
+                    "sim_brownout_stage",
+                    "current brownout degradation stage (0 = healthy)",
+                ).set(new)
+        if ctl.stage >= 3:
+            self._shed_excess()
+        at = ctl.next_review()
+        if at is not None and not ctl.review_scheduled:
+            ctl.review_scheduled = True
+            self.engine.schedule(
+                max(0.0, at - self.engine.now), self._admission_review
+            )
+
+    def _admission_review(self) -> None:
+        ctl = self.admission
+        assert ctl is not None
+        ctl.review_scheduled = False
+        self._admission_observe()
+
     def _dispatch_pending(self) -> None:
         """One FIFO pass over the queue; each successful dispatch
         immediately reserves resources, so later entries see the
@@ -1315,8 +1511,38 @@ class DReAMSim:
                 kept.append(entry)
         self.pending = kept
         self._telemetry_sample()
+        if self.admission is not None:
+            self._admission_observe()
 
     def _try_dispatch(self, entry: _Entry) -> bool:
+        if (
+            self.admission is not None
+            and self.admission.stage >= 2
+            and entry.task.priority < 0
+            and not entry.fell_back
+            and entry.task.exec_req.node_type is not PEClass.GPP
+            and entry.task.effective_workload_mi > 0
+        ):
+            # Brownout stage 2: low-priority work is forced onto the
+            # software path before placement -- same graceful-degradation
+            # rewrite as the fault-recovery GPP fallback.
+            task = entry.task
+            entry.task = replace(
+                task,
+                exec_req=ExecReq(
+                    node_type=PEClass.GPP,
+                    constraints=(),
+                    artifacts=task.exec_req.artifacts,
+                ),
+            )
+            entry.fell_back = True
+            self.admission.degraded += 1
+            self.metrics.record_degrade(entry.key, self.engine.now)
+            self._telemetry_count(
+                "sim_degrades_total",
+                "low-priority tasks forced to GPP by brownout",
+            )
+            self._emit("degrade", entry.key, stage=self.admission.stage)
         data_sites = self._data_sites_for(entry)
         try:
             placement = self.rms.plan_placement(
@@ -1539,6 +1765,8 @@ class DReAMSim:
                 "task_turnaround_seconds", "arrival -> completion latency"
             ).observe(self.engine.now - self.metrics.tasks[entry.key].arrival)
         self._health_success(entry, placement.candidate.node_id)
+        if self.admission is not None:
+            self.admission.note_completion()
         entry.completed = True
         for handle in entry.deadline_events:
             handle.cancel()
@@ -1565,5 +1793,15 @@ class DReAMSim:
             self.metrics.record_quarantine_stats(
                 episodes=self.health.total_quarantine_episodes(),
                 total_s=self.health.total_quarantine_s(self.engine.now),
+            )
+        if self.admission is not None:
+            ctl = self.admission
+            ctl.finalize(self.engine.now)
+            self.metrics.record_admission_stats(
+                gated=ctl.placements_gated,
+                transitions=ctl.brownout_transitions,
+                max_stage=ctl.max_stage_seen,
+                brownout_time_s=ctl.brownout_time_s,
+                brownout_completions=ctl.brownout_completions,
             )
         return self.metrics.report(self.engine.now)

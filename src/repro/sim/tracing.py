@@ -69,6 +69,12 @@ EVENT_KINDS = frozenset(
         "checkpoint",   # a fabric task snapshotted its progress
         "migrate",      # a checkpointed task resumed on another node
         "speculate",    # replica lifecycle: launch / win / lose / abort
+        # Overload protection (sim/admission.py):
+        "admit",        # the admission controller accepted a submission
+        "defer",        # backpressure: submission parked for re-offer
+        "shed",         # load shedding: submission rejected, terminal
+        "degrade",      # brownout forced a low-priority task onto GPP
+        "brownout",     # brownout stage transition (escalate / recover)
     }
 )
 
@@ -258,9 +264,10 @@ _COMPLETED = "completed"
 _DISCARDED = "discarded"
 _FAULTED = "faulted"   # placement lost to a fault; awaiting retry/failure
 _FAILED = "failed"     # terminal: retry budget exhausted
+_SHED = "shed"         # terminal: rejected by overload protection
 
 #: States in which a task has terminated (exactly-once, never revisited).
-_TERMINAL = frozenset({_COMPLETED, _DISCARDED, _FAILED})
+_TERMINAL = frozenset({_COMPLETED, _DISCARDED, _FAILED, _SHED})
 
 
 class TraceInvariantChecker(TraceSink):
@@ -295,6 +302,14 @@ class TraceInvariantChecker(TraceSink):
       ``migrate`` only right after a dispatch; ``timeout`` transitions
       follow its ``action`` (``warn`` observes, ``requeue`` /``fail``
       tear the placement down like a fault does).
+    * **Admission lifecycle** -- ``admit`` / ``defer`` / ``degrade``
+      only touch a submitted (not yet dispatched) task; ``shed`` is a
+      terminal transition from submitted; ``brownout`` carries a legal
+      action and stage.
+    * **Task conservation** (online) -- at every point in the stream,
+      ``completed + failed + discarded + shed <= submitted``; after a
+      drained run :meth:`assert_conservation` requires equality, i.e.
+      every submitted task terminated exactly once.
     """
 
     def __init__(self) -> None:
@@ -312,6 +327,14 @@ class TraceInvariantChecker(TraceSink):
         #: Nodes whose circuit breaker is open (no dispatch allowed
         #: until a probe or a quarantine-close lifts the embargo).
         self._open_breakers: set[int] = set()
+        # Online task-conservation ledger: every terminal transition
+        # increments exactly one bucket, and the sum may never pass the
+        # submit count (checked after every event in :meth:`emit`).
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.discarded = 0
+        self.shed = 0
 
     # ------------------------------------------------------------------
     def _fail(self, event: TraceEvent, message: str) -> None:
@@ -339,6 +362,13 @@ class TraceInvariantChecker(TraceSink):
         handler = getattr(self, "_on_" + event.kind.replace("-", "_"), None)
         if handler is not None:
             handler(event)
+        terminated = self.completed + self.failed + self.discarded + self.shed
+        if terminated > self.submitted:
+            self._fail(
+                event,
+                f"conservation violated: {terminated} terminations for "
+                f"{self.submitted} submissions",
+            )
         self.events_checked += 1
 
     # ------------------------------------------------------------------
@@ -348,6 +378,7 @@ class TraceInvariantChecker(TraceSink):
         if event.key in self._task_state:
             self._fail(event, "duplicate submit")
         self._task_state[event.key] = _SUBMITTED
+        self.submitted += 1
 
     def _on_dispatch(self, event: TraceEvent) -> None:
         self._expect_state(event, _SUBMITTED)
@@ -382,11 +413,13 @@ class TraceInvariantChecker(TraceSink):
     def _on_complete(self, event: TraceEvent) -> None:
         self._expect_state(event, _STARTED)
         self._task_state[event.key] = _COMPLETED
+        self.completed += 1
 
     def _on_discard(self, event: TraceEvent) -> None:
         # FAULTED is allowed: a task abandoned while awaiting retry.
         self._expect_state(event, _SUBMITTED, _FAULTED)
         self._task_state[event.key] = _DISCARDED
+        self.discarded += 1
 
     def _on_requeue(self, event: TraceEvent) -> None:
         self._expect_state(event, _DISPATCHED, _STARTED)
@@ -410,6 +443,34 @@ class TraceInvariantChecker(TraceSink):
     def _on_task_failed(self, event: TraceEvent) -> None:
         self._expect_state(event, _FAULTED)
         self._task_state[event.key] = _FAILED
+        self.failed += 1
+
+    # ------------------------------------------------------------------
+    # Overload protection lifecycle
+    # ------------------------------------------------------------------
+    def _on_admit(self, event: TraceEvent) -> None:
+        self._expect_state(event, _SUBMITTED)
+
+    def _on_defer(self, event: TraceEvent) -> None:
+        self._expect_state(event, _SUBMITTED)
+
+    def _on_shed(self, event: TraceEvent) -> None:
+        self._expect_state(event, _SUBMITTED)
+        self._task_state[event.key] = _SHED
+        self.shed += 1
+
+    def _on_degrade(self, event: TraceEvent) -> None:
+        # Brownout stage 2 rewrites the exec requirement of a pending
+        # (never dispatched) task; it stays submitted.
+        self._expect_state(event, _SUBMITTED)
+
+    def _on_brownout(self, event: TraceEvent) -> None:
+        action = event.payload.get("action")
+        if action not in ("escalate", "recover"):
+            self._fail(event, f"unknown brownout action {action!r}")
+        stage = event.payload.get("stage")
+        if not isinstance(stage, int) or stage < 0:
+            self._fail(event, f"brownout stage {stage!r} is not a stage index")
 
     # ------------------------------------------------------------------
     # Adaptive resilience lifecycle
@@ -580,6 +641,31 @@ class TraceInvariantChecker(TraceSink):
         if lost:
             states = {key: self._task_state[key] for key in lost}
             raise InvariantViolation(f"tasks lost (non-terminal at end): {states!r}")
+
+    def conservation(self) -> dict[str, int]:
+        """The online task-conservation ledger as a dict."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "discarded": self.discarded,
+            "shed": self.shed,
+        }
+
+    def assert_conservation(self) -> None:
+        """After a fully drained run: submitted == completed + failed +
+        discarded + shed -- the overload-protection contract that no
+        submission is silently dropped, whatever mix of faults,
+        deferrals, brownout stages, and shedding the run saw.  (The
+        ``<=`` direction is enforced online after every event.)
+        """
+        terminated = self.completed + self.failed + self.discarded + self.shed
+        if terminated != self.submitted:
+            raise InvariantViolation(
+                "conservation violated at end of run: "
+                f"{self.conservation()!r} leaves "
+                f"{self.submitted - terminated} task(s) unaccounted for"
+            )
 
 
 def verify_trace(events: list[TraceEvent]) -> int:

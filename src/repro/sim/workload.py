@@ -20,6 +20,7 @@ required times" (Section V).  This module generates exactly those:
 from __future__ import annotations
 
 import itertools
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
@@ -71,8 +72,11 @@ class PoissonArrivals(ArrivalProcess):
     rate_per_s: float
 
     def __post_init__(self) -> None:
-        if self.rate_per_s <= 0:
-            raise ValueError("arrival rate must be positive")
+        # isfinite first: NaN slips through every comparison below.
+        if not math.isfinite(self.rate_per_s) or self.rate_per_s <= 0:
+            raise ValueError(
+                f"arrival rate must be finite and positive, got {self.rate_per_s!r}"
+            )
 
     def interarrival(self, rng: np.random.Generator) -> float:
         return float(rng.exponential(1.0 / self.rate_per_s))
@@ -94,6 +98,10 @@ class UniformArrivals(ArrivalProcess):
     high_s: float
 
     def __post_init__(self) -> None:
+        if not (math.isfinite(self.low_s) and math.isfinite(self.high_s)):
+            raise ValueError(
+                f"interarrival bounds must be finite, got [{self.low_s!r}, {self.high_s!r}]"
+            )
         if self.low_s < 0 or self.high_s < self.low_s:
             raise ValueError("need 0 <= low <= high")
 
@@ -114,8 +122,10 @@ class DeterministicArrivals(ArrivalProcess):
     interval_s: float
 
     def __post_init__(self) -> None:
-        if self.interval_s < 0:
-            raise ValueError("interval must be non-negative")
+        if not math.isfinite(self.interval_s) or self.interval_s < 0:
+            raise ValueError(
+                f"interval must be finite and non-negative, got {self.interval_s!r}"
+            )
 
     def interarrival(self, rng: np.random.Generator) -> float:
         return self.interval_s
@@ -137,6 +147,11 @@ class TraceArrivals(ArrivalProcess):
     def __init__(self, times: list[float]):
         if not times:
             raise ValueError("a trace needs at least one arrival")
+        # Element-wise finiteness first: a NaN anywhere in the list
+        # defeats both order comparisons below (NaN < x is False).
+        for i, t in enumerate(times):
+            if not math.isfinite(t):
+                raise ValueError(f"trace time at index {i} is not finite: {t!r}")
         if any(b < a for a, b in zip(times, times[1:])):
             raise ValueError("trace times must be non-decreasing")
         if times[0] < 0:
@@ -168,6 +183,101 @@ class TraceArrivals(ArrivalProcess):
         self._cursor += n
         if n:
             self._last = float(out[-1])
+        return out
+
+
+class FlashCrowdArrivals(ArrivalProcess):
+    """Poisson arrivals with a rate surge: the flash-crowd shape.
+
+    The instantaneous rate is ``base_rate_per_s`` everywhere except the
+    window ``[surge_start_s, surge_start_s + surge_duration_s)``, where
+    it is multiplied by ``surge_multiplier`` -- a piecewise-constant
+    non-homogeneous Poisson process.  Each arrival inverts one
+    unit-rate exponential "mass" draw across the rate segments, so the
+    process is exact (not thinned) and consumes exactly one RNG draw
+    per arrival; the vectorized path batches those draws and is
+    element-identical to the scalar one (same contract as
+    :class:`PoissonArrivals`, locked by stream-identity tests).
+
+    Stateful like :class:`TraceArrivals`: the process tracks absolute
+    time internally because the rate depends on it.
+    """
+
+    def __init__(
+        self,
+        base_rate_per_s: float,
+        *,
+        surge_start_s: float,
+        surge_duration_s: float,
+        surge_multiplier: float,
+    ):
+        for name, value in (
+            ("base_rate_per_s", base_rate_per_s),
+            ("surge_start_s", surge_start_s),
+            ("surge_duration_s", surge_duration_s),
+            ("surge_multiplier", surge_multiplier),
+        ):
+            if not math.isfinite(value):
+                raise ValueError(f"{name} must be finite, got {value!r}")
+        if base_rate_per_s <= 0:
+            raise ValueError("base rate must be positive")
+        if surge_start_s < 0:
+            raise ValueError("surge start must be non-negative")
+        if surge_duration_s <= 0:
+            raise ValueError("surge duration must be positive")
+        if surge_multiplier <= 0:
+            raise ValueError("surge multiplier must be positive")
+        self.base_rate_per_s = base_rate_per_s
+        self.surge_start_s = surge_start_s
+        self.surge_duration_s = surge_duration_s
+        self.surge_multiplier = surge_multiplier
+        self._t = 0.0
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at absolute time *t*."""
+        if self.surge_start_s <= t < self.surge_start_s + self.surge_duration_s:
+            return self.base_rate_per_s * self.surge_multiplier
+        return self.base_rate_per_s
+
+    def _next_boundary(self, t: float) -> float:
+        if t < self.surge_start_s:
+            return self.surge_start_s
+        end = self.surge_start_s + self.surge_duration_s
+        if t < end:
+            return end
+        return math.inf
+
+    def _advance(self, mass: float) -> float:
+        """Consume one unit-rate exponential *mass* from the internal
+        cursor; returns the gap to the resulting arrival."""
+        t = self._t
+        while True:
+            rate = self.rate_at(t)
+            boundary = self._next_boundary(t)
+            segment_mass = (boundary - t) * rate
+            if mass < segment_mass:
+                t += mass / rate
+                break
+            mass -= segment_mass
+            t = boundary
+        gap = t - self._t
+        self._t = t
+        return gap
+
+    def interarrival(self, rng: np.random.Generator) -> float:
+        return self._advance(float(rng.exponential(1.0)))
+
+    def arrival_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        # One batched unit-exponential draw (element-identical to n
+        # scalar draws), then the same deterministic inversion.
+        if n < 0:
+            raise ValueError("task count must be non-negative")
+        masses = rng.exponential(1.0, n)
+        start = self._t
+        out = np.empty(n)
+        for i in range(n):
+            self._advance(float(masses[i]))
+            out[i] = self._t - start
         return out
 
 
@@ -255,6 +365,12 @@ class WorkloadSpec:
     are hardware tasks drawn from the configuration pool.  Required
     times are the *reference-GPP* times; hardware tasks run
     ``speedup_vs_gpp`` faster on fabric.
+
+    ``low_priority_fraction`` tags that share of tasks with
+    ``priority=-1`` (brownout degradation / shedding candidates); at
+    the default 0.0 no priority draw is made, so pre-admission seed
+    streams are untouched.  ``tenants`` > 1 round-robins tasks across
+    that many tenant tags (no randomness consumed).
     """
 
     task_count: int = 100
@@ -262,6 +378,8 @@ class WorkloadSpec:
     required_time_range_s: tuple[float, float] = (0.5, 5.0)
     data_size_range_bytes: tuple[int, int] = (1 << 16, 1 << 22)
     reference_mips: float = 1000.0
+    low_priority_fraction: float = 0.0
+    tenants: int = 1
 
     def __post_init__(self) -> None:
         if self.task_count < 0:
@@ -269,11 +387,22 @@ class WorkloadSpec:
         if not 0.0 <= self.gpp_fraction <= 1.0:
             raise ValueError("gpp_fraction must be in [0, 1]")
         lo, hi = self.required_time_range_s
+        # isfinite first: NaN bounds pass both order comparisons.
+        if not (math.isfinite(lo) and math.isfinite(hi)):
+            raise ValueError(f"time range must be finite, got [{lo!r}, {hi!r}]")
         if lo <= 0 or hi < lo:
             raise ValueError("need 0 < time_lo <= time_hi")
         dlo, dhi = self.data_size_range_bytes
         if dlo < 0 or dhi < dlo:
             raise ValueError("need 0 <= data_lo <= data_hi")
+        if not math.isfinite(self.reference_mips) or self.reference_mips <= 0:
+            raise ValueError(
+                f"reference_mips must be finite and positive, got {self.reference_mips!r}"
+            )
+        if not 0.0 <= self.low_priority_fraction <= 1.0:
+            raise ValueError("low_priority_fraction must be in [0, 1]")
+        if self.tenants < 1:
+            raise ValueError("tenants must be >= 1")
 
 
 @dataclass
@@ -294,9 +423,13 @@ class WorkloadColumns:
     data_bytes: np.ndarray  #: input sizes (int64)
     is_gpp: np.ndarray      #: software-only mask (bool)
     pool_idx: np.ndarray    #: pool entry per hardware task, -1 for GPP
+    priority: np.ndarray    #: scheduling class per task (int64, 0 = normal)
 
     def __len__(self) -> int:
         return len(self.times)
+
+    def _tenant(self, task_id: int) -> str:
+        return f"tenant{task_id % self.spec.tenants}" if self.spec.tenants > 1 else ""
 
     def task(self, i: int) -> Task:
         """Materialize task *i* exactly as ``generate()`` would."""
@@ -316,6 +449,8 @@ class WorkloadColumns:
                 t_estimated=ref_time,
                 workload_mi=workload_mi,
                 function="",
+                priority=int(self.priority[i]),
+                tenant=self._tenant(task_id),
             )
         entry = self.pool.entries[int(self.pool_idx[i])]
         return Task(
@@ -330,6 +465,8 @@ class WorkloadColumns:
             t_estimated=ref_time / entry.speedup_vs_gpp,
             workload_mi=workload_mi,
             function=entry.function,
+            priority=int(self.priority[i]),
+            tenant=self._tenant(task_id),
         )
 
     def materialize(self) -> list[tuple[float, Task]]:
@@ -365,6 +502,16 @@ class SyntheticWorkload:
             ref_time = float(rng.uniform(*self.spec.required_time_range_s))
             data_bytes = int(rng.integers(*self.spec.data_size_range_bytes))
             workload_mi = ref_time * self.spec.reference_mips
+            # Gated on the fraction so the default (0.0) consumes zero
+            # draws and pre-admission seed streams stay byte-identical.
+            priority = 0
+            if self.spec.low_priority_fraction > 0.0:
+                priority = (
+                    -1 if float(rng.random()) < self.spec.low_priority_fraction else 0
+                )
+            tenant = (
+                f"tenant{task_id % self.spec.tenants}" if self.spec.tenants > 1 else ""
+            )
             if rng.random() < self.spec.gpp_fraction:
                 task = Task(
                     task_id=task_id,
@@ -377,6 +524,8 @@ class SyntheticWorkload:
                     t_estimated=ref_time,
                     workload_mi=workload_mi,
                     function="",
+                    priority=priority,
+                    tenant=tenant,
                 )
             else:
                 entry = self.pool.entries[int(rng.integers(len(self.pool.entries)))]
@@ -392,6 +541,8 @@ class SyntheticWorkload:
                     t_estimated=ref_time / entry.speedup_vs_gpp,
                     workload_mi=workload_mi,
                     function=entry.function,
+                    priority=priority,
+                    tenant=tenant,
                 )
             out.append((float(times[i]), task))
         return out
@@ -421,6 +572,13 @@ class SyntheticWorkload:
         hw_count = int(hw.sum())
         if hw_count:
             pool_idx[hw] = rng.integers(len(self.pool.entries), size=hw_count)
+        # Gated like generate(): the default fraction of 0.0 draws
+        # nothing, keeping pre-admission column streams byte-identical.
+        priority = np.zeros(n, dtype=np.int64)
+        if self.spec.low_priority_fraction > 0.0:
+            priority = np.where(
+                rng.random(n) < self.spec.low_priority_fraction, -1, 0
+            ).astype(np.int64)
         return WorkloadColumns(
             spec=self.spec,
             pool=self.pool,
@@ -430,6 +588,7 @@ class SyntheticWorkload:
             data_bytes=np.asarray(data_bytes, dtype=np.int64),
             is_gpp=is_gpp,
             pool_idx=pool_idx,
+            priority=priority,
         )
 
     def generate_columns_scalar(self) -> WorkloadColumns:
@@ -453,6 +612,15 @@ class SyntheticWorkload:
         for i in range(n):
             if not is_gpp[i]:
                 pool_idx[i] = int(rng.integers(len(self.pool.entries)))
+        priority = np.zeros(n, dtype=np.int64)
+        if self.spec.low_priority_fraction > 0.0:
+            priority = np.array(
+                [
+                    -1 if float(rng.random()) < self.spec.low_priority_fraction else 0
+                    for _ in range(n)
+                ],
+                dtype=np.int64,
+            )
         return WorkloadColumns(
             spec=self.spec,
             pool=self.pool,
@@ -462,4 +630,5 @@ class SyntheticWorkload:
             data_bytes=data_bytes,
             is_gpp=is_gpp,
             pool_idx=pool_idx,
+            priority=priority,
         )

@@ -124,6 +124,28 @@ def test_calendar_engine_reproduces_golden_trace_byte_identically(name):
 
 
 @pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_inert_admission_spec_reproduces_golden_trace_byte_identically(name):
+    """The zero-cost-when-disabled lock for overload protection: an
+    explicit all-``None`` :class:`AdmissionSpec` must take the exact
+    pre-admission code paths on every golden scenario -- no extra
+    events, no reordering, byte for byte."""
+    from repro.sim.admission import AdmissionSpec
+
+    spec, filename = GOLDEN[name]
+    golden = (DATA_DIR / filename).read_text(encoding="ascii").splitlines()
+    sink = InMemorySink()
+    run_experiment(
+        spec.with_(admission=AdmissionSpec()),
+        tracer=Tracer(TraceInvariantChecker(), sink),
+    )
+    fresh = [e.to_json() for e in canonical_events(list(sink.events))]
+    assert fresh == golden, (
+        f"{name}: an inert AdmissionSpec changed the trace; the "
+        "admission layer must be zero-cost when disabled"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
 def test_golden_traces_satisfy_invariants(name):
     from repro.sim.tracing import TraceEvent
 

@@ -33,7 +33,17 @@ class TestTraceArrivals:
             trace.interarrival(rng)
 
     @pytest.mark.parametrize(
-        "times", [[], [2.0, 1.0], [-1.0, 0.0]]
+        "times",
+        [
+            [],
+            [2.0, 1.0],
+            [-1.0, 0.0],
+            # A NaN anywhere defeats the order comparisons (NaN < x is
+            # always False), so finiteness must be checked element-wise.
+            [float("nan")],
+            [0.0, float("nan"), 2.0],
+            [0.0, float("inf")],
+        ],
     )
     def test_validation(self, times):
         with pytest.raises(ValueError):

@@ -9,6 +9,7 @@ from repro.hardware.taxonomy import PEClass
 from repro.sim.workload import (
     ConfigurationPool,
     DeterministicArrivals,
+    FlashCrowdArrivals,
     PoissonArrivals,
     SyntheticWorkload,
     UniformArrivals,
@@ -44,14 +45,124 @@ class TestArrivalProcesses:
         "factory",
         [
             lambda: PoissonArrivals(0),
+            lambda: PoissonArrivals(float("nan")),
+            lambda: PoissonArrivals(float("inf")),
             lambda: UniformArrivals(-1, 2),
             lambda: UniformArrivals(3, 2),
+            lambda: UniformArrivals(0.5, float("inf")),
             lambda: DeterministicArrivals(-1),
+            lambda: DeterministicArrivals(float("nan")),
         ],
     )
     def test_validation(self, factory):
         with pytest.raises(ValueError):
             factory()
+
+
+class TestFlashCrowdArrivals:
+    def make(self, **kw):
+        params = dict(
+            surge_start_s=5.0, surge_duration_s=10.0, surge_multiplier=6.0
+        )
+        params.update(kw)
+        return FlashCrowdArrivals(2.0, **params)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"surge_start_s": -1.0},
+            {"surge_duration_s": 0.0},
+            {"surge_multiplier": 0.0},
+            {"surge_start_s": float("nan")},
+            {"surge_multiplier": float("inf")},
+        ],
+    )
+    def test_validation(self, overrides):
+        with pytest.raises(ValueError):
+            self.make(**overrides)
+        with pytest.raises(ValueError):
+            FlashCrowdArrivals(
+                0.0, surge_start_s=1.0, surge_duration_s=1.0, surge_multiplier=2.0
+            )
+
+    def test_rate_profile_is_piecewise_constant(self):
+        process = self.make()
+        assert process.rate_at(0.0) == 2.0
+        assert process.rate_at(5.0) == 12.0  # surge window is half-open
+        assert process.rate_at(14.999) == 12.0
+        assert process.rate_at(15.0) == 2.0
+
+    def test_surge_window_is_denser(self):
+        times = self.make().arrival_times(600, np.random.default_rng(0))
+        in_surge = np.count_nonzero((times >= 5.0) & (times < 15.0))
+        before = np.count_nonzero(times < 5.0)
+        # 10 s at 12/s vs 5 s at 2/s: expect ~120 vs ~10 arrivals.
+        assert in_surge > 8 * before
+
+    def test_arrival_times_non_decreasing(self):
+        times = self.make().arrival_times(300, np.random.default_rng(3))
+        assert (np.diff(times) >= 0).all()
+
+    def test_vectorized_batch_matches_scalar_draws(self):
+        """Stream identity for the stateful process: fresh instances,
+        same seed, batched vs scalar must agree to the last bit."""
+        vec = self.make().arrival_times(200, np.random.default_rng(9))
+        scalar_process = self.make()
+        rng = np.random.default_rng(9)
+        ref = np.cumsum([scalar_process.interarrival(rng) for _ in range(200)])
+        np.testing.assert_array_equal(vec, np.asarray(ref))
+
+    def test_unit_multiplier_matches_plain_poisson(self):
+        """A x1 surge is exactly a homogeneous Poisson process."""
+        flash = FlashCrowdArrivals(
+            3.0, surge_start_s=2.0, surge_duration_s=4.0, surge_multiplier=1.0
+        )
+        plain = PoissonArrivals(3.0)
+        a = flash.arrival_times(500, np.random.default_rng(11))
+        b = plain.arrival_times(500, np.random.default_rng(11))
+        np.testing.assert_allclose(a, b)
+
+
+class TestWorkloadPriorityAndTenants:
+    def make(self, **spec_overrides):
+        params = dict(task_count=200, gpp_fraction=0.4)
+        params.update(spec_overrides)
+        return SyntheticWorkload(
+            WorkloadSpec(**params),
+            ConfigurationPool(4, seed=2),
+            PoissonArrivals(3.0),
+            seed=77,
+        )
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(task_count=5, low_priority_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkloadSpec(task_count=5, tenants=0)
+
+    def test_low_priority_fraction_tags_tasks(self):
+        wl = self.make(low_priority_fraction=0.5)
+        priorities = [task.priority for _, task in wl.generate()]
+        low = sum(1 for p in priorities if p < 0)
+        assert set(priorities) == {-1, 0}
+        assert 0.3 < low / len(priorities) < 0.7
+
+    def test_default_stream_is_untagged_and_unperturbed(self):
+        """priority/tenant default off must not consume RNG draws: the
+        task stream is identical with and without the feature present."""
+        plain = [(t, task) for t, task in self.make().generate()]
+        tagged = [(t, task) for t, task in self.make(tenants=3).generate()]
+        assert all(task.priority == 0 and task.tenant == "" for _, task in plain)
+        for (t0, a), (t1, b) in zip(plain, tagged):
+            assert t0 == t1
+            assert a.task_id == b.task_id
+            assert a.t_estimated == b.t_estimated
+
+    def test_tenants_round_robin(self):
+        wl = self.make(tenants=3)
+        tenants = [task.tenant for _, task in wl.generate()]
+        assert set(tenants) == {"tenant0", "tenant1", "tenant2"}
+        assert tenants[0] != tenants[1] != tenants[2]
 
 
 class TestConfigurationPool:
