@@ -1,0 +1,117 @@
+"""Control-plane chaos: the same RMS-crash storm, unprotected vs
+detected vs replicated.
+
+The paper funnels every placement through one central RMS and keeps it
+conveniently immortal.  This example kills it -- repeatedly, during a
+flash crowd -- under three failover postures:
+
+* **unprotected** -- no heartbeat layer, no standby: each RMS crash is
+  a cold restart, the control plane is dark for the full downtime
+  draw, and every in-flight placement is orphaned back into the queue
+  (recovered, never lost -- conservation holds even here);
+* **detect** -- the phi-accrual-style heartbeat detector replaces
+  omniscient crash knowledge: failures now have *detection latency*,
+  and lost heartbeats can produce false suspicions, but an RMS crash
+  is still a cold restart;
+* **replicated** -- one warm standby with leased placements: once the
+  detector confirms the primary dead, the standby promotes after the
+  takeover delay, adopts every placement whose lease is still live,
+  and orphans (re-queues) only the lapsed ones -- shrinking both the
+  dark window and the orphan count.
+
+All three runs share one seed; the only randomness the failover layer
+draws (heartbeat-loss decisions) lives on its own fault stream, so the
+arrival and fault schedules are identical everywhere.  Conservation
+(``submitted == completed + failed + discarded + shed``, zero tasks
+stranded) is checked online by the trace invariant checker.
+
+Run with::
+
+    python examples/control_plane_chaos.py
+"""
+
+from repro.report import ascii_table
+from repro.sim.experiment import ExperimentSpec, NodeSpec, run_experiment
+from repro.sim.failover import FAILOVER_PRESETS
+from repro.sim.faults import FaultSpec
+from repro.sim.tracing import InMemorySink, TraceInvariantChecker, Tracer
+
+BASE = ExperimentSpec(
+    tasks=400,
+    nodes=(
+        NodeSpec(gpps=1, gpp_mips=2_000, rpe_models=("XC5VLX330",), regions_per_rpe=3),
+        NodeSpec(gpps=1, gpp_mips=1_500, rpe_models=("XC5VLX155",), regions_per_rpe=2),
+    ),
+    arrival_rate_per_s=4.0,
+    flash_crowd=(5.0, 15.0, 4.0),  # 4x surge in [5 s, 20 s)
+    area_range=(2_000, 12_000),
+    gpp_fraction=0.3,
+    # Long-running tasks: in-flight work outlives the control plane's
+    # dark windows, so cold restarts actually orphan placements.
+    required_time_range_s=(4.0, 15.0),
+    seed=17,
+    # The storm: RMS crashes and a gray failure land mid-surge, with a
+    # lossy heartbeat channel stressing the detector.
+    faults=FaultSpec(
+        rms_crash_rate_per_s=0.04,
+        rms_downtime_range_s=(4.0, 9.0),
+        rms_gray_rate_per_s=0.02,
+        rms_gray_duration_range_s=(2.0, 5.0),
+        heartbeat_loss_prob=0.05,
+        horizon_s=60.0,
+    ),
+)
+
+
+def run_posture(failover):
+    """One storm run; returns the verified report."""
+    tracer = Tracer(TraceInvariantChecker(), InMemorySink(capacity=1))
+    result = run_experiment(BASE.with_(failover=failover), tracer=tracer)
+    tracer.checker.assert_no_lost_tasks()
+    tracer.checker.assert_conservation()
+    assert result.report.pending == 0, "a task was stranded"
+    return result.report
+
+
+def main() -> None:
+    rows = []
+    for name in ("unprotected", "detect", "replicated"):
+        failover = None if name == "unprotected" else FAILOVER_PRESETS[name]
+        report = run_posture(failover)
+        rows.append(
+            (
+                name,
+                str(report.rms_crashes),
+                str(report.failovers),
+                f"{report.control_plane_downtime_s:.1f}",
+                (
+                    f"{report.detection_latency_p50_s:.2f}"
+                    if report.detections
+                    else "-"
+                ),
+                str(report.orphans_recovered),
+                str(report.completed),
+                f"{report.p95_wait_s:.2f}",
+            )
+        )
+    print(
+        ascii_table(
+            [
+                "posture",
+                "crashes",
+                "failovers",
+                "dark s",
+                "det p50 s",
+                "orphans",
+                "done",
+                "p95 wait s",
+            ],
+            rows,
+            title="RMS-crash storm in a 4x flash crowd, 400 tasks, one seed "
+                  "(zero tasks lost in every posture)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

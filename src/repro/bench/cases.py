@@ -736,6 +736,63 @@ def _case_sim_overload(quick: bool) -> dict[str, float]:
     return metrics
 
 
+#: Extra fields exported by the failover case.
+FAILOVER_METRIC_FIELDS = (
+    "rms_crashes",
+    "rms_gray_events",
+    "failovers",
+    "control_plane_downtime_s",
+    "detections",
+    "detection_latency_p50_s",
+    "detection_latency_p95_s",
+    "false_suspicions",
+    "leases_expired",
+    "orphaned_tasks",
+    "orphans_recovered",
+)
+
+FAILOVER_TASKS = 250
+FAILOVER_SEED = 43
+
+
+def run_failover(*, tasks: int = FAILOVER_TASKS):
+    """An RMS-crash storm against the canonical grid with the
+    ``replicated`` failover preset armed: heartbeat detection,
+    one-standby promotion, leased placements.  Long tasks against
+    generous downtime draws so orphan recovery actually fires --
+    the gate must cover the failover code paths, not just pass
+    through them."""
+    from repro.sim.experiment import run_experiment
+    from repro.sim.failover import FAILOVER_PRESETS
+    from repro.sim.faults import FaultSpec
+
+    spec = baseline_spec(tasks=tasks).with_(
+        seed=FAILOVER_SEED,
+        arrival_rate_per_s=4.0,
+        required_time_range_s=(2.0, 10.0),
+        faults=FaultSpec(
+            rms_crash_rate_per_s=0.05,
+            rms_downtime_range_s=(4.0, 9.0),
+            rms_gray_rate_per_s=0.02,
+            rms_gray_duration_range_s=(2.0, 5.0),
+            heartbeat_loss_prob=0.05,
+            horizon_s=50.0,
+        ),
+        failover=FAILOVER_PRESETS["replicated"],
+    )
+    return run_experiment(spec).report
+
+
+@register("sim-failover", "sim",
+          description="RMS-crash storm under the replicated failover preset")
+def _case_sim_failover(quick: bool) -> dict[str, float]:
+    report = run_failover(tasks=120 if quick else FAILOVER_TASKS)
+    metrics = report_metrics(report)
+    for name in FAILOVER_METRIC_FIELDS:
+        metrics[name] = float(getattr(report, name))
+    return metrics
+
+
 # ----------------------------------------------------------------------
 # Engine microbench + million-task scale cases
 # (kernels shared with benchmarks/bench_engine_scaling.py)

@@ -178,6 +178,39 @@ def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
                         "time (default 2.0)")
 
 
+def _add_failover_flags(p: argparse.ArgumentParser) -> None:
+    from repro.sim.failover import FAILOVER_PRESETS
+
+    p.add_argument("--failover", choices=sorted(FAILOVER_PRESETS), default=None,
+                   help="control-plane fault-tolerance preset "
+                        "(see repro.sim.failover)")
+    p.add_argument("--standbys", type=int, default=None, metavar="N",
+                   help="override the preset's warm-standby count")
+
+
+def _failover_from_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+):
+    """Build a FailoverSpec from ``--failover``/``--standbys``; None
+    when neither is given (the exact pre-failover simulator)."""
+    from dataclasses import replace
+
+    from repro.sim.failover import FAILOVER_PRESETS, FailoverSpec
+
+    if args.failover is None and args.standbys is None:
+        return None
+    spec = (
+        FAILOVER_PRESETS[args.failover]
+        if args.failover is not None
+        else FailoverSpec()
+    )
+    if args.standbys is not None:
+        if args.standbys < 0:
+            parser.error("--standbys must be non-negative")
+        spec = replace(spec, standbys=args.standbys)
+    return spec if spec.enabled else None
+
+
 def _admission_from_args(
     parser: argparse.ArgumentParser, args: argparse.Namespace
 ):
@@ -314,6 +347,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         resilience=args.resilience,
         engine=args.engine,
         admission=args.admission,
+        failover=args.failover,
         low_priority_fraction=args.low_priority,
         flash_crowd=args.flash_crowd,
     )
@@ -499,14 +533,23 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    faults_name = args.faults
+    failover = args.failover
+    if args.control_plane:
+        faults_name = "control-plane"
+        if failover is None:
+            from repro.sim.failover import FAILOVER_PRESETS
+
+            failover = FAILOVER_PRESETS["replicated"]
     base = ExperimentSpec(
         tasks=args.tasks,
         nodes=_default_grid_nodes(),
         arrival_rate_per_s=args.rate,
         area_range=(2_000, 12_000),
         seed=args.seed,
-        faults=FAULT_PRESETS[args.faults],
+        faults=FAULT_PRESETS[faults_name],
         resilience=args.resilience,
+        failover=failover,
     )
     runner = ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir)
     results = runner.run([base.with_(strategy=s) for s in strategies])
@@ -514,7 +557,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(
         recovery_table(
             entries,
-            title=f"Chaos '{args.faults}' ({args.tasks} tasks, seed {args.seed})",
+            title=f"Chaos '{faults_name}' ({args.tasks} tasks, seed {args.seed})",
         )
     )
     if args.json:
@@ -526,6 +569,24 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
         print(f"wrote {args.json}")
     print(runner.last_stats.summary_line())
+    if args.max_lost is not None:
+        # Conservation gate: every submitted task must be accounted for
+        # (completed / failed / discarded / shed) by the horizon; tasks
+        # still pending were stranded -- the failure mode orphan
+        # recovery exists to prevent.  The CI failover smoke runs with
+        # --max-lost 0.
+        worst = max(r.report.pending for r in results)
+        if worst > args.max_lost:
+            print(
+                f"repro chaos: FAIL: {worst} task(s) left stranded at the "
+                f"horizon, exceeding --max-lost {args.max_lost}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"conservation         worst stranded {worst} "
+            f"<= --max-lost {args.max_lost}: OK"
+        )
     return 0
 
 
@@ -820,6 +881,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "degradation / shedding candidates)")
     _add_resilience_flags(p)
     _add_admission_flags(p)
+    _add_failover_flags(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser(
@@ -871,7 +933,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cache results keyed by spec hash")
     p.add_argument("--json", metavar="PATH",
                    help="also write the recovery metrics as JSON")
+    p.add_argument("--control-plane", action="store_true",
+                   help="control-plane chaos: the 'control-plane' fault "
+                        "preset (RMS crashes, gray failures, heartbeat "
+                        "loss) with replicated-RMS failover unless "
+                        "--failover overrides it")
+    p.add_argument("--max-lost", type=int, default=None, metavar="N",
+                   help="fail (exit 1) if any run strands more than N "
+                        "tasks at the horizon -- the CI smoke assertion")
     _add_resilience_flags(p)
+    _add_failover_flags(p)
     p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(
@@ -985,6 +1056,8 @@ def main(argv: list[str] | None = None) -> int:
         args.resilience = _resilience_from_args(parser, args)
     if hasattr(args, "admission"):
         args.admission = _admission_from_args(parser, args)
+    if hasattr(args, "failover"):
+        args.failover = _failover_from_args(parser, args)
     if getattr(args, "flash_crowd", None) is not None:
         args.flash_crowd = _parse_flash_crowd(parser, args.flash_crowd)
     if getattr(args, "trace", None) and args.command != "report":

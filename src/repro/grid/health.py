@@ -270,6 +270,17 @@ class HealthTracker:
                 return "close"
         return None
 
+    def record_detected_failure(self, node_id: int, now: float) -> None:
+        """A failure detector confirmed *node_id* dead
+        (:mod:`repro.sim.failover`).  Unlike :meth:`record_failure`
+        this is hard evidence, not a statistical hint: trip the breaker
+        outright so a later rejoin starts quarantined and has to
+        re-earn trust through half-open probes."""
+        health = self.register_node(node_id)
+        self._ewma(health, 1.0)
+        if health.state is not BreakerState.OPEN:
+            self._open(health, now)
+
     def note_probe(self, node_id: int) -> None:
         """A probe placement was just granted on a HALF_OPEN node."""
         self.register_node(node_id).probes_in_flight += 1

@@ -56,6 +56,10 @@ class TaskRecord:
     #: Placement attempts consumed (faulted dispatches count; a task
     #: that completes first try has attempts == 1).
     attempts: int = 0
+    #: Times a control-plane failure orphaned this task's running
+    #: placement (lease expiry during failover, RMS cold restart) and
+    #: it was recovered by requeueing rather than lost.
+    orphaned: int = 0
 
     @property
     def turnaround_s(self) -> float | None:
@@ -240,3 +244,18 @@ class JobSubmissionSystem:
         if attempts is not None:
             record.attempts = attempts
         self._count("jss_tasks_failed_total", "tasks reaching FAILED")
+
+    def mark_orphaned(self, job_id: int, task_id: int, *, time: float) -> None:
+        """A control-plane failure orphaned this task's placement and
+        the recovery path requeued it.  Rewind the record to SUBMITTED
+        (it is genuinely back in the queue) but keep the attempts
+        already consumed -- an orphan is a detour, not a terminal
+        state."""
+        record = self.job(job_id).record(task_id)
+        record.status = JobStatus.SUBMITTED
+        record.start_time = None
+        record.node_id = None
+        record.orphaned += 1
+        self._count(
+            "jss_tasks_orphaned_total", "running tasks orphaned and requeued"
+        )

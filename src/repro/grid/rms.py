@@ -465,7 +465,7 @@ class ResourceManagementSystem:
 
     def abort_placement(
         self, placement: Placement, *, clear_configuration: bool = False
-    ) -> None:
+    ) -> bool:
         """Release a fault-hit placement at any point of its lifecycle.
 
         Unlike :meth:`finish_execution`, this works both before
@@ -475,9 +475,20 @@ class ResourceManagementSystem:
         or a node crash).  ``clear_configuration`` evicts the resident
         configuration too, modelling corrupted fabric state that must
         not be reused.
+
+        Returns True when resources were actually released.  A
+        placement whose node was already unregistered (crash teardown
+        and failover reconciliation can race in either order) has
+        nothing left to release: the flags are reset and the abort is
+        a no-op returning False, so callers can attach a trace note
+        instead of dying on a registry miss.
         """
         if not placement._committed:
             raise SchedulingError("placement is not committed")
+        if placement.candidate.node_id not in self._nodes:
+            placement._executing = False
+            placement._committed = False
+            return False
         node = self.node(placement.candidate.node_id)
         kind = placement.candidate.kind
         if kind is PEClass.GPP:
@@ -500,6 +511,7 @@ class ResourceManagementSystem:
         placement._executing = False
         placement._committed = False
         self._sample_fabric(placement)
+        return True
 
     def run_placement(self, placement: Placement) -> float:
         """Run the full lifecycle instantly; returns total_time_s.

@@ -90,6 +90,23 @@ RESILIENCE_METRICS: tuple[tuple[str, str, str], ...] = (
     ("speculative wasted s", "speculative_wasted_s", ".2f"),
 )
 
+#: Same, for the control-plane fault-tolerance layer (heartbeat
+#: detection, replicated-RMS failover, lease-based orphan recovery).
+#: All-zero across every report = no control-plane faults fired, and
+#: :func:`recovery_table` omits the block.
+FAILOVER_METRICS: tuple[tuple[str, str, str], ...] = (
+    ("RMS crashes", "rms_crashes", "d"),
+    ("RMS gray failures", "rms_gray_events", "d"),
+    ("failovers", "failovers", "d"),
+    ("control-plane dark s", "control_plane_downtime_s", ".2f"),
+    ("detections", "detections", "d"),
+    ("detect latency p50 s", "detection_latency_p50_s", ".3f"),
+    ("detect latency p95 s", "detection_latency_p95_s", ".3f"),
+    ("false suspicions", "false_suspicions", "d"),
+    ("leases expired", "leases_expired", "d"),
+    ("orphans recovered", "orphans_recovered", "d"),
+)
+
 
 def recovery_table(
     entries: Sequence[tuple[str, "SimulationReport"]],
@@ -109,6 +126,8 @@ def recovery_table(
     reports = [report for _, report in entries]
     if any(getattr(r, attr) for _, attr, _ in RESILIENCE_METRICS for r in reports):
         metrics += RESILIENCE_METRICS
+    if any(getattr(r, attr) for _, attr, _ in FAILOVER_METRICS for r in reports):
+        metrics += FAILOVER_METRICS
     rows = [
         (label, *(format(getattr(r, attr), spec) for r in reports))
         for label, attr, spec in metrics
@@ -134,7 +153,7 @@ def recovery_json(
             "failed": report.failed,
             "discarded": report.discarded,
         }
-        for _, attr, _ in (*RECOVERY_METRICS, *RESILIENCE_METRICS):
+        for _, attr, _ in (*RECOVERY_METRICS, *RESILIENCE_METRICS, *FAILOVER_METRICS):
             record[attr] = getattr(report, attr)
         out[label] = record
     return out

@@ -66,6 +66,18 @@ INSTANT_COLORS = {
     "speculate": "#e87ba4",
     "retry": "#eda100",
     "fallback": "#eda100",
+    # Control-plane fault tolerance (PR 8): detector verdicts in
+    # escalating warmth, failover machinery in purple, recovery green.
+    "heartbeat-suspect": "#eda100",
+    "heartbeat-confirm": CRITICAL,
+    "heartbeat-rejoin": "#1baf7a",
+    "rms-crash": CRITICAL,
+    "rms-gray": "#eda100",
+    "rms-restore": "#1baf7a",
+    "failover-begin": "#4a3aa7",
+    "failover-complete": "#4a3aa7",
+    "lease-expire": "#eda100",
+    "orphan-recovered": "#1baf7a",
 }
 
 MAX_SERIES_PER_CHART = 8

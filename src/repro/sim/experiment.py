@@ -25,6 +25,7 @@ from repro.hardware.gpp import GPPSpec
 from repro.scheduling import ALL_STRATEGIES, RandomScheduler
 from repro.sim.admission import AdmissionSpec
 from repro.sim.energy import EnergyAuditor, EnergyReport
+from repro.sim.failover import FailoverSpec
 from repro.sim.faults import FaultInjector, FaultSpec, RetryPolicy
 from repro.sim.metrics import SimulationReport
 from repro.sim.resilience import ResilienceSpec
@@ -125,6 +126,14 @@ class ExperimentSpec:
     #: and which multiplies it by the given factor inside the window --
     #: the overload study's forcing function.
     flash_crowd: tuple[float, float, float] | None = None
+    #: Control-plane fault tolerance (:mod:`repro.sim.failover`):
+    #: heartbeat failure detection, replicated-RMS failover, and
+    #: lease-based orphan recovery.  ``None`` (or an inert spec with no
+    #: heartbeat and no standbys) keeps the simulator byte-identical to
+    #: pre-failover runs -- locked by the golden-trace suite.  The only
+    #: randomness it can introduce is the ``heartbeat_loss_prob`` draw,
+    #: which lives on its own fault stream.
+    failover: FailoverSpec | None = None
 
     def __post_init__(self) -> None:
         if self.strategy not in ALL_STRATEGIES:
@@ -266,6 +275,7 @@ def run_experiment(
         retry=spec.retry,
         resilience=spec.resilience,
         admission=spec.admission,
+        failover=spec.failover,
         telemetry=telemetry,
         engine=spec.engine,
         metrics=metrics,
@@ -288,6 +298,9 @@ def run_experiment(
             ),
             admission=(
                 spec.admission.describe() if spec.admission is not None else {}
+            ),
+            failover=(
+                spec.failover.describe() if spec.failover is not None else {}
             ),
             horizon_s=report.horizon_s,
             summary=report.summary_lines(),
@@ -347,6 +360,7 @@ def run_scale_experiment(spec: ExperimentSpec) -> ExperimentResult:
         retry=spec.retry,
         resilience=spec.resilience,
         admission=spec.admission,
+        failover=spec.failover,
         engine=spec.engine,
         metrics=BulkMetricsCollector(capacity=spec.tasks),
     )

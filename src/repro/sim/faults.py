@@ -31,6 +31,7 @@ parallel.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -49,6 +50,28 @@ CRASH_STREAM = 1
 CONFIG_STREAM = 2
 SEU_STREAM = 3
 LINK_STREAM = 4
+RMS_STREAM = 5
+BURST_STREAM = 6
+HB_STREAM = 7
+
+
+def _require_rate(name: str, value: float) -> None:
+    """A rate must be a finite, non-negative float.  ``NaN < 0`` is
+    False, so the old plain comparisons let NaN rates through to
+    silently skew the RNG streams -- reject explicitly."""
+    if not (math.isfinite(value) and value >= 0):
+        raise ValueError(f"{name} must be a finite non-negative rate, got {value!r}")
+
+
+def _require_prob(name: str, value: float) -> None:
+    if not (math.isfinite(value) and 0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+
+
+def _require_range(name: str, bounds: tuple[float, float]) -> None:
+    lo, hi = bounds
+    if not (math.isfinite(lo) and math.isfinite(hi) and 0 <= lo <= hi):
+        raise ValueError(f"{name} must satisfy 0 <= lo <= hi and be finite, got {bounds!r}")
 
 
 @dataclass(frozen=True)
@@ -104,6 +127,14 @@ class FaultSpec:
                                 ``degrade_duration_range_s``
     network partition           ``partition_window`` (grid split in two
                                 halves for the window)
+    RMS crash / cold restart    ``rms_crash_rate_per_s``,
+                                ``rms_downtime_range_s``
+    RMS gray failure            ``rms_gray_rate_per_s``,
+                                ``rms_gray_duration_range_s``
+    heartbeat loss              ``heartbeat_loss_prob`` per node per
+                                round (needs an armed heartbeat layer)
+    correlated failure burst    ``burst_rate_per_s``, ``burst_size``
+                                simultaneous node crashes
     ==========================  =========================================
 
     ``seed=None`` derives the fault streams from the experiment seed,
@@ -119,28 +150,50 @@ class FaultSpec:
     degrade_factor: float = 0.1
     degrade_duration_range_s: tuple[float, float] = (5.0, 15.0)
     partition_window: tuple[float, float] | None = None
+    rms_crash_rate_per_s: float = 0.0
+    rms_downtime_range_s: tuple[float, float] = (5.0, 15.0)
+    rms_gray_rate_per_s: float = 0.0
+    rms_gray_duration_range_s: tuple[float, float] = (2.0, 6.0)
+    heartbeat_loss_prob: float = 0.0
+    burst_rate_per_s: float = 0.0
+    burst_size: int = 3
     horizon_s: float = 120.0
     seed: int | None = None
 
     def __post_init__(self) -> None:
-        if self.crash_rate_per_s < 0 or self.seu_rate_per_s < 0 or self.link_fault_rate_per_s < 0:
-            raise ValueError("fault rates must be non-negative")
-        if not 0.0 <= self.config_fault_prob <= 1.0:
-            raise ValueError("config_fault_prob must be in [0, 1]")
-        lo, hi = self.downtime_range_s
-        if lo < 0 or hi < lo:
-            raise ValueError("need 0 <= downtime_lo <= downtime_hi")
-        if not 0.0 < self.degrade_factor <= 1.0:
-            raise ValueError("degrade_factor must be in (0, 1]")
-        dlo, dhi = self.degrade_duration_range_s
-        if dlo < 0 or dhi < dlo:
-            raise ValueError("need 0 <= degrade_lo <= degrade_hi")
+        _require_rate("crash_rate_per_s", self.crash_rate_per_s)
+        _require_rate("seu_rate_per_s", self.seu_rate_per_s)
+        _require_rate("link_fault_rate_per_s", self.link_fault_rate_per_s)
+        _require_rate("rms_crash_rate_per_s", self.rms_crash_rate_per_s)
+        _require_rate("rms_gray_rate_per_s", self.rms_gray_rate_per_s)
+        _require_rate("burst_rate_per_s", self.burst_rate_per_s)
+        _require_prob("config_fault_prob", self.config_fault_prob)
+        _require_prob("heartbeat_loss_prob", self.heartbeat_loss_prob)
+        _require_range("downtime_range_s", self.downtime_range_s)
+        _require_range("degrade_duration_range_s", self.degrade_duration_range_s)
+        _require_range("rms_downtime_range_s", self.rms_downtime_range_s)
+        _require_range("rms_gray_duration_range_s", self.rms_gray_duration_range_s)
+        if not (
+            math.isfinite(self.degrade_factor) and 0.0 < self.degrade_factor <= 1.0
+        ):
+            raise ValueError(
+                f"degrade_factor must be in (0, 1], got {self.degrade_factor!r}"
+            )
         if self.partition_window is not None:
             start, end = self.partition_window
-            if start < 0 or end <= start:
-                raise ValueError("partition window must satisfy 0 <= start < end")
-        if self.horizon_s <= 0:
-            raise ValueError("fault horizon must be positive")
+            if not (
+                math.isfinite(start) and math.isfinite(end) and 0 <= start < end
+            ):
+                raise ValueError(
+                    "partition window must satisfy 0 <= start < end and be "
+                    f"finite, got {self.partition_window!r}"
+                )
+        if self.burst_size < 1:
+            raise ValueError(f"burst_size must be >= 1, got {self.burst_size!r}")
+        if not (math.isfinite(self.horizon_s) and self.horizon_s > 0):
+            raise ValueError(
+                f"fault horizon must be positive and finite, got {self.horizon_s!r}"
+            )
 
     @property
     def enabled(self) -> bool:
@@ -150,6 +203,10 @@ class FaultSpec:
             or self.seu_rate_per_s > 0
             or self.link_fault_rate_per_s > 0
             or self.partition_window is not None
+            or self.rms_crash_rate_per_s > 0
+            or self.rms_gray_rate_per_s > 0
+            or self.heartbeat_loss_prob > 0
+            or self.burst_rate_per_s > 0
         )
 
 
@@ -169,6 +226,20 @@ FAULT_PRESETS: dict[str, FaultSpec] = {
         seu_rate_per_s=0.01,
         link_fault_rate_per_s=0.02,
         degrade_factor=0.1,
+    ),
+    # Control-plane chaos: the coordinator itself crashes and goes
+    # gray, heartbeats drop, and node failures arrive in correlated
+    # bursts (see EXPERIMENTS.md "Control-plane chaos").
+    "control-plane": FaultSpec(
+        rms_crash_rate_per_s=0.05,
+        rms_downtime_range_s=(6.0, 12.0),
+        rms_gray_rate_per_s=0.02,
+        rms_gray_duration_range_s=(2.0, 5.0),
+        heartbeat_loss_prob=0.05,
+        crash_rate_per_s=0.02,
+        downtime_range_s=(4.0, 10.0),
+        burst_rate_per_s=0.01,
+        burst_size=2,
     ),
 }
 
@@ -203,13 +274,23 @@ class FaultInjector:
         self._config_rng = independent_rng(root, domain=CONFIG_STREAM)
         self._seu_rng = independent_rng(root, domain=SEU_STREAM)
         self._link_rng = independent_rng(root, domain=LINK_STREAM)
+        self._rms_rng = independent_rng(root, domain=RMS_STREAM)
+        self._burst_rng = independent_rng(root, domain=BURST_STREAM)
+        self._hb_rng = independent_rng(root, domain=HB_STREAM)
         #: Populated by install(): the concrete, pre-drawn schedule.
         self.crash_schedule: list[tuple[float, int, float | None]] = []
         self.link_schedule: list[tuple[float, float]] = []
+        self.rms_crash_schedule: list[tuple[float, float]] = []
+        self.rms_gray_schedule: list[tuple[float, float]] = []
+        self.burst_schedule: list[tuple[float, tuple[int, ...]]] = []
         self.injected_crashes = 0
         self.injected_config_faults = 0
         self.injected_seus = 0
         self.injected_link_faults = 0
+        self.injected_rms_crashes = 0
+        self.injected_rms_gray = 0
+        self.injected_bursts = 0
+        self.dropped_heartbeats = 0
 
     # ------------------------------------------------------------------
     # Schedule installation (crash / link processes)
@@ -258,6 +339,43 @@ class FaultInjector:
                     node_ids[half:] or node_ids[-1:],
                     heal_at_s=end,
                 )
+        # Control-plane faults: the coordinator itself.  Crash and gray
+        # draws share the RMS stream (sequentially, so the sequence is
+        # still a pure function of the spec); node-burst draws get
+        # their own stream so adding bursts never re-phases anything.
+        if self.spec.rms_crash_rate_per_s > 0:
+            for t in _poisson_times(self._rms_rng, self.spec.rms_crash_rate_per_s,
+                                    self.spec.horizon_s):
+                downtime = float(self._rms_rng.uniform(*self.spec.rms_downtime_range_s))
+                self.rms_crash_schedule.append((t, downtime))
+                self.injected_rms_crashes += 1
+                sim.schedule_rms_crash(t, downtime_s=downtime)
+        if self.spec.rms_gray_rate_per_s > 0:
+            for t in _poisson_times(self._rms_rng, self.spec.rms_gray_rate_per_s,
+                                    self.spec.horizon_s):
+                duration = float(
+                    self._rms_rng.uniform(*self.spec.rms_gray_duration_range_s)
+                )
+                self.rms_gray_schedule.append((t, duration))
+                self.injected_rms_gray += 1
+                sim.schedule_rms_gray(t, duration_s=duration)
+        if node_ids and self.spec.burst_rate_per_s > 0:
+            for t in _poisson_times(self._burst_rng, self.spec.burst_rate_per_s,
+                                    self.spec.horizon_s):
+                size = min(self.spec.burst_size, len(node_ids))
+                picks = self._burst_rng.choice(len(node_ids), size=size, replace=False)
+                victims = tuple(int(node_ids[int(i)]) for i in sorted(picks))
+                self.burst_schedule.append((t, victims))
+                self.injected_bursts += 1
+                for victim in victims:
+                    downtime = (
+                        float(self._burst_rng.uniform(*self.spec.downtime_range_s))
+                        if self.spec.rejoin
+                        else None
+                    )
+                    # A victim that is already down at t is absorbed by
+                    # the simulator's membership check.
+                    sim.schedule_node_crash(t, victim, rejoin_after_s=downtime)
 
     # ------------------------------------------------------------------
     # Online draws (configuration faults, SEUs)
@@ -286,3 +404,15 @@ class FaultInjector:
             return None
         self.injected_seus += 1
         return t
+
+    def heartbeat_should_drop(self) -> bool:
+        """Is the next heartbeat lost in transit?  Drawn once per
+        (round, live target) -- and only when the simulator has an
+        armed heartbeat layer, so runs without one consume nothing
+        from the stream."""
+        if self.spec.heartbeat_loss_prob <= 0:
+            return False
+        hit = bool(self._hb_rng.random() < self.spec.heartbeat_loss_prob)
+        if hit:
+            self.dropped_heartbeats += 1
+        return hit

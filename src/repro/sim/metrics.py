@@ -184,6 +184,30 @@ class SimulationReport:
     #: Completions per second *while degraded* -- the throughput the
     #: protected system still delivered under overload.
     overload_goodput_tasks_per_s: float = 0.0
+    # --- control-plane fault-tolerance aggregates (defaults keep
+    # stored reports from pre-failover runs loadable) ---
+    #: Primary RMS crashes / gray-failure episodes injected.
+    rms_crashes: int = 0
+    rms_gray_events: int = 0
+    #: Warm-standby promotions that completed.
+    failovers: int = 0
+    #: Sim seconds the control plane could not make placement
+    #: decisions (crash + gray windows, failover takeover included).
+    control_plane_downtime_s: float = 0.0
+    #: Confirmed failure detections and their death-to-confirm latency.
+    detections: int = 0
+    detection_latency_p50_s: float = 0.0
+    detection_latency_p95_s: float = 0.0
+    #: Suspicions that cleared (or confirms that proved wrong) -- the
+    #: detector's false-positive count.
+    false_suspicions: int = 0
+    #: Placements whose lease lapsed while the control plane was dark.
+    leases_expired: int = 0
+    #: Placements orphaned by control-plane loss -- every one of them
+    #: re-queued, so recovered == orphaned (the conservation invariant
+    #: extends over failover).
+    orphaned_tasks: int = 0
+    orphans_recovered: int = 0
 
     def summary_lines(self) -> list[str]:
         """Human-readable report (printed by benches and examples)."""
@@ -243,6 +267,20 @@ class SimulationReport:
                 f"{self.brownout_time_s:.2f} s degraded, "
                 f"{self.brownout_degraded} forced to GPP)",
                 f"goodput (degraded)   {self.overload_goodput_tasks_per_s:10.4f} tasks/s",
+            ]
+        if self.rms_crashes or self.rms_gray_events or self.detections or self.orphaned_tasks:
+            lines += [
+                f"control plane        {self.rms_crashes} crashes / "
+                f"{self.rms_gray_events} gray  "
+                f"({self.control_plane_downtime_s:.2f} s dark, "
+                f"{self.failovers} failovers)",
+                f"detection latency    p50 {self.detection_latency_p50_s:.3f} s  "
+                f"p95 {self.detection_latency_p95_s:.3f} s  "
+                f"({self.detections} confirmed, "
+                f"{self.false_suspicions} false suspicions)",
+                f"orphans              {self.orphaned_tasks} orphaned / "
+                f"{self.orphans_recovered} recovered  "
+                f"({self.leases_expired} leases expired)",
             ]
         return lines
 
@@ -324,6 +362,20 @@ class MetricsCollector:
         self.brownout_max_stage = 0
         self.brownout_time_s = 0.0
         self.brownout_completions = 0
+        # --- control-plane fault-tolerance counters ---
+        self.orphan_events = 0
+        #: Pushed by the simulator from its ReplicatedRMS wrapper and
+        #: heartbeat bookkeeping at report time
+        #: (see :meth:`record_failover_stats`).
+        self.rms_crashes = 0
+        self.rms_gray_events = 0
+        self.failovers = 0
+        self.control_plane_downtime_s = 0.0
+        self.detections = 0
+        self.detection_latency_p50_s = 0.0
+        self.detection_latency_p95_s = 0.0
+        self.false_suspicions = 0
+        self.leases_expired = 0
 
     # ------------------------------------------------------------------
     # Recording (called by the simulator)
@@ -488,6 +540,51 @@ class MetricsCollector:
                 tm.resource_index = resource_index
             self.speculative_wins += 1
         self.speculative_wasted_s += max(0.0, wasted_s)
+
+    def record_orphan(
+        self,
+        key: object,
+        time: float,
+        *,
+        wasted_time_s: float = 0.0,
+        wasted_slice_seconds: float = 0.0,
+    ) -> None:
+        """A control-plane loss orphaned this task's placement and the
+        recovery path re-queued it (:mod:`repro.sim.failover`).  Not a
+        fault: the node did nothing wrong and no retry budget burns."""
+        self.record_wasted(
+            key,
+            time,
+            wasted_time_s=wasted_time_s,
+            wasted_slice_seconds=wasted_slice_seconds,
+        )
+        self.orphan_events += 1
+        self.trace.append((time, "orphan-recovered", key))
+
+    def record_failover_stats(
+        self,
+        *,
+        rms_crashes: int,
+        rms_gray: int,
+        failovers: int,
+        downtime_s: float,
+        detection_latencies: list[float],
+        false_suspicions: int,
+        leases_expired: int,
+    ) -> None:
+        """Pushed once by the simulator (from its ReplicatedRMS wrapper
+        and heartbeat bookkeeping) just before the report is built."""
+        self.rms_crashes = rms_crashes
+        self.rms_gray_events = rms_gray
+        self.failovers = failovers
+        self.control_plane_downtime_s = downtime_s
+        self.detections = len(detection_latencies)
+        if detection_latencies:
+            latencies = np.asarray(detection_latencies, dtype=float)
+            self.detection_latency_p50_s = float(np.percentile(latencies, 50))
+            self.detection_latency_p95_s = float(np.percentile(latencies, 95))
+        self.false_suspicions = false_suspicions
+        self.leases_expired = leases_expired
 
     def record_quarantine_stats(self, *, episodes: int, total_s: float) -> None:
         """Pushed once by the simulator (from its HealthTracker) just
@@ -669,6 +766,17 @@ class MetricsCollector:
                 if self.brownout_time_s > 0
                 else 0.0
             ),
+            rms_crashes=self.rms_crashes,
+            rms_gray_events=self.rms_gray_events,
+            failovers=self.failovers,
+            control_plane_downtime_s=self.control_plane_downtime_s,
+            detections=self.detections,
+            detection_latency_p50_s=self.detection_latency_p50_s,
+            detection_latency_p95_s=self.detection_latency_p95_s,
+            false_suspicions=self.false_suspicions,
+            leases_expired=self.leases_expired,
+            orphaned_tasks=self.orphan_events,
+            orphans_recovered=self.orphan_events,
         )
 
 
@@ -916,6 +1024,24 @@ class BulkMetricsCollector(MetricsCollector):
     def record_degrade(self, key: object, time: float) -> None:
         self.brownout_degraded += 1
 
+    def record_orphan(
+        self,
+        key: object,
+        time: float,
+        *,
+        wasted_time_s: float = 0.0,
+        wasted_slice_seconds: float = 0.0,
+    ) -> None:
+        # Same accumulation as the base class, minus the per-event
+        # trace tuple (bulk collectors skip the per-task trace).
+        self.record_wasted(
+            key,
+            time,
+            wasted_time_s=wasted_time_s,
+            wasted_slice_seconds=wasted_slice_seconds,
+        )
+        self.orphan_events += 1
+
     # -- reporting ------------------------------------------------------
     def report(self, horizon_s: float) -> SimulationReport:
         n = self._n
@@ -1036,4 +1162,15 @@ class BulkMetricsCollector(MetricsCollector):
                 if self.brownout_time_s > 0
                 else 0.0
             ),
+            rms_crashes=self.rms_crashes,
+            rms_gray_events=self.rms_gray_events,
+            failovers=self.failovers,
+            control_plane_downtime_s=self.control_plane_downtime_s,
+            detections=self.detections,
+            detection_latency_p50_s=self.detection_latency_p50_s,
+            detection_latency_p95_s=self.detection_latency_p95_s,
+            false_suspicions=self.false_suspicions,
+            leases_expired=self.leases_expired,
+            orphaned_tasks=self.orphan_events,
+            orphans_recovered=self.orphan_events,
         )

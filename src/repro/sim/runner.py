@@ -57,7 +57,9 @@ from repro.sim.metrics import SimulationReport
 #: 5: ``engine`` field on ExperimentSpec (heap vs calendar queue).
 #: 6: overload protection (admission/brownout spec + flash-crowd knobs
 #:    on ExperimentSpec; shed/brownout fields on SimulationReport).
-_CACHE_FORMAT = 6
+#: 7: control-plane fault tolerance (failover spec on ExperimentSpec;
+#:    detection/failover/orphan fields on SimulationReport).
+_CACHE_FORMAT = 7
 
 
 def default_jobs() -> int:

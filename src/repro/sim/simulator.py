@@ -55,6 +55,12 @@ from repro.grid.rms import Placement, ResourceManagementSystem, SchedulingError
 from repro.hardware.taxonomy import PEClass
 from repro.sim.admission import ADMIT, DEFER, AdmissionController, AdmissionSpec
 from repro.sim.engine import EventHandle, make_engine
+from repro.sim.failover import (
+    SUSPECT,
+    FailoverSpec,
+    HeartbeatMonitor,
+    ReplicatedRMS,
+)
 from repro.sim.faults import FaultInjector, RetryPolicy
 from repro.sim.metrics import MetricsCollector, SimulationReport
 from repro.sim.resilience import ResilienceSpec
@@ -119,6 +125,11 @@ class _Entry:
     shed: bool = False
     #: Backpressure deferrals this submission has absorbed so far.
     defers: int = 0
+    # --- control-plane failover state (inert while failover is None) ---
+    #: Sim time this placement's lease lapses; renewed on every
+    #: heartbeat round while the control plane is up.  A promoted
+    #: standby only adopts placements whose lease is still valid.
+    lease_expiry: float = 0.0
 
 
 class DReAMSim:
@@ -135,6 +146,7 @@ class DReAMSim:
         retry: RetryPolicy | None = None,
         resilience: ResilienceSpec | None = None,
         admission: AdmissionSpec | None = None,
+        failover: FailoverSpec | None = None,
         telemetry: TelemetryRegistry | None = None,
         engine: str = "heap",
         metrics: MetricsCollector | None = None,
@@ -177,6 +189,36 @@ class DReAMSim:
         self._replicas: dict[object, _Entry] = {}
         for node in rms.nodes:
             self.metrics.register_node(node.node_id)
+        #: Control-plane fault tolerance (None = the exact pre-failover
+        #: behavior; an inert spec normalizes to None, same contract as
+        #: resilience/admission).  ``control_plane`` is created lazily
+        #: when an RMS fault actually fires, so fault-free runs without
+        #: a FailoverSpec never allocate any of this machinery.
+        self.failover = (
+            failover if failover is not None and failover.enabled else None
+        )
+        self.control_plane: ReplicatedRMS | None = None
+        self.monitor: HeartbeatMonitor | None = None
+        #: Targets ("rms" or node ids) currently under suspicion.
+        self._suspected_targets: set[object] = set()
+        #: node_id -> sim time it silently died (detection pending).
+        self._dead_nodes: dict[int, float] = {}
+        #: target -> sim time the control plane actually went dark;
+        #: consumed by the detector to sample detection latency.
+        self._down_at: dict[object, float] = {}
+        self._detection_latencies: list[float] = []
+        self._false_suspicions = 0
+        self._leases_expired = 0
+        if self.failover is not None:
+            self.control_plane = ReplicatedRMS(rms, self.failover)
+            if self.failover.heartbeat is not None:
+                self.monitor = HeartbeatMonitor(self.failover.heartbeat)
+                self.monitor.watch("rms", 0.0)
+                for node in rms.nodes:
+                    self.monitor.watch(node.node_id, 0.0)
+                self.engine.schedule(
+                    self.failover.heartbeat.interval_s, self._heartbeat_tick
+                )
         if faults is not None:
             faults.install(self)
         #: Overload protection (None = the exact unprotected behavior;
@@ -228,6 +270,8 @@ class DReAMSim:
                 "sim_brownout_stage",
                 "current brownout degradation stage (0 = healthy)",
             ).set(0)
+        if self.control_plane is not None:
+            self._telemetry_cp_state(0)
         for node in self.rms.nodes:
             self._t_util_gauge(node.node_id).set(0)
             if self.health is not None:
@@ -516,6 +560,8 @@ class DReAMSim:
             self.metrics.register_node(node.node_id)
             if self.health is not None:
                 self.health.register_node(node.node_id)
+            if self.monitor is not None:
+                self.monitor.watch(node.node_id, self.engine.now)
             self.metrics.trace.append((self.engine.now, "node-join", node.node_id))
             self._emit(
                 "node-join",
@@ -554,6 +600,9 @@ class DReAMSim:
                 self.requeues += 1
                 self.metrics.trace.append((self.engine.now, "requeue", entry.key))
             self.rms.unregister_node(node_id)
+            if self.monitor is not None:
+                self.monitor.forget(node_id)
+                self._suspected_targets.discard(node_id)
             self.metrics.trace.append((self.engine.now, "node-leave", node_id))
             self._emit("node-leave", node=node_id)
             self._dispatch_pending()
@@ -571,11 +620,22 @@ class DReAMSim:
         :meth:`schedule_node_leave`, in-flight tasks on the node are
         treated as fault victims (retry policy, node exclusion, wasted
         work) and the node's fabric state is wiped -- a rejoin brings
-        back cold hardware with no resident configurations."""
+        back cold hardware with no resident configurations.
+
+        With a heartbeat layer armed the loss is *silent*: the node
+        stops heartbeating and its in-flight work stalls, but the RMS
+        keeps it registered (and may even dispatch into the void) until
+        the detector confirms the death -- that window is the detection
+        latency the failover layer exists to bound."""
 
         def crash() -> None:
             if node_id not in {n.node_id for n in self.rms.nodes}:
                 return  # already down or departed; the draw is a no-op
+            if node_id in self._dead_nodes:
+                return  # already dead, detection pending; draws collapse
+            if self.monitor is not None and self.monitor.watched(node_id):
+                self._crash_with_detection(node_id, rejoin_after_s)
+                return
             site = self.rms.site_of(node_id)
             for replica in self._replicas_on(node_id):
                 self._abort_replica(replica, action="abort", clear_configuration=True)
@@ -619,6 +679,464 @@ class DReAMSim:
             self._dispatch_pending()
 
         self.engine.schedule_at(time, crash)
+
+    # ------------------------------------------------------------------
+    # Control-plane fault tolerance (sim/failover.py): heartbeat
+    # detection, replicated-RMS failover, lease-based orphan recovery
+    # ------------------------------------------------------------------
+    def _cp(self) -> ReplicatedRMS:
+        """The control-plane wrapper, created lazily so runs without a
+        FailoverSpec only pay for it once an RMS fault actually fires
+        (cold-restart semantics: no standbys, no detector)."""
+        if self.control_plane is None:
+            self.control_plane = ReplicatedRMS(
+                self.rms, self.failover or FailoverSpec()
+            )
+        return self.control_plane
+
+    def _telemetry_cp_state(self, value: int) -> None:
+        if self.telemetry is not None:
+            self.telemetry.gauge(
+                "control_plane_state", "0 = up, 1 = gray, 2 = down"
+            ).set(value)
+
+    def schedule_rms_crash(self, time: float, *, downtime_s: float) -> None:
+        """The primary RMS process dies.  The data plane keeps going --
+        placements already executing run to completion on their nodes --
+        but no *new* placement decision can be made until the control
+        plane returns: via standby promotion (failover) once the loss is
+        noticed, or via a cold restart after *downtime_s*.  A cold
+        restart lost its in-flight placement table, so every active
+        placement is orphaned back into the queue (conserved, never
+        silently lost)."""
+        if downtime_s <= 0:
+            raise ValueError("downtime_s must be positive")
+
+        def crash() -> None:
+            cp = self._cp()
+            now = self.engine.now
+            if not cp.crash(now):
+                return  # already dark; overlapping draws collapse
+            self._down_at.setdefault("rms", now)
+            self._emit("rms-crash", downtime=downtime_s, generation=cp.generation)
+            self._telemetry_count(
+                "sim_rms_crashes_total", "primary RMS process crashes"
+            )
+            self._telemetry_cp_state(2)
+            generation = cp.generation
+
+            def restore() -> None:
+                if cp.generation != generation or cp.available:
+                    return  # a standby (or a gray recovery) got there first
+                self._rms_cold_restore()
+
+            self.engine.schedule(downtime_s, restore)
+            if self.monitor is None and cp.can_failover():
+                # No detector armed: the loss is noticed immediately
+                # (omniscient mode) and a warm standby takes over after
+                # just the takeover delay.
+                self._emit(
+                    "failover-begin",
+                    target="rms",
+                    generation=generation,
+                    standbys=cp.standbys_left,
+                )
+                assert self.failover is not None
+                self.engine.schedule(
+                    self.failover.takeover_delay_s,
+                    lambda: self._promote(generation),
+                )
+
+        self.engine.schedule_at(time, crash)
+
+    def schedule_rms_gray(self, time: float, *, duration_s: float) -> None:
+        """A gray failure: the primary stays up but stops doing useful
+        work (and stops heartbeating), so nothing dispatches.  Without a
+        detector it silently recovers after *duration_s*; with one, the
+        heartbeat staleness accrues exactly like a crash and a standby
+        can take over mid-gray."""
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+
+        def gray() -> None:
+            cp = self._cp()
+            now = self.engine.now
+            if not cp.gray_start(now):
+                return  # already dark; overlapping draws collapse
+            self._down_at.setdefault("rms", now)
+            self._emit("rms-gray", duration=duration_s, generation=cp.generation)
+            self._telemetry_count(
+                "sim_rms_gray_total", "primary RMS gray-failure episodes"
+            )
+            self._telemetry_cp_state(1)
+            generation = cp.generation
+
+            def recover() -> None:
+                if cp.generation != generation or not cp.gray:
+                    return  # a standby took over (or a crash escalated)
+                cp.restore(self.engine.now)
+                self._down_at.pop("rms", None)
+                if "rms" in self._suspected_targets:
+                    self._suspected_targets.discard("rms")
+                    self._emit("heartbeat-rejoin", target="rms")
+                self._emit(
+                    "rms-restore", reason="gray-recovered", generation=cp.generation
+                )
+                self._telemetry_cp_state(0)
+                if self.monitor is not None:
+                    self.monitor.watch("rms", self.engine.now)
+                self._dispatch_pending()
+
+            self.engine.schedule(duration_s, recover)
+
+        self.engine.schedule_at(time, gray)
+
+    def _rms_cold_restore(self) -> None:
+        """Cold-restart the control plane after its downtime.  The
+        restarted RMS has no in-flight placement table, so every active
+        placement is orphaned back into the queue."""
+        cp = self.control_plane
+        assert cp is not None
+        now = self.engine.now
+        orphans = list(self.active.values())
+        cp.restore(now)
+        self._down_at.pop("rms", None)
+        if "rms" in self._suspected_targets:
+            self._suspected_targets.discard("rms")
+            self._emit("heartbeat-rejoin", target="rms")
+        self._emit(
+            "rms-restore",
+            reason="cold-restart",
+            generation=cp.generation,
+            orphaned=len(orphans),
+        )
+        self._telemetry_cp_state(0)
+        for entry in orphans:
+            self._orphan(entry, reason="control-plane cold restart")
+        if self.monitor is not None:
+            self.monitor.watch("rms", now)
+        self._dispatch_pending()
+
+    def _rms_confirmed_down(self, now: float) -> None:
+        """The detector confirmed the primary dark.  With a warm standby
+        available the failover begins here; otherwise the cold-restart
+        timer armed at crash time is the only way back."""
+        cp = self.control_plane
+        if cp is None or cp.dispatchable:
+            # False confirmation of a healthy primary: the takeover
+            # handshake finds it alive and the detector resets.
+            self._false_suspicions += 1
+            if self.monitor is not None:
+                self.monitor.watch("rms", now)
+            return
+        down_at = self._down_at.get("rms")
+        if down_at is not None:
+            self._detection_latencies.append(now - down_at)
+        if cp.can_failover():
+            generation = cp.generation
+            self._emit(
+                "failover-begin",
+                target="rms",
+                generation=generation,
+                standbys=cp.standbys_left,
+            )
+            assert self.failover is not None
+            self.engine.schedule(
+                self.failover.takeover_delay_s, lambda: self._promote(generation)
+            )
+
+    def _promote(self, expected_generation: int) -> None:
+        """A warm standby finishes taking over as the new primary.  It
+        adopts every placement whose lease is still valid and orphans
+        the expired ones (without leases it adopts everything)."""
+        cp = self.control_plane
+        if cp is None or cp.generation != expected_generation or cp.dispatchable:
+            return  # a restart or recovery got there first
+        now = self.engine.now
+        generation = cp.promote(now)
+        self._down_at.pop("rms", None)
+        orphans: list[_Entry] = []
+        if self.failover is not None and self.failover.lease_s is not None:
+            orphans = [e for e in self.active.values() if e.lease_expiry < now]
+        self._emit(
+            "failover-complete",
+            target="rms",
+            generation=generation,
+            adopted=len(self.active) - len(orphans),
+            orphaned=len(orphans),
+        )
+        self._telemetry_count(
+            "sim_failovers_total", "standby promotions to primary"
+        )
+        self._telemetry_cp_state(0)
+        for entry in orphans:
+            self._leases_expired += 1
+            node = (
+                entry.placement.candidate.node_id
+                if entry.placement is not None
+                else None
+            )
+            self._emit(
+                "lease-expire",
+                entry.key,
+                node=node,
+                expired_at=round(entry.lease_expiry, 9),
+            )
+            self._orphan(entry, reason="lease expired during failover")
+        if self.monitor is not None:
+            self.monitor.watch("rms", now)
+        self._dispatch_pending()
+
+    def _orphan(self, entry: _Entry, *, reason: str) -> None:
+        """Tear down a placement orphaned by control-plane loss and
+        return the task to the queue.  Unlike :meth:`_fault` this does
+        not consume retry budget or exclude the node -- the task did
+        nothing wrong; the control plane lost track of it."""
+        if entry.completed or entry.failed or entry.discarded:
+            return  # pragma: no cover - terminal entries are not active
+        placement = entry.placement
+        if placement is None:
+            return  # pragma: no cover - defensive
+        replica = self._replicas.get(entry.key)
+        if replica is not None:
+            self._abort_replica(replica, action="abort")
+        tm = self.metrics.tasks[entry.key]
+        dispatched_at = tm.dispatch if tm.dispatch is not None else self.engine.now
+        preserved = self._checkpoint_credit(entry, placement)
+        wasted = max(0.0, self.engine.now - dispatched_at - preserved)
+        slice_seconds = 0.0
+        if placement.region_id is not None:
+            slices, _ = self._region_slices(placement)
+            slice_seconds = wasted * slices
+        for handle in entry.events:
+            handle.cancel()
+        entry.events.clear()
+        self._emit_slice_free(entry)
+        self.rms.abort_placement(placement, clear_configuration=False)
+        self.metrics.record_orphan(
+            entry.key,
+            self.engine.now,
+            wasted_time_s=wasted,
+            wasted_slice_seconds=slice_seconds,
+        )
+        self._emit(
+            "orphan-recovered",
+            entry.key,
+            node=placement.candidate.node_id,
+            reason=reason,
+        )
+        self._telemetry_count(
+            "sim_orphans_total", "orphaned placements recovered into the queue"
+        )
+        if entry.is_probe and self.health is not None:
+            self.health.abort_probe(placement.candidate.node_id)
+        entry.is_probe = False
+        entry.dispatched = False
+        entry.placement = None
+        self.active.pop(entry.key, None)
+        if entry.job_id is not None:
+            self.jss.mark_orphaned(
+                entry.job_id, entry.task.task_id, time=self.engine.now
+            )
+        self._apply_checkpoint_resume(entry, placement, preserved)
+        self.pending.append(entry)
+        self.requeues += 1
+        self._telemetry_sample()
+
+    def _crash_with_detection(
+        self, node_id: int, rejoin_after_s: float | None
+    ) -> None:
+        """A silent node death under the heartbeat layer.  The node's
+        work stops *now*, but membership (and the fault handling in
+        :meth:`_node_confirmed_down`) waits for the detector -- that
+        window is the detection latency the failover layer bounds."""
+        now = self.engine.now
+        node = self.rms.node(node_id)
+        site = self.rms.site_of(node_id)
+        self._dead_nodes[node_id] = now
+        self.metrics.record_node_down(node_id, now)
+        for replica in self._replicas_on(node_id):
+            self._abort_replica(replica, action="abort", clear_configuration=True)
+        for entry in list(self.active.values()):
+            if (
+                entry.placement is not None
+                and entry.placement.candidate.node_id == node_id
+            ):
+                for handle in entry.events:
+                    handle.cancel()
+                entry.events.clear()
+        if rejoin_after_s is None:
+            return
+
+        def rejoin() -> None:
+            if node_id in {n.node_id for n in self.rms.nodes}:
+                # Rebooted before the detector confirmed: the node never
+                # left the RMS, but everything it ran died with it.
+                if node_id not in self._dead_nodes:
+                    return  # pragma: no cover - defensive
+                del self._dead_nodes[node_id]
+                victims = [
+                    e
+                    for e in self.active.values()
+                    if e.placement is not None
+                    and e.placement.candidate.node_id == node_id
+                ]
+                for entry in victims:
+                    self._fault(
+                        entry,
+                        reason=f"node {node_id} rebooted",
+                        clear_configuration=True,
+                    )
+                for rpe in node.rpes:  # power-cycle: residents are gone
+                    for region in rpe.fabric.regions:
+                        if region.configuration is not None:
+                            rpe.fabric.clear(region)
+                    rpe.hosted_softcores.clear()
+                self.metrics.record_node_up(node_id, self.engine.now)
+                if self.monitor is not None:
+                    if node_id in self._suspected_targets:
+                        self._suspected_targets.discard(node_id)
+                        self._emit("heartbeat-rejoin", target=node_id)
+                    self.monitor.watch(node_id, self.engine.now)
+                self._dispatch_pending()
+                return
+            # Death was confirmed and the node evicted: cold rejoin.
+            self.rms.register_node(node, site=site)
+            if self.health is not None:
+                self.health.register_node(node_id)
+            self.metrics.record_node_up(node_id, self.engine.now)
+            self.metrics.trace.append((self.engine.now, "node-join", node_id))
+            self._emit(
+                "node-join",
+                node=node_id,
+                gpps=len(node.gpps),
+                rpes=len(node.rpes),
+                rejoin=True,
+            )
+            if self.monitor is not None:
+                self.monitor.watch(node_id, self.engine.now)
+            self._dispatch_pending()
+
+        self.engine.schedule(rejoin_after_s, rejoin)
+
+    def _node_confirmed_down(self, node_id: int, now: float) -> None:
+        """The detector confirmed a node death: only now does the RMS
+        act -- fault the stalled work, evict the node, wipe its fabric."""
+        assert self.monitor is not None
+        if node_id not in {n.node_id for n in self.rms.nodes}:
+            self.monitor.forget(node_id)  # pragma: no cover - left already
+            return
+        died_at = self._dead_nodes.pop(node_id, None)
+        if died_at is not None:
+            self._detection_latencies.append(now - died_at)
+        else:
+            # Confirmed on dropped heartbeats alone: a healthy node is
+            # wrongly evicted -- the detector's false-positive cost.
+            self._false_suspicions += 1
+            self.metrics.record_node_down(node_id, now)
+        for replica in self._replicas_on(node_id):
+            self._abort_replica(replica, action="abort", clear_configuration=True)
+        victims = [
+            e
+            for e in self.active.values()
+            if e.placement is not None
+            and e.placement.candidate.node_id == node_id
+        ]
+        for entry in victims:
+            self._fault(
+                entry,
+                reason=f"node {node_id} loss confirmed by heartbeat detector",
+                clear_configuration=True,
+            )
+        node = self.rms.unregister_node(node_id)
+        for rpe in node.rpes:  # power-cycle: resident configs are gone
+            for region in rpe.fabric.regions:
+                if region.configuration is not None:
+                    rpe.fabric.clear(region)
+            rpe.hosted_softcores.clear()
+        if self.health is not None:
+            self.health.record_detected_failure(node_id, now)
+        self.metrics.trace.append((now, "node-leave", node_id))
+        self._emit("node-leave", node=node_id, crash=True, detected=True)
+        self.monitor.forget(node_id)
+        self._dispatch_pending()
+
+    def _hb_suspect(self, target: object, now: float) -> None:
+        assert self.monitor is not None
+        self._suspected_targets.add(target)
+        self._emit(
+            "heartbeat-suspect",
+            target=target,
+            suspicion=round(self.monitor.suspicion(target, now), 6),
+        )
+        self._telemetry_count(
+            "sim_suspicions_total", "heartbeat suspicions raised"
+        )
+
+    def _hb_confirm(self, target: object, now: float) -> None:
+        self._suspected_targets.discard(target)
+        self._emit("heartbeat-confirm", target=target)
+        if target == "rms":
+            self._rms_confirmed_down(now)
+        else:
+            self._node_confirmed_down(target, now)
+
+    def _heartbeat_tick(self) -> None:
+        """One heartbeat round: arrivals first (the primary, then nodes
+        in id order -- a fixed order keeps the loss draws
+        deterministic), then a detector pass, then re-arm while
+        anything can still happen."""
+        monitor = self.monitor
+        cp = self.control_plane
+        assert monitor is not None and cp is not None and self.failover is not None
+        hb = self.failover.heartbeat
+        assert hb is not None
+        now = self.engine.now
+        faults = self.faults
+        if cp.dispatchable:
+            if not (faults is not None and faults.heartbeat_should_drop()):
+                cleared = monitor.heartbeat("rms", now)
+                if cleared == SUSPECT:
+                    self._false_suspicions += 1
+                    self._suspected_targets.discard("rms")
+                    self._emit("heartbeat-rejoin", target="rms")
+            if self.failover.lease_s is not None and self.active:
+                # Leases renew on the heartbeat round while the control
+                # plane is up; a dark control plane cannot renew, which
+                # is exactly what lets a new primary age out orphans.
+                expiry = now + self.failover.lease_s
+                for entry in self.active.values():
+                    entry.lease_expiry = expiry
+        for node in sorted(self.rms.nodes, key=lambda n: n.node_id):
+            node_id = node.node_id
+            if node_id in self._dead_nodes or not monitor.watched(node_id):
+                continue
+            if faults is not None and faults.heartbeat_should_drop():
+                continue  # lost in transit
+            cleared = monitor.heartbeat(node_id, now)
+            if cleared == SUSPECT:
+                self._false_suspicions += 1
+                self._suspected_targets.discard(node_id)
+                self._emit("heartbeat-rejoin", target=node_id)
+        for target in ("rms", *sorted(t for t in monitor.state if t != "rms")):
+            worsened = monitor.evaluate(target, now)
+            if worsened is None:
+                continue
+            if worsened == SUSPECT:
+                self._hb_suspect(target, now)
+            else:
+                # A jump straight to DOWN still surfaces the suspect
+                # step first so the trace lifecycle holds.
+                if target not in self._suspected_targets:
+                    self._hb_suspect(target, now)
+                self._hb_confirm(target, now)
+        if (
+            self.engine.peek_time() is not None
+            or self._dead_nodes
+            or self._suspected_targets
+            or not cp.dispatchable
+        ):
+            self.engine.schedule(hb.interval_s, self._heartbeat_tick)
 
     def schedule_link_degrade(
         self, time: float, a: int, b: int, *, factor: float, duration_s: float
@@ -1121,6 +1639,8 @@ class DReAMSim:
             or entry.key in self._replicas
             # Brownout stage 1+: speculation is the first luxury cut.
             or (self.admission is not None and self.admission.stage >= 1)
+            # A dark control plane cannot make placement decisions.
+            or (self.control_plane is not None and not self.control_plane.dispatchable)
         ):
             return
         primary_node = entry.placement.candidate.node_id
@@ -1503,6 +2023,14 @@ class DReAMSim:
         (faults and completions arrive via engine events), so swapping
         in the kept list afterwards is safe.
         """
+        if self.control_plane is not None and not self.control_plane.dispatchable:
+            # The control plane is dark: no placement decisions are
+            # possible.  The queue waits for the failover / restart
+            # handler, which re-runs this pass on recovery.
+            self._telemetry_sample()
+            if self.admission is not None:
+                self._admission_observe()
+            return
         kept: list[_Entry] = []
         for entry in self.pending:
             if entry.discarded or entry.dispatched:
@@ -1544,14 +2072,22 @@ class DReAMSim:
             )
             self._emit("degrade", entry.key, stage=self.admission.stage)
         data_sites = self._data_sites_for(entry)
+        exclude = entry.excluded_nodes
+        if self._suspected_targets:
+            # Don't throw new work at nodes the detector already
+            # suspects; the starvation guard below may still forgive
+            # this when there is nowhere else to go.
+            suspects = {t for t in self._suspected_targets if t != "rms"}
+            if suspects:
+                exclude = exclude | suspects
         try:
             placement = self.rms.plan_placement(
                 entry.task,
                 data_sites=data_sites,
-                exclude_nodes=entry.excluded_nodes or None,
+                exclude_nodes=exclude or None,
                 now=self.engine.now,
             )
-            if placement is None and entry.excluded_nodes:
+            if placement is None and exclude:
                 # Starvation guard: when exclusions leave nowhere to go,
                 # forgive them rather than strand the task forever.
                 # Quarantine is enforced *inside* plan_placement and is
@@ -1652,6 +2188,14 @@ class DReAMSim:
                 from_node=entry.resumed_from,
             )
             entry.resumed_from = None
+        if self.failover is not None and self.failover.lease_s is not None:
+            entry.lease_expiry = self.engine.now + self.failover.lease_s
+        if placement.candidate.node_id in self._dead_nodes:
+            # Dispatched into the detection window: the node is already
+            # dead, the RMS just doesn't know yet.  Nothing will ever
+            # come back from it; the task stalls (no setup/start events)
+            # until the detector confirms the loss or the node reboots.
+            return True
         if (
             self.resilience is not None
             and self.resilience.speculation is not None
@@ -1803,5 +2347,16 @@ class DReAMSim:
                 max_stage=ctl.max_stage_seen,
                 brownout_time_s=ctl.brownout_time_s,
                 brownout_completions=ctl.brownout_completions,
+            )
+        if self.control_plane is not None:
+            cp = self.control_plane
+            self.metrics.record_failover_stats(
+                rms_crashes=cp.crashes,
+                rms_gray=cp.gray_events,
+                failovers=cp.failovers,
+                downtime_s=cp.unavailability_s(self.engine.now),
+                detection_latencies=self._detection_latencies,
+                false_suspicions=self._false_suspicions,
+                leases_expired=self._leases_expired,
             )
         return self.metrics.report(self.engine.now)

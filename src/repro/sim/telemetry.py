@@ -55,6 +55,10 @@ DEFAULT_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 60.0)
 #: Numeric encoding of circuit-breaker states for the breaker gauge.
 BREAKER_STATE_VALUES = {"closed": 0.0, "half-open": 1.0, "open": 2.0}
 
+#: Numeric encoding of the ``control_plane_state`` gauge sampled by
+#: the simulator's failover layer (:mod:`repro.sim.failover`).
+CONTROL_PLANE_STATE_VALUES = {"up": 0.0, "gray": 1.0, "down": 2.0}
+
 
 def _label_key(labels: dict[str, object]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
@@ -367,7 +371,8 @@ class Instant:
 #: Event kinds rendered as instant annotations on the task's track.
 ANNOTATION_KINDS = frozenset(
     {"fault", "retry", "fallback", "task-failed", "timeout", "checkpoint",
-     "migrate", "speculate", "probe", "discard", "requeue"}
+     "migrate", "speculate", "probe", "discard", "requeue",
+     "lease-expire", "orphan-recovered"}
 )
 
 #: Task lifecycle phases, in display order.

@@ -75,6 +75,17 @@ EVENT_KINDS = frozenset(
         "shed",         # load shedding: submission rejected, terminal
         "degrade",      # brownout forced a low-priority task onto GPP
         "brownout",     # brownout stage transition (escalate / recover)
+        # Control-plane fault tolerance (sim/failover.py):
+        "heartbeat-suspect",  # detector suspects a target (node / rms)
+        "heartbeat-confirm",  # suspicion confirmed: target declared down
+        "heartbeat-rejoin",   # a heartbeat (or rejoin) cleared suspicion
+        "rms-crash",          # the primary RMS process died
+        "rms-gray",           # the primary went gray (up but useless)
+        "rms-restore",        # cold restart / gray recovery: plane back up
+        "failover-begin",     # standby promotion started
+        "failover-complete",  # standby promoted; control plane back up
+        "lease-expire",       # a placement's lease lapsed while dark
+        "orphan-recovered",   # orphaned placement torn down and re-queued
     }
 )
 
@@ -306,6 +317,13 @@ class TraceInvariantChecker(TraceSink):
       only touch a submitted (not yet dispatched) task; ``shed`` is a
       terminal transition from submitted; ``brownout`` carries a legal
       action and stage.
+    * **Control-plane lifecycle** -- no ``dispatch`` while the control
+      plane is dark (between ``rms-crash`` / ``rms-gray`` and the
+      matching ``failover-complete`` / ``rms-restore``);
+      ``failover-complete`` only follows ``failover-begin``;
+      ``heartbeat-confirm`` / ``heartbeat-rejoin`` only resolve a live
+      suspicion; ``orphan-recovered`` returns an in-flight task to the
+      queue exactly like ``requeue`` does, keeping conservation intact.
     * **Task conservation** (online) -- at every point in the stream,
       ``completed + failed + discarded + shed <= submitted``; after a
       drained run :meth:`assert_conservation` requires equality, i.e.
@@ -327,6 +345,14 @@ class TraceInvariantChecker(TraceSink):
         #: Nodes whose circuit breaker is open (no dispatch allowed
         #: until a probe or a quarantine-close lifts the embargo).
         self._open_breakers: set[int] = set()
+        #: Targets (node ids / "rms") under live heartbeat suspicion.
+        self._suspected: set[object] = set()
+        #: Control-plane availability: ``"up"``, ``"gray"`` (the
+        #: primary answers but is useless -- a crash may still
+        #: *escalate* it), or ``"down"`` (crashed).  No dispatch may
+        #: happen unless ``"up"``.
+        self._cp_state = "up"
+        self._failover_inflight = False
         # Online task-conservation ledger: every terminal transition
         # increments exactly one bucket, and the sum may never pass the
         # submit count (checked after every event in :meth:`emit`).
@@ -384,6 +410,8 @@ class TraceInvariantChecker(TraceSink):
         self._expect_state(event, _SUBMITTED)
         self._task_state[event.key] = _DISPATCHED
         payload = event.payload
+        if self._cp_state != "up":
+            self._fail(event, "dispatch while the control plane is down")
         if payload.get("node") in self._open_breakers:
             self._fail(
                 event,
@@ -471,6 +499,70 @@ class TraceInvariantChecker(TraceSink):
         stage = event.payload.get("stage")
         if not isinstance(stage, int) or stage < 0:
             self._fail(event, f"brownout stage {stage!r} is not a stage index")
+
+    # ------------------------------------------------------------------
+    # Control-plane fault-tolerance lifecycle
+    # ------------------------------------------------------------------
+    def _on_heartbeat_suspect(self, event: TraceEvent) -> None:
+        target = event.payload.get("target")
+        if target in self._suspected:
+            self._fail(event, f"target {target!r} is already suspected")
+        self._suspected.add(target)
+
+    def _on_heartbeat_confirm(self, event: TraceEvent) -> None:
+        target = event.payload.get("target")
+        if target not in self._suspected:
+            self._fail(event, f"confirming target {target!r} that is not suspected")
+        self._suspected.discard(target)
+
+    def _on_heartbeat_rejoin(self, event: TraceEvent) -> None:
+        target = event.payload.get("target")
+        if target not in self._suspected:
+            self._fail(event, f"rejoin of target {target!r} that is not suspected")
+        self._suspected.discard(target)
+
+    def _on_rms_crash(self, event: TraceEvent) -> None:
+        # A crash from "gray" is a legitimate escalation: the useless
+        # primary finally dies.  Only crash-while-crashed is absurd.
+        if self._cp_state == "down":
+            self._fail(event, "rms-crash while the control plane is already down")
+        self._cp_state = "down"
+
+    def _on_rms_gray(self, event: TraceEvent) -> None:
+        if self._cp_state != "up":
+            self._fail(event, "rms-gray while the control plane is already dark")
+        self._cp_state = "gray"
+
+    def _on_rms_restore(self, event: TraceEvent) -> None:
+        if self._cp_state == "up":
+            self._fail(event, "rms-restore with the control plane already up")
+        self._cp_state = "up"
+        self._failover_inflight = False
+
+    def _on_failover_begin(self, event: TraceEvent) -> None:
+        if self._cp_state == "up":
+            self._fail(event, "failover-begin with the control plane up")
+        if self._failover_inflight:
+            self._fail(event, "failover already in flight")
+        self._failover_inflight = True
+
+    def _on_failover_complete(self, event: TraceEvent) -> None:
+        if not self._failover_inflight:
+            self._fail(event, "failover-complete without failover-begin")
+        self._cp_state = "up"
+        self._failover_inflight = False
+
+    def _on_lease_expire(self, event: TraceEvent) -> None:
+        # The lease lapses while the placement is still in flight;
+        # orphan-recovered follows and does the state transition.
+        self._expect_state(event, _DISPATCHED, _STARTED)
+
+    def _on_orphan_recovered(self, event: TraceEvent) -> None:
+        # Exactly the requeue transition: the in-flight placement is
+        # torn down and the task goes back to the queue, so the
+        # conservation ledger never loses it.
+        self._expect_state(event, _DISPATCHED, _STARTED)
+        self._task_state[event.key] = _SUBMITTED
 
     # ------------------------------------------------------------------
     # Adaptive resilience lifecycle

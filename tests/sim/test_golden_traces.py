@@ -146,6 +146,28 @@ def test_inert_admission_spec_reproduces_golden_trace_byte_identically(name):
 
 
 @pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_inert_failover_spec_reproduces_golden_trace_byte_identically(name):
+    """The zero-cost-when-disabled lock for control-plane fault
+    tolerance: a :class:`FailoverSpec` with no heartbeat and no
+    standbys must take the exact pre-failover code paths on every
+    golden scenario -- no ticks, no extra events, byte for byte."""
+    from repro.sim.failover import FailoverSpec
+
+    spec, filename = GOLDEN[name]
+    golden = (DATA_DIR / filename).read_text(encoding="ascii").splitlines()
+    sink = InMemorySink()
+    run_experiment(
+        spec.with_(failover=FailoverSpec()),
+        tracer=Tracer(TraceInvariantChecker(), sink),
+    )
+    fresh = [e.to_json() for e in canonical_events(list(sink.events))]
+    assert fresh == golden, (
+        f"{name}: an inert FailoverSpec changed the trace; the "
+        "failover layer must be zero-cost when disabled"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
 def test_golden_traces_satisfy_invariants(name):
     from repro.sim.tracing import TraceEvent
 
