@@ -355,11 +355,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.trace:
         tracer = Tracer(TraceInvariantChecker(), JsonlSink(args.trace))
     telemetry = TelemetryRegistry() if args.telemetry else None
+    hostprof = None
+    if args.profile_host:
+        from repro.sim.hostprof import HostPhaseProfiler
+
+        hostprof = HostPhaseProfiler()
     result = run_experiment(
-        spec, audit_energy=args.energy, tracer=tracer, telemetry=telemetry
+        spec, audit_energy=args.energy, tracer=tracer, telemetry=telemetry,
+        hostprof=hostprof,
     )
     print(f"strategy: {args.strategy}   seed: {args.seed}")
     print("\n".join(result.report.summary_lines()))
+    if hostprof is not None:
+        print(hostprof.table())
     if tracer is not None:
         tracer.close()
         checker = tracer.checker
@@ -393,6 +401,42 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print()
         print("\n".join(summary.summary_lines()))
         print(f"runner              {runner.last_stats.summary_line()}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Causal analysis of one or more traces.
+
+    Exit status: 0 all analyses conserve, 1 any trace breaks the
+    phases-sum-to-turnaround invariant, 2 a trace cannot be read.
+    """
+    from repro.sim.analysis import analyze_trace, write_analysis_json
+
+    documents: dict[str, dict] = {}
+    violated = False
+    for i, path in enumerate(args.traces):
+        try:
+            analysis = analyze_trace(path, exemplars_k=args.exemplars)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"repro analyze: error: {path}: {exc}", file=sys.stderr)
+            return 2
+        if i:
+            print()
+        print(f"=== {path} ===")
+        print(analysis.render(top=args.top))
+        documents[path] = analysis.to_json()
+        if analysis.conservation_violations():
+            violated = True
+    if args.json:
+        write_analysis_json(args.json, documents)
+        print(f"\nanalysis json        -> {args.json}")
+    if violated:
+        print(
+            "repro analyze: error: phase-ledger conservation violated "
+            "(see FAIL lines above)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -879,10 +923,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--low-priority", type=float, default=0.0, metavar="FRAC",
                    help="fraction of tasks tagged low priority (brownout "
                         "degradation / shedding candidates)")
+    p.add_argument("--profile-host", action="store_true",
+                   help="profile host wall time per simulator phase "
+                        "(engine/matchmaking/dispatch/...) and print the "
+                        "phase table; simulated results are unaffected")
     _add_resilience_flags(p)
     _add_admission_flags(p)
     _add_failover_flags(p)
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "analyze",
+        help="causal analysis of a trace: phase ledger, tail exemplars, "
+             "critical path",
+    )
+    p.add_argument("traces", nargs="+", metavar="TRACE",
+                   help="JSONL event trace(s) written by "
+                        "`repro simulate --trace`")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="rows in the per-task phase table, worst "
+                        "turnarounds first (default: 10)")
+    p.add_argument("--exemplars", type=int, default=3, metavar="K",
+                   help="worst tasks kept per percentile bucket "
+                        "(default: 3)")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the full analysis as JSON "
+                        "(CI artifact format)")
+    p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser(
         "report",

@@ -80,6 +80,20 @@ INSTANT_COLORS = {
     "orphan-recovered": "#1baf7a",
 }
 
+#: Causal-ledger phase fills (sim/analysis.py PHASES): waiting states
+#: recessive or warm, productive compute in blue, failure paths red.
+LEDGER_PHASE_COLORS = {
+    "admission": "#eda100",   # yellow: held at the door
+    "queue": QUEUED_FILL,     # recessive: waiting, not doing
+    "placement": "#4a3aa7",   # violet: matchmaking + staging
+    "reconfig": "#eb6834",    # orange: fabric setup
+    "compute": "#2a78d6",     # blue: the useful part
+    "recovery": "#e34948",    # red: fault teardown + re-queue
+    "checkpoint": "#1baf7a",  # aqua: checkpoint-resume migration
+    "orphan": "#008300",      # green: control-plane dark limbo
+    "brownout": "#e87ba4",    # magenta: degraded-mode queueing
+}
+
 MAX_SERIES_PER_CHART = 8
 MAX_TIMELINE_TRACKS = 40
 
@@ -345,6 +359,99 @@ def svg_span_timeline(
     )
 
 
+def svg_phase_bars(
+    rows: list[tuple[str, dict[str, float]]],
+    *,
+    title: str,
+    width: int = 640,
+    row_height: int = 26,
+) -> str:
+    """Stacked horizontal phase-share bars (one per task bucket).
+
+    Each bar normalizes its bucket's phase seconds to full width, so
+    the segments read as shares; absolute seconds live in the hover
+    tooltips.  Colors come from :data:`LEDGER_PHASE_COLORS` in ledger
+    phase order.
+    """
+    rows = [(label, phases) for label, phases in rows
+            if sum(phases.values()) > 0]
+    if not rows:
+        return f'<div class="chart-empty">{_esc(title)}: no phase time recorded</div>'
+    pad_l, pad_r, pad_t, pad_b = 150, 12, 30, 8
+    height = pad_t + pad_b + row_height * len(rows)
+    bar_w = width - pad_l - pad_r
+    parts = [
+        f'<svg class="chart" viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="{_esc(title)}">',
+        f'<rect x="0" y="0" width="{width}" height="{height}" fill="{SURFACE}"/>',
+        f'<text x="{pad_l}" y="18" fill="{INK}" font-size="13" '
+        f'font-weight="600">{_esc(title)}</text>',
+    ]
+    used: list[str] = []
+    for i, (label, phases) in enumerate(rows):
+        top = pad_t + i * row_height
+        total = sum(phases.values())
+        parts.append(
+            f'<text x="{pad_l - 8}" y="{top + row_height / 2 + 3:.1f}" '
+            f'fill="{INK_SECONDARY}" font-size="10" '
+            f'text-anchor="end">{_esc(label)}</text>'
+        )
+        cursor = float(pad_l)
+        for phase, color in LEDGER_PHASE_COLORS.items():
+            seconds = phases.get(phase, 0.0)
+            if seconds <= 0:
+                continue
+            if phase not in used:
+                used.append(phase)
+            w = bar_w * seconds / total
+            tip = f"{label} {phase}: {seconds:.4f} s ({seconds / total:.1%})"
+            parts.append(
+                f'<rect x="{cursor:.1f}" y="{top + 4}" width="{max(w, 0.5):.1f}" '
+                f'height="{row_height - 8}" fill="{color}">'
+                f"<title>{_esc(tip)}</title></rect>"
+            )
+            cursor += w
+    parts.append("</svg>")
+    legend = "".join(
+        f'<span class="legend-item"><span class="swatch" '
+        f'style="background:{LEDGER_PHASE_COLORS[p]}"></span>{_esc(p)}</span>'
+        for p in used
+    )
+    return (
+        f'<figure class="chart-box">{"".join(parts)}'
+        f'<div class="legend">{legend}</div></figure>'
+    )
+
+
+def _phase_breakdown_section(events: list[TraceEvent]) -> list[str]:
+    """Stacked phase-share bars from the causal ledger: the whole run
+    plus the p50/p95/p99 turnaround buckets, so the dashboard answers
+    "where did the tail's time go" next to the timeline it came from."""
+    from repro.sim.analysis import analyze_events
+
+    analysis = analyze_events(events)
+    rows = [(f"all tasks ({len(analysis.ledgers)})", analysis.phase_totals())]
+    for bucket in ("p50", "p95", "p99"):
+        pool = analysis.exemplar_pool(bucket)
+        if not pool:
+            continue
+        rows.append((
+            f"{bucket} bucket ({len(pool)})",
+            analysis.phase_totals([l.key for l in pool]),
+        ))
+    sections = [
+        "<h2>Phase breakdown</h2>",
+        svg_phase_bars(rows, title="Turnaround attribution by phase"),
+    ]
+    dominant = analysis.dominant_phase("p99")
+    if dominant is not None:
+        sections.append(
+            f'<p class="note">Dominant p99 phase: '
+            f"<strong>{_esc(dominant)}</strong>.</p>"
+        )
+    return sections
+
+
 def _histogram_table(histograms: list[Histogram]) -> str:
     if not histograms:
         return ""
@@ -509,6 +616,18 @@ def render_dashboard(
             sections.append(
                 svg_span_timeline(node_spans, [], title="Region occupancy spans")
             )
+        sections.extend(_phase_breakdown_section(events))
+    elif charts or has_samples:
+        # Telemetry without a trace: the causal ledger needs events.
+        sections.append("<h2>Phase breakdown</h2>")
+        sections.append(
+            '<div class="empty-state"><p><strong>Phase breakdown needs a '
+            "trace.</strong> Turnaround attribution folds the event "
+            "stream, which this report was not given.</p><p>Record one "
+            "with <code>repro simulate --trace run.jsonl</code> and pass "
+            "it as the second argument to <code>repro report</code>.</p>"
+            "</div>"
+        )
 
     sections.append(_histogram_table(histograms))
 
@@ -556,6 +675,7 @@ def render_dashboard(
     margin-right: 4px; vertical-align: -1px;
   }}
   .chart-empty {{ color: {INK_MUTED}; font-size: 12px; margin: 8px 0; }}
+  p.note {{ font-size: 12px; color: {INK_SECONDARY}; margin: 4px 0 0; }}
   .empty-state {{
     background: {SURFACE}; border: 1px solid rgba(11,11,11,0.10);
     border-radius: 6px; padding: 16px; font-size: 13px;

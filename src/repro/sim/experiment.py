@@ -234,6 +234,7 @@ def run_experiment(
     tracer: Tracer | None = None,
     telemetry: TelemetryRegistry | None = None,
     metrics=None,
+    hostprof=None,
 ) -> ExperimentResult:
     """Build, run, and report one experiment.
 
@@ -245,7 +246,9 @@ def run_experiment(
     (:class:`~repro.sim.telemetry.TelemetryRegistry`); after the run
     its ``meta`` carries the spec's headline knobs for the dashboard.
     ``metrics`` swaps in a custom collector (e.g.
-    :class:`~repro.sim.metrics.BulkMetricsCollector`).
+    :class:`~repro.sim.metrics.BulkMetricsCollector`).  ``hostprof``
+    attaches a :class:`~repro.sim.hostprof.HostPhaseProfiler`, whose
+    phase table lands on the report (``host_phase_s``).
     """
     rms = build_grid(spec)
     pool = ConfigurationPool(
@@ -279,6 +282,7 @@ def run_experiment(
         telemetry=telemetry,
         engine=spec.engine,
         metrics=metrics,
+        hostprof=hostprof,
     )
     sim.submit_workload(workload.generate())
     report = sim.run()
@@ -309,7 +313,9 @@ def run_experiment(
     return ExperimentResult(spec=spec, report=report, energy=energy)
 
 
-def run_scale_experiment(spec: ExperimentSpec) -> ExperimentResult:
+def run_scale_experiment(
+    spec: ExperimentSpec, *, hostprof=None
+) -> ExperimentResult:
     """Run one experiment through the million-task hot path.
 
     Same grid and seed handling as :func:`run_experiment`, but every
@@ -363,6 +369,7 @@ def run_scale_experiment(spec: ExperimentSpec) -> ExperimentResult:
         failover=spec.failover,
         engine=spec.engine,
         metrics=BulkMetricsCollector(capacity=spec.tasks),
+        hostprof=hostprof,
     )
     sim.submit_workload_columns(workload.generate_columns())
     report = sim.run()

@@ -9,7 +9,7 @@ given scheduling strategy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -208,6 +208,12 @@ class SimulationReport:
     #: extends over failover).
     orphaned_tasks: int = 0
     orphans_recovered: int = 0
+    # --- host-phase profile (empty unless the run was profiled with
+    # sim/hostprof.py; defaults keep stored reports loadable) ---
+    #: Exclusive host wall seconds per simulator phase (engine pop/push,
+    #: matchmaking, dispatch, faults, telemetry, metrics, other).
+    host_phase_s: dict[str, float] = field(default_factory=dict)
+    host_phase_calls: dict[str, int] = field(default_factory=dict)
 
     def summary_lines(self) -> list[str]:
         """Human-readable report (printed by benches and examples)."""
@@ -282,6 +288,15 @@ class SimulationReport:
                 f"{self.orphans_recovered} recovered  "
                 f"({self.leases_expired} leases expired)",
             ]
+        if self.host_phase_s:
+            total = sum(self.host_phase_s.values())
+            parts = ", ".join(
+                f"{phase} {seconds / total:.1%}" if total > 0 else phase
+                for phase, seconds in self.host_phase_s.items()
+            )
+            lines.append(
+                f"host phases          {total:.3f} s wall  ({parts})"
+            )
         return lines
 
 

@@ -59,7 +59,9 @@ from repro.sim.metrics import SimulationReport
 #:    on ExperimentSpec; shed/brownout fields on SimulationReport).
 #: 7: control-plane fault tolerance (failover spec on ExperimentSpec;
 #:    detection/failover/orphan fields on SimulationReport).
-_CACHE_FORMAT = 7
+#: 8: causal run analysis / host-phase profiler (host_phase_s and
+#:    host_phase_calls fields on SimulationReport).
+_CACHE_FORMAT = 8
 
 
 def default_jobs() -> int:

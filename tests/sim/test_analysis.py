@@ -1,0 +1,293 @@
+"""Causal run analysis: ledger conservation, exemplars, critical path,
+and the host-phase profiler's zero-cost-when-disabled contract."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sim.analysis import (
+    CONSERVATION_TOL,
+    PHASES,
+    analyze_events,
+    analyze_trace,
+)
+from repro.sim.hostprof import HostPhaseProfiler
+from repro.sim.tracing import (
+    InMemorySink,
+    TraceEvent,
+    TraceInvariantChecker,
+    Tracer,
+    canonical_events,
+)
+from tests.sim.test_golden_traces import DATA_DIR, GOLDEN
+from tests.sim.test_simulator import gpp_rms, gpp_task
+
+
+def golden_path(name):
+    return DATA_DIR / GOLDEN[name][1]
+
+
+class TestGoldenConservation:
+    """The acceptance invariant on every committed golden: each task's
+    phases sum to its turnaround within 1e-9."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_phases_sum_to_turnaround(self, name):
+        analysis = analyze_trace(golden_path(name))
+        assert analysis.ledgers, f"{name}: no tasks folded"
+        assert analysis.conservation_violations() == []
+        assert analysis.max_conservation_error <= CONSERVATION_TOL
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_dominant_p99_phase_is_named(self, name):
+        analysis = analyze_trace(golden_path(name))
+        dominant = analysis.dominant_phase("p99")
+        assert dominant in PHASES
+
+    def test_chaos_p99_is_dominated_by_recovery(self):
+        """The chaos golden's slowest task loses most of its turnaround
+        to fault recovery (retry backoff + re-placement) -- the exact
+        diagnosis EXPERIMENTS.md walks through."""
+        analysis = analyze_trace(golden_path("chaos"))
+        assert analysis.dominant_phase("p99") == "recovery"
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_exemplars_are_deterministic(self, name):
+        first = analyze_trace(golden_path(name))
+        second = analyze_trace(golden_path(name))
+        for bucket in ("p50", "p95", "p99"):
+            assert (
+                [l.key for l in first.exemplars.get(bucket, [])]
+                == [l.key for l in second.exemplars.get(bucket, [])]
+            )
+
+    def test_render_names_every_section(self):
+        analysis = analyze_trace(golden_path("chaos"))
+        text = analysis.render()
+        assert "Per-task phase ledger" in text
+        assert "dominant p99 phase" in text
+        assert "conservation         OK" in text
+        assert "exemplars:" in text
+
+
+class TestLedgerSemantics:
+    def ev(self, t, kind, key=None, **payload):
+        return TraceEvent(time=t, kind=kind, key=key, payload=payload)
+
+    def test_queue_wait_under_brownout_splits_exactly(self):
+        """Queue time inside a brownout window is attributed to the
+        ``brownout`` phase; the split conserves by construction."""
+        events = [
+            self.ev(0.0, "submit", key=1, function="f", pe_class="GPP"),
+            self.ev(1.0, "brownout", action="enter", stage=1, depth=9),
+            self.ev(3.0, "brownout", action="exit", stage=0, depth=2),
+            self.ev(4.0, "dispatch", key=1, node=0, reconfig_time=0.0),
+            self.ev(4.0, "start", key=1, node=0),
+            self.ev(5.0, "complete", key=1, node=0),
+        ]
+        analysis = analyze_events(events)
+        ledger = analysis.ledgers[1]
+        assert ledger.phases["brownout"] == pytest.approx(2.0)
+        assert ledger.phases["queue"] == pytest.approx(2.0)
+        assert ledger.phases["compute"] == pytest.approx(1.0)
+        assert analysis.conservation_violations() == []
+        assert analysis.brownout_windows == [(1.0, 3.0)]
+
+    def test_reconfig_split_out_of_placement(self):
+        events = [
+            self.ev(0.0, "submit", key=1, function="f", pe_class="RPE"),
+            self.ev(0.5, "dispatch", key=1, node=0, reconfig_time=0.3),
+            self.ev(1.5, "start", key=1, node=0),
+            self.ev(2.0, "complete", key=1, node=0),
+        ]
+        ledger = analyze_events(events).ledgers[1]
+        assert ledger.phases["queue"] == pytest.approx(0.5)
+        assert ledger.phases["reconfig"] == pytest.approx(0.3)
+        assert ledger.phases["placement"] == pytest.approx(0.7)
+        assert ledger.phases["compute"] == pytest.approx(0.5)
+
+    def test_fault_recovery_and_orphan_attribution(self):
+        events = [
+            self.ev(0.0, "submit", key=1, function="f", pe_class="GPP"),
+            self.ev(0.0, "dispatch", key=1, node=0, reconfig_time=0.0),
+            self.ev(0.0, "start", key=1, node=0),
+            self.ev(1.0, "fault", key=1, node=0, reason="seu"),
+            self.ev(1.5, "retry", key=1, attempt=2),
+            self.ev(2.0, "dispatch", key=1, node=1, reconfig_time=0.0),
+            self.ev(2.0, "start", key=1, node=1),
+            self.ev(2.5, "lease-expire", key=1, node=1, expired_at=2.5),
+            self.ev(3.5, "orphan-recovered", key=1, node=1, reason="x"),
+            self.ev(4.0, "dispatch", key=1, node=0, reconfig_time=0.0),
+            self.ev(4.0, "start", key=1, node=0),
+            self.ev(5.0, "complete", key=1, node=0),
+        ]
+        ledger = analyze_events(events).ledgers[1]
+        # In-flight execution scrapped by the fault + post-retry wait.
+        assert ledger.phases["recovery"] == pytest.approx(2.0)
+        # Lease lapse -> recovery -> re-dispatch is orphan limbo.
+        assert ledger.phases["orphan"] == pytest.approx(1.5)
+        assert ledger.phases["compute"] == pytest.approx(1.5)
+        assert ledger.conservation_error <= CONSERVATION_TOL
+
+    def test_pending_tasks_are_excluded_from_conservation(self):
+        events = [
+            self.ev(0.0, "submit", key=1, function="f", pe_class="GPP"),
+        ]
+        analysis = analyze_events(events)
+        assert analysis.ledgers[1].outcome == "pending"
+        assert analysis.ledgers[1].turnaround is None
+        assert analysis.conservation_violations() == []
+
+    def test_violation_is_reported(self):
+        events = [
+            self.ev(0.0, "submit", key=1, function="f", pe_class="GPP"),
+            self.ev(0.0, "dispatch", key=1, node=0, reconfig_time=0.0),
+            self.ev(0.0, "start", key=1, node=0),
+            self.ev(1.0, "complete", key=1, node=0),
+        ]
+        analysis = analyze_events(events)
+        assert analysis.conservation_violations() == []
+        analysis.ledgers[1].phases["compute"] += 0.5  # corrupt the ledger
+        violations = analysis.conservation_violations()
+        assert violations and violations[0][0] == 1
+        assert violations[0][1] == pytest.approx(0.5)
+
+
+class TestCriticalPath:
+    def run_graph(self, tasks):
+        rms, _ = gpp_rms(gpps=3)
+        sink = InMemorySink()
+        from repro.sim.simulator import DReAMSim
+
+        sim = DReAMSim(rms, tracer=Tracer(TraceInvariantChecker(), sink))
+        sim.submit_graph(tasks)
+        sim.run()
+        return analyze_events(canonical_events(list(sink.events)))
+
+    def test_chain_critical_path_covers_makespan(self):
+        analysis = self.run_graph([
+            gpp_task(0),
+            gpp_task(1, sources=(0,), in_bytes=8),
+            gpp_task(2, sources=(1,), in_bytes=8),
+        ])
+        cp = analysis.critical_path
+        assert cp is not None
+        assert [k[1] for k in cp.keys] == [0, 1, 2]
+        # A pure chain IS the makespan.
+        assert cp.share_of_makespan == pytest.approx(1.0, rel=1e-6)
+        assert len(cp.nodes) == 3
+        for _, dominant, phases in cp.nodes:
+            assert dominant in PHASES
+            assert set(phases) == set(PHASES)
+
+    def test_diamond_picks_the_heavier_arm(self):
+        analysis = self.run_graph([
+            gpp_task(0),
+            gpp_task(1, t=2.0, sources=(0,), in_bytes=8),
+            gpp_task(2, t=0.5, sources=(0,), in_bytes=8),
+            gpp_task(3, sources=(1, 2), in_bytes=8),
+        ])
+        cp = analysis.critical_path
+        assert cp is not None
+        assert [k[1] for k in cp.keys] == [0, 1, 3]
+
+    def test_synthetic_workloads_have_no_critical_path(self):
+        analysis = analyze_trace(golden_path("hybrid-cost"))
+        assert analysis.critical_path is None
+
+
+class TestHostProfiler:
+    def test_disabled_reports_no_host_phases(self):
+        from repro.sim.experiment import run_experiment
+
+        report = run_experiment(GOLDEN["fcfs"][0]).report
+        assert report.host_phase_s == {}
+        assert report.host_phase_calls == {}
+
+    def test_enabled_profile_lands_on_the_report(self):
+        from repro.sim.experiment import run_experiment
+
+        prof = HostPhaseProfiler()
+        report = run_experiment(GOLDEN["chaos"][0], hostprof=prof).report
+        assert report.host_phase_s
+        for phase in ("engine", "matchmaking", "dispatch", "faults",
+                      "metrics"):
+            assert report.host_phase_s.get(phase, 0.0) > 0.0, phase
+            assert report.host_phase_calls.get(phase, 0) > 0, phase
+        assert sum(report.host_phase_s.values()) == pytest.approx(
+            prof.total_seconds()
+        )
+        assert "host phases" in "\n".join(report.summary_lines())
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    @pytest.mark.parametrize("engine", ["heap", "calendar"])
+    def test_profiled_run_reproduces_golden_byte_identically(self, name, engine):
+        """The profiler only reads the host clock: a profiled rerun of
+        every golden scenario must replay the committed trace byte for
+        byte, on both engines (the profiled drive loop steps the
+        calendar engine event by event)."""
+        from repro.sim.experiment import run_experiment
+
+        spec, filename = GOLDEN[name]
+        golden = (DATA_DIR / filename).read_text(encoding="ascii").splitlines()
+        sink = InMemorySink()
+        run_experiment(
+            spec.with_(engine=engine),
+            tracer=Tracer(TraceInvariantChecker(), sink),
+            hostprof=HostPhaseProfiler(),
+        )
+        fresh = [e.to_json() for e in canonical_events(list(sink.events))]
+        assert fresh == golden, (
+            f"{name}/{engine}: the host-phase profiler changed the trace; "
+            "it must be observation-only"
+        )
+
+    def test_scope_nesting_charges_self_time(self):
+        prof = HostPhaseProfiler()
+        prof.start()
+        prof.enter("dispatch")
+        prof.enter("matchmaking")
+        prof.leave()
+        prof.leave()
+        prof.stop()
+        seconds = prof.phase_seconds()
+        assert set(seconds) >= {"dispatch", "matchmaking", "other"}
+        assert prof.call_counts()["dispatch"] == 1
+        assert prof.call_counts()["matchmaking"] == 1
+        assert prof.total_seconds() == pytest.approx(sum(seconds.values()))
+        assert "Host-phase profile" in prof.table()
+
+    def test_scale_bench_case_reports_host_share(self):
+        from repro.bench.cases import run_scale
+
+        prof = HostPhaseProfiler()
+        report = run_scale(400, hostprof=prof)
+        assert report.completed > 0
+        share = prof.phase_share()
+        assert share.get("matchmaking", 0.0) > 0.0
+        assert share.get("dispatch", 0.0) > 0.0
+        assert sum(share.values()) == pytest.approx(1.0)
+
+
+class TestAnalyzeCli:
+    def test_analyze_all_goldens_exits_zero(self, capsys, tmp_path):
+        out = tmp_path / "analysis.json"
+        code = main(
+            ["analyze"]
+            + [str(golden_path(name)) for name in sorted(GOLDEN)]
+            + ["--json", str(out)]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "Per-task phase ledger" in text
+        assert "dominant p99 phase" in text
+        doc = json.loads(out.read_text())
+        assert doc["kind"] == "analysis-suite"
+        assert len(doc["traces"]) == len(GOLDEN)
+        for entry in doc["traces"].values():
+            assert entry["conservation"]["violations"] == []
+
+    def test_unreadable_trace_exits_two(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "missing.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err

@@ -13,6 +13,7 @@ from repro.sim.tracing import (
 )
 from repro.report_html import (
     render_dashboard,
+    svg_phase_bars,
     svg_span_timeline,
     svg_step_chart,
 )
@@ -92,6 +93,28 @@ class TestSpanTimeline:
         assert "no spans" in svg_span_timeline([], [], title="Empty")
 
 
+class TestPhaseBars:
+    def test_stacked_bars_with_tooltips_and_legend(self):
+        svg = svg_phase_bars(
+            [
+                ("all tasks (3)", {"queue": 1.0, "compute": 3.0}),
+                ("p99 bucket (1)", {"recovery": 2.0, "compute": 0.5}),
+            ],
+            title="Phases",
+        )
+        ET.fromstring(svgs_of(svg)[0])
+        assert "Phases" in svg
+        assert svg.count("<title>") == 4  # one tooltip per segment
+        assert 'class="legend"' in svg
+        for phase in ("queue", "compute", "recovery"):
+            assert f">{phase}</span>" in svg
+
+    def test_zero_time_rows_yield_placeholder(self):
+        html_text = svg_phase_bars([("idle", {})], title="Nothing")
+        assert "no phase time" in html_text
+        assert "<svg" not in html_text
+
+
 class TestDashboard:
     def test_full_document(self):
         telemetry, events = instrumented_run()
@@ -107,6 +130,10 @@ class TestDashboard:
         # Run header and summary surface the spec's knobs.
         assert "hybrid-cost" in html_text
         assert "mean wait" in html_text
+        # The causal ledger's stacked panel rides along with the trace.
+        assert "Phase breakdown" in html_text
+        assert "Turnaround attribution by phase" in html_text
+        assert "Dominant p99 phase" in html_text
         for svg in svgs_of(html_text):
             ET.fromstring(svg)
 
@@ -115,6 +142,9 @@ class TestDashboard:
         html_text = render_dashboard(telemetry)
         assert "Task lifecycle spans" not in html_text
         assert "Node utilization" in html_text
+        # No trace means no ledger: the panel degrades to a banner.
+        assert "Phase breakdown needs a trace" in html_text
+        assert "Turnaround attribution by phase" not in html_text
 
 
 class TestEmptyState:
