@@ -736,6 +736,67 @@ def _case_sim_overload(quick: bool) -> dict[str, float]:
     return metrics
 
 
+#: Extra fields exported by the SLO case.
+SLO_METRIC_FIELDS = (
+    "slo_objectives",
+    "slo_breaches",
+    "slo_alerts_fired",
+    "slo_alerts_resolved",
+)
+
+SLO_TASKS = 250
+SLO_SEED = 47
+
+
+def run_slo(*, tasks: int = SLO_TASKS):
+    """The overload flash crowd with the online SLO monitor armed over
+    three tenants: tight latency/queue targets so breaches and
+    burn-rate alerts actually fire even in the quick variant -- the
+    gate must cover the monitor's code paths, not just pass through
+    them."""
+    from repro.sim.admission import AdmissionSpec, BrownoutSpec, QueueBoundSpec
+    from repro.sim.experiment import run_experiment
+    from repro.sim.slo import SLOObjective, SLOSpec
+
+    spec = baseline_spec(tasks=tasks).with_(
+        seed=SLO_SEED,
+        arrival_rate_per_s=4.0,
+        flash_crowd=(3.0, 12.0, 6.0),
+        low_priority_fraction=0.3,
+        tenants=3,
+        admission=AdmissionSpec(
+            queue=QueueBoundSpec(max_pending=48),
+            brownout=BrownoutSpec(
+                enter_pending=24, exit_pending=8, dwell_s=0.5
+            ),
+        ),
+        slo=SLOSpec(objectives=(
+            SLOObjective("latency", 1.5, percentile=95.0, window_s=10.0),
+            SLOObjective("queue-depth", 24.0, window_s=10.0),
+            SLOObjective("availability", 0.99, window_s=10.0),
+            SLOObjective("latency", 2.0, percentile=90.0, window_s=10.0,
+                         tenant="tenant0"),
+        )),
+    )
+    return run_experiment(spec).report
+
+
+@register("sim-slo", "sim",
+          description="flash crowd with the online SLO monitor armed "
+                      "(3 tenants)")
+def _case_sim_slo(quick: bool) -> dict[str, float]:
+    report = run_slo(tasks=120 if quick else SLO_TASKS)
+    metrics = report_metrics(report)
+    for name in SLO_METRIC_FIELDS:
+        metrics[name] = float(getattr(report, name))
+    metrics["slo_violated"] = float(len(report.slo_violated))
+    for name, value in report.slo_attainment.items():
+        metrics[f"attainment:{name}"] = float(value)
+    for name, value in report.slo_error_budget_remaining.items():
+        metrics[f"error_budget_remaining:{name}"] = float(value)
+    return metrics
+
+
 #: Extra fields exported by the failover case.
 FAILOVER_METRIC_FIELDS = (
     "rms_crashes",

@@ -66,7 +66,7 @@ class Artifact:
     """
 
     path: str
-    flavor: str  # "bench" | "report" | "telemetry"
+    flavor: str  # "bench" | "report" | "telemetry" | "slo"
     provenance: dict | None
     wall: dict[str, float] = field(default_factory=dict)
     metrics: dict[str, float] = field(default_factory=dict)
@@ -85,13 +85,16 @@ def load_artifact(path: str | Path) -> Artifact:
         raise ValueError(f"{path}: not a JSON object")
     if data.get("kind") == "bench-suite":
         return _load_bench(path, data)
+    if data.get("kind") == "slo-eval":
+        return _load_slo(path, data)
     if data.get("kind") == "report-dump" or "report" in data:
         return _load_report(path, data)
     if "series" in data and "format" in data:
         return _load_telemetry(path, data)
     raise ValueError(
         f"{path}: unrecognized artifact (expected a BENCH_*.json suite, "
-        f"a --report-json dump, or a --telemetry dump)"
+        f"a --report-json dump, a --telemetry dump, or a `repro slo "
+        f"--json` evaluation)"
     )
 
 
@@ -114,6 +117,19 @@ def _load_bench(path: Path, data: dict) -> Artifact:
             artifact.wall[f"{name}/wall_median_s"] = float(wall["median"])
         for key, value in (case.get("metrics") or {}).items():
             artifact.metrics[f"{name}/{key}"] = float(value)
+    return artifact
+
+
+def _load_slo(path: Path, data: dict) -> Artifact:
+    """`repro slo --json` evaluations: the pre-flattened per-objective
+    attainment / error-budget / breach-seconds metrics, so two SLO
+    evaluations of the same spec+seed diff like any other run pair."""
+    artifact = Artifact(
+        path=str(path), flavor="slo", provenance=data.get("provenance"),
+    )
+    for key, value in (data.get("metrics") or {}).items():
+        if isinstance(value, (int, float)) and math.isfinite(value):
+            artifact.metrics[key] = float(value)
     return artifact
 
 

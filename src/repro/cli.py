@@ -350,6 +350,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         failover=args.failover,
         low_priority_fraction=args.low_priority,
         flash_crowd=args.flash_crowd,
+        tenants=args.tenants,
+        slo=args.slo,
     )
     tracer = None
     if args.trace:
@@ -416,7 +418,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     violated = False
     for i, path in enumerate(args.traces):
         try:
-            analysis = analyze_trace(path, exemplars_k=args.exemplars)
+            analysis = analyze_trace(
+                path, exemplars_k=args.exemplars, tenant=args.tenant
+            )
         except (OSError, ValueError, KeyError) as exc:
             print(f"repro analyze: error: {path}: {exc}", file=sys.stderr)
             return 2
@@ -860,6 +864,214 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """Evaluate SLO objectives against a live run or a recorded trace.
+
+    Exit status: 0 when every objective holds its error budget, 1 when
+    any objective is violated (the CI gate), 2 when the trace cannot be
+    read or the objectives cannot be parsed.
+    """
+    import json
+
+    from repro.provenance import run_provenance
+    from repro.sim.slo import parse_slo
+
+    if args.preset and args.objective:
+        print("repro slo: error: use --preset or -o/--objective, not both",
+              file=sys.stderr)
+        return 2
+    values = [args.preset] if args.preset else (args.objective or ["default"])
+    try:
+        slo_spec = parse_slo(values)
+    except ValueError as exc:
+        print(f"repro slo: error: {exc}", file=sys.stderr)
+        return 2
+    if slo_spec is None or not slo_spec.enabled:
+        print("repro slo: error: no objectives to evaluate", file=sys.stderr)
+        return 2
+
+    spec = None
+    if args.trace_path:
+        # Offline: replay a recorded trace through the monitor.
+        from repro.sim.slo import evaluate_trace
+        from repro.sim.tracing import read_jsonl
+
+        try:
+            events = read_jsonl(args.trace_path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"repro slo: error: {args.trace_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        results, _emitted = evaluate_trace(events, slo_spec)
+        rows = [r.to_json() for r in results]
+        breaches = sum(r.breach_count for r in results)
+        fired = sum(r.alerts_fired for r in results)
+        resolved = sum(r.alerts_resolved for r in results)
+        source = str(args.trace_path)
+    else:
+        # Live: arm the online monitor inside a fresh experiment.  The
+        # verdict comes from the monitor itself (exact queue depths),
+        # not an offline reconstruction.
+        from repro.sim.experiment import ExperimentSpec, run_experiment
+        from repro.sim.faults import FAULT_PRESETS
+
+        spec = ExperimentSpec(
+            strategy=args.strategy,
+            tasks=args.tasks,
+            nodes=_default_grid_nodes(),
+            arrival_rate_per_s=args.rate,
+            area_range=(2_000, 12_000),
+            seed=args.seed,
+            faults=FAULT_PRESETS[args.faults] if args.faults else None,
+            engine=args.engine,
+            tenants=args.tenants,
+            low_priority_fraction=args.low_priority,
+            flash_crowd=args.flash_crowd,
+            slo=slo_spec,
+        )
+        report = run_experiment(spec).report
+        rows = [
+            {
+                "name": o.name,
+                "kind": o.kind,
+                "target": o.target,
+                "window_s": o.window_s,
+                "attainment": report.slo_attainment.get(o.name, 1.0),
+                "error_budget_remaining":
+                    report.slo_error_budget_remaining.get(o.name, 1.0),
+                "breach_seconds": report.slo_breach_seconds.get(o.name, 0.0),
+                "violated": o.name in report.slo_violated,
+            }
+            for o in slo_spec.objectives
+        ]
+        breaches = report.slo_breaches
+        fired = report.slo_alerts_fired
+        resolved = report.slo_alerts_resolved
+        source = f"live run (seed {args.seed}, {args.strategy})"
+
+    violated = [r["name"] for r in rows if r["violated"]]
+    width = max(len(r["name"]) for r in rows)
+    print(f"SLO evaluation: {source}")
+    for r in rows:
+        verdict = "VIOLATED" if r["violated"] else "ok"
+        print(
+            f"  {r['name']:<{width}s}  attainment {r['attainment']:8.2%}"
+            f"  budget left {r['error_budget_remaining']:8.2%}"
+            f"  breach {r['breach_seconds']:8.2f} s  {verdict}"
+        )
+    print(
+        f"  breaches {breaches}   alerts fired {fired} / resolved {resolved}"
+    )
+    if args.json:
+        metrics = {"violated_objectives": float(len(violated))}
+        for r in rows:
+            metrics[f"attainment:{r['name']}"] = r["attainment"]
+            metrics[f"error_budget_remaining:{r['name']}"] = (
+                r["error_budget_remaining"]
+            )
+            metrics[f"breach_seconds:{r['name']}"] = r["breach_seconds"]
+        document = {
+            "format": 1,
+            "kind": "slo-eval",
+            "source": source,
+            "objectives": rows,
+            "violated": violated,
+            "metrics": metrics,
+            "provenance": run_provenance(spec),
+        }
+        Path(args.json).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="ascii",
+        )
+        print(f"  slo json             -> {args.json}")
+    if violated:
+        print(
+            "repro slo: error: objectives violated: " + ", ".join(violated),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+#: Trajectory metrics `repro trend` gates on, by direction.  Metric
+#: names are matched by substring; anything else is informational.
+_TREND_HIGHER_BETTER = ("attainment", "error_budget", "goodput")
+_TREND_LOWER_BETTER = ("violated", "breach", "shed", "failed")
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    """Summarize metric trajectories across committed bench snapshots.
+
+    Reads the ``BENCH_*.json`` files under ``--dir`` in filename
+    (timestamp) order and prints the trajectory of every watched
+    metric.  Exit status: 0 healthy, 1 the latest snapshot regressed a
+    gated metric (attainment/budget fell, breach/violation counts
+    rose) versus the previous one, 2 nothing to summarize.
+    """
+    import json
+    import re
+
+    paths = sorted(Path(args.dir).glob("BENCH_*.json"))
+    if not paths:
+        print(f"repro trend: error: no BENCH_*.json under {args.dir}",
+              file=sys.stderr)
+        return 2
+    suites = []
+    for path in paths:
+        try:
+            suites.append((path.stem, json.loads(path.read_text())))
+        except (OSError, ValueError) as exc:
+            print(f"repro trend: error: {path}: {exc}", file=sys.stderr)
+            return 2
+
+    metric_re = re.compile(args.metric)
+    case_re = re.compile(args.case) if args.case else None
+    # series[(case, metric)] -> [value-or-None per snapshot]
+    series: dict[tuple[str, str], list] = {}
+    for i, (_label, suite) in enumerate(suites):
+        for case in suite.get("cases", ()):
+            name = case.get("name", "?")
+            if case_re is not None and not case_re.search(name):
+                continue
+            for metric, value in sorted(case.get("metrics", {}).items()):
+                if not metric_re.search(metric):
+                    continue
+                row = series.setdefault((name, metric), [None] * len(suites))
+                row[i] = value
+
+    if not series:
+        print("repro trend: no watched metrics in any snapshot "
+              f"(metric regex: {args.metric!r})")
+        return 0
+    print(f"{len(suites)} snapshots: {suites[0][0]} .. {suites[-1][0]}")
+    regressions = []
+    for (case, metric), row in sorted(series.items()):
+        tail = row[-args.last:] if args.last else row
+        shown = " -> ".join("-" if v is None else f"{v:g}" for v in tail)
+        flag = ""
+        known = [v for v in row if v is not None]
+        if len(known) >= 2:
+            prev, latest = known[-2], known[-1]
+            higher = any(s in metric for s in _TREND_HIGHER_BETTER)
+            lower = any(s in metric for s in _TREND_LOWER_BETTER)
+            tol = args.tolerance * max(abs(prev), abs(latest))
+            if higher and latest < prev - tol:
+                flag = "  REGRESSED (fell)"
+            elif lower and not higher and latest > prev + tol:
+                flag = "  REGRESSED (rose)"
+            if flag:
+                regressions.append(f"{case}/{metric}: {prev:g} -> {latest:g}")
+        print(f"  {case:<18s} {metric:<40s} {shown}{flag}")
+    if regressions:
+        print(
+            "repro trend: error: trajectory regressions:\n  "
+            + "\n  ".join(regressions),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with one sub-command per artifact."""
     from repro.sim.faults import FAULT_PRESETS
@@ -923,6 +1135,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--low-priority", type=float, default=0.0, metavar="FRAC",
                    help="fraction of tasks tagged low priority (brownout "
                         "degradation / shedding candidates)")
+    p.add_argument("--tenants", type=int, default=1, metavar="N",
+                   help="cycle tasks over N tenant tags (enables the "
+                        "per-tenant report section; default: 1 = untagged)")
+    p.add_argument("--slo", action="append", metavar="SPEC", default=None,
+                   help="arm the online SLO monitor: a preset name "
+                        "(default, strict) or a repeatable objective "
+                        "[name=]kind:target[:window][:tenant] -- "
+                        "observation-only, event order is unchanged")
     p.add_argument("--profile-host", action="store_true",
                    help="profile host wall time per simulator phase "
                         "(engine/matchmaking/dispatch/...) and print the "
@@ -946,6 +1166,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--exemplars", type=int, default=3, metavar="K",
                    help="worst tasks kept per percentile bucket "
                         "(default: 3)")
+    p.add_argument("--tenant", default="", metavar="NAME",
+                   help="restrict the analysis to tasks tagged with this "
+                        "tenant (default: all tasks)")
     p.add_argument("--json", metavar="PATH",
                    help="also write the full analysis as JSON "
                         "(CI artifact format)")
@@ -1080,6 +1303,64 @@ def build_parser() -> argparse.ArgumentParser:
     _add_admission_flags(p)
     p.set_defaults(func=_cmd_overload)
 
+    from repro.sim.slo import SLO_PRESETS
+
+    p = sub.add_parser(
+        "slo",
+        help="evaluate SLO objectives against a live run or a recorded "
+             "trace (exit 1 on any violated objective)",
+    )
+    p.add_argument("trace_path", nargs="?", metavar="TRACE",
+                   help="JSONL event trace to replay offline (omit to run "
+                        "a live experiment with the monitor armed)")
+    p.add_argument("-o", "--objective", action="append", metavar="SPEC",
+                   help="objective [name=]kind:target[:window][:tenant] "
+                        "with kind latency-pNN | wait-pNN | throughput | "
+                        "availability | queue; repeatable "
+                        "(default: the 'default' preset)")
+    p.add_argument("--preset", choices=sorted(SLO_PRESETS), default=None,
+                   help="use a named objective bundle instead of -o")
+    p.add_argument("--strategy", default="hybrid-cost")
+    p.add_argument("--tasks", type=int, default=200)
+    p.add_argument("--rate", type=float, default=2.0, help="Poisson arrivals/s")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", choices=("heap", "calendar"), default="heap")
+    p.add_argument("--faults", choices=fault_presets, default=None,
+                   help="inject a named fault scenario (live mode)")
+    p.add_argument("--tenants", type=int, default=1, metavar="N",
+                   help="cycle tasks over N tenant tags (live mode)")
+    p.add_argument("--low-priority", type=float, default=0.0, metavar="FRAC")
+    p.add_argument("--flash-crowd", metavar="START:DURATION:MULT",
+                   default=None,
+                   help="surge the arrival rate inside a window (live mode)")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the evaluation as a provenance-stamped JSON "
+                        "artifact (compare runs with `repro diff`)")
+    p.set_defaults(func=_cmd_slo)
+
+    p = sub.add_parser(
+        "trend",
+        help="summarize metric trajectories across committed bench "
+             "snapshots; flags attainment regressions",
+    )
+    p.add_argument("--dir", default="benchmarks/trajectory", metavar="DIR",
+                   help="directory of BENCH_*.json snapshots "
+                        "(default: benchmarks/trajectory)")
+    p.add_argument("--metric",
+                   default="attainment|error_budget|violated|breach|goodput",
+                   metavar="REGEX",
+                   help="metrics to watch (default: SLO attainment / "
+                        "error-budget / breach families plus goodput)")
+    p.add_argument("--case", default=None, metavar="REGEX",
+                   help="only bench cases whose name matches")
+    p.add_argument("--last", type=int, default=6, metavar="N",
+                   help="show at most the last N snapshots per row "
+                        "(default: 6; 0 = all)")
+    p.add_argument("--tolerance", type=float, default=0.0, metavar="REL",
+                   help="relative slack before a change counts as a "
+                        "regression (default: 0 -- seeded runs are exact)")
+    p.set_defaults(func=_cmd_trend)
+
     p = sub.add_parser("clustalw", help="align sequences (FASTA in/out)")
     p.add_argument("--fasta", help="input FASTA (default: synthetic family)")
     p.add_argument("--family-size", type=int, default=8)
@@ -1119,6 +1400,8 @@ def main(argv: list[str] | None = None) -> int:
     # deep inside the run; fail at the parser instead.
     if getattr(args, "seed", None) is not None and args.seed < 0:
         parser.error("--seed must be non-negative")
+    if getattr(args, "tenants", None) is not None and args.tenants < 1:
+        parser.error("--tenants must be >= 1")
     if hasattr(args, "breaker"):
         args.resilience = _resilience_from_args(parser, args)
     if hasattr(args, "admission"):
@@ -1127,6 +1410,13 @@ def main(argv: list[str] | None = None) -> int:
         args.failover = _failover_from_args(parser, args)
     if getattr(args, "flash_crowd", None) is not None:
         args.flash_crowd = _parse_flash_crowd(parser, args.flash_crowd)
+    if getattr(args, "slo", None) is not None:
+        from repro.sim.slo import parse_slo
+
+        try:
+            args.slo = parse_slo(args.slo)
+        except ValueError as exc:
+            parser.error(str(exc))
     if getattr(args, "trace", None) and args.command != "report":
         parent = Path(args.trace).resolve().parent
         if not parent.is_dir():

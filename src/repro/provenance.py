@@ -91,6 +91,14 @@ def run_provenance(spec=None) -> dict:
 
         stamp["seed"] = spec.seed
         stamp["spec_hash"] = spec_cache_key(spec)
+        # Armed policy layers, so dashboards and diffs reading only the
+        # stamp still know which contracts governed the run.  Inert
+        # (None) layers stamp nothing: pre-SLO artifacts stay
+        # byte-identical.
+        for name in ("slo", "admission", "failover"):
+            layer = getattr(spec, name, None)
+            if layer is not None:
+                stamp[name] = layer.describe()
     return stamp
 
 

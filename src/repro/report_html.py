@@ -52,9 +52,10 @@ AXIS = "#c3c2b7"
 CRITICAL = "#d03b3b"
 QUEUED_FILL = "#e1e0d9"  # recessive: waiting, not doing
 
-#: Span-phase fills on the timeline (setup = orange, execute = blue).
+#: Span-phase fills on the timeline (setup = orange, execute = blue);
+#: ``breach`` shades SLO breach windows on the objective timeline.
 PHASE_COLORS = {"queued": QUEUED_FILL, "setup": "#eb6834", "execute": "#2a78d6",
-                "occupied": "#2a78d6"}
+                "occupied": "#2a78d6", "breach": "#e34948"}
 
 #: Instants drawn as markers on the timeline; faults in status red.
 INSTANT_COLORS = {
@@ -78,6 +79,10 @@ INSTANT_COLORS = {
     "failover-complete": "#4a3aa7",
     "lease-expire": "#eda100",
     "orphan-recovered": "#1baf7a",
+    # SLO monitoring (PR 10): burn-rate alert lifecycle.
+    "slo-breach": CRITICAL,
+    "slo-alert-fire": "#eb6834",
+    "slo-alert-resolve": "#1baf7a",
 }
 
 #: Causal-ledger phase fills (sim/analysis.py PHASES): waiting states
@@ -264,8 +269,13 @@ def svg_span_timeline(
     title: str,
     width: int = 900,
     row_height: int = 16,
+    legend_items: list[tuple[str, str]] | None = None,
 ) -> str:
-    """Gantt-style track timeline for derived spans (inline SVG)."""
+    """Gantt-style track timeline for derived spans (inline SVG).
+
+    ``legend_items`` overrides the default task-lifecycle legend with
+    ``(label, color)`` pairs (used by the SLO objective timeline).
+    """
     tracks: list[str] = []
     for span in spans:
         if span.track not in tracks:
@@ -336,13 +346,14 @@ def svg_span_timeline(
             f"<title>{_esc(f'{instant.kind} @ {instant.time:.3f}s')}</title></path>"
         )
     parts.append("</svg>")
-    legend_items = [
-        ("queued", QUEUED_FILL),
-        ("setup (transfer+synthesis+reconfig)", PHASE_COLORS["setup"]),
-        ("execute", PHASE_COLORS["execute"]),
-        ("fault/timeout", CRITICAL),
-        ("checkpoint", INSTANT_COLORS["checkpoint"]),
-    ]
+    if legend_items is None:
+        legend_items = [
+            ("queued", QUEUED_FILL),
+            ("setup (transfer+synthesis+reconfig)", PHASE_COLORS["setup"]),
+            ("execute", PHASE_COLORS["execute"]),
+            ("fault/timeout", CRITICAL),
+            ("checkpoint", INSTANT_COLORS["checkpoint"]),
+        ]
     legend = "".join(
         f'<span class="legend-item"><span class="swatch" '
         f'style="background:{color}"></span>{_esc(label)}</span>'
@@ -448,6 +459,96 @@ def _phase_breakdown_section(events: list[TraceEvent]) -> list[str]:
         sections.append(
             f'<p class="note">Dominant p99 phase: '
             f"<strong>{_esc(dominant)}</strong>.</p>"
+        )
+    return sections
+
+
+def _slo_section(
+    registry: TelemetryRegistry, events: list[TraceEvent] | None
+) -> list[str]:
+    """SLO panel: per-objective attainment table (from the monitor's
+    end-state gauges) plus a breach/alert timeline reconstructed from
+    the ``slo-*`` trace events.  Empty when the monitor was unarmed:
+    no gauges published, no events emitted, no panel rendered."""
+
+    def end_state(name: str) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for s in registry.series(name):
+            obj = s.labels.get("objective")
+            if obj and s.points:
+                out[obj] = s.points[-1][1]
+        return out
+
+    attainment = end_state("slo_attainment")
+    budget = end_state("slo_error_budget_remaining")
+    breach_s = end_state("slo_breach_seconds")
+
+    spans: list[Span] = []
+    instants: list[Instant] = []
+    opened: dict[str, float] = {}
+    fired = resolved = 0
+    last_t = 0.0
+    for ev in events or ():
+        last_t = max(last_t, ev.time)
+        if ev.kind == "slo-breach":
+            obj = str(ev.payload.get("objective", "?"))
+            if ev.payload.get("action") == "begin":
+                opened[obj] = ev.time
+            else:
+                spans.append(Span(track=obj, phase="breach",
+                                  start=opened.pop(obj, ev.time), end=ev.time,
+                                  name="breach", args=dict(ev.payload)))
+        elif ev.kind in ("slo-alert-fire", "slo-alert-resolve"):
+            obj = str(ev.payload.get("objective", "?"))
+            instants.append(Instant(track=obj, kind=ev.kind, time=ev.time,
+                                    args=dict(ev.payload)))
+            fired += ev.kind == "slo-alert-fire"
+            resolved += ev.kind == "slo-alert-resolve"
+    for obj, start in sorted(opened.items()):  # trace cut before the close
+        spans.append(Span(track=obj, phase="breach", start=start,
+                          end=max(last_t, start), name="breach (open)"))
+    if not attainment and not spans and not instants:
+        return []
+
+    sections = ["<h2>SLO objectives</h2>"]
+    if attainment:
+        rows = []
+        for obj in sorted(attainment):
+            att = attainment[obj]
+            cls = ' class="bad"' if att < 1.0 else ""
+            rows.append(
+                f"<tr><td>{_esc(obj)}</td>"
+                f"<td{cls}>{att:.2%}</td>"
+                f"<td>{budget.get(obj, 1.0):.2%}</td>"
+                f"<td>{breach_s.get(obj, 0.0):.3f}</td></tr>"
+            )
+        sections.append(
+            '<table class="stats"><thead><tr><th>objective</th>'
+            "<th>attainment</th><th>error budget left</th>"
+            "<th>breach (s)</th></tr></thead><tbody>"
+            + "".join(rows) + "</tbody></table>"
+        )
+    if spans or instants:
+        # svg_span_timeline keys its tracks off spans, so an objective
+        # whose alerts fired without a closed breach window still needs
+        # a (zero-width) span to claim a row.
+        tracked = {s.track for s in spans}
+        for inst in instants:
+            if inst.track not in tracked:
+                tracked.add(inst.track)
+                spans.append(Span(track=inst.track, phase="breach",
+                                  start=inst.time, end=inst.time))
+        sections.append(svg_span_timeline(
+            spans, instants, title="SLO breach / alert timeline",
+            legend_items=[
+                ("breach window", PHASE_COLORS["breach"]),
+                ("alert fire", INSTANT_COLORS["slo-alert-fire"]),
+                ("alert resolve", INSTANT_COLORS["slo-alert-resolve"]),
+            ],
+        ))
+        sections.append(
+            f'<p class="note">Alerts fired: <strong>{fired}</strong>, '
+            f"resolved: <strong>{resolved}</strong>.</p>"
         )
     return sections
 
@@ -582,6 +683,13 @@ def render_dashboard(
     if admission:
         armed = ", ".join(sorted(admission))
         meta_bits.append(f"<dt>admission</dt><dd>{_esc(armed)}</dd>")
+    slo_meta = meta.get("slo") or {}
+    if slo_meta:
+        names = ", ".join(
+            o.get("name", "?") if isinstance(o, dict) else str(o)
+            for o in slo_meta.get("objectives") or ()
+        )
+        meta_bits.append(f"<dt>slo</dt><dd>{_esc(names or 'armed')}</dd>")
     header = (
         f'<dl class="meta">{"".join(meta_bits)}</dl>' if meta_bits else ""
     )
@@ -603,6 +711,8 @@ def render_dashboard(
     if charts:
         sections.append("<h2>Time series</h2>")
         sections.extend(charts)
+
+    sections.extend(_slo_section(registry, events))
 
     if events:
         task_spans, instants = build_task_spans(events)
@@ -690,6 +800,7 @@ def render_dashboard(
   }}
   table.stats th:first-child, table.stats td:first-child {{ text-align: left; }}
   table.stats td {{ font-variant-numeric: tabular-nums; }}
+  table.stats td.bad {{ color: {CRITICAL}; font-weight: 600; }}
   pre.summary {{
     background: {SURFACE}; border: 1px solid rgba(11,11,11,0.10);
     border-radius: 6px; padding: 12px; font-size: 12px; overflow-x: auto;

@@ -85,6 +85,8 @@ class TaskLedger:
     key: object
     function: str
     submitted_at: float
+    #: Owning tenant (from the submit event; "" for untagged tasks).
+    tenant: str = ""
     finished_at: float | None = None
     outcome: str = "pending"
     phases: dict[str, float] = field(
@@ -123,6 +125,7 @@ class TaskLedger:
         return {
             "key": list(self.key) if isinstance(self.key, tuple) else self.key,
             "function": self.function,
+            "tenant": self.tenant,
             "outcome": self.outcome,
             "submitted_at": self.submitted_at,
             "finished_at": self.finished_at,
@@ -538,9 +541,15 @@ def _extract_critical_path(
 
 
 def analyze_events(
-    events: list[TraceEvent], *, exemplars_k: int = 3
+    events: list[TraceEvent], *, exemplars_k: int = 3, tenant: str = ""
 ) -> RunAnalysis:
-    """Fold a time-ordered trace into a :class:`RunAnalysis`."""
+    """Fold a time-ordered trace into a :class:`RunAnalysis`.
+
+    ``tenant`` restricts the ledger to tasks whose submit event carries
+    that tenant tag -- the single-tenant drill-down behind
+    ``repro analyze --tenant`` (global events like brownout windows
+    still apply; other tenants' tasks are simply not folded).
+    """
     windows = _brownout_windows(events)
     window_starts = [t0 for t0, _ in windows]
     ledgers: dict[object, TaskLedger] = {}
@@ -569,10 +578,14 @@ def analyze_events(
         if key is None:
             continue  # grid membership / control-plane / brownout events
         if kind == "submit":
+            event_tenant = event.payload.get("tenant", "")
+            if tenant and event_tenant != tenant:
+                continue  # filtered out: no ledger, later events skip
             ledger = TaskLedger(
                 key=key,
                 function=event.payload.get("function", ""),
                 submitted_at=event.time,
+                tenant=event_tenant,
                 deps=tuple(event.payload.get("deps", ())),
             )
             ledgers[key] = ledger
@@ -688,9 +701,13 @@ def analyze_events(
     )
 
 
-def analyze_trace(path: str | Path, *, exemplars_k: int = 3) -> RunAnalysis:
+def analyze_trace(
+    path: str | Path, *, exemplars_k: int = 3, tenant: str = ""
+) -> RunAnalysis:
     """Load a JSONL trace and analyze it (``repro analyze``'s core)."""
-    return analyze_events(read_jsonl(path), exemplars_k=exemplars_k)
+    return analyze_events(
+        read_jsonl(path), exemplars_k=exemplars_k, tenant=tenant
+    )
 
 
 def write_analysis_json(path: str | Path, documents: dict[str, dict]) -> None:

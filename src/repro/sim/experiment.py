@@ -30,6 +30,7 @@ from repro.sim.faults import FaultInjector, FaultSpec, RetryPolicy
 from repro.sim.metrics import SimulationReport
 from repro.sim.resilience import ResilienceSpec
 from repro.sim.simulator import DReAMSim
+from repro.sim.slo import SLOSpec
 from repro.sim.telemetry import TelemetryRegistry
 from repro.sim.tracing import Tracer
 from repro.sim.workload import (
@@ -134,6 +135,13 @@ class ExperimentSpec:
     #: randomness it can introduce is the ``heartbeat_loss_prob`` draw,
     #: which lives on its own fault stream.
     failover: FailoverSpec | None = None
+    #: Online SLO monitoring (:mod:`repro.sim.slo`): declarative
+    #: latency/throughput/availability/queue objectives with burn-rate
+    #: alerting, evaluated while the run executes.  Purely
+    #: observational -- ``None`` (or an empty spec) and an armed
+    #: monitor both leave simulated behavior byte-identical; arming one
+    #: only *adds* ``slo-*`` trace events and report/telemetry rollups.
+    slo: SLOSpec | None = None
 
     def __post_init__(self) -> None:
         if self.strategy not in ALL_STRATEGIES:
@@ -279,6 +287,7 @@ def run_experiment(
         resilience=spec.resilience,
         admission=spec.admission,
         failover=spec.failover,
+        slo=spec.slo,
         telemetry=telemetry,
         engine=spec.engine,
         metrics=metrics,
@@ -306,6 +315,7 @@ def run_experiment(
             failover=(
                 spec.failover.describe() if spec.failover is not None else {}
             ),
+            slo=(spec.slo.describe() if spec.slo is not None else {}),
             horizon_s=report.horizon_s,
             summary=report.summary_lines(),
         )
@@ -367,6 +377,7 @@ def run_scale_experiment(
         resilience=spec.resilience,
         admission=spec.admission,
         failover=spec.failover,
+        slo=spec.slo,
         engine=spec.engine,
         metrics=BulkMetricsCollector(capacity=spec.tasks),
         hostprof=hostprof,

@@ -20,6 +20,8 @@ class TaskMetrics:
 
     key: object
     function: str = ""
+    #: Owning tenant label ("" in single-tenant runs).
+    tenant: str = ""
     pe_kind: str = ""
     node_id: int | None = None
     resource_index: int | None = None
@@ -208,6 +210,28 @@ class SimulationReport:
     #: extends over failover).
     orphaned_tasks: int = 0
     orphans_recovered: int = 0
+    # --- per-tenant aggregates (empty in single-tenant runs; defaults
+    # keep stored reports loadable) ---
+    #: tenant -> {completed, shed, failed, mean/p50/p95/p99 wait and
+    #: turnaround}, tenants in order of first arrival.
+    per_tenant: dict[str, dict[str, float]] = field(default_factory=dict)
+    # --- SLO monitoring aggregates (zero/empty unless the run armed an
+    # ``SLOSpec``; defaults keep stored reports loadable) ---
+    #: Objectives the monitor evaluated over the run.
+    slo_objectives: int = 0
+    #: Breach episodes (begin/end pairs) across all objectives.
+    slo_breaches: int = 0
+    #: Burn-rate alerts fired and resolved (horizon-close included).
+    slo_alerts_fired: int = 0
+    slo_alerts_resolved: int = 0
+    #: objective name -> fraction of the horizon spent in compliance.
+    slo_attainment: dict[str, float] = field(default_factory=dict)
+    #: objective name -> error budget left (1 = untouched, 0 = spent).
+    slo_error_budget_remaining: dict[str, float] = field(default_factory=dict)
+    #: objective name -> sim seconds spent in breach.
+    slo_breach_seconds: dict[str, float] = field(default_factory=dict)
+    #: Names of objectives that blew their error budget.
+    slo_violated: list[str] = field(default_factory=list)
     # --- host-phase profile (empty unless the run was profiled with
     # sim/hostprof.py; defaults keep stored reports loadable) ---
     #: Exclusive host wall seconds per simulator phase (engine pop/push,
@@ -288,6 +312,28 @@ class SimulationReport:
                 f"{self.orphans_recovered} recovered  "
                 f"({self.leases_expired} leases expired)",
             ]
+        for name, row in self.per_tenant.items():
+            lines.append(
+                f"tenant {name:<14s}{int(row['completed'])} done / "
+                f"{int(row['shed'])} shed / {int(row['failed'])} failed   "
+                f"(p95 wait {row['p95_wait_s']:.4f} s, "
+                f"p95 turnaround {row['p95_turnaround_s']:.4f} s)"
+            )
+        if self.slo_objectives:
+            lines.append(
+                f"SLO                  {self.slo_objectives} objectives / "
+                f"{len(self.slo_violated)} violated   "
+                f"({self.slo_breaches} breaches, "
+                f"{self.slo_alerts_fired} alerts fired / "
+                f"{self.slo_alerts_resolved} resolved)"
+            )
+            for name, attainment in self.slo_attainment.items():
+                budget = self.slo_error_budget_remaining.get(name, 0.0)
+                verdict = "VIOLATED" if name in self.slo_violated else "ok"
+                lines.append(
+                    f"  {name:<32s} attainment {attainment:8.2%}  "
+                    f"budget left {budget:7.2%}  {verdict}"
+                )
         if self.host_phase_s:
             total = sum(self.host_phase_s.values())
             parts = ", ".join(
@@ -335,6 +381,40 @@ def write_report_dump(path, spec, report: SimulationReport, *, energy=None) -> N
                    indent=2, sort_keys=True) + "\n",
         encoding="ascii",
     )
+
+
+def _tenant_row(
+    *,
+    completed: int,
+    shed: int,
+    failed: int,
+    waits: np.ndarray,
+    turnarounds: np.ndarray,
+) -> dict[str, float]:
+    """One tenant's aggregate row, shared by both collectors so the
+    arithmetic (numpy mean/percentile over identical value multisets)
+    cannot drift apart."""
+    return {
+        "completed": completed,
+        "shed": shed,
+        "failed": failed,
+        "mean_wait_s": float(waits.mean()) if waits.size else 0.0,
+        "p50_wait_s": float(np.percentile(waits, 50)) if waits.size else 0.0,
+        "p95_wait_s": float(np.percentile(waits, 95)) if waits.size else 0.0,
+        "p99_wait_s": float(np.percentile(waits, 99)) if waits.size else 0.0,
+        "mean_turnaround_s": (
+            float(turnarounds.mean()) if turnarounds.size else 0.0
+        ),
+        "p50_turnaround_s": (
+            float(np.percentile(turnarounds, 50)) if turnarounds.size else 0.0
+        ),
+        "p95_turnaround_s": (
+            float(np.percentile(turnarounds, 95)) if turnarounds.size else 0.0
+        ),
+        "p99_turnaround_s": (
+            float(np.percentile(turnarounds, 99)) if turnarounds.size else 0.0
+        ),
+    }
 
 
 class MetricsCollector:
@@ -391,14 +471,20 @@ class MetricsCollector:
         self.detection_latency_p95_s = 0.0
         self.false_suspicions = 0
         self.leases_expired = 0
+        # --- SLO monitoring results ---
+        #: Pushed by the simulator from its SLOMonitor at report time
+        #: (see :meth:`record_slo_stats`); ``SLOResult``-shaped objects.
+        self.slo_results: list = []
 
     # ------------------------------------------------------------------
     # Recording (called by the simulator)
     # ------------------------------------------------------------------
-    def record_arrival(self, key: object, time: float, function: str = "") -> TaskMetrics:
+    def record_arrival(
+        self, key: object, time: float, function: str = "", tenant: str = ""
+    ) -> TaskMetrics:
         if key in self.tasks:
             raise ValueError(f"duplicate task key {key!r}")
-        tm = TaskMetrics(key=key, arrival=time, function=function)
+        tm = TaskMetrics(key=key, arrival=time, function=function, tenant=tenant)
         self.tasks[key] = tm
         self.trace.append((time, "arrival", key))
         return tm
@@ -649,6 +735,32 @@ class MetricsCollector:
         self.brownout_completions = brownout_completions
 
     # ------------------------------------------------------------------
+    # SLO monitoring recording
+    # ------------------------------------------------------------------
+    def record_slo_stats(self, results: list) -> None:
+        """Pushed once by the simulator (from its finalized SLOMonitor)
+        just before the report is built.  *results* are
+        :class:`repro.sim.slo.SLOResult` instances."""
+        self.slo_results = list(results)
+
+    def _slo_report_kwargs(self) -> dict:
+        """Report fields derived from the pushed SLO results (shared by
+        both collectors so the derivations cannot drift apart)."""
+        results = self.slo_results
+        return {
+            "slo_objectives": len(results),
+            "slo_breaches": sum(r.breach_count for r in results),
+            "slo_alerts_fired": sum(r.alerts_fired for r in results),
+            "slo_alerts_resolved": sum(r.alerts_resolved for r in results),
+            "slo_attainment": {r.name: r.attainment for r in results},
+            "slo_error_budget_remaining": {
+                r.name: r.error_budget_remaining for r in results
+            },
+            "slo_breach_seconds": {r.name: r.breach_seconds for r in results},
+            "slo_violated": [r.name for r in results if r.violated],
+        }
+
+    # ------------------------------------------------------------------
     # Node availability windows
     # ------------------------------------------------------------------
     def register_node(self, node_id: int) -> None:
@@ -707,6 +819,29 @@ class MetricsCollector:
                 if t.first_fault is not None
             ]
         )
+        # Per-tenant aggregates, tenants in order of first arrival
+        # (the bulk collector reproduces the same order through its
+        # interning table, so the two reports stay byte-equal).
+        per_tenant: dict[str, dict[str, float]] = {}
+        tenant_names: list[str] = []
+        for t in self.tasks.values():
+            if t.tenant and t.tenant not in per_tenant:
+                per_tenant[t.tenant] = {}
+                tenant_names.append(t.tenant)
+        for name in tenant_names:
+            rows = [t for t in self.tasks.values() if t.tenant == name]
+            fin = [t for t in rows if t.finish is not None]
+            t_waits = np.array(
+                [t.wait_time for t in fin if t.wait_time is not None]
+            )
+            t_turn = np.array([t.turnaround for t in fin])
+            per_tenant[name] = _tenant_row(
+                completed=len(fin),
+                shed=sum(1 for t in rows if t.shed),
+                failed=sum(1 for t in rows if t.failed),
+                waits=t_waits,
+                turnarounds=t_turn,
+            )
         return SimulationReport(
             horizon_s=horizon_s,
             completed=len(finished),
@@ -792,6 +927,8 @@ class MetricsCollector:
             leases_expired=self.leases_expired,
             orphaned_tasks=self.orphan_events,
             orphans_recovered=self.orphan_events,
+            per_tenant=per_tenant,
+            **self._slo_report_kwargs(),
         )
 
 
@@ -882,10 +1019,14 @@ class BulkMetricsCollector(MetricsCollector):
         self._shed = np.zeros(cap, dtype=bool)
         #: pe_kind interned to a small int; -1 = never dispatched.
         self._kind_code = np.full(cap, -1, dtype=np.int16)
+        #: tenant interned to a small int; -1 = untagged (single-tenant).
+        self._tenant_code = np.full(cap, -1, dtype=np.int16)
         #: 0 = met, 1 = soft miss, 2 = hard miss.
         self._deadline_code = np.zeros(cap, dtype=np.int8)
         self._kind_codes: dict[str, int] = {}
         self._kind_names: list[str] = []
+        self._tenant_codes: dict[str, int] = {}
+        self._tenant_names: list[str] = []
         self.tasks = _TaskRowMap(self)  # type: ignore[assignment]
 
     def _grow(self) -> None:
@@ -893,7 +1034,8 @@ class BulkMetricsCollector(MetricsCollector):
         for name in (
             "_arrival", "_dispatch", "_start", "_finish", "_reconfig",
             "_wasted_t", "_wasted_sl", "_first_fault", "_reused",
-            "_discarded", "_failed", "_shed", "_kind_code", "_deadline_code",
+            "_discarded", "_failed", "_shed", "_kind_code", "_tenant_code",
+            "_deadline_code",
         ):
             old = getattr(self, name)
             if old.dtype == np.float64 and name in ("_dispatch", "_start", "_finish", "_first_fault"):
@@ -913,8 +1055,16 @@ class BulkMetricsCollector(MetricsCollector):
             self._kind_names.append(pe_kind)
         return code
 
+    def _tenant(self, tenant: str) -> int:
+        code = self._tenant_codes.get(tenant)
+        if code is None:
+            code = len(self._tenant_names)
+            self._tenant_codes[tenant] = code
+            self._tenant_names.append(tenant)
+        return code
+
     # -- recording ------------------------------------------------------
-    def record_arrival(self, key: object, time: float, function: str = "") -> None:  # type: ignore[override]
+    def record_arrival(self, key: object, time: float, function: str = "", tenant: str = "") -> None:  # type: ignore[override]
         if key in self._index:
             raise ValueError(f"duplicate task key {key!r}")
         i = self._n
@@ -922,6 +1072,8 @@ class BulkMetricsCollector(MetricsCollector):
             self._grow()
         self._index[key] = i
         self._arrival[i] = time
+        if tenant:
+            self._tenant_code[i] = self._tenant(tenant)
         self._n = i + 1
 
     def record_dispatch(
@@ -1106,6 +1258,22 @@ class BulkMetricsCollector(MetricsCollector):
         first_fault = self._first_fault[:n]
         repairs = (finish - first_fault)[finished & ~np.isnan(first_fault)]
         completed = int(finished.sum())
+        # Per-tenant aggregates.  Interning assigns codes in order of
+        # first arrival, so iterating codes reproduces the base
+        # collector's first-appearance tenant order; masks select the
+        # same value multisets in the same (column == insertion) order.
+        per_tenant: dict[str, dict[str, float]] = {}
+        tenant_codes = self._tenant_code[:n]
+        for code, name in enumerate(self._tenant_names):
+            mask = tenant_codes == code
+            fin_mask = mask & finished
+            per_tenant[name] = _tenant_row(
+                completed=int(fin_mask.sum()),
+                shed=int((mask & shed).sum()),
+                failed=int((mask & failed).sum()),
+                waits=(dispatch - arrival)[fin_mask & ~np.isnan(dispatch)],
+                turnarounds=(finish - arrival)[fin_mask],
+            )
         return SimulationReport(
             horizon_s=horizon_s,
             completed=completed,
@@ -1188,4 +1356,6 @@ class BulkMetricsCollector(MetricsCollector):
             leases_expired=self.leases_expired,
             orphaned_tasks=self.orphan_events,
             orphans_recovered=self.orphan_events,
+            per_tenant=per_tenant,
+            **self._slo_report_kwargs(),
         )

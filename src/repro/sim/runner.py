@@ -61,7 +61,9 @@ from repro.sim.metrics import SimulationReport
 #:    detection/failover/orphan fields on SimulationReport).
 #: 8: causal run analysis / host-phase profiler (host_phase_s and
 #:    host_phase_calls fields on SimulationReport).
-_CACHE_FORMAT = 8
+#: 9: online SLO monitoring (slo spec on ExperimentSpec; per-tenant
+#:    and SLO attainment fields on SimulationReport).
+_CACHE_FORMAT = 9
 
 
 def default_jobs() -> int:

@@ -35,6 +35,13 @@ the simulator of refs [20][21]:
   forcing -> shedding) and recovers when pressure drops.
   ``admission=None`` (the default) is byte-identical to the
   unprotected simulator, same contract as ``resilience``.
+* online SLO monitoring (:mod:`repro.sim.slo`): declarative
+  objectives (latency percentile, throughput floor, availability,
+  queue depth; global or tenant/priority scoped) evaluated over
+  sliding sim-time windows with multi-window burn-rate alerting.
+  Purely observational -- ``slo=None`` (the default) and an armed
+  monitor both leave simulated behavior byte-identical; the monitor
+  only *adds* ``slo-*`` trace events.
 """
 
 from __future__ import annotations
@@ -64,6 +71,7 @@ from repro.sim.failover import (
 from repro.sim.faults import FaultInjector, RetryPolicy
 from repro.sim.metrics import MetricsCollector, SimulationReport
 from repro.sim.resilience import ResilienceSpec
+from repro.sim.slo import SLOMonitor, SLOSpec
 from repro.sim.telemetry import TelemetryRegistry
 from repro.sim.tracing import Tracer
 
@@ -147,6 +155,7 @@ class DReAMSim:
         resilience: ResilienceSpec | None = None,
         admission: AdmissionSpec | None = None,
         failover: FailoverSpec | None = None,
+        slo: SLOSpec | None = None,
         telemetry: TelemetryRegistry | None = None,
         engine: str = "heap",
         metrics: MetricsCollector | None = None,
@@ -235,6 +244,20 @@ class DReAMSim:
             else None
         )
         rms.admission = self.admission
+        #: Online SLO monitoring (None = the exact unmonitored paths;
+        #: an empty spec normalizes to None, same contract as the other
+        #: layers).  The monitor is purely observational -- it schedules
+        #: no events, draws no randomness, and never touches simulator
+        #: state -- so arming it never perturbs traces.
+        self.slo = (
+            SLOMonitor(
+                slo,
+                clock=lambda: self.engine.now,
+                emit=self._emit,
+            )
+            if slo is not None and slo.enabled
+            else None
+        )
         #: Sim-time telemetry (None = the exact un-instrumented paths:
         #: every hook below is a single attribute check).  Telemetry is
         #: purely observational -- it schedules no events and draws no
@@ -1370,6 +1393,10 @@ class DReAMSim:
         entry.deadline_events.clear()
         reason = entry.failure_reason or "fault retry budget exhausted"
         self.metrics.record_failed(entry.key, self.engine.now, reason=reason)
+        if self.slo is not None:
+            self.slo.observe_error(
+                tenant=entry.task.tenant, priority=entry.task.priority
+            )
         self._emit("task-failed", entry.key, reason=reason, attempts=entry.attempts)
         if entry.job_id is not None:
             self.jss.mark_failed(
@@ -1839,7 +1866,9 @@ class DReAMSim:
             on_complete=on_complete,
             silent=silent,
         )
-        self.metrics.record_arrival(entry.key, self.engine.now, task.function)
+        self.metrics.record_arrival(
+            entry.key, self.engine.now, task.function, tenant=task.tenant
+        )
         if self.tracer is not None:
             # Priority/tenant ride along only when set, so traces of
             # untagged workloads are byte-identical to pre-overload runs.
@@ -1865,6 +1894,8 @@ class DReAMSim:
             self._admit(entry)
         else:
             self._offer(entry)
+        if self.slo is not None:
+            self.slo.observe_queue(len(self.pending))
 
     def _admit(self, entry: _Entry) -> None:
         """Accept a submission into the pending queue (the entire
@@ -1975,6 +2006,11 @@ class DReAMSim:
             "sim_sheds_total", "submissions shed by overload protection",
             reason=reason,
         )
+        if self.slo is not None:
+            self.slo.observe_error(
+                tenant=entry.task.tenant, priority=entry.task.priority
+            )
+            self.slo.observe_queue(len(self.pending))
         self._emit("shed", entry.key, reason=reason)
         if entry.job_id is not None and not entry.silent:
             self.jss.mark_failed(
@@ -2083,6 +2119,8 @@ class DReAMSim:
         self._telemetry_sample()
         if self.admission is not None:
             self._admission_observe()
+        if self.slo is not None:
+            self.slo.observe_queue(len(self.pending))
 
     def _try_dispatch(self, entry: _Entry) -> bool:
         if (
@@ -2356,6 +2394,18 @@ class DReAMSim:
             self.telemetry.histogram(
                 "task_turnaround_seconds", "arrival -> completion latency"
             ).observe(self.engine.now - self.metrics.tasks[entry.key].arrival)
+        if self.slo is not None:
+            row = self.metrics.tasks[entry.key]
+            self.slo.observe_completion(
+                tenant=entry.task.tenant,
+                priority=entry.task.priority,
+                wait=(
+                    row.dispatch - row.arrival
+                    if row.dispatch is not None
+                    else None
+                ),
+                turnaround=self.engine.now - row.arrival,
+            )
         self._health_success(entry, placement.candidate.node_id)
         if self.admission is not None:
             self.admission.note_completion()
@@ -2443,6 +2493,11 @@ class DReAMSim:
                 false_suspicions=self._false_suspicions,
                 leases_expired=self._leases_expired,
             )
+        if self.slo is not None:
+            self.slo.finalize(self.engine.now)
+            self.metrics.record_slo_stats(self.slo.results(self.engine.now))
+            if self.telemetry is not None:
+                self.slo.publish(self.telemetry, self.engine.now)
         if prof is None:
             return self.metrics.report(self.engine.now)
         prof.enter("metrics")

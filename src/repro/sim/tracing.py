@@ -86,6 +86,10 @@ EVENT_KINDS = frozenset(
         "failover-complete",  # standby promoted; control plane back up
         "lease-expire",       # a placement's lease lapsed while dark
         "orphan-recovered",   # orphaned placement torn down and re-queued
+        # Online SLO monitoring (sim/slo.py):
+        "slo-breach",         # an objective entered/left breach (action=)
+        "slo-alert-fire",     # multi-window burn rate crossed the threshold
+        "slo-alert-resolve",  # the burn subsided (or the horizon closed it)
     }
 )
 
@@ -324,6 +328,10 @@ class TraceInvariantChecker(TraceSink):
       ``heartbeat-confirm`` / ``heartbeat-rejoin`` only resolve a live
       suspicion; ``orphan-recovered`` returns an in-flight task to the
       queue exactly like ``requeue`` does, keeping conservation intact.
+    * **SLO lifecycle** -- ``slo-breach`` begin/end pairs per objective
+      (no double begin, no unmatched end) and ``slo-alert-fire`` /
+      ``slo-alert-resolve`` pairs likewise; after a finalized run
+      :meth:`assert_slo_closed` requires everything closed.
     * **Task conservation** (online) -- at every point in the stream,
       ``completed + failed + discarded + shed <= submitted``; after a
       drained run :meth:`assert_conservation` requires equality, i.e.
@@ -347,6 +355,10 @@ class TraceInvariantChecker(TraceSink):
         self._open_breakers: set[int] = set()
         #: Targets (node ids / "rms") under live heartbeat suspicion.
         self._suspected: set[object] = set()
+        #: SLO objectives currently in breach (open slo-breach begin).
+        self._slo_breaching: set[str] = set()
+        #: SLO objectives with a firing (unresolved) burn-rate alert.
+        self._slo_alerting: set[str] = set()
         #: Control-plane availability: ``"up"``, ``"gray"`` (the
         #: primary answers but is useless -- a crash may still
         #: *escalate* it), or ``"down"`` (crashed).  No dispatch may
@@ -565,6 +577,43 @@ class TraceInvariantChecker(TraceSink):
         self._task_state[event.key] = _SUBMITTED
 
     # ------------------------------------------------------------------
+    # Online SLO monitoring lifecycle
+    # ------------------------------------------------------------------
+    def _on_slo_breach(self, event: TraceEvent) -> None:
+        objective = event.payload.get("objective")
+        if not objective:
+            self._fail(event, "slo-breach without an objective name")
+        action = event.payload.get("action")
+        if action == "begin":
+            if objective in self._slo_breaching:
+                self._fail(event, f"objective {objective!r} is already in breach")
+            self._slo_breaching.add(objective)
+        elif action == "end":
+            if objective not in self._slo_breaching:
+                self._fail(
+                    event, f"breach end for {objective!r} without a begin"
+                )
+            self._slo_breaching.discard(objective)
+        else:
+            self._fail(event, f"unknown slo-breach action {action!r}")
+
+    def _on_slo_alert_fire(self, event: TraceEvent) -> None:
+        objective = event.payload.get("objective")
+        if not objective:
+            self._fail(event, "slo-alert-fire without an objective name")
+        if objective in self._slo_alerting:
+            self._fail(event, f"alert for {objective!r} is already firing")
+        self._slo_alerting.add(objective)
+
+    def _on_slo_alert_resolve(self, event: TraceEvent) -> None:
+        objective = event.payload.get("objective")
+        if objective not in self._slo_alerting:
+            self._fail(
+                event, f"alert resolve for {objective!r} without a fire"
+            )
+        self._slo_alerting.discard(objective)
+
+    # ------------------------------------------------------------------
     # Adaptive resilience lifecycle
     # ------------------------------------------------------------------
     def _on_quarantine(self, event: TraceEvent) -> None:
@@ -733,6 +782,23 @@ class TraceInvariantChecker(TraceSink):
         if lost:
             states = {key: self._task_state[key] for key in lost}
             raise InvariantViolation(f"tasks lost (non-terminal at end): {states!r}")
+
+    def assert_slo_closed(self) -> None:
+        """After a finalized run: every ``slo-breach`` begin has a
+        matching end and every ``slo-alert-fire`` a matching resolve
+        (the monitor's :meth:`~repro.sim.slo.SLOMonitor.finalize`
+        closes anything still open at the horizon).  (The no-duplicate
+        / no-unmatched direction is enforced online per event.)"""
+        if self._slo_breaching:
+            raise InvariantViolation(
+                f"objectives still in breach at end of trace: "
+                f"{sorted(self._slo_breaching)!r}"
+            )
+        if self._slo_alerting:
+            raise InvariantViolation(
+                f"alerts still firing at end of trace: "
+                f"{sorted(self._slo_alerting)!r}"
+            )
 
     def conservation(self) -> dict[str, int]:
         """The online task-conservation ledger as a dict."""

@@ -168,6 +168,62 @@ def test_inert_failover_spec_reproduces_golden_trace_byte_identically(name):
 
 
 @pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_inert_slo_spec_reproduces_golden_trace_byte_identically(name):
+    """The zero-cost-when-disabled lock for SLO monitoring: an empty
+    :class:`SLOSpec` (no objectives) must take the exact pre-SLO code
+    paths on every golden scenario -- no extra events, no reordering,
+    byte for byte."""
+    from repro.sim.slo import SLOSpec
+
+    spec, filename = GOLDEN[name]
+    golden = (DATA_DIR / filename).read_text(encoding="ascii").splitlines()
+    sink = InMemorySink()
+    run_experiment(
+        spec.with_(slo=SLOSpec()),
+        tracer=Tracer(TraceInvariantChecker(), sink),
+    )
+    fresh = [e.to_json() for e in canonical_events(list(sink.events))]
+    assert fresh == golden, (
+        f"{name}: an inert SLOSpec changed the trace; the SLO layer "
+        "must be zero-cost when disabled"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+@pytest.mark.parametrize("engine", ["heap", "calendar"])
+def test_armed_slo_monitor_is_observation_only(name, engine):
+    """The observation-only lock: arming the monitor with aggressive
+    objectives may only *add* ``slo-*`` events.  Stripping those from
+    the armed trace must reproduce the committed golden byte for byte
+    on both engines -- the monitor never schedules events, never draws
+    randomness, never perturbs simulated state."""
+    from repro.sim.slo import SLOObjective, SLOSpec
+
+    spec, filename = GOLDEN[name]
+    golden = (DATA_DIR / filename).read_text(encoding="ascii").splitlines()
+    armed = spec.with_(engine=engine, slo=SLOSpec(objectives=(
+        SLOObjective("latency", 0.05, percentile=95.0, window_s=2.0),
+        SLOObjective("availability", 0.999, window_s=2.0),
+        SLOObjective("queue-depth", 1.0, window_s=2.0),
+    )))
+    sink = InMemorySink()
+    tracer = Tracer(TraceInvariantChecker(), sink)
+    run_experiment(armed, tracer=tracer)
+    tracer.checker.assert_slo_closed()
+    events = canonical_events(list(sink.events))
+    slo_kinds = {"slo-breach", "slo-alert-fire", "slo-alert-resolve"}
+    stripped = [e.to_json() for e in events if e.kind not in slo_kinds]
+    assert stripped == golden, (
+        f"{name}/{engine}: an armed SLO monitor perturbed the trace "
+        "beyond adding slo-* events; it must be observation-only"
+    )
+    assert any(e.kind in slo_kinds for e in events), (
+        f"{name}/{engine}: aggressive objectives emitted no slo-* "
+        "events -- the lock is vacuous"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
 def test_golden_traces_satisfy_invariants(name):
     from repro.sim.tracing import TraceEvent
 
